@@ -1,0 +1,46 @@
+//! Wall-clock cost of regenerating (scaled-down versions of) the paper's
+//! figures: these benches keep the figure harnesses honest about their own
+//! runtime and act as end-to-end regression tests of the whole stack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn figure_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig7_transfer_64MB", |b| {
+        b.iter(|| {
+            let result = dcl_bench::fig7::run(64).unwrap();
+            std::hint::black_box(result.write_slowdown());
+        });
+    });
+
+    group.bench_function("fig8_efficiency_3_points", |b| {
+        b.iter(|| {
+            let result = dcl_bench::fig8::run(&[1, 16, 256]).unwrap();
+            std::hint::black_box(result.points.len());
+        });
+    });
+
+    group.bench_function("fig4_dopencl_2_devices_tiny", |b| {
+        b.iter(|| {
+            let row = dcl_bench::fig4::run_dopencl(2, 40).unwrap();
+            std::hint::black_box(row.breakdown.total());
+        });
+    });
+
+    group.bench_function("fig5_osem_all_variants_tiny", |b| {
+        let mut scaled = dcl_bench::fig5::ScaledOsem::default_scale();
+        scaled.functional.num_events = 4_000;
+        scaled.functional.ray_steps = 8;
+        b.iter(|| {
+            let rows = dcl_bench::fig5::run(&scaled).unwrap();
+            std::hint::black_box(rows.len());
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, figure_benches);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the two kernel execution paths of the virtual OpenCL
+//! runtime: the OpenCL C interpreter vs a registered built-in native kernel,
+//! on the same Mandelbrot tile.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oclc::{BufferBinding, KernelArgValue, NdRange};
+use workloads::mandelbrot::{self, MandelbrotParams, BUILTIN_KERNEL, KERNEL_SOURCE};
+
+fn kernel_args(params: &MandelbrotParams) -> Vec<KernelArgValue> {
+    vec![
+        KernelArgValue::Buffer(0),
+        KernelArgValue::Scalar(oclc::Value::uint(params.width as u64)),
+        KernelArgValue::Scalar(oclc::Value::uint(params.height as u64)),
+        KernelArgValue::Scalar(oclc::Value::float(params.x_min as f32)),
+        KernelArgValue::Scalar(oclc::Value::float(params.y_min as f32)),
+        KernelArgValue::Scalar(oclc::Value::float(params.dx() as f32)),
+        KernelArgValue::Scalar(oclc::Value::float(params.dy() as f32)),
+        KernelArgValue::Scalar(oclc::Value::uint(0)),
+        KernelArgValue::Scalar(oclc::Value::uint(params.max_iter as u64)),
+    ]
+}
+
+fn kernel_benches(c: &mut Criterion) {
+    mandelbrot::register_built_in_kernels();
+    let params = MandelbrotParams { width: 64, height: 64, max_iter: 128, ..MandelbrotParams::small() };
+    let pixels = (params.width * params.height) as u64;
+    let args = kernel_args(&params);
+
+    let mut group = c.benchmark_group("kernels/mandelbrot_64x64");
+    group.throughput(Throughput::Elements(pixels));
+
+    group.bench_function("interpreted_oclc", |b| {
+        let program = oclc::Program::build(KERNEL_SOURCE).unwrap();
+        let kernel = program.kernel("mandelbrot_rows").unwrap();
+        let mut out = vec![0u8; params.pixels() * 4];
+        b.iter(|| {
+            let mut bindings = vec![BufferBinding::new(&mut out)];
+            let counters = kernel
+                .execute(&NdRange::two_d(params.width, params.height), &args, &mut bindings)
+                .unwrap();
+            std::hint::black_box(counters.work_items);
+        });
+    });
+
+    group.bench_function("built_in_native", |b| {
+        let f = vocl::built_in_kernel(BUILTIN_KERNEL).unwrap();
+        let mut out = vec![0u8; params.pixels() * 4];
+        b.iter(|| {
+            let mut bindings = vec![BufferBinding::new(&mut out)];
+            let counters = f(&NdRange::two_d(params.width, params.height), &args, &mut bindings).unwrap();
+            std::hint::black_box(counters.work_items);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, kernel_benches);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Micro-benchmarks of the gcf transports: request/response round trip and
+//! bulk-stream throughput over the in-process transport vs real TCP sockets.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gcf::rpc::{Endpoint, EndpointHandler, NullHandler};
+use gcf::transport::{inproc::InprocTransport, tcp::TcpTransport, Transport};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct EchoHandler;
+impl EndpointHandler for EchoHandler {
+    fn handle_request(&self, payload: &[u8]) -> Vec<u8> {
+        payload.to_vec()
+    }
+}
+
+fn endpoint_pair(transport: &dyn Transport, addr: &str) -> (Arc<Endpoint>, Arc<Endpoint>) {
+    let listener = transport.listen(addr).unwrap();
+    let bound = listener.local_addr();
+    let handle = std::thread::spawn(move || listener.accept().unwrap());
+    let client_conn = transport.connect(&bound).unwrap();
+    let server_conn = handle.join().unwrap();
+    let client = Endpoint::new(client_conn, Arc::new(NullHandler), "bench-client");
+    let server = Endpoint::new(server_conn, Arc::new(EchoHandler), "bench-server");
+    (client, server)
+}
+
+fn transport_benches(c: &mut Criterion) {
+    let inproc = InprocTransport::new();
+    let (inproc_client, _inproc_server) = endpoint_pair(&inproc, "bench");
+    c.bench_function("transport/inproc_call_round_trip", |b| {
+        b.iter(|| {
+            let resp = inproc_client.call(vec![0u8; 64]).unwrap();
+            std::hint::black_box(resp);
+        });
+    });
+
+    let tcp = TcpTransport::new();
+    let (tcp_client, _tcp_server) = endpoint_pair(&tcp, "127.0.0.1:0");
+    c.bench_function("transport/tcp_call_round_trip", |b| {
+        b.iter(|| {
+            let resp = tcp_client.call(vec![0u8; 64]).unwrap();
+            std::hint::black_box(resp);
+        });
+    });
+
+    let mut group = c.benchmark_group("transport/bulk_stream");
+    let payload = vec![0xA5u8; 4 << 20];
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("inproc_4MiB", |b| {
+        let (client, server) = endpoint_pair(&InprocTransport::new(), "bulk");
+        b.iter(|| {
+            let stream = client.allocate_id();
+            client.send_bulk(stream, &payload).unwrap();
+            let received = server.wait_bulk(stream, Duration::from_secs(10)).unwrap();
+            std::hint::black_box(received.len());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, transport_benches);
+criterion_main!(benches);

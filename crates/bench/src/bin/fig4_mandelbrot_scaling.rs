@@ -1,0 +1,33 @@
+//! Regenerates Figure 4: Mandelbrot runtime with dOpenCL vs MPI+OpenCL on
+//! 2, 4, 8 and 16 devices of the Infiniband cluster.
+
+use dcl_bench::report::{print_table, secs};
+
+fn main() {
+    let functional_scale = 10;
+    let device_counts = [2usize, 4, 8, 16];
+    println!("Figure 4 — Mandelbrot 4800x3200, 20000 max iterations, Infiniband CPU cluster");
+    println!(
+        "(functional computation downscaled by {functional_scale}x per dimension; execution and \
+         transfer scaled back to paper size)"
+    );
+    let rows = dcl_bench::fig4::run(&device_counts, functional_scale).expect("figure 4 harness");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.devices.to_string(),
+                r.variant.to_string(),
+                secs(r.breakdown.initialization),
+                secs(r.breakdown.execution),
+                secs(r.breakdown.data_transfer),
+                secs(r.breakdown.total()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Runtime of the Mandelbrot application (seconds)",
+        &["devices", "variant", "initialization", "execution", "data transfer", "total"],
+        &table,
+    );
+}

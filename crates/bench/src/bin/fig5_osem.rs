@@ -1,0 +1,42 @@
+//! Regenerates Figure 5: mean runtime of one list-mode OSEM iteration on the
+//! desktop GPU, via dOpenCL on the remote GPU server, and natively on the
+//! server.
+
+use dcl_bench::fig5::{run, ScaledOsem};
+use dcl_bench::report::{print_table, secs};
+
+fn main() {
+    let scaled = ScaledOsem::default_scale();
+    println!("Figure 5 — list-mode OSEM, one iteration");
+    println!(
+        "(functional size: {} events, {} ray steps; modelled size: {} events, {} ray steps)",
+        scaled.functional.num_events,
+        scaled.functional.ray_steps,
+        scaled.paper.num_events,
+        scaled.paper.ray_steps
+    );
+    let rows = run(&scaled).expect("figure 5 harness");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.variant.to_string(),
+                secs(r.breakdown.initialization),
+                secs(r.breakdown.execution),
+                secs(r.breakdown.data_transfer),
+                secs(r.iteration_time),
+            ]
+        })
+        .collect();
+    print_table(
+        "Mean iteration runtime (seconds)",
+        &["setup", "initialization", "execution", "data transfer", "total"],
+        &table,
+    );
+    let local = rows.iter().find(|r| r.variant == "Desktop PC using OpenCL").unwrap();
+    let remote = rows.iter().find(|r| r.variant == "Desktop PC using dOpenCL").unwrap();
+    println!(
+        "\n  offload speedup (local / dOpenCL): {:.2}x   (paper: 15.7 s / 4.2 s = 3.75x)",
+        local.iteration_time.as_secs_f64() / remote.iteration_time.as_secs_f64()
+    );
+}

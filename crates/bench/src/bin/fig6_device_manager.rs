@@ -1,0 +1,29 @@
+//! Regenerates Figure 6: average runtime of the Mandelbrot application when
+//! 1–4 instances share the GPU server, with and without the device manager.
+
+use dcl_bench::report::{print_table, secs};
+
+fn main() {
+    let functional_scale = 16;
+    println!("Figure 6 — concurrent application instances sharing one 4-GPU server (GigE)");
+    println!("(functional computation downscaled by {functional_scale}x per dimension)");
+    let rows = dcl_bench::fig6::run(&[1, 2, 3, 4], functional_scale).expect("figure 6 harness");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.clients.to_string(),
+                if r.with_device_manager { "with DM" } else { "w/o DM" }.to_string(),
+                secs(r.breakdown.initialization),
+                secs(r.breakdown.execution),
+                secs(r.breakdown.data_transfer),
+                secs(r.breakdown.total()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Average runtime per application instance (seconds)",
+        &["clients", "device manager", "initialization", "execution", "data transfer", "total"],
+        &table,
+    );
+}

@@ -1,0 +1,31 @@
+//! Regenerates Figure 7: time to transfer 1024 MB to and from a device over
+//! Gigabit Ethernet (through dOpenCL) vs PCI Express (native).
+
+use dcl_bench::fig7::{run, PAPER_TRANSFER_MB};
+use dcl_bench::report::{print_table, secs};
+
+fn main() {
+    println!("Figure 7 — transfer of {PAPER_TRANSFER_MB} MB to (write) / from (read) a GPU device");
+    let result = run(PAPER_TRANSFER_MB).expect("figure 7 harness");
+    print_table(
+        "Transfer time (seconds)",
+        &["direction", "Gigabit Ethernet (dOpenCL)", "PCI Express (native)"],
+        &[
+            vec![
+                "write".to_string(),
+                secs(result.gigabit_ethernet.write),
+                secs(result.pci_express.write),
+            ],
+            vec![
+                "read".to_string(),
+                secs(result.gigabit_ethernet.read),
+                secs(result.pci_express.read),
+            ],
+        ],
+    );
+    println!(
+        "\n  write slowdown: {:.1}x (paper: up to ~50x)   read slowdown: {:.1}x (paper: ~4.5x)",
+        result.write_slowdown(),
+        result.read_slowdown()
+    );
+}

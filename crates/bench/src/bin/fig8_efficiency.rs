@@ -1,0 +1,30 @@
+//! Regenerates Figure 8: efficiency of dOpenCL's data transfer over Gigabit
+//! Ethernet for transfer sizes of 1–1024 MB, with the iperf reference line.
+
+use dcl_bench::fig8::{paper_sizes, run};
+use dcl_bench::report::print_table;
+
+fn main() {
+    println!("Figure 8 — data-transfer efficiency over Gigabit Ethernet");
+    let result = run(&paper_sizes()).expect("figure 8 harness");
+    let table: Vec<Vec<String>> = result
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.megabytes.to_string(),
+                format!("{:.1}%", p.write_efficiency * 100.0),
+                format!("{:.1}%", p.read_efficiency * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Efficiency vs theoretical Gigabit Ethernet bandwidth",
+        &["size (MB)", "write to device", "read from device"],
+        &table,
+    );
+    println!(
+        "\n  iperf reference (effective bandwidth): {:.1}% of theoretical",
+        result.iperf_efficiency * 100.0
+    );
+}

@@ -1,0 +1,285 @@
+//! Figure 5: mean runtime of one list-mode OSEM iteration in three setups —
+//! the desktop PC's own low-end GPU, the desktop offloading to the remote
+//! 4-GPU server through dOpenCL, and native execution on the server.
+
+use dopencl::{desktop_and_gpu_server, PhaseBreakdown, SimClock, Value};
+use std::time::Duration;
+use vocl::{
+    Buffer, CommandQueue, Context, Device, KernelArg, MemFlags, NdRange, Platform, Program,
+    QueueProperties,
+};
+use workloads::osem::{self, OsemParams, BUILTIN_KERNEL};
+
+/// One bar of Figure 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Row {
+    /// Setup name.
+    pub variant: &'static str,
+    /// Modelled mean runtime of one OSEM iteration.
+    pub iteration_time: Duration,
+    /// Breakdown of that runtime.
+    pub breakdown: PhaseBreakdown,
+}
+
+/// A functionally small OSEM configuration paired with the paper-scale
+/// parameters and the two scaling factors (compute, bytes).
+pub struct ScaledOsem {
+    /// The configuration that is actually executed.
+    pub functional: OsemParams,
+    /// The paper-scale configuration whose runtime is reported.
+    pub paper: OsemParams,
+}
+
+impl ScaledOsem {
+    /// Default functional size.
+    ///
+    /// Chosen so that (a) the event payload dominates the per-message
+    /// protocol overhead (so measured transfer times scale faithfully) and
+    /// (b) the event-to-image byte ratio matches the paper-scale
+    /// configuration (so one scale factor applies to the whole transfer
+    /// phase).
+    pub fn default_scale() -> Self {
+        ScaledOsem {
+            functional: OsemParams {
+                num_events: 500_000,
+                subsets: 10,
+                num_voxels: 20_000,
+                ray_steps: 20,
+            },
+            paper: OsemParams::paper(),
+        }
+    }
+
+    /// Execution-time scale factor (FLOPs ratio).
+    pub fn exec_scale(&self) -> f64 {
+        self.paper.flops_per_iteration() / self.functional.flops_per_iteration()
+    }
+
+    /// Transfer-time scale factor (bytes ratio: events plus per-GPU image and
+    /// correction volumes).
+    pub fn transfer_scale(&self) -> f64 {
+        let bytes = |p: &OsemParams| (p.event_bytes() + 2 * p.image_bytes()) as f64;
+        bytes(&self.paper) / bytes(&self.functional)
+    }
+
+    /// Paper-scale execution time of one OSEM iteration spread over
+    /// `devices` devices with the given compute model.
+    ///
+    /// The *measured* execution time of the functional run is dominated by
+    /// kernel-launch overhead (the functional kernels finish in
+    /// microseconds), so scaling it would distort the figure; the execution
+    /// phase is therefore evaluated directly from the device model at paper
+    /// scale, exactly like the kernel launch itself would report it.
+    pub fn paper_execution(&self, compute: &vocl::ComputeModel, devices: usize) -> Duration {
+        let per_device_flops = self.paper.flops_per_iteration() / devices.max(1) as f64;
+        // One launch per subset.
+        let launches = self.paper.subsets as u32;
+        compute.native_time(per_device_flops) + compute.launch_overhead * launches.saturating_sub(1)
+    }
+
+    fn scale(&self, b: PhaseBreakdown, execution: Duration) -> PhaseBreakdown {
+        PhaseBreakdown {
+            initialization: b.initialization,
+            execution,
+            data_transfer: Duration::from_secs_f64(
+                b.data_transfer.as_secs_f64() * self.transfer_scale(),
+            ),
+        }
+    }
+}
+
+fn f32_bytes(values: &[f32]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// One OSEM iteration on a native (local) `vocl` platform using `gpus`
+/// devices; returns the unscaled breakdown.
+fn native_iteration(devices: &[std::sync::Arc<Device>], params: &OsemParams) -> PhaseBreakdown {
+    workloads::register_all_built_in_kernels();
+    let mut breakdown = PhaseBreakdown::zero();
+    let events = osem::generate_events(params, 11);
+    let image = vec![0.5f32; params.num_voxels];
+    let gpus = devices.len();
+    let events_per_gpu = params.num_events / gpus;
+
+    let mut per_device = Vec::new();
+    for (i, device) in devices.iter().enumerate() {
+        let mut local = PhaseBreakdown::zero();
+        let context = Context::new(vec![device.clone()]).expect("context");
+        let queue =
+            CommandQueue::new(context.clone(), device.clone(), QueueProperties::default()).unwrap();
+        let program = Program::with_built_in_kernels(context.clone(), BUILTIN_KERNEL).unwrap();
+        let kernel = program.create_kernel(BUILTIN_KERNEL).unwrap();
+
+        let slice = &events[i * events_per_gpu * 4..(i + 1) * events_per_gpu * 4];
+        let events_buf = Buffer::new(
+            context.clone(),
+            slice.len() * 4,
+            MemFlags::READ_ONLY,
+            None,
+        )
+        .unwrap();
+        let image_buf =
+            Buffer::new(context.clone(), params.num_voxels * 4, MemFlags::READ_ONLY, None).unwrap();
+        let corr_buf =
+            Buffer::new(context, params.num_voxels * 4, MemFlags::READ_WRITE, None).unwrap();
+
+        let w1 = queue.enqueue_write_buffer(&events_buf, 0, f32_bytes(slice), Vec::new()).unwrap();
+        let w2 = queue.enqueue_write_buffer(&image_buf, 0, f32_bytes(&image), Vec::new()).unwrap();
+        w1.wait().unwrap();
+        w2.wait().unwrap();
+        local.add(gcf::simtime::Phase::DataTransfer, w1.modeled_duration() + w2.modeled_duration());
+
+        let per_subset = events_per_gpu / params.subsets;
+        kernel.set_arg(0, KernelArg::Buffer(events_buf)).unwrap();
+        kernel.set_arg(1, KernelArg::Buffer(image_buf)).unwrap();
+        kernel.set_arg(2, KernelArg::Buffer(corr_buf.clone())).unwrap();
+        kernel.set_arg(3, KernelArg::Scalar(Value::uint(per_subset as u64))).unwrap();
+        kernel.set_arg(4, KernelArg::Scalar(Value::uint(params.ray_steps as u64))).unwrap();
+        kernel.set_arg(5, KernelArg::Scalar(Value::uint(params.num_voxels as u64))).unwrap();
+        for _ in 0..params.subsets {
+            let e = queue
+                .enqueue_nd_range_kernel(&kernel, NdRange::linear(per_subset), Vec::new())
+                .unwrap();
+            e.wait().unwrap();
+            local.add(gcf::simtime::Phase::Execution, e.modeled_duration());
+        }
+        let r = queue.enqueue_read_buffer(&corr_buf, 0, params.num_voxels * 4, Vec::new()).unwrap();
+        r.wait().unwrap();
+        local.add(gcf::simtime::Phase::DataTransfer, r.modeled_duration());
+        per_device.push(local);
+    }
+    breakdown = breakdown.merge_serial(&PhaseBreakdown::parallel_over(per_device));
+    breakdown
+}
+
+/// Variant (a): the desktop PC's own NVS 3100M through its local OpenCL.
+pub fn desktop_local(scaled: &ScaledOsem) -> Fig5Row {
+    let platform = Platform::desktop_pc();
+    let execution =
+        scaled.paper_execution(&platform.devices()[0].profile().compute, 1);
+    let breakdown =
+        scaled.scale(native_iteration(platform.devices(), &scaled.functional), execution);
+    Fig5Row { variant: "Desktop PC using OpenCL", iteration_time: breakdown.total(), breakdown }
+}
+
+/// Variant (c): native execution on the GPU server (all 4 Tesla GPUs).
+pub fn server_native(scaled: &ScaledOsem) -> Fig5Row {
+    let platform = Platform::gpu_server();
+    let gpus: Vec<_> = platform
+        .devices()
+        .iter()
+        .filter(|d| d.device_type() == vocl::DeviceType::Gpu)
+        .cloned()
+        .collect();
+    let execution = scaled.paper_execution(&gpus[0].profile().compute, gpus.len());
+    let breakdown = scaled.scale(native_iteration(&gpus, &scaled.functional), execution);
+    Fig5Row { variant: "Server using native OpenCL", iteration_time: breakdown.total(), breakdown }
+}
+
+/// Variant (b): the desktop PC offloading to the remote GPU server through
+/// dOpenCL over Gigabit Ethernet.
+pub fn desktop_via_dopencl(scaled: &ScaledOsem) -> dopencl::Result<Fig5Row> {
+    workloads::register_all_built_in_kernels();
+    let params = &scaled.functional;
+    let cluster = desktop_and_gpu_server()?;
+    let clock = SimClock::new();
+    let client = cluster.client_with_clock("osem-desktop", clock.clone())?;
+    let gpus = client.devices_of_type("GPU");
+    assert_eq!(gpus.len(), 4, "the paper's server has four GPUs");
+
+    let events = osem::generate_events(params, 11);
+    let image = vec![0.5f32; params.num_voxels];
+    let events_per_gpu = params.num_events / gpus.len();
+    let per_subset = events_per_gpu / params.subsets;
+
+    let context = client.create_context(&gpus)?;
+    let program = client.create_program_with_built_in_kernels(&context, BUILTIN_KERNEL)?;
+    client.build_program(&program)?;
+
+    let mut kernel_events = Vec::new();
+    let mut per_gpu_exec: Vec<Duration> = Vec::new();
+    let mut corr_buffers = Vec::new();
+    let mut queues = Vec::new();
+    for (i, gpu) in gpus.iter().enumerate() {
+        let queue = client.create_command_queue(&context, gpu)?;
+        let slice = &events[i * events_per_gpu * 4..(i + 1) * events_per_gpu * 4];
+        let events_buf = client.create_buffer(&context, slice.len() * 4)?;
+        let image_buf = client.create_buffer(&context, params.num_voxels * 4)?;
+        let corr_buf = client.create_buffer(&context, params.num_voxels * 4)?;
+        client.enqueue_write_buffer(&queue, &events_buf, 0, &f32_bytes(slice), &[])?.wait()?;
+        client.enqueue_write_buffer(&queue, &image_buf, 0, &f32_bytes(&image), &[])?.wait()?;
+
+        let kernel = client.create_kernel(&program, BUILTIN_KERNEL)?;
+        client.set_kernel_arg_buffer(&kernel, 0, &events_buf)?;
+        client.set_kernel_arg_buffer(&kernel, 1, &image_buf)?;
+        client.set_kernel_arg_buffer(&kernel, 2, &corr_buf)?;
+        client.set_kernel_arg_scalar(&kernel, 3, Value::uint(per_subset as u64))?;
+        client.set_kernel_arg_scalar(&kernel, 4, Value::uint(params.ray_steps as u64))?;
+        client.set_kernel_arg_scalar(&kernel, 5, Value::uint(params.num_voxels as u64))?;
+        let mut gpu_exec = Duration::ZERO;
+        for _ in 0..params.subsets {
+            let e = client.enqueue_nd_range_kernel(&queue, &kernel, NdRange::linear(per_subset), &[])?;
+            e.wait()?;
+            gpu_exec += e.modeled_duration();
+            kernel_events.push(e);
+        }
+        per_gpu_exec.push(gpu_exec);
+        corr_buffers.push(corr_buf);
+        queues.push(queue);
+    }
+    for (corr, queue) in corr_buffers.iter().zip(&queues) {
+        let (_data, e) = client.enqueue_read_buffer(queue, corr, 0, params.num_voxels * 4, &[])?;
+        e.wait()?;
+    }
+
+    let measured = clock.breakdown();
+    // The functional kernels complete in microseconds (launch overhead
+    // dominates), so the paper-scale execution phase is evaluated from the
+    // Tesla compute model directly; the four GPUs work concurrently.
+    let _ = per_gpu_exec;
+    let execution = scaled
+        .paper_execution(&vocl::DeviceProfile::gpu_tesla_s1070_unit().compute, gpus.len());
+    let breakdown = PhaseBreakdown {
+        initialization: measured.initialization,
+        execution: Duration::ZERO,
+        data_transfer: measured.data_transfer,
+    };
+    let breakdown = scaled.scale(breakdown, execution);
+    Ok(Fig5Row {
+        variant: "Desktop PC using dOpenCL",
+        iteration_time: breakdown.total(),
+        breakdown,
+    })
+}
+
+/// Run all three bars of Figure 5.
+pub fn run(scaled: &ScaledOsem) -> dopencl::Result<Vec<Fig5Row>> {
+    Ok(vec![desktop_local(scaled), desktop_via_dopencl(scaled)?, server_native(scaled)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_offload_beats_local_low_end_gpu_by_about_4x() {
+        let scaled = ScaledOsem::default_scale();
+        let rows = run(&scaled).unwrap();
+        let local = rows.iter().find(|r| r.variant.contains("using OpenCL")).unwrap();
+        let remote = rows.iter().find(|r| r.variant.contains("dOpenCL")).unwrap();
+        let native = rows.iter().find(|r| r.variant.contains("native")).unwrap();
+        let speedup = local.iteration_time.as_secs_f64() / remote.iteration_time.as_secs_f64();
+        assert!(
+            (2.5..6.0).contains(&speedup),
+            "offload speedup {speedup} outside the paper's ballpark (3.75x)"
+        );
+        // Native execution on the server is the fastest of the three.
+        assert!(native.iteration_time < remote.iteration_time);
+        // The offload pays for its win with data transfer over the network.
+        assert!(remote.breakdown.data_transfer > native.breakdown.data_transfer * 3);
+        // Absolute numbers land in the paper's range (15.7 s vs 4.2 s).
+        assert!((8.0..30.0).contains(&local.iteration_time.as_secs_f64()));
+        assert!((2.0..8.0).contains(&remote.iteration_time.as_secs_f64()));
+    }
+}

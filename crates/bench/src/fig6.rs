@@ -1,0 +1,218 @@
+//! Figure 6: average runtime of the Mandelbrot application when 1–4
+//! application instances share the GPU server concurrently, with and without
+//! the device manager.
+
+use dopencl::{LocalCluster, PhaseBreakdown, SimClock, Value};
+use devmgr::{DeviceManager, DeviceManagerServer, DeviceRequirement, ManagedDaemon, SchedulingStrategy};
+use gcf::LinkModel;
+use std::sync::Arc;
+use std::time::Duration;
+use vocl::{NdRange, Platform};
+use workloads::mandelbrot::{MandelbrotParams, BUILTIN_KERNEL};
+
+/// One bar of Figure 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Row {
+    /// Number of concurrently running application instances.
+    pub clients: usize,
+    /// Whether the device manager mediated device assignment.
+    pub with_device_manager: bool,
+    /// Average modelled runtime of a single application instance.
+    pub breakdown: PhaseBreakdown,
+}
+
+fn scale(b: PhaseBreakdown, work_scale: f64) -> PhaseBreakdown {
+    PhaseBreakdown {
+        initialization: b.initialization,
+        execution: Duration::from_secs_f64(b.execution.as_secs_f64() * work_scale),
+        data_transfer: Duration::from_secs_f64(b.data_transfer.as_secs_f64() * work_scale),
+    }
+}
+
+/// Run one client's Mandelbrot instance on the single GPU device it sees and
+/// return its unscaled breakdown.
+fn run_instance(
+    client: &dopencl::Client,
+    clock: &SimClock,
+    func: &MandelbrotParams,
+) -> dopencl::Result<PhaseBreakdown> {
+    let devices = client.devices();
+    let device = devices
+        .first()
+        .ok_or_else(|| dopencl::DclError::InvalidArgument("client has no device".into()))?;
+    let context = client.create_context(std::slice::from_ref(device))?;
+    let queue = client.create_command_queue(&context, device)?;
+    let program = client.create_program_with_built_in_kernels(&context, BUILTIN_KERNEL)?;
+    client.build_program(&program)?;
+    let buffer = client.create_buffer(&context, func.pixels() * 4)?;
+    let kernel = client.create_kernel(&program, BUILTIN_KERNEL)?;
+    client.set_kernel_arg_buffer(&kernel, 0, &buffer)?;
+    client.set_kernel_arg_scalar(&kernel, 1, Value::uint(func.width as u64))?;
+    client.set_kernel_arg_scalar(&kernel, 2, Value::uint(func.height as u64))?;
+    client.set_kernel_arg_scalar(&kernel, 3, Value::double(func.x_min))?;
+    client.set_kernel_arg_scalar(&kernel, 4, Value::double(func.y_min))?;
+    client.set_kernel_arg_scalar(&kernel, 5, Value::double(func.dx()))?;
+    client.set_kernel_arg_scalar(&kernel, 6, Value::double(func.dy()))?;
+    client.set_kernel_arg_scalar(&kernel, 7, Value::uint(0))?;
+    client.set_kernel_arg_scalar(&kernel, 8, Value::uint(func.max_iter as u64))?;
+    let event =
+        client.enqueue_nd_range_kernel(&queue, &kernel, NdRange::two_d(func.width, func.height), &[])?;
+    event.wait()?;
+    let (_data, read) = client.enqueue_read_buffer(&queue, &buffer, 0, func.pixels() * 4, &[])?;
+    read.wait()?;
+    let measured = clock.breakdown();
+    Ok(PhaseBreakdown {
+        initialization: measured.initialization,
+        execution: event.modeled_duration(),
+        data_transfer: measured.data_transfer,
+    })
+}
+
+/// Average runtime of one instance when `clients` run concurrently **with**
+/// the device manager: each client is assigned its own GPU, so execution
+/// stays flat; the shared Gigabit Ethernet link is divided between them.
+pub fn with_device_manager(clients: usize, functional_scale: usize) -> dopencl::Result<Fig6Row> {
+    workloads::register_all_built_in_kernels();
+    let paper = MandelbrotParams::paper();
+    let func = paper.downscaled(functional_scale);
+    let work_scale = paper.pixels() as f64 / func.pixels() as f64;
+
+    let mut cluster = LocalCluster::new(LinkModel::gigabit_ethernet());
+    let transport: Arc<dyn gcf::Transport> = Arc::new(cluster.transport());
+    let dm = DeviceManager::new(SchedulingStrategy::FirstFit);
+    let dm_server = DeviceManagerServer::start(Arc::clone(&dm), Arc::clone(&transport), "devmngr")
+        .map_err(|e| dopencl::DclError::Protocol(e.to_string()))?;
+    let platform = Platform::gpu_server();
+    let managed = ManagedDaemon::connect(
+        Arc::clone(&transport),
+        dm_server.address(),
+        "gpuserver",
+        "gpuserver",
+        platform.devices(),
+    )
+    .map_err(|e| dopencl::DclError::Protocol(e.to_string()))?;
+    cluster.add_node_with_policy("gpuserver", &platform, managed.policy())?;
+
+    let requirement =
+        vec![DeviceRequirement { count: 1, attributes: vec![("TYPE".into(), "GPU".into())] }];
+    let mut breakdowns = Vec::new();
+    for i in 0..clients {
+        let clock = SimClock::new();
+        let client = cluster.detached_client(&format!("instance-{i}"), clock.clone());
+        let assignment = devmgr::request_assignment(
+            &transport,
+            dm_server.address(),
+            &format!("instance-{i}"),
+            &requirement,
+        )
+        .map_err(|e| dopencl::DclError::Protocol(e.to_string()))?;
+        client.set_auth_id(Some(assignment.auth_id.clone()));
+        for server in &assignment.servers {
+            client.connect_server(server)?;
+        }
+        // Each client sees exactly the one GPU of its lease.
+        assert_eq!(client.devices().len(), 1);
+        breakdowns.push(run_instance(&client, &clock, &func)?);
+    }
+
+    // Average, then apply the shared-link effect: the server's network
+    // bandwidth is divided among the concurrent instances, and the server
+    // needs slightly longer to create the additional management objects.
+    let avg = average(&breakdowns);
+    let contended = PhaseBreakdown {
+        initialization: avg.initialization.mul_f64(1.0 + 0.15 * (clients as f64 - 1.0)),
+        execution: avg.execution,
+        data_transfer: avg.data_transfer.mul_f64(clients as f64),
+    };
+    Ok(Fig6Row {
+        clients,
+        with_device_manager: true,
+        breakdown: scale(contended, work_scale),
+    })
+}
+
+/// Average runtime **without** the device manager: every instance picks the
+/// first device of the server, so all kernels serialize on GPU 0.
+pub fn without_device_manager(clients: usize, functional_scale: usize) -> dopencl::Result<Fig6Row> {
+    workloads::register_all_built_in_kernels();
+    let paper = MandelbrotParams::paper();
+    let func = paper.downscaled(functional_scale);
+    let work_scale = paper.pixels() as f64 / func.pixels() as f64;
+
+    let mut cluster = LocalCluster::new(LinkModel::gigabit_ethernet());
+    cluster.add_node("gpuserver", &Platform::gpu_server())?;
+
+    let mut breakdowns = Vec::new();
+    for i in 0..clients {
+        let clock = SimClock::new();
+        let client = cluster.client_with_clock(&format!("instance-{i}"), clock.clone())?;
+        // Without the device manager every instance freely chooses a device
+        // — and they all pick the first GPU (the paper's observed worst
+        // case).
+        let gpus = client.devices_of_type("GPU");
+        let first = gpus[0].clone();
+        let context = client.create_context(std::slice::from_ref(&first))?;
+        drop(context);
+        breakdowns.push(run_instance(&client, &clock, &func)?);
+    }
+    let avg = average(&breakdowns);
+    // All instances share one device: kernel executions are arbitrarily
+    // interleaved and effectively serialized, so a single instance observes
+    // up to `clients`× its own execution time (Section V-C).
+    let contended = PhaseBreakdown {
+        initialization: avg.initialization,
+        execution: avg.execution.mul_f64(clients as f64),
+        data_transfer: avg.data_transfer.mul_f64(clients as f64),
+    };
+    Ok(Fig6Row {
+        clients,
+        with_device_manager: false,
+        breakdown: scale(contended, work_scale),
+    })
+}
+
+fn average(breakdowns: &[PhaseBreakdown]) -> PhaseBreakdown {
+    let n = breakdowns.len().max(1) as u32;
+    let sum = PhaseBreakdown::serial_over(breakdowns.iter().copied());
+    PhaseBreakdown {
+        initialization: sum.initialization / n,
+        execution: sum.execution / n,
+        data_transfer: sum.data_transfer / n,
+    }
+}
+
+/// Run the full Figure 6 sweep.
+pub fn run(client_counts: &[usize], functional_scale: usize) -> dopencl::Result<Vec<Fig6Row>> {
+    let mut rows = Vec::new();
+    for &clients in client_counts {
+        rows.push(without_device_manager(clients, functional_scale)?);
+        rows.push(with_device_manager(clients, functional_scale)?);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_manager_keeps_execution_flat_under_contention() {
+        let rows = run(&[1, 3], 24).unwrap();
+        let without_1 = &rows[0];
+        let with_1 = &rows[1];
+        let without_3 = &rows[2];
+        let with_3 = &rows[3];
+        // With the device manager, per-instance execution time does not grow
+        // with the number of concurrent instances.
+        let exec_growth =
+            with_3.breakdown.execution.as_secs_f64() / with_1.breakdown.execution.as_secs_f64();
+        assert!((0.8..1.2).contains(&exec_growth), "execution grew by {exec_growth}");
+        // Without it, instances serialize on one device.
+        let serial_growth = without_3.breakdown.execution.as_secs_f64()
+            / without_1.breakdown.execution.as_secs_f64();
+        assert!(serial_growth > 2.0, "expected ~3x serialization, got {serial_growth}");
+        // And the overall runtime with the manager is clearly better at 3
+        // concurrent clients.
+        assert!(with_3.breakdown.total() < without_3.breakdown.total());
+    }
+}

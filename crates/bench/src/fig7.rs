@@ -1,0 +1,76 @@
+//! Figure 7: time to transfer 1024 MB to (write) and from (read) a device of
+//! the GPU server, over Gigabit Ethernet through dOpenCL vs directly over
+//! PCI Express.
+
+use dopencl::LocalCluster;
+use gcf::LinkModel;
+use std::time::Duration;
+use vocl::{DeviceProfile, Platform};
+use workloads::bandwidth::{dopencl_transfer, native_transfer, TransferTimes};
+
+/// The four bars of Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig7Result {
+    /// Transfer size in MB.
+    pub megabytes: u64,
+    /// Through dOpenCL over Gigabit Ethernet.
+    pub gigabit_ethernet: TransferTimes,
+    /// Directly over the server's PCI Express bus.
+    pub pci_express: TransferTimes,
+}
+
+impl Fig7Result {
+    /// Ratio of the Gigabit Ethernet write time to the PCI Express write
+    /// time (the paper reports "up to 50 times slower").
+    pub fn write_slowdown(&self) -> f64 {
+        self.gigabit_ethernet.write.as_secs_f64() / self.pci_express.write.as_secs_f64()
+    }
+
+    /// Ratio of the read times (the paper reports "about 4.5 times slower").
+    pub fn read_slowdown(&self) -> f64 {
+        self.gigabit_ethernet.read.as_secs_f64() / self.pci_express.read.as_secs_f64()
+    }
+}
+
+/// Run the Figure 7 experiment for a transfer of `megabytes` MB.
+pub fn run(megabytes: u64) -> dopencl::Result<Fig7Result> {
+    let mut cluster = LocalCluster::new(LinkModel::gigabit_ethernet());
+    cluster.add_node("gpuserver", &Platform::gpu_server())?;
+    let gigabit_ethernet = dopencl_transfer(&cluster, megabytes)?;
+    let pci_express = native_transfer(&DeviceProfile::gpu_tesla_s1070_unit(), megabytes);
+    Ok(Fig7Result { megabytes, gigabit_ethernet, pci_express })
+}
+
+/// The transfer size used by the paper's Figure 7.
+pub const PAPER_TRANSFER_MB: u64 = 1024;
+
+/// Sanity range used by tests: the paper's read bars are both in the
+/// 2.5–14 s range for 1024 MB.
+pub fn within_paper_axis(result: &Fig7Result) -> bool {
+    result.gigabit_ethernet.read < Duration::from_secs(20)
+        && result.gigabit_ethernet.write < Duration::from_secs(20)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slowdowns_match_the_papers_ratios() {
+        let result = run(PAPER_TRANSFER_MB).unwrap();
+        let write_slowdown = result.write_slowdown();
+        let read_slowdown = result.read_slowdown();
+        assert!(
+            (30.0..70.0).contains(&write_slowdown),
+            "write slowdown {write_slowdown}, paper says up to ~50x"
+        );
+        assert!(
+            (3.0..6.5).contains(&read_slowdown),
+            "read slowdown {read_slowdown}, paper says ~4.5x"
+        );
+        assert!(within_paper_axis(&result));
+        // 1024 MB over ~106 MB/s is roughly 10 s of network time.
+        let write_secs = result.gigabit_ethernet.write.as_secs_f64();
+        assert!((8.0..14.0).contains(&write_secs), "write took {write_secs}");
+    }
+}

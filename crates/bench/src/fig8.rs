@@ -1,0 +1,55 @@
+//! Figure 8: efficiency of dOpenCL's data transfer over Gigabit Ethernet as
+//! a function of the transfer size, compared with the effective bandwidth
+//! iperf measures (~86 % of the theoretical 125 MB/s).
+
+use workloads::bandwidth::{efficiency_sweep, iperf_reference_efficiency, EfficiencyPoint};
+
+/// The full Figure 8 data set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Result {
+    /// Efficiency per transfer size.
+    pub points: Vec<EfficiencyPoint>,
+    /// The iperf reference line.
+    pub iperf_efficiency: f64,
+}
+
+/// The transfer sizes of the paper's sweep: 1 MB to 1024 MB in powers of
+/// two.
+pub fn paper_sizes() -> Vec<u64> {
+    (0..=10).map(|p| 1u64 << p).collect()
+}
+
+/// Run the Figure 8 sweep over the given sizes.
+pub fn run(sizes_mb: &[u64]) -> dopencl::Result<Fig8Result> {
+    Ok(Fig8Result {
+        points: efficiency_sweep(sizes_mb)?,
+        iperf_efficiency: iperf_reference_efficiency(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_approaches_but_stays_below_the_iperf_line() {
+        let result = run(&[1, 8, 64, 512, 1024]).unwrap();
+        assert!((0.82..0.88).contains(&result.iperf_efficiency));
+        let first = result.points.first().unwrap();
+        let last = result.points.last().unwrap();
+        assert!(last.write_efficiency > first.write_efficiency);
+        assert!(last.write_efficiency > 0.75, "large transfers use the link well");
+        for p in &result.points {
+            assert!(p.write_efficiency <= result.iperf_efficiency + 0.02);
+            assert!(p.read_efficiency <= 1.0);
+        }
+    }
+
+    #[test]
+    fn paper_sizes_cover_1_to_1024() {
+        let sizes = paper_sizes();
+        assert_eq!(sizes.first(), Some(&1));
+        assert_eq!(sizes.last(), Some(&1024));
+        assert_eq!(sizes.len(), 11);
+    }
+}

@@ -1,0 +1,35 @@
+//! # dcl-bench — harnesses regenerating every figure of the dOpenCL paper
+//!
+//! One module per figure of Section V:
+//!
+//! | Module | Paper figure | Command |
+//! |---|---|---|
+//! | [`fig4`] | Fig. 4 — Mandelbrot runtime, dOpenCL vs MPI+OpenCL, 2–16 devices | `cargo run -p dcl-bench --release --bin fig4_mandelbrot_scaling` |
+//! | [`fig5`] | Fig. 5 — list-mode OSEM mean iteration runtime | `cargo run -p dcl-bench --release --bin fig5_osem` |
+//! | [`fig6`] | Fig. 6 — concurrent clients with/without the device manager | `cargo run -p dcl-bench --release --bin fig6_device_manager` |
+//! | [`fig7`] | Fig. 7 — 1024 MB transfer, Gigabit Ethernet vs PCI Express | `cargo run -p dcl-bench --release --bin fig7_transfer` |
+//! | [`fig8`] | Fig. 8 — transfer efficiency vs size, with the iperf line | `cargo run -p dcl-bench --release --bin fig8_efficiency` |
+//!
+//! ## Functional scale vs modelled scale
+//!
+//! The harnesses really run the applications through the middleware (kernels
+//! execute, buffers move through the protocol, coherence and event
+//! consistency do their work), but at a *functionally downscaled* problem
+//! size; the modelled per-phase durations are then scaled back to the
+//! paper's problem size.  Both scalings are linear (work and bytes scale
+//! with pixel/event count), so the *shape* of every figure — who wins, by
+//! roughly what factor, where the overheads sit — is preserved while the
+//! harness stays runnable in seconds on any machine.  The scaling factors
+//! are reported next to every table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod report;
+
+pub use report::print_table;

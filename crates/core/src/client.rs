@@ -1,0 +1,1022 @@
+//! The dOpenCL client driver.
+//!
+//! The client driver is the library an OpenCL application links against
+//! (Section III-B of the paper).  It presents all devices of every connected
+//! server as if they were installed locally (the *dOpenCL platform*,
+//! Section III-E), intercepts API calls, and forwards them to the daemons
+//! owning the referenced remote objects.  Object stubs are identified by
+//! client-assigned [`ObjectId`]s; *compound stubs* (contexts, programs,
+//! kernels, buffers, events) replicate calls to every participating server
+//! and keep the copies consistent:
+//!
+//! * memory objects through the directory-based MSI protocol in
+//!   [`crate::coherence`], and
+//! * events through the original-event/user-event completion-forwarding
+//!   protocol (the daemon notifies the client on completion, the client
+//!   completes the user events it created on the other servers).
+//!
+//! All modelled costs (network transfer times from the [`LinkModel`],
+//! remote PCIe/bus and kernel execution times reported by the daemons) are
+//! charged to the client's [`SimClock`], split into the initialization /
+//! execution / data-transfer phases the paper's figures use.
+
+use crate::coherence::{BufferDirectory, ValidationPlan};
+use crate::config;
+use crate::error::{DclError, Result};
+use crate::protocol::{
+    DeviceDescriptor, Notification, ObjectId, Request, Response, ServerInfo, WireNdRange,
+    WireValue,
+};
+use gcf::rpc::{Endpoint, EndpointHandler};
+use gcf::simtime::{Phase, SimClock};
+use gcf::transport::Transport;
+use gcf::wire::{Decode, Encode};
+use gcf::LinkModel;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+use vocl::{NdRange, Value};
+
+/// Identifies a connected server within one client (index into the server
+/// table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ServerId(pub usize);
+
+/// A remote device stub (simple stub: owned by exactly one server).
+#[derive(Debug, Clone)]
+pub struct Device {
+    server: usize,
+    descriptor: DeviceDescriptor,
+}
+
+impl Device {
+    /// The server this device lives on.
+    pub fn server(&self) -> ServerId {
+        ServerId(self.server)
+    }
+
+    /// Daemon-local device id.
+    pub fn remote_id(&self) -> ObjectId {
+        self.descriptor.remote_id
+    }
+
+    /// `CL_DEVICE_NAME`.
+    pub fn name(&self) -> &str {
+        &self.descriptor.name
+    }
+
+    /// `CL_DEVICE_VENDOR`.
+    pub fn vendor(&self) -> &str {
+        &self.descriptor.vendor
+    }
+
+    /// `CL_DEVICE_TYPE` as a string (`CPU`, `GPU`, ...).
+    pub fn device_type(&self) -> &str {
+        &self.descriptor.device_type
+    }
+
+    /// `CL_DEVICE_MAX_COMPUTE_UNITS`.
+    pub fn compute_units(&self) -> u32 {
+        self.descriptor.compute_units
+    }
+
+    /// `CL_DEVICE_GLOBAL_MEM_SIZE`.
+    pub fn global_mem_bytes(&self) -> u64 {
+        self.descriptor.global_mem_bytes
+    }
+}
+
+/// A context stub (compound stub spanning every server that hosts one of its
+/// devices).
+#[derive(Debug, Clone)]
+pub struct Context {
+    id: ObjectId,
+    devices: Vec<Device>,
+    servers: Vec<usize>,
+}
+
+impl Context {
+    /// The context's devices.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// The servers participating in this context.
+    pub fn servers(&self) -> Vec<ServerId> {
+        self.servers.iter().copied().map(ServerId).collect()
+    }
+
+    /// Stub object id.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+}
+
+/// A buffer stub (compound stub with an MSI coherence directory).
+#[derive(Debug, Clone)]
+pub struct Buffer {
+    id: ObjectId,
+    size: usize,
+    directory: Arc<Mutex<BufferDirectory>>,
+}
+
+impl Buffer {
+    /// Buffer size in bytes.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Stub object id.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// Current coherence state of the copy on `server` (for tests and
+    /// diagnostics).
+    pub fn coherence_state(&self, server: ServerId) -> crate::coherence::CoherenceState {
+        self.directory.lock().server_state(server.0)
+    }
+}
+
+/// A program stub (compound stub).
+#[derive(Debug, Clone)]
+pub struct Program {
+    id: ObjectId,
+    servers: Vec<usize>,
+    source_len: usize,
+}
+
+impl Program {
+    /// Stub object id.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+}
+
+/// A kernel stub (compound stub).  Remembers which arguments are buffers so
+/// kernel launches can run the coherence protocol for them.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    id: ObjectId,
+    name: String,
+    servers: Vec<usize>,
+    buffer_args: Arc<Mutex<HashMap<u32, Buffer>>>,
+}
+
+impl Kernel {
+    /// Kernel function name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Stub object id.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+}
+
+/// A command queue stub (simple stub: tied to one device on one server).
+#[derive(Debug, Clone)]
+pub struct CommandQueue {
+    id: ObjectId,
+    server: usize,
+    device: Device,
+    context_servers: Vec<usize>,
+}
+
+impl CommandQueue {
+    /// The device this queue feeds.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The server the queue lives on.
+    pub fn server(&self) -> ServerId {
+        ServerId(self.server)
+    }
+
+    /// Stub object id.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+}
+
+struct EventRecord {
+    owner: usize,
+    user_event_servers: Vec<usize>,
+    phase: Phase,
+    status: Mutex<Option<i32>>,
+    modeled: Mutex<Duration>,
+    cond: Condvar,
+}
+
+impl EventRecord {
+    fn new(owner: usize, user_event_servers: Vec<usize>, phase: Phase) -> Arc<Self> {
+        Arc::new(EventRecord {
+            owner,
+            user_event_servers,
+            phase,
+            status: Mutex::new(None),
+            modeled: Mutex::new(Duration::ZERO),
+            cond: Condvar::new(),
+        })
+    }
+}
+
+/// An event stub (compound stub: the original event lives on the owning
+/// server, user events replace it on the others).
+#[derive(Clone)]
+pub struct Event {
+    id: ObjectId,
+    record: Arc<EventRecord>,
+}
+
+impl std::fmt::Debug for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Event")
+            .field("id", &self.id)
+            .field("status", &*self.record.status.lock())
+            .finish()
+    }
+}
+
+impl Event {
+    /// Stub object id.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// The server owning the original event.
+    pub fn owner(&self) -> ServerId {
+        ServerId(self.record.owner)
+    }
+
+    /// Whether the event reached a terminal state.
+    pub fn is_terminal(&self) -> bool {
+        self.record.status.lock().is_some()
+    }
+
+    /// Block until the command completes; errors if the command failed.
+    pub fn wait(&self) -> Result<()> {
+        let mut status = self.record.status.lock();
+        while status.is_none() {
+            self.record.cond.wait(&mut status);
+        }
+        match status.unwrap() {
+            0 => Ok(()),
+            code => Err(DclError::Cl(vocl::ClError::ExecutionFailure(format!(
+                "remote command failed with status {code}"
+            )))),
+        }
+    }
+
+    /// Wait with a timeout; `Ok(false)` means it expired.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<bool> {
+        let mut status = self.record.status.lock();
+        let deadline = std::time::Instant::now() + timeout;
+        while status.is_none() {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Ok(false);
+            }
+            self.record.cond.wait_for(&mut status, deadline - now);
+        }
+        match status.unwrap() {
+            0 => Ok(true),
+            code => Err(DclError::Cl(vocl::ClError::ExecutionFailure(format!(
+                "remote command failed with status {code}"
+            )))),
+        }
+    }
+
+    /// Modelled duration reported by the owning server (kernel execution or
+    /// PCIe transfer time).
+    pub fn modeled_duration(&self) -> Duration {
+        *self.record.modeled.lock()
+    }
+}
+
+struct ServerConn {
+    name: String,
+    endpoint: Arc<Endpoint>,
+    devices: Vec<DeviceDescriptor>,
+}
+
+struct ClientInner {
+    name: String,
+    transport: Arc<dyn Transport>,
+    link: LinkModel,
+    clock: SimClock,
+    next_id: AtomicU64,
+    servers: Mutex<Vec<Option<Arc<ServerConn>>>>,
+    events: Mutex<HashMap<ObjectId, Arc<EventRecord>>>,
+    auth_id: Mutex<Option<String>>,
+}
+
+impl ClientInner {
+    fn server(&self, index: usize) -> Result<Arc<ServerConn>> {
+        self.servers
+            .lock()
+            .get(index)
+            .and_then(|s| s.clone())
+            .ok_or_else(|| DclError::ServerUnavailable(format!("server #{index}")))
+    }
+
+    fn allocate_id(&self) -> ObjectId {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn complete_event(&self, event_id: ObjectId, status: i32, modeled_nanos: u64) {
+        let record = self.events.lock().get(&event_id).cloned();
+        let Some(record) = record else { return };
+        let modeled = Duration::from_nanos(modeled_nanos);
+        self.clock.charge(record.phase, modeled);
+        {
+            let mut slot = record.status.lock();
+            if slot.is_none() {
+                *slot = Some(status);
+                *record.modeled.lock() = modeled;
+                record.cond.notify_all();
+            }
+        }
+        // Event consistency: complete the user events on every other server.
+        //
+        // This runs on the notification-receiver thread of the owning
+        // server's endpoint.  The completions are sent from a detached
+        // thread so that this receiver thread never blocks waiting for a
+        // response from another server whose own receiver thread may, at the
+        // same moment, be forwarding a completion towards us (the classic
+        // cross-forwarding deadlock).
+        if record.user_event_servers.is_empty() {
+            return;
+        }
+        let servers = record.user_event_servers.clone();
+        let connections: Vec<_> = servers
+            .iter()
+            .filter_map(|server| self.server(*server).ok())
+            .collect();
+        std::thread::Builder::new()
+            .name("dcl-event-forward".to_string())
+            .spawn(move || {
+                for conn in connections {
+                    let request = Request::SetUserEventComplete { event_id };
+                    let _ = conn.endpoint.call(request.to_bytes());
+                }
+            })
+            .ok();
+    }
+}
+
+struct ClientHandler {
+    inner: Weak<ClientInner>,
+}
+
+impl EndpointHandler for ClientHandler {
+    fn handle_request(&self, _payload: &[u8]) -> Vec<u8> {
+        // Daemons never issue requests to the client in the current
+        // protocol; answer with an empty payload.
+        Vec::new()
+    }
+
+    fn handle_notification(&self, payload: &[u8]) {
+        let Some(inner) = self.inner.upgrade() else { return };
+        let Ok(notification) = Notification::from_bytes(payload) else { return };
+        match notification {
+            Notification::EventCompleted { event_id, status, modeled_nanos, .. } => {
+                inner.complete_event(event_id, status, modeled_nanos);
+            }
+        }
+    }
+}
+
+/// The dOpenCL client driver: the application-facing entry point.
+#[derive(Clone)]
+pub struct Client {
+    inner: Arc<ClientInner>,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("name", &self.inner.name)
+            .field("servers", &self.inner.servers.lock().iter().filter(|s| s.is_some()).count())
+            .finish()
+    }
+}
+
+impl Client {
+    /// Create a client driver that reaches its servers through `transport`
+    /// over a network modelled by `link`, charging modelled time to `clock`.
+    pub fn new(
+        name: impl Into<String>,
+        transport: Arc<dyn Transport>,
+        link: LinkModel,
+        clock: SimClock,
+    ) -> Client {
+        Client {
+            inner: Arc::new(ClientInner {
+                name: name.into(),
+                transport,
+                link,
+                clock,
+                next_id: AtomicU64::new(1),
+                servers: Mutex::new(Vec::new()),
+                events: Mutex::new(HashMap::new()),
+                auth_id: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// The dOpenCL platform name (`CL_PLATFORM_NAME` of the uniform platform
+    /// of Section III-E).
+    pub fn platform_name(&self) -> &'static str {
+        "dOpenCL"
+    }
+
+    /// The dOpenCL platform vendor.
+    pub fn platform_vendor(&self) -> &'static str {
+        "University of Muenster (reproduction)"
+    }
+
+    /// The simulation clock this client charges modelled time to.
+    pub fn clock(&self) -> SimClock {
+        self.inner.clock.clone()
+    }
+
+    /// The link model used between this client and its servers.
+    pub fn link(&self) -> LinkModel {
+        self.inner.link.clone()
+    }
+
+    /// Set the lease authentication id obtained from the device manager
+    /// (presented to every server connected afterwards).
+    pub fn set_auth_id(&self, auth_id: Option<String>) {
+        *self.inner.auth_id.lock() = auth_id;
+    }
+
+    // ----- server management (Listing 1: the WWU API extension) -----------
+
+    /// `clConnectServerWWU`: connect to the daemon at `address`, adding its
+    /// devices to the application's device list.
+    pub fn connect_server(&self, address: &str) -> Result<ServerId> {
+        let conn = self.inner.transport.connect(address)?;
+        let handler = Arc::new(ClientHandler { inner: Arc::downgrade(&self.inner) });
+        let endpoint = Endpoint::new(conn, handler, format!("client-{}", self.inner.name));
+
+        let hello = Request::Hello {
+            client_name: self.inner.name.clone(),
+            auth_id: self.inner.auth_id.lock().clone(),
+        };
+        self.charge_message(Phase::Initialization, &hello);
+        let response = Response::from_bytes(&endpoint.call(hello.to_bytes())?)
+            .map_err(|e| DclError::Protocol(e.to_string()))?;
+        response.into_result()?;
+
+        let list_req = Request::GetDeviceList;
+        self.charge_message(Phase::Initialization, &list_req);
+        let response = Response::from_bytes(&endpoint.call(list_req.to_bytes())?)
+            .map_err(|e| DclError::Protocol(e.to_string()))?;
+        let devices = match response.into_result()? {
+            Response::DeviceList { devices } => devices,
+            other => return Err(DclError::Protocol(format!("unexpected response {other:?}"))),
+        };
+
+        let mut servers = self.inner.servers.lock();
+        let index = servers.len();
+        servers.push(Some(Arc::new(ServerConn {
+            name: address.to_string(),
+            endpoint,
+            devices,
+        })));
+        Ok(ServerId(index))
+    }
+
+    /// Connect to every server listed in a configuration file's contents
+    /// (Listing 2), as the automatic connection mechanism does during
+    /// application initialization.
+    pub fn connect_from_config(&self, contents: &str) -> Result<Vec<ServerId>> {
+        let mut ids = Vec::new();
+        for entry in config::parse_server_list(contents)? {
+            ids.push(self.connect_server(&entry.address())?);
+        }
+        Ok(ids)
+    }
+
+    /// `clDisconnectServerWWU`: disconnect a server; its devices become
+    /// unavailable.
+    pub fn disconnect_server(&self, server: ServerId) -> Result<()> {
+        let conn = self.inner.server(server.0)?;
+        let request = Request::Disconnect;
+        self.charge_message(Phase::Initialization, &request);
+        let _ = conn.endpoint.call(request.to_bytes());
+        conn.endpoint.close();
+        self.inner.servers.lock()[server.0] = None;
+        Ok(())
+    }
+
+    /// `clGetServerInfoWWU`: query information about a connected server.
+    pub fn server_info(&self, server: ServerId) -> Result<ServerInfo> {
+        let response = self.call_server(server.0, Request::GetServerInfo, Phase::Initialization)?;
+        match response {
+            Response::ServerInfo(info) => Ok(info),
+            other => Err(DclError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Ids of the currently connected servers.
+    pub fn servers(&self) -> Vec<ServerId> {
+        self.inner
+            .servers
+            .lock()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| ServerId(i)))
+            .collect()
+    }
+
+    /// All devices of all connected servers, merged into the single device
+    /// list of the dOpenCL platform.
+    pub fn devices(&self) -> Vec<Device> {
+        let servers = self.inner.servers.lock();
+        let mut out = Vec::new();
+        for (index, server) in servers.iter().enumerate() {
+            if let Some(server) = server {
+                for d in &server.devices {
+                    out.push(Device { server: index, descriptor: d.clone() });
+                }
+            }
+        }
+        out
+    }
+
+    /// Devices of a given type (`"CPU"`, `"GPU"`, ...).
+    pub fn devices_of_type(&self, device_type: &str) -> Vec<Device> {
+        self.devices()
+            .into_iter()
+            .filter(|d| d.device_type().eq_ignore_ascii_case(device_type))
+            .collect()
+    }
+
+    // ----- object creation (compound stubs) --------------------------------
+
+    /// `clCreateContext` over any mix of devices from any servers.
+    pub fn create_context(&self, devices: &[Device]) -> Result<Context> {
+        if devices.is_empty() {
+            return Err(DclError::InvalidArgument("a context needs at least one device".into()));
+        }
+        let id = self.inner.allocate_id();
+        let mut per_server: HashMap<usize, Vec<ObjectId>> = HashMap::new();
+        for d in devices {
+            per_server.entry(d.server).or_default().push(d.descriptor.remote_id);
+        }
+        let mut servers: Vec<usize> = per_server.keys().copied().collect();
+        servers.sort_unstable();
+        for (&server, device_ids) in &per_server {
+            self.call_server(
+                server,
+                Request::CreateContext { context_id: id, devices: device_ids.clone() },
+                Phase::Initialization,
+            )?;
+        }
+        Ok(Context { id, devices: devices.to_vec(), servers })
+    }
+
+    /// `clCreateCommandQueue` for `device` within `context`.
+    pub fn create_command_queue(&self, context: &Context, device: &Device) -> Result<CommandQueue> {
+        if !context.devices.iter().any(|d| {
+            d.server == device.server && d.descriptor.remote_id == device.descriptor.remote_id
+        }) {
+            return Err(DclError::InvalidArgument(
+                "the device is not part of the context".into(),
+            ));
+        }
+        let id = self.inner.allocate_id();
+        self.call_server(
+            device.server,
+            Request::CreateCommandQueue {
+                queue_id: id,
+                context_id: context.id,
+                device: device.descriptor.remote_id,
+            },
+            Phase::Initialization,
+        )?;
+        Ok(CommandQueue {
+            id,
+            server: device.server,
+            device: device.clone(),
+            context_servers: context.servers.clone(),
+        })
+    }
+
+    /// `clCreateBuffer` of `size` bytes.
+    pub fn create_buffer(&self, context: &Context, size: usize) -> Result<Buffer> {
+        if size == 0 {
+            return Err(DclError::InvalidArgument("buffer size must be non-zero".into()));
+        }
+        let id = self.inner.allocate_id();
+        for &server in &context.servers {
+            self.call_server(
+                server,
+                Request::CreateBuffer {
+                    buffer_id: id,
+                    context_id: context.id,
+                    size: size as u64,
+                    readable: true,
+                    writable: true,
+                },
+                Phase::Initialization,
+            )?;
+        }
+        Ok(Buffer {
+            id,
+            size,
+            directory: Arc::new(Mutex::new(BufferDirectory::new(
+                context.servers.iter().copied(),
+                size,
+            ))),
+        })
+    }
+
+    /// `clCreateProgramWithSource`.
+    pub fn create_program_with_source(&self, context: &Context, source: &str) -> Result<Program> {
+        let id = self.inner.allocate_id();
+        for &server in &context.servers {
+            // Program code is shipped to every server: charge the transfer.
+            self.inner.clock.charge(
+                Phase::Initialization,
+                self.inner.link.transfer_time(source.len() as u64),
+            );
+            self.call_server(
+                server,
+                Request::CreateProgramWithSource {
+                    program_id: id,
+                    context_id: context.id,
+                    source: source.to_string(),
+                },
+                Phase::Initialization,
+            )?;
+        }
+        Ok(Program { id, servers: context.servers.clone(), source_len: source.len() })
+    }
+
+    /// `clCreateProgramWithBuiltInKernels` (OpenCL 1.2-style), used by the
+    /// evaluation workloads for their throughput-critical kernels.
+    pub fn create_program_with_built_in_kernels(
+        &self,
+        context: &Context,
+        names: &str,
+    ) -> Result<Program> {
+        let id = self.inner.allocate_id();
+        for &server in &context.servers {
+            self.call_server(
+                server,
+                Request::CreateProgramWithBuiltInKernels {
+                    program_id: id,
+                    context_id: context.id,
+                    names: names.to_string(),
+                },
+                Phase::Initialization,
+            )?;
+        }
+        Ok(Program { id, servers: context.servers.clone(), source_len: 0 })
+    }
+
+    /// `clBuildProgram` on every participating server.
+    pub fn build_program(&self, program: &Program) -> Result<()> {
+        for &server in &program.servers {
+            match self.call_server(server, Request::BuildProgram { program_id: program.id }, Phase::Initialization) {
+                Ok(_) => {}
+                Err(e) => {
+                    let log = self.get_build_log(program).unwrap_or_default();
+                    return Err(DclError::Cl(vocl::ClError::BuildProgramFailure(format!(
+                        "{e}\n{log}"
+                    ))));
+                }
+            }
+        }
+        let _ = program.source_len;
+        Ok(())
+    }
+
+    /// `clGetProgramBuildInfo(CL_PROGRAM_BUILD_LOG)` from the first server.
+    pub fn get_build_log(&self, program: &Program) -> Result<String> {
+        let server = *program
+            .servers
+            .first()
+            .ok_or_else(|| DclError::InvalidArgument("program has no servers".into()))?;
+        match self.call_server(server, Request::GetBuildLog { program_id: program.id }, Phase::Initialization)? {
+            Response::BuildLog { log } => Ok(log),
+            other => Err(DclError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// `clCreateKernel`.
+    pub fn create_kernel(&self, program: &Program, name: &str) -> Result<Kernel> {
+        let id = self.inner.allocate_id();
+        for &server in &program.servers {
+            self.call_server(
+                server,
+                Request::CreateKernel { kernel_id: id, program_id: program.id, name: name.to_string() },
+                Phase::Initialization,
+            )?;
+        }
+        Ok(Kernel {
+            id,
+            name: name.to_string(),
+            servers: program.servers.clone(),
+            buffer_args: Arc::new(Mutex::new(HashMap::new())),
+        })
+    }
+
+    /// `clSetKernelArg` with a by-value argument.
+    pub fn set_kernel_arg_scalar(&self, kernel: &Kernel, index: u32, value: Value) -> Result<()> {
+        kernel.buffer_args.lock().remove(&index);
+        for &server in &kernel.servers {
+            self.call_server(
+                server,
+                Request::SetKernelArgScalar {
+                    kernel_id: kernel.id,
+                    index,
+                    value: WireValue(value.clone()),
+                },
+                Phase::Initialization,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// `clSetKernelArg` with a buffer argument.
+    pub fn set_kernel_arg_buffer(&self, kernel: &Kernel, index: u32, buffer: &Buffer) -> Result<()> {
+        for &server in &kernel.servers {
+            self.call_server(
+                server,
+                Request::SetKernelArgBuffer { kernel_id: kernel.id, index, buffer_id: buffer.id },
+                Phase::Initialization,
+            )?;
+        }
+        kernel.buffer_args.lock().insert(index, buffer.clone());
+        Ok(())
+    }
+
+    /// `clSetKernelArg` with a `__local` memory argument.
+    pub fn set_kernel_arg_local(&self, kernel: &Kernel, index: u32, bytes: usize) -> Result<()> {
+        kernel.buffer_args.lock().remove(&index);
+        for &server in &kernel.servers {
+            self.call_server(
+                server,
+                Request::SetKernelArgLocal { kernel_id: kernel.id, index, bytes: bytes as u64 },
+                Phase::Initialization,
+            )?;
+        }
+        Ok(())
+    }
+
+    // ----- command execution -----------------------------------------------
+
+    /// `clEnqueueWriteBuffer`: upload `data` into `buffer` through `queue`.
+    pub fn enqueue_write_buffer(
+        &self,
+        queue: &CommandQueue,
+        buffer: &Buffer,
+        offset: usize,
+        data: &[u8],
+        wait_list: &[Event],
+    ) -> Result<Event> {
+        let server = queue.server;
+        let conn = self.inner.server(server)?;
+        let event_id = self.inner.allocate_id();
+        let stream_id = conn.endpoint.allocate_id();
+
+        // Stream-based communication: the payload crosses the network.
+        self.inner
+            .clock
+            .charge(Phase::DataTransfer, self.inner.link.transfer_time(data.len() as u64));
+        conn.endpoint.send_bulk(stream_id, data)?;
+
+        let request = Request::EnqueueWriteBuffer {
+            queue_id: queue.id,
+            buffer_id: buffer.id,
+            offset: offset as u64,
+            size: data.len() as u64,
+            event_id,
+            stream_id,
+            wait_events: wait_list.iter().map(|e| e.id).collect(),
+        };
+        let event = self.register_event(event_id, server, &queue.context_servers, Phase::DataTransfer)?;
+        self.call_server_on(&conn, &request, Phase::DataTransfer)?;
+        buffer.directory.lock().record_host_write(server, offset, data);
+        Ok(event)
+    }
+
+    /// `clEnqueueReadBuffer` (blocking): download `len` bytes at `offset`.
+    ///
+    /// Returns the data together with the completion event (already
+    /// terminal), mirroring a blocking `clEnqueueReadBuffer` call.
+    pub fn enqueue_read_buffer(
+        &self,
+        queue: &CommandQueue,
+        buffer: &Buffer,
+        offset: usize,
+        len: usize,
+        wait_list: &[Event],
+    ) -> Result<(Vec<u8>, Event)> {
+        let server = queue.server;
+        self.ensure_valid_on(server, buffer)?;
+        let conn = self.inner.server(server)?;
+        let event_id = self.inner.allocate_id();
+        let stream_id = conn.endpoint.allocate_id();
+        let request = Request::EnqueueReadBuffer {
+            queue_id: queue.id,
+            buffer_id: buffer.id,
+            offset: offset as u64,
+            size: len as u64,
+            event_id,
+            stream_id,
+            wait_events: wait_list.iter().map(|e| e.id).collect(),
+        };
+        let event = self.register_event(event_id, server, &queue.context_servers, Phase::DataTransfer)?;
+        self.call_server_on(&conn, &request, Phase::DataTransfer)?;
+        let data = conn.endpoint.wait_bulk(stream_id, Duration::from_secs(300))?;
+        // Stream-based communication back to the client.
+        self.inner
+            .clock
+            .charge(Phase::DataTransfer, self.inner.link.transfer_time(len as u64));
+        buffer.directory.lock().record_host_read(server, offset, &data);
+        Ok((data, event))
+    }
+
+    /// `clEnqueueNDRangeKernel`.
+    pub fn enqueue_nd_range_kernel(
+        &self,
+        queue: &CommandQueue,
+        kernel: &Kernel,
+        range: NdRange,
+        wait_list: &[Event],
+    ) -> Result<Event> {
+        let server = queue.server;
+        // Memory consistency: the target server needs a valid copy of every
+        // memory object the kernel may read.
+        let buffer_args: Vec<Buffer> = kernel.buffer_args.lock().values().cloned().collect();
+        for buffer in &buffer_args {
+            self.ensure_valid_on(server, buffer)?;
+        }
+        let conn = self.inner.server(server)?;
+        let event_id = self.inner.allocate_id();
+        let request = Request::EnqueueNdRange {
+            queue_id: queue.id,
+            kernel_id: kernel.id,
+            event_id,
+            range: WireNdRange(range),
+            wait_events: wait_list.iter().map(|e| e.id).collect(),
+        };
+        let event = self.register_event(event_id, server, &queue.context_servers, Phase::Execution)?;
+        self.call_server_on(&conn, &request, Phase::Execution)?;
+        // The kernel may have written any of its buffer arguments.
+        for buffer in &buffer_args {
+            buffer.directory.lock().record_device_write(server);
+        }
+        Ok(event)
+    }
+
+    /// `clEnqueueMarkerWithWaitList`.
+    pub fn enqueue_marker(&self, queue: &CommandQueue, wait_list: &[Event]) -> Result<Event> {
+        let conn = self.inner.server(queue.server)?;
+        let event_id = self.inner.allocate_id();
+        let request = Request::EnqueueMarker {
+            queue_id: queue.id,
+            event_id,
+            wait_events: wait_list.iter().map(|e| e.id).collect(),
+        };
+        let event = self.register_event(event_id, queue.server, &queue.context_servers, Phase::Execution)?;
+        self.call_server_on(&conn, &request, Phase::Execution)?;
+        Ok(event)
+    }
+
+    /// `clFinish`: block until every command previously enqueued on `queue`
+    /// has completed.
+    pub fn finish(&self, queue: &CommandQueue) -> Result<()> {
+        let marker = self.enqueue_marker(queue, &[])?;
+        marker.wait()
+    }
+
+    /// `clWaitForEvents`.
+    pub fn wait_for_events(&self, events: &[Event]) -> Result<()> {
+        for e in events {
+            e.wait()?;
+        }
+        Ok(())
+    }
+
+    // ----- internals --------------------------------------------------------
+
+    fn register_event(
+        &self,
+        event_id: ObjectId,
+        owner: usize,
+        context_servers: &[usize],
+        phase: Phase,
+    ) -> Result<Event> {
+        // Event consistency (Section III-D): create user events as
+        // replacements for the original event on every other server of the
+        // context.
+        let mut user_event_servers = Vec::new();
+        for &server in context_servers {
+            if server != owner {
+                self.call_server(server, Request::CreateUserEvent { event_id }, Phase::Execution)?;
+                user_event_servers.push(server);
+            }
+        }
+        let record = EventRecord::new(owner, user_event_servers, phase);
+        self.inner.events.lock().insert(event_id, Arc::clone(&record));
+        Ok(Event { id: event_id, record })
+    }
+
+    /// Run the MSI validation plan so that `server` holds a valid copy of
+    /// `buffer` before a command reads it there.
+    fn ensure_valid_on(&self, server: usize, buffer: &Buffer) -> Result<()> {
+        let plan = buffer.directory.lock().plan_validation(server);
+        match plan {
+            ValidationPlan::AlreadyValid => Ok(()),
+            ValidationPlan::UploadFromClient => {
+                let data = buffer.directory.lock().client_data();
+                self.upload_buffer_data(server, buffer, &data)?;
+                buffer.directory.lock().record_upload(server);
+                Ok(())
+            }
+            ValidationPlan::FetchThenUpload { source } => {
+                let data = self.download_buffer_data(source, buffer)?;
+                buffer.directory.lock().record_client_fetch(source, data.clone());
+                self.upload_buffer_data(server, buffer, &data)?;
+                buffer.directory.lock().record_upload(server);
+                Ok(())
+            }
+        }
+    }
+
+    fn upload_buffer_data(&self, server: usize, buffer: &Buffer, data: &[u8]) -> Result<()> {
+        let conn = self.inner.server(server)?;
+        let stream_id = conn.endpoint.allocate_id();
+        self.inner
+            .clock
+            .charge(Phase::DataTransfer, self.inner.link.transfer_time(data.len() as u64));
+        conn.endpoint.send_bulk(stream_id, data)?;
+        let request = Request::UploadBufferData {
+            buffer_id: buffer.id,
+            stream_id,
+            size: data.len() as u64,
+        };
+        match self.call_server_on(&conn, &request, Phase::DataTransfer)? {
+            Response::OkTimed { modeled_nanos } => {
+                self.inner
+                    .clock
+                    .charge(Phase::DataTransfer, Duration::from_nanos(modeled_nanos));
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn download_buffer_data(&self, server: usize, buffer: &Buffer) -> Result<Vec<u8>> {
+        let conn = self.inner.server(server)?;
+        let stream_id = conn.endpoint.allocate_id();
+        let request = Request::DownloadBufferData { buffer_id: buffer.id, stream_id };
+        let response = self.call_server_on(&conn, &request, Phase::DataTransfer)?;
+        if let Response::OkTimed { modeled_nanos } = response {
+            self.inner
+                .clock
+                .charge(Phase::DataTransfer, Duration::from_nanos(modeled_nanos));
+        }
+        let data = conn.endpoint.wait_bulk(stream_id, Duration::from_secs(300))?;
+        self.inner
+            .clock
+            .charge(Phase::DataTransfer, self.inner.link.transfer_time(data.len() as u64));
+        Ok(data)
+    }
+
+    fn charge_message(&self, phase: Phase, request: &Request) {
+        let size = crate::protocol::request_wire_size(request);
+        self.inner.clock.charge(phase, self.inner.link.round_trip_time(size, 64));
+    }
+
+    fn call_server(&self, server: usize, request: Request, phase: Phase) -> Result<Response> {
+        let conn = self.inner.server(server)?;
+        self.call_server_on(&conn, &request, phase)
+    }
+
+    fn call_server_on(
+        &self,
+        conn: &Arc<ServerConn>,
+        request: &Request,
+        phase: Phase,
+    ) -> Result<Response> {
+        self.charge_message(phase, request);
+        let bytes = conn.endpoint.call(request.to_bytes()).map_err(|e| {
+            DclError::ServerUnavailable(format!("{}: {e}", conn.name))
+        })?;
+        let response =
+            Response::from_bytes(&bytes).map_err(|e| DclError::Protocol(e.to_string()))?;
+        response.into_result()
+    }
+}

@@ -1,0 +1,277 @@
+//! Directory-based MSI coherence for distributed memory objects.
+//!
+//! Section III-D of the paper: remote memory objects on the servers are
+//! viewed as cached copies of the client's memory object stub.  The client
+//! maintains, per buffer, a state for each server copy plus its own state
+//! and a *directory* (the list of servers owning a valid copy).  States
+//! follow the MSI protocol:
+//!
+//! * a copy is **Modified** after the owning server's device wrote it (any
+//!   kernel launch that takes the buffer as an argument is conservatively
+//!   treated as a write),
+//! * a copy is **Shared** after a clean upload/download,
+//! * every other copy is **Invalid**.
+//!
+//! The [`BufferDirectory`] only records state and answers "what do I have to
+//! transfer?"; the actual uploads and downloads are performed by the client
+//! driver, which charges their modelled cost to the data-transfer phase.
+
+use std::collections::HashMap;
+
+/// Coherence state of one cached copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoherenceState {
+    /// The copy was written by its owner and is the only valid one.
+    Modified,
+    /// The copy is valid and identical to every other shared copy.
+    Shared,
+    /// The copy is stale.
+    Invalid,
+}
+
+/// The transfers the client must perform so that a given server holds a
+/// valid copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationPlan {
+    /// The server already holds a valid copy; nothing to do.
+    AlreadyValid,
+    /// Upload the client's (valid) copy to the server.
+    UploadFromClient,
+    /// Download a valid copy from `source` first, then upload it to the
+    /// target server.
+    FetchThenUpload {
+        /// Server that owns a valid copy.
+        source: usize,
+    },
+}
+
+/// Per-buffer directory tracking the state of every copy.
+#[derive(Debug, Clone)]
+pub struct BufferDirectory {
+    /// Coherence state of each server's remote memory object.
+    per_server: HashMap<usize, CoherenceState>,
+    /// Coherence state of the client's own (host-memory) copy.
+    client_state: CoherenceState,
+    /// The client's cached data, if any (`None` means "all zeroes", the
+    /// state of a freshly created buffer).
+    client_copy: Option<Vec<u8>>,
+    /// Buffer size in bytes.
+    size: usize,
+}
+
+impl BufferDirectory {
+    /// A fresh directory: every remote copy is invalid, the client's
+    /// (conceptual, all-zero) copy is shared — exactly the initial state the
+    /// paper describes.
+    pub fn new(servers: impl IntoIterator<Item = usize>, size: usize) -> Self {
+        BufferDirectory {
+            per_server: servers.into_iter().map(|s| (s, CoherenceState::Invalid)).collect(),
+            client_state: CoherenceState::Shared,
+            client_copy: None,
+            size,
+        }
+    }
+
+    /// Buffer size in bytes.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// State of the copy on `server`.
+    pub fn server_state(&self, server: usize) -> CoherenceState {
+        self.per_server.get(&server).copied().unwrap_or(CoherenceState::Invalid)
+    }
+
+    /// State of the client's copy.
+    pub fn client_state(&self) -> CoherenceState {
+        self.client_state
+    }
+
+    /// Servers that currently hold a valid (shared or modified) copy.
+    pub fn valid_servers(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .per_server
+            .iter()
+            .filter(|(_, s)| **s != CoherenceState::Invalid)
+            .map(|(k, _)| *k)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The client's cached bytes, materialising the all-zero default.
+    pub fn client_data(&self) -> Vec<u8> {
+        self.client_copy.clone().unwrap_or_else(|| vec![0u8; self.size])
+    }
+
+    /// Whether the client currently holds a valid copy.
+    pub fn client_valid(&self) -> bool {
+        self.client_state != CoherenceState::Invalid
+    }
+
+    /// Compute what must be transferred for `server` to hold a valid copy.
+    pub fn plan_validation(&self, server: usize) -> ValidationPlan {
+        if self.server_state(server) != CoherenceState::Invalid {
+            return ValidationPlan::AlreadyValid;
+        }
+        if self.client_valid() {
+            return ValidationPlan::UploadFromClient;
+        }
+        match self.valid_servers().first() {
+            Some(source) => ValidationPlan::FetchThenUpload { source: *source },
+            // Nobody has valid data (cannot happen through the public API,
+            // but stay safe): treat the zero-filled client copy as valid.
+            None => ValidationPlan::UploadFromClient,
+        }
+    }
+
+    /// Record that the client downloaded a valid copy from a server: both
+    /// the source copy and the client copy are now shared.
+    pub fn record_client_fetch(&mut self, source: usize, data: Vec<u8>) {
+        self.client_copy = Some(data);
+        self.client_state = CoherenceState::Shared;
+        if let Some(s) = self.per_server.get_mut(&source) {
+            *s = CoherenceState::Shared;
+        }
+    }
+
+    /// Record that the client uploaded its valid copy to `server`.
+    pub fn record_upload(&mut self, server: usize) {
+        self.per_server.insert(server, CoherenceState::Shared);
+        if self.client_state == CoherenceState::Invalid {
+            self.client_state = CoherenceState::Shared;
+        }
+    }
+
+    /// Record a host-initiated write (`clEnqueueWriteBuffer` to `server`):
+    /// the written range updates the client copy, the target becomes shared,
+    /// and every other copy is invalidated.
+    pub fn record_host_write(&mut self, server: usize, offset: usize, data: &[u8]) {
+        let mut copy = self.client_data();
+        let end = (offset + data.len()).min(copy.len());
+        if offset < copy.len() {
+            copy[offset..end].copy_from_slice(&data[..end - offset]);
+        }
+        self.client_copy = Some(copy);
+        self.client_state = CoherenceState::Shared;
+        for (s, state) in self.per_server.iter_mut() {
+            *state = if *s == server { CoherenceState::Shared } else { CoherenceState::Invalid };
+        }
+    }
+
+    /// Record that a device on `server` (potentially) wrote the buffer: that
+    /// copy becomes modified, every other copy — including the client's —
+    /// becomes invalid.
+    pub fn record_device_write(&mut self, server: usize) {
+        for (s, state) in self.per_server.iter_mut() {
+            *state = if *s == server { CoherenceState::Modified } else { CoherenceState::Invalid };
+        }
+        self.client_state = CoherenceState::Invalid;
+        self.client_copy = None;
+    }
+
+    /// Record that the client read the buffer back from `server`
+    /// (`clEnqueueReadBuffer`): the owner's copy and the client's copy are
+    /// now shared; the client caches the full-buffer data when the read
+    /// covered the whole buffer.
+    pub fn record_host_read(&mut self, server: usize, offset: usize, data: &[u8]) {
+        // A read from a server that holds no valid copy cannot make the
+        // client's copy valid (the client driver always validates the server
+        // first, so this is purely defensive).
+        if self.server_state(server) == CoherenceState::Invalid {
+            return;
+        }
+        if offset == 0 && data.len() == self.size {
+            self.client_copy = Some(data.to_vec());
+            self.client_state = CoherenceState::Shared;
+        }
+        if let Some(s) = self.per_server.get_mut(&server) {
+            if *s == CoherenceState::Modified {
+                *s = CoherenceState::Shared;
+            }
+        }
+    }
+
+    /// Register a server that joined the directory after creation (e.g. a
+    /// dynamically connected server, Section III-C).
+    pub fn add_server(&mut self, server: usize) {
+        self.per_server.entry(server).or_insert(CoherenceState::Invalid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_directory_uploads_zeroes_from_client() {
+        let dir = BufferDirectory::new([0, 1], 16);
+        assert_eq!(dir.server_state(0), CoherenceState::Invalid);
+        assert_eq!(dir.client_state(), CoherenceState::Shared);
+        assert_eq!(dir.plan_validation(0), ValidationPlan::UploadFromClient);
+        assert_eq!(dir.client_data(), vec![0u8; 16]);
+        assert!(dir.valid_servers().is_empty());
+    }
+
+    #[test]
+    fn host_write_invalidates_other_servers() {
+        let mut dir = BufferDirectory::new([0, 1], 4);
+        dir.record_host_write(0, 0, &[1, 2, 3, 4]);
+        assert_eq!(dir.server_state(0), CoherenceState::Shared);
+        assert_eq!(dir.server_state(1), CoherenceState::Invalid);
+        assert_eq!(dir.client_data(), vec![1, 2, 3, 4]);
+        assert_eq!(dir.plan_validation(0), ValidationPlan::AlreadyValid);
+        assert_eq!(dir.plan_validation(1), ValidationPlan::UploadFromClient);
+    }
+
+    #[test]
+    fn partial_host_write_merges_into_client_copy() {
+        let mut dir = BufferDirectory::new([0], 8);
+        dir.record_host_write(0, 0, &[1, 1, 1, 1, 1, 1, 1, 1]);
+        dir.record_host_write(0, 4, &[2, 2, 2, 2]);
+        assert_eq!(dir.client_data(), vec![1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn device_write_requires_fetch_for_other_servers() {
+        let mut dir = BufferDirectory::new([0, 1], 8);
+        dir.record_host_write(0, 0, &[7; 8]);
+        dir.record_device_write(0);
+        assert_eq!(dir.server_state(0), CoherenceState::Modified);
+        assert_eq!(dir.client_state(), CoherenceState::Invalid);
+        assert_eq!(dir.plan_validation(1), ValidationPlan::FetchThenUpload { source: 0 });
+        // After the fetch + upload, both servers and the client share.
+        dir.record_client_fetch(0, vec![9; 8]);
+        dir.record_upload(1);
+        assert_eq!(dir.server_state(0), CoherenceState::Shared);
+        assert_eq!(dir.server_state(1), CoherenceState::Shared);
+        assert_eq!(dir.client_state(), CoherenceState::Shared);
+        assert_eq!(dir.client_data(), vec![9; 8]);
+        assert_eq!(dir.valid_servers(), vec![0, 1]);
+    }
+
+    #[test]
+    fn host_read_demotes_modified_to_shared() {
+        let mut dir = BufferDirectory::new([0, 1], 4);
+        dir.record_device_write(1);
+        dir.record_host_read(1, 0, &[5, 6, 7, 8]);
+        assert_eq!(dir.server_state(1), CoherenceState::Shared);
+        assert_eq!(dir.client_state(), CoherenceState::Shared);
+        assert_eq!(dir.client_data(), vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn partial_read_does_not_mark_client_valid() {
+        let mut dir = BufferDirectory::new([0], 8);
+        dir.record_device_write(0);
+        dir.record_host_read(0, 0, &[1, 2]);
+        assert_eq!(dir.client_state(), CoherenceState::Invalid);
+    }
+
+    #[test]
+    fn add_server_starts_invalid() {
+        let mut dir = BufferDirectory::new([0], 4);
+        dir.add_server(3);
+        assert_eq!(dir.server_state(3), CoherenceState::Invalid);
+    }
+}

@@ -1,0 +1,126 @@
+//! Server configuration files.
+//!
+//! Section III-C of the paper: "The user can specify a list of available
+//! servers by a configuration file ... placed into the application's
+//! execution directory.  During the application's initialization phase ...
+//! the client driver automatically connects to the servers specified in the
+//! configuration file."  The format is one server per line (host name or IP
+//! address with an optional port), `#` starts a comment (Listing 2).
+
+use crate::error::{DclError, Result};
+
+/// A parsed server entry from a configuration file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerEntry {
+    /// Host name or IP address (or an in-process node name).
+    pub host: String,
+    /// Optional port; `None` means the daemon's default port.
+    pub port: Option<u16>,
+}
+
+impl ServerEntry {
+    /// The address string used to connect through a transport: `host` or
+    /// `host:port`.
+    pub fn address(&self) -> String {
+        match self.port {
+            Some(p) => format!("{}:{p}", self.host),
+            None => self.host.clone(),
+        }
+    }
+}
+
+/// Parse the contents of a server configuration file (Listing 2 of the
+/// paper).
+pub fn parse_server_list(contents: &str) -> Result<Vec<ServerEntry>> {
+    let mut entries = Vec::new();
+    for (line_no, raw_line) in contents.lines().enumerate() {
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Strip trailing comments.
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.contains(char::is_whitespace) {
+            return Err(DclError::Config(format!(
+                "line {}: a server entry must not contain whitespace: '{line}'",
+                line_no + 1
+            )));
+        }
+        let entry = match line.rsplit_once(':') {
+            Some((host, port_text)) if !host.is_empty() => match port_text.parse::<u16>() {
+                Ok(port) => ServerEntry { host: host.to_string(), port: Some(port) },
+                Err(_) => {
+                    return Err(DclError::Config(format!(
+                        "line {}: invalid port '{port_text}'",
+                        line_no + 1
+                    )))
+                }
+            },
+            _ => ServerEntry { host: line.to_string(), port: None },
+        };
+        entries.push(entry);
+    }
+    Ok(entries)
+}
+
+/// Read and parse a server configuration file from disk.
+pub fn load_server_list(path: &std::path::Path) -> Result<Vec<ServerEntry>> {
+    let contents = std::fs::read_to_string(path)
+        .map_err(|e| DclError::Config(format!("cannot read {}: {e}", path.display())))?;
+    parse_server_list(&contents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_example() {
+        let contents = r#"
+            # connect to server 'gpuserver.example.com'
+            gpuserver.example.com
+            # connect to server in local network
+            128.129.1.1:7079
+        "#;
+        let entries = parse_server_list(contents).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].host, "gpuserver.example.com");
+        assert_eq!(entries[0].port, None);
+        assert_eq!(entries[0].address(), "gpuserver.example.com");
+        assert_eq!(entries[1].host, "128.129.1.1");
+        assert_eq!(entries[1].port, Some(7079));
+        assert_eq!(entries[1].address(), "128.129.1.1:7079");
+    }
+
+    #[test]
+    fn trailing_comments_and_blank_lines_are_ignored() {
+        let entries = parse_server_list("node0   # primary\n\n   \nnode1:80\n").unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].host, "node0");
+    }
+
+    #[test]
+    fn invalid_port_is_an_error() {
+        assert!(parse_server_list("host:notaport").is_err());
+        assert!(parse_server_list("host:99999").is_err());
+    }
+
+    #[test]
+    fn whitespace_inside_entry_is_an_error() {
+        assert!(parse_server_list("two words").is_err());
+    }
+
+    #[test]
+    fn empty_file_yields_no_servers() {
+        assert!(parse_server_list("# only comments\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_file_is_a_config_error() {
+        let err = load_server_list(std::path::Path::new("/definitely/not/here.conf")).unwrap_err();
+        assert!(matches!(err, DclError::Config(_)));
+    }
+}

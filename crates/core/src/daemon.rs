@@ -1,0 +1,1044 @@
+//! The dOpenCL daemon.
+//!
+//! A daemon runs on every server of the distributed system.  It accepts
+//! connections from client drivers, receives forwarded OpenCL API calls
+//! ([`crate::protocol::Request`]) and replays them against the server's
+//! native OpenCL implementation (the `vocl` runtime).  For every remote
+//! object the client refers to by id, the daemon keeps the id → object
+//! mapping in a per-connection session table, exactly as described in
+//! Section III-D of the paper ("the daemon replaces these IDs by the
+//! associated remote objects and calls the corresponding function of its
+//! standard OpenCL implementation").
+//!
+//! In *managed mode* (Section IV-A) the daemon only exposes devices that the
+//! device manager has associated with the client's lease authentication id;
+//! this is abstracted behind the [`AccessPolicy`] trait so that the device
+//! manager crate can plug in without a dependency cycle.
+
+use crate::protocol::{
+    DeviceDescriptor, Notification, ObjectId, Request, Response, ServerInfo,
+};
+use crate::Result;
+use gcf::rpc::{Endpoint, EndpointHandler};
+use gcf::transport::{Listener, Transport};
+use gcf::wire::{Decode, Encode};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+use vocl::{
+    Buffer, ClError, CommandQueue, Context, Device, DeviceInfoParam, DeviceInfoValue, Event,
+    EventStatus, Kernel, KernelArg, MemFlags, Platform, Program, QueueProperties,
+};
+
+/// Controls which devices a connecting client may see and use.
+///
+/// The default [`OpenAccess`] policy exposes every device.  The device
+/// manager installs a lease-checking policy on daemons running in managed
+/// mode.
+pub trait AccessPolicy: Send + Sync {
+    /// The devices (out of `all`) visible to a client presenting `auth_id`.
+    fn visible_devices(&self, auth_id: Option<&str>, all: &[Arc<Device>]) -> Vec<Arc<Device>>;
+
+    /// Whether this daemon runs in managed mode.
+    fn managed(&self) -> bool {
+        false
+    }
+
+    /// Called when a client disconnects (normally or abnormally); managed
+    /// daemons report the invalidated authentication id to the device
+    /// manager so its devices return to the free set.
+    fn client_disconnected(&self, _auth_id: Option<&str>) {}
+}
+
+/// The default policy: every client sees every device.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OpenAccess;
+
+impl AccessPolicy for OpenAccess {
+    fn visible_devices(&self, _auth_id: Option<&str>, all: &[Arc<Device>]) -> Vec<Arc<Device>> {
+        all.to_vec()
+    }
+}
+
+/// Counters of daemon activity, useful for tests and ablation benches.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Number of requests handled (all sessions).
+    pub requests: u64,
+    /// Number of kernel launches executed.
+    pub kernel_launches: u64,
+    /// Bytes received through buffer uploads.
+    pub bytes_uploaded: u64,
+    /// Bytes sent through buffer downloads.
+    pub bytes_downloaded: u64,
+    /// Number of client sessions accepted.
+    pub sessions: u64,
+}
+
+/// A dOpenCL daemon serving the devices of one node.
+pub struct Daemon {
+    name: String,
+    address: String,
+    devices: Vec<Arc<Device>>,
+    policy: Arc<dyn AccessPolicy>,
+    stats: Arc<Mutex<DaemonStats>>,
+    shutdown: Arc<AtomicBool>,
+    /// Endpoints of the accepted client sessions.  The daemon keeps them
+    /// alive; each endpoint owns its [`DaemonSession`] handler.
+    sessions: Arc<Mutex<Vec<Arc<Endpoint>>>>,
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("name", &self.name)
+            .field("address", &self.address)
+            .field("devices", &self.devices.len())
+            .finish()
+    }
+}
+
+impl Daemon {
+    /// Start a daemon for `platform`, listening at `address` on `transport`.
+    pub fn start(
+        name: impl Into<String>,
+        platform: &Platform,
+        transport: Arc<dyn Transport>,
+        address: &str,
+        policy: Arc<dyn AccessPolicy>,
+    ) -> Result<Arc<Daemon>> {
+        let name = name.into();
+        let listener = transport.listen(address)?;
+        let bound = listener.local_addr();
+        let daemon = Arc::new(Daemon {
+            name: name.clone(),
+            address: bound,
+            devices: platform.devices().to_vec(),
+            policy,
+            stats: Arc::new(Mutex::new(DaemonStats::default())),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            sessions: Arc::new(Mutex::new(Vec::new())),
+        });
+        let accept_daemon = Arc::downgrade(&daemon);
+        std::thread::Builder::new()
+            .name(format!("dcl-daemon-{name}"))
+            .spawn(move || Self::accept_loop(accept_daemon, listener))
+            .map_err(|e| {
+                crate::DclError::Protocol(format!("cannot spawn daemon accept thread: {e}"))
+            })?;
+        Ok(daemon)
+    }
+
+    fn accept_loop(daemon: Weak<Daemon>, listener: Box<dyn Listener>) {
+        loop {
+            let Some(strong) = daemon.upgrade() else { break };
+            if strong.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            drop(strong);
+            let Ok(conn) = listener.accept() else { break };
+            let Some(strong) = daemon.upgrade() else { break };
+            strong.stats.lock().sessions += 1;
+            let session = Arc::new(DaemonSession::new(
+                strong.name.clone(),
+                strong.devices.clone(),
+                Arc::clone(&strong.policy),
+                Arc::clone(&strong.stats),
+            ));
+            let endpoint = Endpoint::new(
+                conn,
+                Arc::clone(&session) as Arc<dyn EndpointHandler>,
+                format!("daemon-{}", strong.name),
+            );
+            session.set_endpoint(&endpoint);
+            strong.sessions.lock().push(endpoint);
+        }
+    }
+
+    /// The node name of this daemon.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The address the daemon is reachable at (resolvable by the client's
+    /// transport).
+    pub fn address(&self) -> &str {
+        &self.address
+    }
+
+    /// The devices this daemon manages (unfiltered).
+    pub fn devices(&self) -> &[Arc<Device>] {
+        &self.devices
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> DaemonStats {
+        *self.stats.lock()
+    }
+
+    /// Stop accepting new connections.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+}
+
+/// Per-connection session: the id → remote-object tables plus the handler
+/// that dispatches requests onto the native runtime.
+pub struct DaemonSession {
+    daemon_name: String,
+    all_devices: Vec<Arc<Device>>,
+    policy: Arc<dyn AccessPolicy>,
+    stats: Arc<Mutex<DaemonStats>>,
+    endpoint: Mutex<Option<Weak<Endpoint>>>,
+    state: Mutex<SessionState>,
+    next_stream: AtomicU64,
+}
+
+#[derive(Default)]
+struct SessionState {
+    client_name: String,
+    auth_id: Option<String>,
+    contexts: HashMap<ObjectId, Arc<Context>>,
+    queues: HashMap<ObjectId, Arc<CommandQueue>>,
+    buffers: HashMap<ObjectId, Arc<Buffer>>,
+    programs: HashMap<ObjectId, Arc<Program>>,
+    kernels: HashMap<ObjectId, Arc<Kernel>>,
+    events: HashMap<ObjectId, Arc<Event>>,
+    disconnected: bool,
+}
+
+impl DaemonSession {
+    fn new(
+        daemon_name: String,
+        all_devices: Vec<Arc<Device>>,
+        policy: Arc<dyn AccessPolicy>,
+        stats: Arc<Mutex<DaemonStats>>,
+    ) -> Self {
+        DaemonSession {
+            daemon_name,
+            all_devices,
+            policy,
+            stats,
+            endpoint: Mutex::new(None),
+            state: Mutex::new(SessionState::default()),
+            next_stream: AtomicU64::new(1 << 32),
+        }
+    }
+
+    fn set_endpoint(&self, endpoint: &Arc<Endpoint>) {
+        *self.endpoint.lock() = Some(Arc::downgrade(endpoint));
+    }
+
+    fn endpoint(&self) -> Option<Arc<Endpoint>> {
+        self.endpoint.lock().as_ref().and_then(Weak::upgrade)
+    }
+
+    fn visible_devices(&self) -> Vec<Arc<Device>> {
+        let auth = self.state.lock().auth_id.clone();
+        self.policy.visible_devices(auth.as_deref(), &self.all_devices)
+    }
+
+    fn device_by_id(&self, id: ObjectId) -> std::result::Result<Arc<Device>, ClError> {
+        self.visible_devices()
+            .into_iter()
+            .find(|d| d.id() == id)
+            .ok_or_else(|| ClError::DeviceNotFound)
+    }
+
+    fn cl_error(e: &ClError) -> Response {
+        Response::Error { code: e.code(), message: e.to_string() }
+    }
+
+    fn missing(kind: &str, id: ObjectId) -> Response {
+        Response::Error { code: -34, message: format!("unknown {kind} id {id}") }
+    }
+
+    /// Register a completion callback on `event` that reports completion to
+    /// the client as a notification.
+    fn notify_on_completion(&self, event_id: ObjectId, event: &Arc<Event>) {
+        let endpoint = self.endpoint.lock().clone();
+        let weak_event = Arc::downgrade(event);
+        event.on_complete(Box::new(move |status| {
+            let Some(endpoint) = endpoint.as_ref().and_then(Weak::upgrade) else { return };
+            let Some(event) = weak_event.upgrade() else { return };
+            let (modeled_nanos, work_items) = (
+                event.modeled_duration().as_nanos() as u64,
+                event.counters().map(|c| c.work_items).unwrap_or(0),
+            );
+            let status_code = match status {
+                EventStatus::Complete => 0,
+                EventStatus::Error(code) => code,
+                other => other.code(),
+            };
+            let notification = Notification::EventCompleted {
+                event_id,
+                status: status_code,
+                modeled_nanos,
+                work_items,
+            };
+            let _ = endpoint.notify(notification.to_bytes());
+        }));
+    }
+
+    fn resolve_wait_list(
+        state: &SessionState,
+        wait_events: &[ObjectId],
+    ) -> std::result::Result<Vec<Arc<Event>>, Response> {
+        let mut out = Vec::with_capacity(wait_events.len());
+        for id in wait_events {
+            match state.events.get(id) {
+                Some(e) => out.push(Arc::clone(e)),
+                None => return Err(Self::missing("event", *id)),
+            }
+        }
+        Ok(out)
+    }
+
+    fn handle(&self, request: Request) -> Response {
+        self.stats.lock().requests += 1;
+        match request {
+            Request::Hello { client_name, auth_id } => {
+                let mut state = self.state.lock();
+                state.client_name = client_name;
+                state.auth_id = auth_id;
+                Response::Ok
+            }
+            Request::GetDeviceList => {
+                let devices = self
+                    .visible_devices()
+                    .iter()
+                    .map(|d| DeviceDescriptor {
+                        remote_id: d.id(),
+                        name: d.name().to_string(),
+                        vendor: d.vendor().to_string(),
+                        device_type: d.device_type().to_string(),
+                        compute_units: match d.info(DeviceInfoParam::MaxComputeUnits) {
+                            DeviceInfoValue::UInt(v) => v as u32,
+                            _ => 0,
+                        },
+                        global_mem_bytes: d.profile().global_mem_bytes,
+                        max_alloc_bytes: d.profile().max_alloc_bytes,
+                    })
+                    .collect();
+                Response::DeviceList { devices }
+            }
+            Request::GetServerInfo => Response::ServerInfo(ServerInfo {
+                name: self.daemon_name.clone(),
+                device_count: self.visible_devices().len() as u32,
+                managed: self.policy.managed(),
+            }),
+            Request::CreateContext { context_id, devices } => {
+                let mut resolved = Vec::with_capacity(devices.len());
+                for id in devices {
+                    match self.device_by_id(id) {
+                        Ok(d) => resolved.push(d),
+                        Err(e) => return Self::cl_error(&e),
+                    }
+                }
+                match Context::new(resolved) {
+                    Ok(ctx) => {
+                        self.state.lock().contexts.insert(context_id, ctx);
+                        Response::Ok
+                    }
+                    Err(e) => Self::cl_error(&e),
+                }
+            }
+            Request::ReleaseContext { context_id } => {
+                self.state.lock().contexts.remove(&context_id);
+                Response::Ok
+            }
+            Request::CreateCommandQueue { queue_id, context_id, device } => {
+                let context = match self.state.lock().contexts.get(&context_id) {
+                    Some(c) => Arc::clone(c),
+                    None => return Self::missing("context", context_id),
+                };
+                let device = match self.device_by_id(device) {
+                    Ok(d) => d,
+                    Err(e) => return Self::cl_error(&e),
+                };
+                match CommandQueue::new(context, device, QueueProperties { profiling: true, out_of_order: false }) {
+                    Ok(q) => {
+                        self.state.lock().queues.insert(queue_id, q);
+                        Response::Ok
+                    }
+                    Err(e) => Self::cl_error(&e),
+                }
+            }
+            Request::ReleaseCommandQueue { queue_id } => {
+                self.state.lock().queues.remove(&queue_id);
+                Response::Ok
+            }
+            Request::CreateBuffer { buffer_id, context_id, size, readable, writable } => {
+                let context = match self.state.lock().contexts.get(&context_id) {
+                    Some(c) => Arc::clone(c),
+                    None => return Self::missing("context", context_id),
+                };
+                let flags = MemFlags { readable, writable };
+                match Buffer::new(context, size as usize, flags, None) {
+                    Ok(b) => {
+                        self.state.lock().buffers.insert(buffer_id, b);
+                        Response::Ok
+                    }
+                    Err(e) => Self::cl_error(&e),
+                }
+            }
+            Request::ReleaseBuffer { buffer_id } => {
+                self.state.lock().buffers.remove(&buffer_id);
+                Response::Ok
+            }
+            Request::CreateProgramWithSource { program_id, context_id, source } => {
+                let context = match self.state.lock().contexts.get(&context_id) {
+                    Some(c) => Arc::clone(c),
+                    None => return Self::missing("context", context_id),
+                };
+                let program = Program::with_source(context, source);
+                self.state.lock().programs.insert(program_id, program);
+                Response::Ok
+            }
+            Request::CreateProgramWithBuiltInKernels { program_id, context_id, names } => {
+                let context = match self.state.lock().contexts.get(&context_id) {
+                    Some(c) => Arc::clone(c),
+                    None => return Self::missing("context", context_id),
+                };
+                match Program::with_built_in_kernels(context, &names) {
+                    Ok(program) => {
+                        self.state.lock().programs.insert(program_id, program);
+                        Response::Ok
+                    }
+                    Err(e) => Self::cl_error(&e),
+                }
+            }
+            Request::BuildProgram { program_id } => {
+                let program = match self.state.lock().programs.get(&program_id) {
+                    Some(p) => Arc::clone(p),
+                    None => return Self::missing("program", program_id),
+                };
+                match program.build() {
+                    Ok(()) => Response::Ok,
+                    Err(e) => Self::cl_error(&e),
+                }
+            }
+            Request::GetBuildLog { program_id } => {
+                let program = match self.state.lock().programs.get(&program_id) {
+                    Some(p) => Arc::clone(p),
+                    None => return Self::missing("program", program_id),
+                };
+                Response::BuildLog { log: program.build_log() }
+            }
+            Request::CreateKernel { kernel_id, program_id, name } => {
+                let program = match self.state.lock().programs.get(&program_id) {
+                    Some(p) => Arc::clone(p),
+                    None => return Self::missing("program", program_id),
+                };
+                match program.create_kernel(&name) {
+                    Ok(k) => {
+                        self.state.lock().kernels.insert(kernel_id, k);
+                        Response::Ok
+                    }
+                    Err(e) => Self::cl_error(&e),
+                }
+            }
+            Request::SetKernelArgScalar { kernel_id, index, value } => {
+                let kernel = match self.state.lock().kernels.get(&kernel_id) {
+                    Some(k) => Arc::clone(k),
+                    None => return Self::missing("kernel", kernel_id),
+                };
+                match kernel.set_arg(index as usize, KernelArg::Scalar(value.0)) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => Self::cl_error(&e),
+                }
+            }
+            Request::SetKernelArgBuffer { kernel_id, index, buffer_id } => {
+                let (kernel, buffer) = {
+                    let state = self.state.lock();
+                    let kernel = match state.kernels.get(&kernel_id) {
+                        Some(k) => Arc::clone(k),
+                        None => return Self::missing("kernel", kernel_id),
+                    };
+                    let buffer = match state.buffers.get(&buffer_id) {
+                        Some(b) => Arc::clone(b),
+                        None => return Self::missing("buffer", buffer_id),
+                    };
+                    (kernel, buffer)
+                };
+                match kernel.set_arg(index as usize, KernelArg::Buffer(buffer)) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => Self::cl_error(&e),
+                }
+            }
+            Request::SetKernelArgLocal { kernel_id, index, bytes } => {
+                let kernel = match self.state.lock().kernels.get(&kernel_id) {
+                    Some(k) => Arc::clone(k),
+                    None => return Self::missing("kernel", kernel_id),
+                };
+                match kernel.set_arg(index as usize, KernelArg::Local(bytes as usize)) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => Self::cl_error(&e),
+                }
+            }
+            Request::EnqueueWriteBuffer {
+                queue_id,
+                buffer_id,
+                offset,
+                size,
+                event_id,
+                stream_id,
+                wait_events,
+            } => {
+                let Some(endpoint) = self.endpoint() else {
+                    return Response::Error { code: -36, message: "no endpoint".into() };
+                };
+                // The client sends the bulk payload before the request, so
+                // the stream has already been reassembled.
+                let data = match endpoint.wait_bulk(stream_id, Duration::from_secs(120)) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        return Response::Error { code: -30, message: format!("missing upload stream: {e}") }
+                    }
+                };
+                if data.len() as u64 != size {
+                    return Response::Error {
+                        code: -30,
+                        message: format!("upload size mismatch: expected {size}, got {}", data.len()),
+                    };
+                }
+                self.stats.lock().bytes_uploaded += size;
+                let (queue, buffer, wait) = {
+                    let state = self.state.lock();
+                    let queue = match state.queues.get(&queue_id) {
+                        Some(q) => Arc::clone(q),
+                        None => return Self::missing("queue", queue_id),
+                    };
+                    let buffer = match state.buffers.get(&buffer_id) {
+                        Some(b) => Arc::clone(b),
+                        None => return Self::missing("buffer", buffer_id),
+                    };
+                    let wait = match Self::resolve_wait_list(&state, &wait_events) {
+                        Ok(w) => w,
+                        Err(resp) => return resp,
+                    };
+                    (queue, buffer, wait)
+                };
+                match queue.enqueue_write_buffer(&buffer, offset as usize, data, wait) {
+                    Ok(event) => {
+                        self.notify_on_completion(event_id, &event);
+                        self.state.lock().events.insert(event_id, event);
+                        Response::Ok
+                    }
+                    Err(e) => Self::cl_error(&e),
+                }
+            }
+            Request::EnqueueReadBuffer {
+                queue_id,
+                buffer_id,
+                offset,
+                size,
+                event_id,
+                stream_id,
+                wait_events,
+            } => {
+                let (queue, buffer, wait) = {
+                    let state = self.state.lock();
+                    let queue = match state.queues.get(&queue_id) {
+                        Some(q) => Arc::clone(q),
+                        None => return Self::missing("queue", queue_id),
+                    };
+                    let buffer = match state.buffers.get(&buffer_id) {
+                        Some(b) => Arc::clone(b),
+                        None => return Self::missing("buffer", buffer_id),
+                    };
+                    let wait = match Self::resolve_wait_list(&state, &wait_events) {
+                        Ok(w) => w,
+                        Err(resp) => return resp,
+                    };
+                    (queue, buffer, wait)
+                };
+                match queue.enqueue_read_buffer(&buffer, offset as usize, size as usize, wait) {
+                    Ok(event) => {
+                        // When the read completes, ship the data to the
+                        // client as a bulk stream, then notify.
+                        let endpoint = self.endpoint.lock().clone();
+                        let weak_event = Arc::downgrade(&event);
+                        let stats = Arc::clone(&self.stats);
+                        event.on_complete(Box::new(move |status| {
+                            let Some(endpoint) = endpoint.as_ref().and_then(Weak::upgrade) else {
+                                return;
+                            };
+                            if status == EventStatus::Complete {
+                                if let Some(event) = weak_event.upgrade() {
+                                    if let Some(data) = event.take_result() {
+                                        stats.lock().bytes_downloaded += data.len() as u64;
+                                        let _ = endpoint.send_bulk(stream_id, &data);
+                                    }
+                                }
+                            }
+                        }));
+                        self.notify_on_completion(event_id, &event);
+                        self.state.lock().events.insert(event_id, event);
+                        Response::Ok
+                    }
+                    Err(e) => Self::cl_error(&e),
+                }
+            }
+            Request::EnqueueNdRange { queue_id, kernel_id, event_id, range, wait_events } => {
+                let (queue, kernel, wait) = {
+                    let state = self.state.lock();
+                    let queue = match state.queues.get(&queue_id) {
+                        Some(q) => Arc::clone(q),
+                        None => return Self::missing("queue", queue_id),
+                    };
+                    let kernel = match state.kernels.get(&kernel_id) {
+                        Some(k) => Arc::clone(k),
+                        None => return Self::missing("kernel", kernel_id),
+                    };
+                    let wait = match Self::resolve_wait_list(&state, &wait_events) {
+                        Ok(w) => w,
+                        Err(resp) => return resp,
+                    };
+                    (queue, kernel, wait)
+                };
+                self.stats.lock().kernel_launches += 1;
+                match queue.enqueue_nd_range_kernel(&kernel, range.0, wait) {
+                    Ok(event) => {
+                        self.notify_on_completion(event_id, &event);
+                        self.state.lock().events.insert(event_id, event);
+                        Response::Ok
+                    }
+                    Err(e) => Self::cl_error(&e),
+                }
+            }
+            Request::EnqueueMarker { queue_id, event_id, wait_events } => {
+                let (queue, wait) = {
+                    let state = self.state.lock();
+                    let queue = match state.queues.get(&queue_id) {
+                        Some(q) => Arc::clone(q),
+                        None => return Self::missing("queue", queue_id),
+                    };
+                    let wait = match Self::resolve_wait_list(&state, &wait_events) {
+                        Ok(w) => w,
+                        Err(resp) => return resp,
+                    };
+                    (queue, wait)
+                };
+                match queue.enqueue_marker(wait) {
+                    Ok(event) => {
+                        self.notify_on_completion(event_id, &event);
+                        self.state.lock().events.insert(event_id, event);
+                        Response::Ok
+                    }
+                    Err(e) => Self::cl_error(&e),
+                }
+            }
+            Request::CreateUserEvent { event_id } => {
+                let event = Event::user();
+                self.state.lock().events.insert(event_id, event);
+                Response::Ok
+            }
+            Request::SetUserEventComplete { event_id } => {
+                let event = match self.state.lock().events.get(&event_id) {
+                    Some(e) => Arc::clone(e),
+                    None => return Self::missing("event", event_id),
+                };
+                event.set_complete();
+                Response::Ok
+            }
+            Request::GetEventStatus { event_id } => {
+                let event = match self.state.lock().events.get(&event_id) {
+                    Some(e) => Arc::clone(e),
+                    None => return Self::missing("event", event_id),
+                };
+                Response::EventStatus { status: event.status().code() }
+            }
+            Request::UploadBufferData { buffer_id, stream_id, size } => {
+                let Some(endpoint) = self.endpoint() else {
+                    return Response::Error { code: -36, message: "no endpoint".into() };
+                };
+                let data = match endpoint.wait_bulk(stream_id, Duration::from_secs(120)) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        return Response::Error { code: -30, message: format!("missing upload stream: {e}") }
+                    }
+                };
+                if data.len() as u64 != size {
+                    return Response::Error { code: -30, message: "coherence upload size mismatch".into() };
+                }
+                let buffer = match self.state.lock().buffers.get(&buffer_id) {
+                    Some(b) => Arc::clone(b),
+                    None => return Self::missing("buffer", buffer_id),
+                };
+                self.stats.lock().bytes_uploaded += size;
+                // Direct write (not through a queue): coherence traffic still
+                // pays the bus cost of the first device of the context.
+                let bus_time = buffer
+                    .context()
+                    .devices()
+                    .first()
+                    .map(|d| d.profile().bus.write_time(size))
+                    .unwrap_or_default();
+                match buffer.write(0, &data) {
+                    Ok(()) => Response::OkTimed { modeled_nanos: bus_time.as_nanos() as u64 },
+                    Err(e) => Self::cl_error(&e),
+                }
+            }
+            Request::DownloadBufferData { buffer_id, stream_id } => {
+                let Some(endpoint) = self.endpoint() else {
+                    return Response::Error { code: -36, message: "no endpoint".into() };
+                };
+                let buffer = match self.state.lock().buffers.get(&buffer_id) {
+                    Some(b) => Arc::clone(b),
+                    None => return Self::missing("buffer", buffer_id),
+                };
+                let data = match buffer.read(0, buffer.size()) {
+                    Ok(d) => d,
+                    Err(e) => return Self::cl_error(&e),
+                };
+                self.stats.lock().bytes_downloaded += data.len() as u64;
+                let bus_time = buffer
+                    .context()
+                    .devices()
+                    .first()
+                    .map(|d| d.profile().bus.read_time(data.len() as u64))
+                    .unwrap_or_default();
+                let _ = endpoint.send_bulk(stream_id, &data);
+                Response::OkTimed { modeled_nanos: bus_time.as_nanos() as u64 }
+            }
+            Request::Disconnect => {
+                let auth = {
+                    let mut state = self.state.lock();
+                    state.disconnected = true;
+                    state.auth_id.clone()
+                };
+                self.policy.client_disconnected(auth.as_deref());
+                Response::Ok
+            }
+        }
+    }
+
+    /// Allocate a daemon-side stream id (unused by the current protocol but
+    /// reserved for server-to-server communication, Section III-F).
+    pub fn allocate_stream_id(&self) -> u64 {
+        self.next_stream.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+impl EndpointHandler for DaemonSession {
+    fn handle_request(&self, payload: &[u8]) -> Vec<u8> {
+        let response = match Request::from_bytes(payload) {
+            Ok(request) => self.handle(request),
+            Err(e) => Response::Error { code: -30, message: format!("malformed request: {e}") },
+        };
+        response.to_bytes()
+    }
+
+    fn handle_notification(&self, _payload: &[u8]) {
+        // The client never notifies the daemon in the current protocol.
+    }
+}
+
+impl Drop for DaemonSession {
+    fn drop(&mut self) {
+        let state = self.state.get_mut();
+        if !state.disconnected {
+            // Abnormal termination: report the invalidated authentication id
+            // so the device manager can reclaim the lease (Section IV-C).
+            self.policy.client_disconnected(state.auth_id.as_deref());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcf::transport::inproc::InprocTransport;
+    use gcf::rpc::NullHandler;
+
+    fn start_test_daemon() -> (Arc<Daemon>, Arc<Endpoint>, InprocTransport) {
+        let transport = InprocTransport::new();
+        let platform = Platform::test_platform(2);
+        let daemon = Daemon::start(
+            "node0",
+            &platform,
+            Arc::new(transport.clone()),
+            "node0",
+            Arc::new(OpenAccess),
+        )
+        .unwrap();
+        let conn = transport.connect(daemon.address()).unwrap();
+        let endpoint = Endpoint::new(conn, Arc::new(NullHandler), "test-client");
+        (daemon, endpoint, transport)
+    }
+
+    fn call(endpoint: &Arc<Endpoint>, request: Request) -> Response {
+        let bytes = endpoint.call(request.to_bytes()).unwrap();
+        Response::from_bytes(&bytes).unwrap()
+    }
+
+    #[test]
+    fn device_list_and_server_info() {
+        let (_daemon, endpoint, _t) = start_test_daemon();
+        call(&endpoint, Request::Hello { client_name: "test".into(), auth_id: None });
+        let Response::DeviceList { devices } = call(&endpoint, Request::GetDeviceList) else {
+            panic!("expected device list")
+        };
+        assert_eq!(devices.len(), 2);
+        let Response::ServerInfo(info) = call(&endpoint, Request::GetServerInfo) else {
+            panic!("expected server info")
+        };
+        assert_eq!(info.name, "node0");
+        assert_eq!(info.device_count, 2);
+        assert!(!info.managed);
+    }
+
+    #[test]
+    fn full_remote_kernel_round_trip() {
+        let (daemon, endpoint, _t) = start_test_daemon();
+        call(&endpoint, Request::Hello { client_name: "test".into(), auth_id: None });
+        let Response::DeviceList { devices } = call(&endpoint, Request::GetDeviceList) else {
+            panic!()
+        };
+        let dev = devices[0].remote_id;
+        assert!(matches!(
+            call(&endpoint, Request::CreateContext { context_id: 1, devices: vec![dev] }),
+            Response::Ok
+        ));
+        assert!(matches!(
+            call(&endpoint, Request::CreateCommandQueue { queue_id: 2, context_id: 1, device: dev }),
+            Response::Ok
+        ));
+        assert!(matches!(
+            call(
+                &endpoint,
+                Request::CreateBuffer {
+                    buffer_id: 3,
+                    context_id: 1,
+                    size: 64,
+                    readable: true,
+                    writable: true
+                }
+            ),
+            Response::Ok
+        ));
+        assert!(matches!(
+            call(
+                &endpoint,
+                Request::CreateProgramWithSource {
+                    program_id: 4,
+                    context_id: 1,
+                    source: "__kernel void fill(__global int* out, int v) { out[get_global_id(0)] = v; }"
+                        .into()
+                }
+            ),
+            Response::Ok
+        ));
+        assert!(matches!(call(&endpoint, Request::BuildProgram { program_id: 4 }), Response::Ok));
+        assert!(matches!(
+            call(&endpoint, Request::CreateKernel { kernel_id: 5, program_id: 4, name: "fill".into() }),
+            Response::Ok
+        ));
+        assert!(matches!(
+            call(&endpoint, Request::SetKernelArgBuffer { kernel_id: 5, index: 0, buffer_id: 3 }),
+            Response::Ok
+        ));
+        assert!(matches!(
+            call(
+                &endpoint,
+                Request::SetKernelArgScalar {
+                    kernel_id: 5,
+                    index: 1,
+                    value: crate::protocol::WireValue(vocl::Value::int(7))
+                }
+            ),
+            Response::Ok
+        ));
+        assert!(matches!(
+            call(
+                &endpoint,
+                Request::EnqueueNdRange {
+                    queue_id: 2,
+                    kernel_id: 5,
+                    event_id: 6,
+                    range: crate::protocol::WireNdRange(vocl::NdRange::linear(16)),
+                    wait_events: vec![]
+                }
+            ),
+            Response::Ok
+        ));
+        // Download the buffer through the coherence path and check contents.
+        let stream_id = 777u64;
+        let resp = call(&endpoint, Request::DownloadBufferData { buffer_id: 3, stream_id });
+        assert!(matches!(resp, Response::OkTimed { .. }));
+        let data = endpoint.wait_bulk(stream_id, Duration::from_secs(5)).unwrap();
+        assert_eq!(data.len(), 64);
+        for chunk in data.chunks_exact(4) {
+            assert_eq!(i32::from_le_bytes(chunk.try_into().unwrap()), 7);
+        }
+        assert!(daemon.stats().kernel_launches == 1);
+    }
+
+    #[test]
+    fn upload_stream_then_request_roundtrip() {
+        let (_daemon, endpoint, _t) = start_test_daemon();
+        call(&endpoint, Request::Hello { client_name: "c".into(), auth_id: None });
+        let Response::DeviceList { devices } = call(&endpoint, Request::GetDeviceList) else {
+            panic!()
+        };
+        let dev = devices[0].remote_id;
+        call(&endpoint, Request::CreateContext { context_id: 1, devices: vec![dev] });
+        call(&endpoint, Request::CreateCommandQueue { queue_id: 2, context_id: 1, device: dev });
+        call(
+            &endpoint,
+            Request::CreateBuffer { buffer_id: 3, context_id: 1, size: 8, readable: true, writable: true },
+        );
+        // Send the payload first (stream-based communication), then the
+        // request (message-based communication).
+        endpoint.send_bulk(42, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        let resp = call(
+            &endpoint,
+            Request::EnqueueWriteBuffer {
+                queue_id: 2,
+                buffer_id: 3,
+                offset: 0,
+                size: 8,
+                event_id: 10,
+                stream_id: 42,
+                wait_events: vec![],
+            },
+        );
+        assert!(matches!(resp, Response::Ok), "{resp:?}");
+        // Read it back.
+        let resp = call(
+            &endpoint,
+            Request::EnqueueReadBuffer {
+                queue_id: 2,
+                buffer_id: 3,
+                offset: 0,
+                size: 8,
+                event_id: 11,
+                stream_id: 43,
+                wait_events: vec![10],
+            },
+        );
+        assert!(matches!(resp, Response::Ok), "{resp:?}");
+        let data = endpoint.wait_bulk(43, Duration::from_secs(5)).unwrap();
+        assert_eq!(data, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn user_events_gate_execution() {
+        let (_daemon, endpoint, _t) = start_test_daemon();
+        call(&endpoint, Request::Hello { client_name: "c".into(), auth_id: None });
+        let Response::DeviceList { devices } = call(&endpoint, Request::GetDeviceList) else {
+            panic!()
+        };
+        let dev = devices[0].remote_id;
+        call(&endpoint, Request::CreateContext { context_id: 1, devices: vec![dev] });
+        call(&endpoint, Request::CreateCommandQueue { queue_id: 2, context_id: 1, device: dev });
+        call(
+            &endpoint,
+            Request::CreateBuffer { buffer_id: 3, context_id: 1, size: 4, readable: true, writable: true },
+        );
+        assert!(matches!(
+            call(&endpoint, Request::CreateUserEvent { event_id: 100 }),
+            Response::Ok
+        ));
+        endpoint.send_bulk(50, &[9, 9, 9, 9]).unwrap();
+        call(
+            &endpoint,
+            Request::EnqueueWriteBuffer {
+                queue_id: 2,
+                buffer_id: 3,
+                offset: 0,
+                size: 4,
+                event_id: 101,
+                stream_id: 50,
+                wait_events: vec![100],
+            },
+        );
+        // The write is gated by the user event: its status stays submitted.
+        std::thread::sleep(Duration::from_millis(50));
+        let Response::EventStatus { status } = call(&endpoint, Request::GetEventStatus { event_id: 101 })
+        else {
+            panic!()
+        };
+        assert!(status > 0, "write must not have completed yet, status {status}");
+        assert!(matches!(
+            call(&endpoint, Request::SetUserEventComplete { event_id: 100 }),
+            Response::Ok
+        ));
+        // Now it completes.
+        let mut done = false;
+        for _ in 0..100 {
+            let Response::EventStatus { status } =
+                call(&endpoint, Request::GetEventStatus { event_id: 101 })
+            else {
+                panic!()
+            };
+            if status == 0 {
+                done = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(done, "gated write never completed");
+    }
+
+    #[test]
+    fn errors_for_unknown_objects_and_malformed_requests() {
+        let (_daemon, endpoint, _t) = start_test_daemon();
+        let resp = call(&endpoint, Request::BuildProgram { program_id: 999 });
+        assert!(matches!(resp, Response::Error { .. }));
+        let resp = call(&endpoint, Request::CreateContext { context_id: 1, devices: vec![12345] });
+        assert!(matches!(resp, Response::Error { .. }));
+        // Malformed payload.
+        let bytes = endpoint.call(vec![255, 255]).unwrap();
+        let resp = Response::from_bytes(&bytes).unwrap();
+        assert!(matches!(resp, Response::Error { .. }));
+    }
+
+    #[test]
+    fn access_policy_filters_devices() {
+        struct OnlyFirst;
+        impl AccessPolicy for OnlyFirst {
+            fn visible_devices(
+                &self,
+                auth_id: Option<&str>,
+                all: &[Arc<Device>],
+            ) -> Vec<Arc<Device>> {
+                if auth_id == Some("lease") {
+                    all.iter().take(1).cloned().collect()
+                } else {
+                    Vec::new()
+                }
+            }
+            fn managed(&self) -> bool {
+                true
+            }
+        }
+        let transport = InprocTransport::new();
+        let platform = Platform::test_platform(3);
+        let daemon = Daemon::start(
+            "managed-node",
+            &platform,
+            Arc::new(transport.clone()),
+            "managed-node",
+            Arc::new(OnlyFirst),
+        )
+        .unwrap();
+        let conn = transport.connect(daemon.address()).unwrap();
+        let endpoint = Endpoint::new(conn, Arc::new(NullHandler), "client");
+        // Without the right auth id: no devices.
+        call(&endpoint, Request::Hello { client_name: "c".into(), auth_id: None });
+        let Response::DeviceList { devices } = call(&endpoint, Request::GetDeviceList) else {
+            panic!()
+        };
+        assert!(devices.is_empty());
+        // With it: one device.
+        call(&endpoint, Request::Hello { client_name: "c".into(), auth_id: Some("lease".into()) });
+        let Response::DeviceList { devices } = call(&endpoint, Request::GetDeviceList) else {
+            panic!()
+        };
+        assert_eq!(devices.len(), 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type of the dOpenCL middleware.
+
+use std::fmt;
+
+/// Result alias for middleware operations.
+pub type Result<T> = std::result::Result<T, DclError>;
+
+/// Errors surfaced by the dOpenCL client driver and daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DclError {
+    /// An OpenCL-level error forwarded from a server's native runtime.
+    Cl(vocl::ClError),
+    /// A communication error between client and servers.
+    Network(gcf::GcfError),
+    /// The referenced server is not connected (or was disconnected).
+    ServerUnavailable(String),
+    /// A remote object id was not found on the server (stale stub).
+    UnknownObject(String),
+    /// A protocol-level problem (malformed message, unexpected response).
+    Protocol(String),
+    /// A configuration file could not be parsed.
+    Config(String),
+    /// The device manager rejected an assignment request.
+    AssignmentRejected(String),
+    /// An invalid argument was passed to the middleware API.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for DclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DclError::Cl(e) => write!(f, "OpenCL error: {e}"),
+            DclError::Network(e) => write!(f, "network error: {e}"),
+            DclError::ServerUnavailable(s) => write!(f, "server unavailable: {s}"),
+            DclError::UnknownObject(s) => write!(f, "unknown remote object: {s}"),
+            DclError::Protocol(s) => write!(f, "protocol error: {s}"),
+            DclError::Config(s) => write!(f, "configuration error: {s}"),
+            DclError::AssignmentRejected(s) => write!(f, "device assignment rejected: {s}"),
+            DclError::InvalidArgument(s) => write!(f, "invalid argument: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DclError {}
+
+impl From<vocl::ClError> for DclError {
+    fn from(e: vocl::ClError) -> Self {
+        DclError::Cl(e)
+    }
+}
+
+impl From<gcf::GcfError> for DclError {
+    fn from(e: gcf::GcfError) -> Self {
+        DclError::Network(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: DclError = vocl::ClError::DeviceNotFound.into();
+        assert!(e.to_string().contains("CL_DEVICE_NOT_FOUND"));
+        let e: DclError = gcf::GcfError::Timeout("x".into()).into();
+        assert!(e.to_string().contains("network error"));
+        assert!(DclError::Config("bad file".into()).to_string().contains("configuration"));
+    }
+}

@@ -1,0 +1,56 @@
+//! The WWU API extension (Listing 1 of the paper), as free functions.
+//!
+//! dOpenCL adds three functions to the OpenCL API so that applications can
+//! change the set of available devices at runtime:
+//!
+//! ```c
+//! cl_server_WWU clConnectServerWWU(const char *url, cl_int *errcode);
+//! cl_int       clDisconnectServerWWU(cl_server_WWU server);
+//! cl_int       clGetServerInfoWWU(cl_server_WWU server, cl_server_info param_name, ...);
+//! ```
+//!
+//! The idiomatic Rust API lives on [`Client`]
+//! ([`Client::connect_server`], [`Client::disconnect_server`],
+//! [`Client::server_info`]); the aliases here mirror the listing's names for
+//! readers following along with the paper.
+
+use crate::client::{Client, ServerId};
+use crate::error::Result;
+use crate::protocol::ServerInfo;
+
+/// `clConnectServerWWU`: connect to a server, adding its devices to the
+/// application's device list.
+pub fn cl_connect_server_wwu(client: &Client, url: &str) -> Result<ServerId> {
+    client.connect_server(url)
+}
+
+/// `clDisconnectServerWWU`: disconnect a server; its devices' states become
+/// "unavailable".
+pub fn cl_disconnect_server_wwu(client: &Client, server: ServerId) -> Result<()> {
+    client.disconnect_server(server)
+}
+
+/// `clGetServerInfoWWU`: query information about a server.
+pub fn cl_get_server_info_wwu(client: &Client, server: ServerId) -> Result<ServerInfo> {
+    client.server_info(server)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::LocalCluster;
+    use gcf::LinkModel;
+    use vocl::Platform;
+
+    #[test]
+    fn extension_functions_mirror_client_methods() {
+        let mut cluster = LocalCluster::new(LinkModel::ideal());
+        let daemon = cluster.add_node("srv", &Platform::test_platform(1)).unwrap();
+        let client = cluster.detached_client("app", gcf::SimClock::new());
+        let server = cl_connect_server_wwu(&client, daemon.address()).unwrap();
+        let info = cl_get_server_info_wwu(&client, server).unwrap();
+        assert_eq!(info.device_count, 1);
+        cl_disconnect_server_wwu(&client, server).unwrap();
+        assert!(client.devices().is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! # dopencl — distributed OpenCL middleware (the paper's contribution)
+//!
+//! This crate reproduces **dOpenCL** (Kegel, Steuwer, Gorlatch, IPDPSW
+//! 2012): a middleware that makes the OpenCL devices installed on any node
+//! of a distributed system usable by a single application as if they were
+//! local.
+//!
+//! The pieces map to the paper as follows:
+//!
+//! | Paper concept (section) | Module |
+//! |---|---|
+//! | Client driver, dOpenCL platform, stubs & compound stubs (III-B, III-D, III-E) | [`client`] |
+//! | Daemon forwarding calls to the native OpenCL implementation (III-B) | [`daemon`] |
+//! | Message-based / stream-based communication (III-B) | [`protocol`] over [`gcf`] |
+//! | Directory-based MSI consistency of memory objects (III-D) | [`coherence`] |
+//! | Event consistency via user events + completion callbacks (III-D) | [`client`] + [`daemon`] |
+//! | Server configuration file & automatic connection (III-C, Listing 2) | [`config`] |
+//! | `clConnectServerWWU` / `clDisconnectServerWWU` / `clGetServerInfoWWU` (Listing 1) | [`ext`] |
+//! | Device manager integration hooks (IV) | [`daemon::AccessPolicy`] (implemented by the `devmgr` crate) |
+//!
+//! The [`cluster`] module provides an in-process harness that assembles
+//! clients and daemons into the three hardware setups of the evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod cluster;
+pub mod coherence;
+pub mod config;
+pub mod daemon;
+pub mod error;
+pub mod ext;
+pub mod protocol;
+
+pub use client::{Buffer, Client, CommandQueue, Context, Device, Event, Kernel, Program, ServerId};
+pub use cluster::{desktop_and_gpu_server, infiniband_cpu_cluster, LocalCluster};
+pub use daemon::{AccessPolicy, Daemon, DaemonStats, OpenAccess};
+pub use error::{DclError, Result};
+pub use protocol::{DeviceDescriptor, ObjectId, ServerInfo};
+
+// Re-export the types that appear in the public API so that applications
+// only need this crate plus `vocl` for device-side values.
+pub use gcf::simtime::{Phase, PhaseBreakdown, SimClock};
+pub use gcf::LinkModel;
+pub use vocl::{NdRange, Value};

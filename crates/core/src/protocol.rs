@@ -1,0 +1,1118 @@
+//! Wire protocol between the dOpenCL client driver and the daemons.
+//!
+//! Every OpenCL API call that needs a server is turned into a [`Request`]
+//! message; the daemon answers with a [`Response`].  Asynchronous state
+//! changes (most importantly event completion, the heart of the event
+//! consistency protocol of Section III-D) travel as [`Notification`]s.  Bulk
+//! data (buffer uploads/downloads, i.e. *stream-based communication*) does
+//! not appear here: it is shipped through [`gcf::Endpoint::send_bulk`]
+//! streams identified by a `stream_id` carried in the corresponding request.
+//!
+//! ## Ordering requirement
+//!
+//! Both gcf transports are FIFO per connection.  The client always sends the
+//! bulk data of an upload *before* the `EnqueueWriteBuffer` request that
+//! references it, so by the time the daemon handles the request the stream
+//! has fully arrived and the daemon never blocks its receive loop.
+
+use crate::error::{DclError, Result};
+use gcf::wire::{decode_bytes, encode_bytes, Decode, Encode, Reader};
+use gcf::GcfError;
+use oclc::{NdRange, Scalar, ScalarType, Value};
+
+/// Identifier the client driver assigns to every stub; the daemon maps it to
+/// its local (remote) object.
+pub type ObjectId = u64;
+
+fn codec_err(msg: impl Into<String>) -> GcfError {
+    GcfError::Codec(msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// Scalar / value encoding
+// ---------------------------------------------------------------------------
+
+fn scalar_type_to_byte(t: ScalarType) -> u8 {
+    match t {
+        ScalarType::Bool => 0,
+        ScalarType::Char => 1,
+        ScalarType::UChar => 2,
+        ScalarType::Short => 3,
+        ScalarType::UShort => 4,
+        ScalarType::Int => 5,
+        ScalarType::UInt => 6,
+        ScalarType::Long => 7,
+        ScalarType::ULong => 8,
+        ScalarType::SizeT => 9,
+        ScalarType::Float => 10,
+        ScalarType::Double => 11,
+    }
+}
+
+fn scalar_type_from_byte(b: u8) -> std::result::Result<ScalarType, GcfError> {
+    Ok(match b {
+        0 => ScalarType::Bool,
+        1 => ScalarType::Char,
+        2 => ScalarType::UChar,
+        3 => ScalarType::Short,
+        4 => ScalarType::UShort,
+        5 => ScalarType::Int,
+        6 => ScalarType::UInt,
+        7 => ScalarType::Long,
+        8 => ScalarType::ULong,
+        9 => ScalarType::SizeT,
+        10 => ScalarType::Float,
+        11 => ScalarType::Double,
+        other => return Err(codec_err(format!("invalid scalar type byte {other}"))),
+    })
+}
+
+fn encode_scalar(s: &Scalar, buf: &mut Vec<u8>) {
+    match s {
+        Scalar::I(v) => {
+            buf.push(0);
+            v.encode(buf);
+        }
+        Scalar::U(v) => {
+            buf.push(1);
+            v.encode(buf);
+        }
+        Scalar::F(v) => {
+            buf.push(2);
+            v.encode(buf);
+        }
+    }
+}
+
+fn decode_scalar(r: &mut Reader<'_>) -> std::result::Result<Scalar, GcfError> {
+    Ok(match u8::decode(r)? {
+        0 => Scalar::I(i64::decode(r)?),
+        1 => Scalar::U(u64::decode(r)?),
+        2 => Scalar::F(f64::decode(r)?),
+        other => return Err(codec_err(format!("invalid scalar payload tag {other}"))),
+    })
+}
+
+/// A kernel argument value that can travel over the wire (scalars and
+/// vectors; buffers and local memory are referenced by id / size instead).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireValue(pub Value);
+
+impl Encode for WireValue {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match &self.0 {
+            Value::Scalar(t, s) => {
+                buf.push(0);
+                buf.push(scalar_type_to_byte(*t));
+                encode_scalar(s, buf);
+            }
+            Value::Vector(t, lanes) => {
+                buf.push(1);
+                buf.push(scalar_type_to_byte(*t));
+                (lanes.len() as u32).encode(buf);
+                for l in lanes {
+                    encode_scalar(l, buf);
+                }
+            }
+            Value::Ptr(_) | Value::Void => {
+                // Pointers never travel over the wire; encode as void.
+                buf.push(2);
+            }
+        }
+    }
+}
+
+impl Decode for WireValue {
+    fn decode(r: &mut Reader<'_>) -> std::result::Result<Self, GcfError> {
+        Ok(WireValue(match u8::decode(r)? {
+            0 => {
+                let t = scalar_type_from_byte(u8::decode(r)?)?;
+                Value::Scalar(t, decode_scalar(r)?)
+            }
+            1 => {
+                let t = scalar_type_from_byte(u8::decode(r)?)?;
+                let n = u32::decode(r)? as usize;
+                let mut lanes = Vec::with_capacity(n.min(64));
+                for _ in 0..n {
+                    lanes.push(decode_scalar(r)?);
+                }
+                Value::Vector(t, lanes)
+            }
+            2 => Value::Void,
+            other => return Err(codec_err(format!("invalid value tag {other}"))),
+        }))
+    }
+}
+
+/// NDRange as transmitted with `EnqueueNdRange`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireNdRange(pub NdRange);
+
+impl Encode for WireNdRange {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let r = &self.0;
+        buf.push(r.work_dim);
+        for d in 0..3 {
+            (r.global[d] as u64).encode(buf);
+        }
+        for d in 0..3 {
+            (r.offset[d] as u64).encode(buf);
+        }
+        match r.local {
+            None => buf.push(0),
+            Some(local) => {
+                buf.push(1);
+                for d in 0..3 {
+                    (local[d] as u64).encode(buf);
+                }
+            }
+        }
+    }
+}
+
+impl Decode for WireNdRange {
+    fn decode(r: &mut Reader<'_>) -> std::result::Result<Self, GcfError> {
+        let work_dim = u8::decode(r)?;
+        let mut global = [0usize; 3];
+        for g in &mut global {
+            *g = u64::decode(r)? as usize;
+        }
+        let mut offset = [0usize; 3];
+        for o in &mut offset {
+            *o = u64::decode(r)? as usize;
+        }
+        let local = match u8::decode(r)? {
+            0 => None,
+            1 => {
+                let mut l = [0usize; 3];
+                for v in &mut l {
+                    *v = u64::decode(r)? as usize;
+                }
+                Some(l)
+            }
+            other => return Err(codec_err(format!("invalid local tag {other}"))),
+        };
+        Ok(WireNdRange(NdRange { global, local, offset, work_dim }))
+    }
+}
+
+/// Description of a remote device as reported by a daemon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceDescriptor {
+    /// The daemon-local device id used in later requests.
+    pub remote_id: ObjectId,
+    /// `CL_DEVICE_NAME`.
+    pub name: String,
+    /// `CL_DEVICE_VENDOR`.
+    pub vendor: String,
+    /// `CL_DEVICE_TYPE` as its display string (`CPU`, `GPU`, ...).
+    pub device_type: String,
+    /// `CL_DEVICE_MAX_COMPUTE_UNITS`.
+    pub compute_units: u32,
+    /// `CL_DEVICE_GLOBAL_MEM_SIZE`.
+    pub global_mem_bytes: u64,
+    /// `CL_DEVICE_MAX_MEM_ALLOC_SIZE`.
+    pub max_alloc_bytes: u64,
+}
+
+impl Encode for DeviceDescriptor {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.remote_id.encode(buf);
+        self.name.encode(buf);
+        self.vendor.encode(buf);
+        self.device_type.encode(buf);
+        self.compute_units.encode(buf);
+        self.global_mem_bytes.encode(buf);
+        self.max_alloc_bytes.encode(buf);
+    }
+}
+
+impl Decode for DeviceDescriptor {
+    fn decode(r: &mut Reader<'_>) -> std::result::Result<Self, GcfError> {
+        Ok(DeviceDescriptor {
+            remote_id: ObjectId::decode(r)?,
+            name: String::decode(r)?,
+            vendor: String::decode(r)?,
+            device_type: String::decode(r)?,
+            compute_units: u32::decode(r)?,
+            global_mem_bytes: u64::decode(r)?,
+            max_alloc_bytes: u64::decode(r)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// A request from the client driver to a daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Handshake: announce the client and (in managed mode) the lease
+    /// authentication id obtained from the device manager.
+    Hello {
+        /// Client host name.
+        client_name: String,
+        /// Lease authentication id, if the client got its devices from the
+        /// device manager.
+        auth_id: Option<String>,
+    },
+    /// List the devices this daemon exposes (filtered by lease in managed
+    /// mode).
+    GetDeviceList,
+    /// Create a remote context over the given remote device ids.
+    CreateContext {
+        /// Client-assigned id for the context stub.
+        context_id: ObjectId,
+        /// Daemon-local device ids participating on this server.
+        devices: Vec<ObjectId>,
+    },
+    /// Release a remote context.
+    ReleaseContext {
+        /// Context id.
+        context_id: ObjectId,
+    },
+    /// Create a command queue for `device` in `context`.
+    CreateCommandQueue {
+        /// Client-assigned id for the queue stub.
+        queue_id: ObjectId,
+        /// Owning context id.
+        context_id: ObjectId,
+        /// Daemon-local device id.
+        device: ObjectId,
+    },
+    /// Release a command queue.
+    ReleaseCommandQueue {
+        /// Queue id.
+        queue_id: ObjectId,
+    },
+    /// Create a buffer of `size` bytes in `context`.
+    CreateBuffer {
+        /// Client-assigned id for the buffer stub.
+        buffer_id: ObjectId,
+        /// Owning context id.
+        context_id: ObjectId,
+        /// Size in bytes.
+        size: u64,
+        /// Whether kernels may read the buffer.
+        readable: bool,
+        /// Whether kernels may write the buffer.
+        writable: bool,
+    },
+    /// Release a buffer.
+    ReleaseBuffer {
+        /// Buffer id.
+        buffer_id: ObjectId,
+    },
+    /// Create a program from OpenCL C source.
+    CreateProgramWithSource {
+        /// Client-assigned id for the program stub.
+        program_id: ObjectId,
+        /// Owning context id.
+        context_id: ObjectId,
+        /// The source text.
+        source: String,
+    },
+    /// Create a program from registered built-in kernels.
+    CreateProgramWithBuiltInKernels {
+        /// Client-assigned id for the program stub.
+        program_id: ObjectId,
+        /// Owning context id.
+        context_id: ObjectId,
+        /// Semicolon-separated kernel names.
+        names: String,
+    },
+    /// Build a program.
+    BuildProgram {
+        /// Program id.
+        program_id: ObjectId,
+    },
+    /// Fetch the build log of a program.
+    GetBuildLog {
+        /// Program id.
+        program_id: ObjectId,
+    },
+    /// Create a kernel from a program.
+    CreateKernel {
+        /// Client-assigned id for the kernel stub.
+        kernel_id: ObjectId,
+        /// Owning program id.
+        program_id: ObjectId,
+        /// Kernel function name.
+        name: String,
+    },
+    /// Set a by-value kernel argument.
+    SetKernelArgScalar {
+        /// Kernel id.
+        kernel_id: ObjectId,
+        /// Argument index.
+        index: u32,
+        /// The value.
+        value: WireValue,
+    },
+    /// Set a buffer kernel argument.
+    SetKernelArgBuffer {
+        /// Kernel id.
+        kernel_id: ObjectId,
+        /// Argument index.
+        index: u32,
+        /// Buffer id.
+        buffer_id: ObjectId,
+    },
+    /// Set a `__local` memory kernel argument.
+    SetKernelArgLocal {
+        /// Kernel id.
+        kernel_id: ObjectId,
+        /// Argument index.
+        index: u32,
+        /// Size in bytes.
+        bytes: u64,
+    },
+    /// Upload data into a buffer (the payload arrives as bulk stream
+    /// `stream_id`, sent *before* this request).
+    EnqueueWriteBuffer {
+        /// Queue id.
+        queue_id: ObjectId,
+        /// Buffer id.
+        buffer_id: ObjectId,
+        /// Destination offset in bytes.
+        offset: u64,
+        /// Payload size in bytes.
+        size: u64,
+        /// Client-assigned id for the completion event.
+        event_id: ObjectId,
+        /// Bulk stream carrying the payload.
+        stream_id: u64,
+        /// Events that must complete before the write executes.
+        wait_events: Vec<ObjectId>,
+    },
+    /// Download data from a buffer (the daemon sends the payload as bulk
+    /// stream `stream_id` when the read completes).
+    EnqueueReadBuffer {
+        /// Queue id.
+        queue_id: ObjectId,
+        /// Buffer id.
+        buffer_id: ObjectId,
+        /// Source offset in bytes.
+        offset: u64,
+        /// Size in bytes.
+        size: u64,
+        /// Client-assigned id for the completion event.
+        event_id: ObjectId,
+        /// Bulk stream the daemon will send the data on.
+        stream_id: u64,
+        /// Events that must complete before the read executes.
+        wait_events: Vec<ObjectId>,
+    },
+    /// Launch a kernel over an NDRange.
+    EnqueueNdRange {
+        /// Queue id.
+        queue_id: ObjectId,
+        /// Kernel id.
+        kernel_id: ObjectId,
+        /// Client-assigned id for the completion event.
+        event_id: ObjectId,
+        /// The index space.
+        range: WireNdRange,
+        /// Events that must complete before the kernel executes.
+        wait_events: Vec<ObjectId>,
+    },
+    /// Enqueue a marker (used to implement `clFinish` without blocking the
+    /// daemon).
+    EnqueueMarker {
+        /// Queue id.
+        queue_id: ObjectId,
+        /// Client-assigned id for the completion event.
+        event_id: ObjectId,
+        /// Events the marker waits for.
+        wait_events: Vec<ObjectId>,
+    },
+    /// Create a user event (the replacement object of the event-consistency
+    /// protocol).
+    CreateUserEvent {
+        /// Client-assigned event id (same id as the original event on the
+        /// owning server).
+        event_id: ObjectId,
+    },
+    /// Complete a user event previously created with `CreateUserEvent`.
+    SetUserEventComplete {
+        /// Event id.
+        event_id: ObjectId,
+    },
+    /// Query the status of an event.
+    GetEventStatus {
+        /// Event id.
+        event_id: ObjectId,
+    },
+    /// Query server information (`clGetServerInfoWWU`).
+    GetServerInfo,
+    /// Orderly disconnect (`clDisconnectServerWWU` or application exit).
+    Disconnect,
+    /// Coherence traffic: replace the remote buffer's contents with the data
+    /// arriving on bulk stream `stream_id` (sent before this request).
+    ///
+    /// Used by the MSI protocol when a server holds an *invalid* copy and the
+    /// client uploads a valid one (Section III-D).
+    UploadBufferData {
+        /// Buffer id.
+        buffer_id: ObjectId,
+        /// Bulk stream carrying the payload.
+        stream_id: u64,
+        /// Payload size in bytes.
+        size: u64,
+    },
+    /// Coherence traffic: send the remote buffer's contents to the client on
+    /// bulk stream `stream_id`.
+    ///
+    /// Used by the MSI protocol when the client needs a valid copy and this
+    /// server owns one.
+    DownloadBufferData {
+        /// Buffer id.
+        buffer_id: ObjectId,
+        /// Bulk stream the daemon sends the data on.
+        stream_id: u64,
+    },
+}
+
+const REQ_TAGS: &[(&str, u8)] = &[];
+
+impl Encode for Request {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let _ = REQ_TAGS;
+        match self {
+            Request::Hello { client_name, auth_id } => {
+                buf.push(0);
+                client_name.encode(buf);
+                auth_id.encode(buf);
+            }
+            Request::GetDeviceList => buf.push(1),
+            Request::CreateContext { context_id, devices } => {
+                buf.push(2);
+                context_id.encode(buf);
+                devices.encode(buf);
+            }
+            Request::ReleaseContext { context_id } => {
+                buf.push(3);
+                context_id.encode(buf);
+            }
+            Request::CreateCommandQueue { queue_id, context_id, device } => {
+                buf.push(4);
+                queue_id.encode(buf);
+                context_id.encode(buf);
+                device.encode(buf);
+            }
+            Request::ReleaseCommandQueue { queue_id } => {
+                buf.push(5);
+                queue_id.encode(buf);
+            }
+            Request::CreateBuffer { buffer_id, context_id, size, readable, writable } => {
+                buf.push(6);
+                buffer_id.encode(buf);
+                context_id.encode(buf);
+                size.encode(buf);
+                readable.encode(buf);
+                writable.encode(buf);
+            }
+            Request::ReleaseBuffer { buffer_id } => {
+                buf.push(7);
+                buffer_id.encode(buf);
+            }
+            Request::CreateProgramWithSource { program_id, context_id, source } => {
+                buf.push(8);
+                program_id.encode(buf);
+                context_id.encode(buf);
+                source.encode(buf);
+            }
+            Request::CreateProgramWithBuiltInKernels { program_id, context_id, names } => {
+                buf.push(9);
+                program_id.encode(buf);
+                context_id.encode(buf);
+                names.encode(buf);
+            }
+            Request::BuildProgram { program_id } => {
+                buf.push(10);
+                program_id.encode(buf);
+            }
+            Request::GetBuildLog { program_id } => {
+                buf.push(11);
+                program_id.encode(buf);
+            }
+            Request::CreateKernel { kernel_id, program_id, name } => {
+                buf.push(12);
+                kernel_id.encode(buf);
+                program_id.encode(buf);
+                name.encode(buf);
+            }
+            Request::SetKernelArgScalar { kernel_id, index, value } => {
+                buf.push(13);
+                kernel_id.encode(buf);
+                index.encode(buf);
+                value.encode(buf);
+            }
+            Request::SetKernelArgBuffer { kernel_id, index, buffer_id } => {
+                buf.push(14);
+                kernel_id.encode(buf);
+                index.encode(buf);
+                buffer_id.encode(buf);
+            }
+            Request::SetKernelArgLocal { kernel_id, index, bytes } => {
+                buf.push(15);
+                kernel_id.encode(buf);
+                index.encode(buf);
+                bytes.encode(buf);
+            }
+            Request::EnqueueWriteBuffer {
+                queue_id,
+                buffer_id,
+                offset,
+                size,
+                event_id,
+                stream_id,
+                wait_events,
+            } => {
+                buf.push(16);
+                queue_id.encode(buf);
+                buffer_id.encode(buf);
+                offset.encode(buf);
+                size.encode(buf);
+                event_id.encode(buf);
+                stream_id.encode(buf);
+                wait_events.encode(buf);
+            }
+            Request::EnqueueReadBuffer {
+                queue_id,
+                buffer_id,
+                offset,
+                size,
+                event_id,
+                stream_id,
+                wait_events,
+            } => {
+                buf.push(17);
+                queue_id.encode(buf);
+                buffer_id.encode(buf);
+                offset.encode(buf);
+                size.encode(buf);
+                event_id.encode(buf);
+                stream_id.encode(buf);
+                wait_events.encode(buf);
+            }
+            Request::EnqueueNdRange { queue_id, kernel_id, event_id, range, wait_events } => {
+                buf.push(18);
+                queue_id.encode(buf);
+                kernel_id.encode(buf);
+                event_id.encode(buf);
+                range.encode(buf);
+                wait_events.encode(buf);
+            }
+            Request::EnqueueMarker { queue_id, event_id, wait_events } => {
+                buf.push(19);
+                queue_id.encode(buf);
+                event_id.encode(buf);
+                wait_events.encode(buf);
+            }
+            Request::CreateUserEvent { event_id } => {
+                buf.push(20);
+                event_id.encode(buf);
+            }
+            Request::SetUserEventComplete { event_id } => {
+                buf.push(21);
+                event_id.encode(buf);
+            }
+            Request::GetEventStatus { event_id } => {
+                buf.push(22);
+                event_id.encode(buf);
+            }
+            Request::GetServerInfo => buf.push(23),
+            Request::Disconnect => buf.push(24),
+            Request::UploadBufferData { buffer_id, stream_id, size } => {
+                buf.push(25);
+                buffer_id.encode(buf);
+                stream_id.encode(buf);
+                size.encode(buf);
+            }
+            Request::DownloadBufferData { buffer_id, stream_id } => {
+                buf.push(26);
+                buffer_id.encode(buf);
+                stream_id.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for Request {
+    fn decode(r: &mut Reader<'_>) -> std::result::Result<Self, GcfError> {
+        Ok(match u8::decode(r)? {
+            0 => Request::Hello { client_name: String::decode(r)?, auth_id: Option::decode(r)? },
+            1 => Request::GetDeviceList,
+            2 => Request::CreateContext {
+                context_id: ObjectId::decode(r)?,
+                devices: Vec::decode(r)?,
+            },
+            3 => Request::ReleaseContext { context_id: ObjectId::decode(r)? },
+            4 => Request::CreateCommandQueue {
+                queue_id: ObjectId::decode(r)?,
+                context_id: ObjectId::decode(r)?,
+                device: ObjectId::decode(r)?,
+            },
+            5 => Request::ReleaseCommandQueue { queue_id: ObjectId::decode(r)? },
+            6 => Request::CreateBuffer {
+                buffer_id: ObjectId::decode(r)?,
+                context_id: ObjectId::decode(r)?,
+                size: u64::decode(r)?,
+                readable: bool::decode(r)?,
+                writable: bool::decode(r)?,
+            },
+            7 => Request::ReleaseBuffer { buffer_id: ObjectId::decode(r)? },
+            8 => Request::CreateProgramWithSource {
+                program_id: ObjectId::decode(r)?,
+                context_id: ObjectId::decode(r)?,
+                source: String::decode(r)?,
+            },
+            9 => Request::CreateProgramWithBuiltInKernels {
+                program_id: ObjectId::decode(r)?,
+                context_id: ObjectId::decode(r)?,
+                names: String::decode(r)?,
+            },
+            10 => Request::BuildProgram { program_id: ObjectId::decode(r)? },
+            11 => Request::GetBuildLog { program_id: ObjectId::decode(r)? },
+            12 => Request::CreateKernel {
+                kernel_id: ObjectId::decode(r)?,
+                program_id: ObjectId::decode(r)?,
+                name: String::decode(r)?,
+            },
+            13 => Request::SetKernelArgScalar {
+                kernel_id: ObjectId::decode(r)?,
+                index: u32::decode(r)?,
+                value: WireValue::decode(r)?,
+            },
+            14 => Request::SetKernelArgBuffer {
+                kernel_id: ObjectId::decode(r)?,
+                index: u32::decode(r)?,
+                buffer_id: ObjectId::decode(r)?,
+            },
+            15 => Request::SetKernelArgLocal {
+                kernel_id: ObjectId::decode(r)?,
+                index: u32::decode(r)?,
+                bytes: u64::decode(r)?,
+            },
+            16 => Request::EnqueueWriteBuffer {
+                queue_id: ObjectId::decode(r)?,
+                buffer_id: ObjectId::decode(r)?,
+                offset: u64::decode(r)?,
+                size: u64::decode(r)?,
+                event_id: ObjectId::decode(r)?,
+                stream_id: u64::decode(r)?,
+                wait_events: Vec::decode(r)?,
+            },
+            17 => Request::EnqueueReadBuffer {
+                queue_id: ObjectId::decode(r)?,
+                buffer_id: ObjectId::decode(r)?,
+                offset: u64::decode(r)?,
+                size: u64::decode(r)?,
+                event_id: ObjectId::decode(r)?,
+                stream_id: u64::decode(r)?,
+                wait_events: Vec::decode(r)?,
+            },
+            18 => Request::EnqueueNdRange {
+                queue_id: ObjectId::decode(r)?,
+                kernel_id: ObjectId::decode(r)?,
+                event_id: ObjectId::decode(r)?,
+                range: WireNdRange::decode(r)?,
+                wait_events: Vec::decode(r)?,
+            },
+            19 => Request::EnqueueMarker {
+                queue_id: ObjectId::decode(r)?,
+                event_id: ObjectId::decode(r)?,
+                wait_events: Vec::decode(r)?,
+            },
+            20 => Request::CreateUserEvent { event_id: ObjectId::decode(r)? },
+            21 => Request::SetUserEventComplete { event_id: ObjectId::decode(r)? },
+            22 => Request::GetEventStatus { event_id: ObjectId::decode(r)? },
+            23 => Request::GetServerInfo,
+            24 => Request::Disconnect,
+            25 => Request::UploadBufferData {
+                buffer_id: ObjectId::decode(r)?,
+                stream_id: u64::decode(r)?,
+                size: u64::decode(r)?,
+            },
+            26 => Request::DownloadBufferData {
+                buffer_id: ObjectId::decode(r)?,
+                stream_id: u64::decode(r)?,
+            },
+            other => return Err(codec_err(format!("invalid request tag {other}"))),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Server information returned by [`Request::GetServerInfo`]
+/// (`clGetServerInfoWWU`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// The daemon's node name.
+    pub name: String,
+    /// Number of devices currently visible to this client.
+    pub device_count: u32,
+    /// Whether the daemon runs in managed mode (Section IV-A).
+    pub managed: bool,
+}
+
+impl Encode for ServerInfo {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.name.encode(buf);
+        self.device_count.encode(buf);
+        self.managed.encode(buf);
+    }
+}
+
+impl Decode for ServerInfo {
+    fn decode(r: &mut Reader<'_>) -> std::result::Result<Self, GcfError> {
+        Ok(ServerInfo {
+            name: String::decode(r)?,
+            device_count: u32::decode(r)?,
+            managed: bool::decode(r)?,
+        })
+    }
+}
+
+/// A daemon's answer to a [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The request succeeded and carries no payload.
+    Ok,
+    /// The request failed.
+    Error {
+        /// OpenCL error code (negative) or protocol error.
+        code: i32,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Device list for [`Request::GetDeviceList`].
+    DeviceList {
+        /// Devices visible to the requesting client.
+        devices: Vec<DeviceDescriptor>,
+    },
+    /// Build log for [`Request::GetBuildLog`].
+    BuildLog {
+        /// The log text (empty on success).
+        log: String,
+    },
+    /// Event status for [`Request::GetEventStatus`].
+    EventStatus {
+        /// Numeric OpenCL event status.
+        status: i32,
+    },
+    /// Server information for [`Request::GetServerInfo`].
+    ServerInfo(ServerInfo),
+    /// Acknowledgement carrying the modelled duration of a completed
+    /// synchronous operation, in nanoseconds (e.g. a buffer upload).
+    OkTimed {
+        /// Modelled duration in nanoseconds.
+        modeled_nanos: u64,
+    },
+}
+
+impl Encode for Response {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Response::Ok => buf.push(0),
+            Response::Error { code, message } => {
+                buf.push(1);
+                code.encode(buf);
+                message.encode(buf);
+            }
+            Response::DeviceList { devices } => {
+                buf.push(2);
+                devices.encode(buf);
+            }
+            Response::BuildLog { log } => {
+                buf.push(3);
+                log.encode(buf);
+            }
+            Response::EventStatus { status } => {
+                buf.push(4);
+                status.encode(buf);
+            }
+            Response::ServerInfo(info) => {
+                buf.push(5);
+                info.encode(buf);
+            }
+            Response::OkTimed { modeled_nanos } => {
+                buf.push(6);
+                modeled_nanos.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for Response {
+    fn decode(r: &mut Reader<'_>) -> std::result::Result<Self, GcfError> {
+        Ok(match u8::decode(r)? {
+            0 => Response::Ok,
+            1 => Response::Error { code: i32::decode(r)?, message: String::decode(r)? },
+            2 => Response::DeviceList { devices: Vec::decode(r)? },
+            3 => Response::BuildLog { log: String::decode(r)? },
+            4 => Response::EventStatus { status: i32::decode(r)? },
+            5 => Response::ServerInfo(ServerInfo::decode(r)?),
+            6 => Response::OkTimed { modeled_nanos: u64::decode(r)? },
+            other => return Err(codec_err(format!("invalid response tag {other}"))),
+        })
+    }
+}
+
+impl Response {
+    /// Convert an error response into a [`DclError`]; `Ok`/payload responses
+    /// pass through.
+    pub fn into_result(self) -> Result<Response> {
+        match self {
+            Response::Error { code, message } => {
+                Err(DclError::Protocol(format!("server error {code}: {message}")))
+            }
+            other => Ok(other),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Notifications
+// ---------------------------------------------------------------------------
+
+/// Asynchronous notifications sent by a daemon to the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Notification {
+    /// An event on this server reached a terminal state.
+    EventCompleted {
+        /// The client-assigned event id.
+        event_id: ObjectId,
+        /// Final OpenCL status (0 = complete, negative = error).
+        status: i32,
+        /// Modelled duration of the command in nanoseconds.
+        modeled_nanos: u64,
+        /// Number of work-items executed (kernel commands only).
+        work_items: u64,
+    },
+}
+
+impl Encode for Notification {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Notification::EventCompleted { event_id, status, modeled_nanos, work_items } => {
+                buf.push(0);
+                event_id.encode(buf);
+                status.encode(buf);
+                modeled_nanos.encode(buf);
+                work_items.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for Notification {
+    fn decode(r: &mut Reader<'_>) -> std::result::Result<Self, GcfError> {
+        Ok(match u8::decode(r)? {
+            0 => Notification::EventCompleted {
+                event_id: ObjectId::decode(r)?,
+                status: i32::decode(r)?,
+                modeled_nanos: u64::decode(r)?,
+                work_items: u64::decode(r)?,
+            },
+            other => return Err(codec_err(format!("invalid notification tag {other}"))),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+/// Encode a request to bytes (payload of a gcf request frame).
+pub fn encode_request(request: &Request) -> Vec<u8> {
+    request.to_bytes()
+}
+
+/// Decode a request from a gcf request frame payload.
+pub fn decode_request(bytes: &[u8]) -> Result<Request> {
+    Request::from_bytes(bytes).map_err(|e| DclError::Protocol(e.to_string()))
+}
+
+/// Encode a response to bytes.
+pub fn encode_response(response: &Response) -> Vec<u8> {
+    response.to_bytes()
+}
+
+/// Decode a response from bytes.
+pub fn decode_response(bytes: &[u8]) -> Result<Response> {
+    Response::from_bytes(bytes).map_err(|e| DclError::Protocol(e.to_string()))
+}
+
+/// Estimate of the on-wire size of a request in bytes (used when charging
+/// the link model for message-based communication).
+pub fn request_wire_size(request: &Request) -> u64 {
+    request.to_bytes().len() as u64
+}
+
+/// Keep `encode_bytes`/`decode_bytes` linked for protocol extensions that
+/// embed opaque payloads.
+#[allow(dead_code)]
+fn _wire_helpers(buf: &mut Vec<u8>, r: &mut Reader<'_>) -> std::result::Result<Vec<u8>, GcfError> {
+    encode_bytes(&[], buf);
+    decode_bytes(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let bytes = encode_request(&req);
+        assert_eq!(decode_request(&bytes).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let bytes = encode_response(&resp);
+        assert_eq!(decode_response(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn all_requests_roundtrip() {
+        roundtrip_request(Request::Hello { client_name: "pc".into(), auth_id: Some("lease-1".into()) });
+        roundtrip_request(Request::GetDeviceList);
+        roundtrip_request(Request::CreateContext { context_id: 1, devices: vec![10, 11] });
+        roundtrip_request(Request::ReleaseContext { context_id: 1 });
+        roundtrip_request(Request::CreateCommandQueue { queue_id: 2, context_id: 1, device: 10 });
+        roundtrip_request(Request::ReleaseCommandQueue { queue_id: 2 });
+        roundtrip_request(Request::CreateBuffer {
+            buffer_id: 3,
+            context_id: 1,
+            size: 4096,
+            readable: true,
+            writable: false,
+        });
+        roundtrip_request(Request::ReleaseBuffer { buffer_id: 3 });
+        roundtrip_request(Request::CreateProgramWithSource {
+            program_id: 4,
+            context_id: 1,
+            source: "__kernel void k() {}".into(),
+        });
+        roundtrip_request(Request::CreateProgramWithBuiltInKernels {
+            program_id: 4,
+            context_id: 1,
+            names: "mandelbrot;osem".into(),
+        });
+        roundtrip_request(Request::BuildProgram { program_id: 4 });
+        roundtrip_request(Request::GetBuildLog { program_id: 4 });
+        roundtrip_request(Request::CreateKernel { kernel_id: 5, program_id: 4, name: "k".into() });
+        roundtrip_request(Request::SetKernelArgScalar {
+            kernel_id: 5,
+            index: 0,
+            value: WireValue(Value::float(1.5)),
+        });
+        roundtrip_request(Request::SetKernelArgBuffer { kernel_id: 5, index: 1, buffer_id: 3 });
+        roundtrip_request(Request::SetKernelArgLocal { kernel_id: 5, index: 2, bytes: 256 });
+        roundtrip_request(Request::EnqueueWriteBuffer {
+            queue_id: 2,
+            buffer_id: 3,
+            offset: 0,
+            size: 4096,
+            event_id: 7,
+            stream_id: 99,
+            wait_events: vec![6],
+        });
+        roundtrip_request(Request::EnqueueReadBuffer {
+            queue_id: 2,
+            buffer_id: 3,
+            offset: 16,
+            size: 64,
+            event_id: 8,
+            stream_id: 100,
+            wait_events: vec![],
+        });
+        roundtrip_request(Request::EnqueueNdRange {
+            queue_id: 2,
+            kernel_id: 5,
+            event_id: 9,
+            range: WireNdRange(NdRange::two_d(64, 32).with_local([8, 8, 1])),
+            wait_events: vec![7, 8],
+        });
+        roundtrip_request(Request::EnqueueMarker { queue_id: 2, event_id: 10, wait_events: vec![9] });
+        roundtrip_request(Request::CreateUserEvent { event_id: 11 });
+        roundtrip_request(Request::SetUserEventComplete { event_id: 11 });
+        roundtrip_request(Request::GetEventStatus { event_id: 9 });
+        roundtrip_request(Request::GetServerInfo);
+        roundtrip_request(Request::Disconnect);
+        roundtrip_request(Request::UploadBufferData { buffer_id: 3, stream_id: 12, size: 64 });
+        roundtrip_request(Request::DownloadBufferData { buffer_id: 3, stream_id: 13 });
+    }
+
+    #[test]
+    fn all_responses_roundtrip() {
+        roundtrip_response(Response::Ok);
+        roundtrip_response(Response::Error { code: -30, message: "CL_INVALID_VALUE".into() });
+        roundtrip_response(Response::DeviceList {
+            devices: vec![DeviceDescriptor {
+                remote_id: 1,
+                name: "Tesla".into(),
+                vendor: "NVIDIA".into(),
+                device_type: "GPU".into(),
+                compute_units: 30,
+                global_mem_bytes: 4 << 30,
+                max_alloc_bytes: 1 << 30,
+            }],
+        });
+        roundtrip_response(Response::BuildLog { log: "error at 1:1".into() });
+        roundtrip_response(Response::EventStatus { status: 0 });
+        roundtrip_response(Response::ServerInfo(ServerInfo {
+            name: "gpuserver".into(),
+            device_count: 4,
+            managed: true,
+        }));
+        roundtrip_response(Response::OkTimed { modeled_nanos: 123_456 });
+    }
+
+    #[test]
+    fn notification_roundtrip() {
+        let n = Notification::EventCompleted {
+            event_id: 42,
+            status: 0,
+            modeled_nanos: 5_000_000,
+            work_items: 1024,
+        };
+        assert_eq!(Notification::from_bytes(&n.to_bytes()).unwrap(), n);
+    }
+
+    #[test]
+    fn wire_values_roundtrip() {
+        for v in [
+            Value::int(-3),
+            Value::uint(7),
+            Value::float(2.5),
+            Value::double(-1.25),
+            Value::size_t(1 << 40),
+            Value::boolean(true),
+            Value::Vector(ScalarType::Float, vec![Scalar::F(1.0), Scalar::F(2.0)]),
+            Value::Void,
+        ] {
+            let w = WireValue(v);
+            let bytes = w.to_bytes();
+            assert_eq!(WireValue::from_bytes(&bytes).unwrap(), w);
+        }
+    }
+
+    #[test]
+    fn error_response_converts_to_dcl_error() {
+        let r = Response::Error { code: -5, message: "boom".into() };
+        assert!(r.into_result().is_err());
+        assert!(Response::Ok.into_result().is_ok());
+    }
+
+    #[test]
+    fn corrupted_bytes_are_rejected() {
+        assert!(decode_request(&[200]).is_err());
+        assert!(decode_response(&[99]).is_err());
+        assert!(Notification::from_bytes(&[7]).is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! Client-side helpers: requesting devices from the device manager and
+//! wiring the assignment into a dOpenCL client (Section IV-B, Figure 2).
+
+use crate::config::{DeviceRequestConfig, DeviceRequirement};
+use crate::error::{DevMgrError, Result};
+use crate::protocol::{DmRequest, DmRequirement, DmResponse};
+use dopencl::Client;
+use gcf::rpc::{Endpoint, NullHandler};
+use gcf::transport::Transport;
+use gcf::wire::{Decode, Encode};
+use std::sync::Arc;
+
+/// The result of an assignment request: the lease's authentication id plus
+/// the servers the client should connect to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// Lease authentication id to present to the daemons.
+    pub auth_id: String,
+    /// Addresses of the servers owning the assigned devices.
+    pub servers: Vec<String>,
+    /// The device-manager address (needed later to release the lease).
+    pub device_manager: String,
+}
+
+fn requirements_from_config(config: &[DeviceRequirement]) -> Vec<DmRequirement> {
+    config
+        .iter()
+        .map(|d| DmRequirement { count: d.count, attributes: d.attributes.clone() })
+        .collect()
+}
+
+fn dm_endpoint(transport: &Arc<dyn Transport>, dm_address: &str) -> Result<Arc<Endpoint>> {
+    let conn = transport.connect(dm_address)?;
+    Ok(Endpoint::new(conn, Arc::new(NullHandler), "devmgr-client"))
+}
+
+fn dm_call(endpoint: &Arc<Endpoint>, request: DmRequest) -> Result<DmResponse> {
+    let bytes = endpoint.call(request.to_bytes())?;
+    DmResponse::from_bytes(&bytes).map_err(|e| DevMgrError::Protocol(e.to_string()))
+}
+
+/// Step 1 + 3a of Figure 2: send an assignment request and return the lease.
+pub fn request_assignment(
+    transport: &Arc<dyn Transport>,
+    dm_address: &str,
+    client_name: &str,
+    requirements: &[DeviceRequirement],
+) -> Result<Assignment> {
+    let endpoint = dm_endpoint(transport, dm_address)?;
+    let response = dm_call(
+        &endpoint,
+        DmRequest::RequestAssignment {
+            client_name: client_name.to_string(),
+            requirements: requirements_from_config(requirements),
+        },
+    )?;
+    endpoint.close();
+    match response {
+        DmResponse::Assignment { auth_id, servers } => Ok(Assignment {
+            auth_id,
+            servers,
+            device_manager: dm_address.to_string(),
+        }),
+        DmResponse::Error { message } => Err(DevMgrError::NoMatchingDevices(message)),
+        other => Err(DevMgrError::Protocol(format!("unexpected response {other:?}"))),
+    }
+}
+
+/// Release a lease (sent by the client when its application finishes).
+pub fn release_assignment(transport: &Arc<dyn Transport>, assignment: &Assignment) -> Result<()> {
+    let endpoint = dm_endpoint(transport, &assignment.device_manager)?;
+    let response =
+        dm_call(&endpoint, DmRequest::ReleaseLease { auth_id: assignment.auth_id.clone() })?;
+    endpoint.close();
+    match response {
+        DmResponse::Ok => Ok(()),
+        DmResponse::Error { message } => Err(DevMgrError::UnknownLease(message)),
+        other => Err(DevMgrError::Protocol(format!("unexpected response {other:?}"))),
+    }
+}
+
+/// The automatic device request mechanism (Section IV-B): parse the XML
+/// configuration, request the devices, present the authentication id, and
+/// connect the client to the assigned servers (steps 4–5 of Figure 2).
+///
+/// Returns the assignment so the caller can later release it.
+pub fn connect_via_device_manager(
+    client: &Client,
+    transport: &Arc<dyn Transport>,
+    config: &DeviceRequestConfig,
+) -> Result<Assignment> {
+    let assignment =
+        request_assignment(transport, &config.device_manager, "dopencl-client", &config.devices)?;
+    client.set_auth_id(Some(assignment.auth_id.clone()));
+    for server in &assignment.servers {
+        client.connect_server(server)?;
+    }
+    Ok(assignment)
+}
+
+/// Query the device manager's status counters (diagnostics).
+pub fn query_status(
+    transport: &Arc<dyn Transport>,
+    dm_address: &str,
+) -> Result<(u32, u32, u32)> {
+    let endpoint = dm_endpoint(transport, dm_address)?;
+    let response = dm_call(&endpoint, DmRequest::GetStatus)?;
+    endpoint.close();
+    match response {
+        DmResponse::Status { free_devices, assigned_devices, leases } => {
+            Ok((free_devices, assigned_devices, leases))
+        }
+        other => Err(DevMgrError::Protocol(format!("unexpected response {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::parse_device_request;
+    use crate::manager::{DeviceManager, DeviceManagerServer, SchedulingStrategy};
+    use crate::managed::ManagedDaemon;
+    use dopencl::LocalCluster;
+    use gcf::LinkModel;
+    use vocl::Platform;
+
+    /// Full Figure 2 flow: daemon registers with the device manager, the
+    /// client requests a GPU through the XML config, connects with the lease
+    /// id, and only sees its assigned device.
+    #[test]
+    fn end_to_end_device_manager_flow() {
+        let mut cluster = LocalCluster::new(LinkModel::gigabit_ethernet());
+        let transport: Arc<dyn gcf::Transport> = Arc::new(cluster.transport());
+
+        // Device manager.
+        let dm = DeviceManager::new(SchedulingStrategy::FirstFit);
+        let dm_server =
+            DeviceManagerServer::start(Arc::clone(&dm), Arc::clone(&transport), "devmngr").unwrap();
+
+        // GPU server daemon in managed mode.
+        let platform = Platform::gpu_server();
+        let managed = ManagedDaemon::connect(
+            Arc::clone(&transport),
+            dm_server.address(),
+            "gpuserver",
+            "gpuserver",
+            platform.devices(),
+        )
+        .unwrap();
+        cluster.add_node_with_policy("gpuserver", &platform, managed.policy()).unwrap();
+
+        // Client requests one GPU via the XML configuration file.
+        let xml = r#"
+            <devmngr>devmngr</devmngr>
+            <devices>
+              <device>
+                <attribute name="TYPE">GPU</attribute>
+              </device>
+            </devices>
+        "#;
+        let config = parse_device_request(xml).unwrap();
+        let client = cluster.detached_client("app", gcf::SimClock::new());
+        let assignment = connect_via_device_manager(&client, &transport, &config).unwrap();
+        assert_eq!(assignment.servers, vec!["gpuserver".to_string()]);
+
+        // Only the single assigned GPU is visible, not all five devices.
+        let devices = client.devices();
+        assert_eq!(devices.len(), 1);
+        assert_eq!(devices[0].device_type(), "GPU");
+
+        // The manager shows one lease; after release everything is free.
+        assert_eq!(query_status(&transport, dm_server.address()).unwrap(), (4, 1, 1));
+        release_assignment(&transport, &assignment).unwrap();
+        assert_eq!(query_status(&transport, dm_server.address()).unwrap(), (5, 0, 0));
+    }
+
+    #[test]
+    fn assignment_failure_when_nothing_matches() {
+        let transport: Arc<dyn gcf::Transport> =
+            Arc::new(gcf::transport::inproc::InprocTransport::new());
+        let dm = DeviceManager::new(SchedulingStrategy::FirstFit);
+        let dm_server =
+            DeviceManagerServer::start(dm, Arc::clone(&transport), "devmngr").unwrap();
+        let result = request_assignment(
+            &transport,
+            dm_server.address(),
+            "client",
+            &[DeviceRequirement { count: 1, attributes: vec![("TYPE".into(), "GPU".into())] }],
+        );
+        assert!(matches!(result, Err(DevMgrError::NoMatchingDevices(_))));
+    }
+}

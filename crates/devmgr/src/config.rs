@@ -1,0 +1,273 @@
+//! XML configuration file for automatic device requests (Listing 3).
+//!
+//! The paper's example:
+//!
+//! ```xml
+//! <devmngr>devmngr.example.com</devmngr>
+//! <devices>
+//!   <device count="2">
+//!     <attribute name="TYPE">CPU</attribute>
+//!     <attribute name="VENDOR">Intel</attribute>
+//!     <attribute name="MAX_COMPUTE_UNITS">2</attribute>
+//!   </device>
+//!   <device>
+//!     <attribute name="TYPE">GPU</attribute>
+//!   </device>
+//! </devices>
+//! ```
+//!
+//! A minimal, purpose-built parser is used (no XML crate): it understands
+//! exactly the element structure above, which keeps the format honest while
+//! avoiding an external dependency.
+
+use crate::error::{DevMgrError, Result};
+
+/// One `<device>` element: how many devices with which attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceRequirement {
+    /// Number of devices requested (`count` attribute, default 1).
+    pub count: u32,
+    /// Attribute constraints, e.g. `("TYPE", "GPU")`.
+    pub attributes: Vec<(String, String)>,
+}
+
+/// A parsed device-request configuration file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceRequestConfig {
+    /// Address of the device manager (`<devmngr>` element).
+    pub device_manager: String,
+    /// The requested devices.
+    pub devices: Vec<DeviceRequirement>,
+}
+
+struct Cursor<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Self {
+        Cursor { text, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.text[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let rest = self.rest();
+        let trimmed = rest.trim_start();
+        self.pos += rest.len() - trimmed.len();
+    }
+
+    /// Peek whether the next token is the opening tag `<name ...>`.
+    fn at_open_tag(&mut self, name: &str) -> bool {
+        self.skip_ws();
+        let rest = self.rest();
+        if let Some(stripped) = rest.strip_prefix('<') {
+            let stripped = stripped.trim_start();
+            if let Some(after) = stripped.strip_prefix(name) {
+                return after.starts_with(|c: char| c == '>' || c == ' ' || c == '/');
+            }
+        }
+        false
+    }
+
+    /// Consume `<name attr="v" ...>`; returns the raw attribute text.
+    fn open_tag(&mut self, name: &str) -> Result<String> {
+        self.skip_ws();
+        let rest = self.rest();
+        let inner = rest
+            .strip_prefix('<')
+            .ok_or_else(|| DevMgrError::Config(format!("expected <{name}>, found '{}'", snippet(rest))))?;
+        let end = inner
+            .find('>')
+            .ok_or_else(|| DevMgrError::Config(format!("unterminated tag near '{}'", snippet(rest))))?;
+        let tag_body = &inner[..end];
+        let mut parts = tag_body.trim().splitn(2, char::is_whitespace);
+        let tag_name = parts.next().unwrap_or("");
+        if tag_name != name {
+            return Err(DevMgrError::Config(format!("expected <{name}>, found <{tag_name}>")));
+        }
+        self.pos += 1 + end + 1;
+        Ok(parts.next().unwrap_or("").to_string())
+    }
+
+    /// Consume `</name>`.
+    fn close_tag(&mut self, name: &str) -> Result<()> {
+        self.skip_ws();
+        let rest = self.rest();
+        let expected = format!("</{name}>");
+        if let Some(after) = rest.strip_prefix(expected.as_str()) {
+            self.pos = self.text.len() - after.len();
+            Ok(())
+        } else {
+            Err(DevMgrError::Config(format!("expected {expected} near '{}'", snippet(rest))))
+        }
+    }
+
+    /// Consume text content up to the next `<`.
+    fn text_content(&mut self) -> String {
+        let rest = self.rest();
+        let end = rest.find('<').unwrap_or(rest.len());
+        let content = rest[..end].trim().to_string();
+        self.pos += end;
+        content
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.rest().is_empty()
+    }
+}
+
+fn snippet(s: &str) -> String {
+    s.chars().take(24).collect()
+}
+
+fn parse_attr(attr_text: &str, key: &str) -> Option<String> {
+    // Parses `key="value"` out of a raw attribute string.
+    let idx = attr_text.find(key)?;
+    let after = &attr_text[idx + key.len()..];
+    let after = after.trim_start();
+    let after = after.strip_prefix('=')?.trim_start();
+    let after = after.strip_prefix('"')?;
+    let end = after.find('"')?;
+    Some(after[..end].to_string())
+}
+
+/// Parse the contents of an XML device-request configuration file.
+pub fn parse_device_request(contents: &str) -> Result<DeviceRequestConfig> {
+    let mut cursor = Cursor::new(contents);
+
+    cursor.open_tag("devmngr")?;
+    let device_manager = cursor.text_content();
+    cursor.close_tag("devmngr")?;
+    if device_manager.is_empty() {
+        return Err(DevMgrError::Config("<devmngr> must contain an address".into()));
+    }
+
+    cursor.open_tag("devices")?;
+    let mut devices = Vec::new();
+    while cursor.at_open_tag("device") {
+        let attrs = cursor.open_tag("device")?;
+        let count = match parse_attr(&attrs, "count") {
+            Some(text) => text
+                .parse::<u32>()
+                .map_err(|_| DevMgrError::Config(format!("invalid count '{text}'")))?,
+            None => 1,
+        };
+        if count == 0 {
+            return Err(DevMgrError::Config("device count must be at least 1".into()));
+        }
+        let mut attributes = Vec::new();
+        while cursor.at_open_tag("attribute") {
+            let attr_text = cursor.open_tag("attribute")?;
+            let name = parse_attr(&attr_text, "name")
+                .ok_or_else(|| DevMgrError::Config("<attribute> needs a name".into()))?;
+            let value = cursor.text_content();
+            cursor.close_tag("attribute")?;
+            attributes.push((name, value));
+        }
+        cursor.close_tag("device")?;
+        devices.push(DeviceRequirement { count, attributes });
+    }
+    cursor.close_tag("devices")?;
+
+    if !cursor.at_end() {
+        return Err(DevMgrError::Config(format!(
+            "unexpected trailing content: '{}'",
+            snippet(cursor.rest())
+        )));
+    }
+    if devices.is_empty() {
+        return Err(DevMgrError::Config("at least one <device> must be requested".into()));
+    }
+    Ok(DeviceRequestConfig { device_manager, devices })
+}
+
+/// Read and parse a device-request file from disk.
+pub fn load_device_request(path: &std::path::Path) -> Result<DeviceRequestConfig> {
+    let contents = std::fs::read_to_string(path)
+        .map_err(|e| DevMgrError::Config(format!("cannot read {}: {e}", path.display())))?;
+    parse_device_request(&contents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_EXAMPLE: &str = r#"
+        <devmngr>devmngr.example.com</devmngr>
+        <devices>
+          <device count="2">
+            <attribute name="TYPE">CPU</attribute>
+            <attribute name="VENDOR">Intel</attribute>
+            <attribute name="MAX_COMPUTE_UNITS">2</attribute>
+          </device>
+          <device>
+            <attribute name="TYPE">GPU</attribute>
+          </device>
+        </devices>
+    "#;
+
+    #[test]
+    fn parses_the_papers_listing_3() {
+        let cfg = parse_device_request(PAPER_EXAMPLE).unwrap();
+        assert_eq!(cfg.device_manager, "devmngr.example.com");
+        assert_eq!(cfg.devices.len(), 2);
+        assert_eq!(cfg.devices[0].count, 2);
+        assert_eq!(
+            cfg.devices[0].attributes,
+            vec![
+                ("TYPE".to_string(), "CPU".to_string()),
+                ("VENDOR".to_string(), "Intel".to_string()),
+                ("MAX_COMPUTE_UNITS".to_string(), "2".to_string()),
+            ]
+        );
+        assert_eq!(cfg.devices[1].count, 1);
+        assert_eq!(cfg.devices[1].attributes, vec![("TYPE".to_string(), "GPU".to_string())]);
+    }
+
+    #[test]
+    fn missing_devmngr_is_an_error() {
+        assert!(parse_device_request("<devices><device></device></devices>").is_err());
+        assert!(parse_device_request("<devmngr></devmngr><devices><device></device></devices>").is_err());
+    }
+
+    #[test]
+    fn missing_devices_is_an_error() {
+        assert!(parse_device_request("<devmngr>x</devmngr><devices></devices>").is_err());
+    }
+
+    #[test]
+    fn malformed_tags_are_errors() {
+        assert!(parse_device_request("<devmngr>x</devmngr><devices><device>").is_err());
+        assert!(parse_device_request("<devmngr>x</devmngr><devices><wrong></wrong></devices>").is_err());
+        assert!(parse_device_request(
+            "<devmngr>x</devmngr><devices><device count=\"zero\"></device></devices>"
+        )
+        .is_err());
+        assert!(parse_device_request(
+            "<devmngr>x</devmngr><devices><device count=\"0\"></device></devices>"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn attribute_without_name_is_an_error() {
+        let bad = r#"<devmngr>x</devmngr><devices><device><attribute>GPU</attribute></device></devices>"#;
+        assert!(parse_device_request(bad).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        let bad = format!("{PAPER_EXAMPLE}<extra/>");
+        assert!(parse_device_request(&bad).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_a_config_error() {
+        assert!(load_device_request(std::path::Path::new("/no/such/file.xml")).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! Device-manager error type.
+
+use std::fmt;
+
+/// Result alias for device-manager operations.
+pub type Result<T> = std::result::Result<T, DevMgrError>;
+
+/// Errors produced by the device manager and its clients.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DevMgrError {
+    /// A configuration file could not be parsed.
+    Config(String),
+    /// No combination of free devices satisfies the assignment request.
+    NoMatchingDevices(String),
+    /// The referenced lease does not exist (or was already released).
+    UnknownLease(String),
+    /// A communication error with the device manager.
+    Network(gcf::GcfError),
+    /// A malformed or unexpected protocol message.
+    Protocol(String),
+    /// An error reported by the dOpenCL middleware.
+    Middleware(String),
+}
+
+impl fmt::Display for DevMgrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DevMgrError::Config(m) => write!(f, "configuration error: {m}"),
+            DevMgrError::NoMatchingDevices(m) => write!(f, "no matching devices: {m}"),
+            DevMgrError::UnknownLease(m) => write!(f, "unknown lease: {m}"),
+            DevMgrError::Network(e) => write!(f, "network error: {e}"),
+            DevMgrError::Protocol(m) => write!(f, "protocol error: {m}"),
+            DevMgrError::Middleware(m) => write!(f, "middleware error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DevMgrError {}
+
+impl From<gcf::GcfError> for DevMgrError {
+    fn from(e: gcf::GcfError) -> Self {
+        DevMgrError::Network(e)
+    }
+}
+
+impl From<dopencl::DclError> for DevMgrError {
+    fn from(e: dopencl::DclError) -> Self {
+        DevMgrError::Middleware(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(DevMgrError::Config("bad".into()).to_string().contains("configuration"));
+        let e: DevMgrError = gcf::GcfError::Timeout("t".into()).into();
+        assert!(e.to_string().contains("network"));
+        let e: DevMgrError = dopencl::DclError::Protocol("p".into()).into();
+        assert!(e.to_string().contains("middleware"));
+    }
+}

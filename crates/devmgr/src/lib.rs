@@ -1,0 +1,37 @@
+//! # devmgr — the dOpenCL central device manager
+//!
+//! Section IV of the paper extends dOpenCL with a central, network-accessible
+//! **device manager** so that multiple applications can share the devices of
+//! a distributed system without stepping on each other: every device is used
+//! by at most one application at a time.
+//!
+//! The pieces:
+//!
+//! * [`manager::DeviceManager`] — the registry of free/assigned devices and
+//!   the lease logic (authentication id + device set + server set),
+//! * [`manager::DeviceManagerServer`] — its network front end,
+//! * [`managed::ManagedDaemon`] — the daemon-side integration ("managed
+//!   mode"): registers the server's devices and installs an
+//!   [`dopencl::AccessPolicy`] that only exposes devices assigned to the
+//!   client's lease,
+//! * [`client`] — the application-side helpers: send an assignment request,
+//!   connect to the returned servers with the lease's authentication id,
+//!   release the lease,
+//! * [`config`] — the XML device-request configuration file (Listing 3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod config;
+pub mod error;
+pub mod managed;
+pub mod manager;
+pub mod protocol;
+
+pub use client::{connect_via_device_manager, release_assignment, request_assignment, Assignment};
+pub use config::{parse_device_request, DeviceRequestConfig, DeviceRequirement};
+pub use error::{DevMgrError, Result};
+pub use managed::ManagedDaemon;
+pub use manager::{DeviceManager, DeviceManagerServer, Lease, SchedulingStrategy};
+pub use protocol::{DmDevice, DmRequirement};

@@ -1,0 +1,209 @@
+//! Managed mode: the daemon-side integration with the device manager
+//! (Section IV-A of the paper).
+//!
+//! A daemon started in managed mode connects to the device manager,
+//! registers its devices, and from then on only returns those devices to a
+//! client that the device manager has associated with the client's lease
+//! authentication id.  When a client disconnects (normally or abnormally),
+//! the daemon reports the invalidated authentication id so the devices
+//! return to the free set (Section IV-C).
+
+use crate::error::Result;
+use crate::protocol::{DmDevice, DmNotification, DmRequest, DmResponse};
+use dopencl::daemon::AccessPolicy;
+use gcf::rpc::{Endpoint, EndpointHandler};
+use gcf::transport::Transport;
+use gcf::wire::{Decode, Encode};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use vocl::{Device, DeviceInfoParam, DeviceInfoValue};
+
+/// Convert a `vocl` device into its device-manager registration record.
+pub fn describe_device(device: &Device) -> DmDevice {
+    let compute_units = match device.info(DeviceInfoParam::MaxComputeUnits) {
+        DeviceInfoValue::UInt(v) => v as u32,
+        _ => 0,
+    };
+    DmDevice {
+        remote_id: device.id(),
+        name: device.name().to_string(),
+        vendor: device.vendor().to_string(),
+        device_type: device.device_type().to_string(),
+        compute_units,
+        global_mem_bytes: device.profile().global_mem_bytes,
+    }
+}
+
+struct LeaseTable {
+    /// auth id → device ids this lease may use on this server.
+    assignments: HashMap<String, HashSet<u64>>,
+}
+
+struct PolicyNotificationHandler {
+    table: Arc<Mutex<LeaseTable>>,
+}
+
+impl EndpointHandler for PolicyNotificationHandler {
+    fn handle_request(&self, _payload: &[u8]) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn handle_notification(&self, payload: &[u8]) {
+        let Ok(notification) = DmNotification::from_bytes(payload) else { return };
+        let mut table = self.table.lock();
+        match notification {
+            DmNotification::AssignDevices { auth_id, device_ids } => {
+                table.assignments.entry(auth_id).or_default().extend(device_ids);
+            }
+            DmNotification::RevokeLease { auth_id } => {
+                table.assignments.remove(&auth_id);
+            }
+        }
+    }
+}
+
+/// A handle to the managed-mode machinery of one daemon: the policy to pass
+/// to [`dopencl::Daemon::start`] plus the connection to the device manager.
+pub struct ManagedDaemon {
+    policy: Arc<ManagedPolicyShared>,
+}
+
+/// Internal shared state between [`ManagedDaemon`] and the policy handed to
+/// the daemon.
+struct ManagedPolicyShared {
+    table: Arc<Mutex<LeaseTable>>,
+    endpoint: Arc<Endpoint>,
+}
+
+impl AccessPolicy for ManagedPolicyShared {
+    fn visible_devices(&self, auth_id: Option<&str>, all: &[Arc<Device>]) -> Vec<Arc<Device>> {
+        let Some(auth_id) = auth_id else { return Vec::new() };
+        let table = self.table.lock();
+        let Some(allowed) = table.assignments.get(auth_id) else { return Vec::new() };
+        all.iter().filter(|d| allowed.contains(&d.id())).cloned().collect()
+    }
+
+    fn managed(&self) -> bool {
+        true
+    }
+
+    fn client_disconnected(&self, auth_id: Option<&str>) {
+        if let Some(auth_id) = auth_id {
+            let request = DmRequest::ReportDisconnect { auth_id: auth_id.to_string() };
+            let _ = self.endpoint.call(request.to_bytes());
+            self.table.lock().assignments.remove(auth_id);
+        }
+    }
+}
+
+impl ManagedDaemon {
+    /// Connect to the device manager at `dm_address`, register this server's
+    /// `devices`, and return the managed-mode handle.
+    ///
+    /// `server_address` is the address *clients* should use to reach the
+    /// daemon (what the device manager returns in a lease's server list).
+    pub fn connect(
+        transport: Arc<dyn Transport>,
+        dm_address: &str,
+        server_name: &str,
+        server_address: &str,
+        devices: &[Arc<Device>],
+    ) -> Result<ManagedDaemon> {
+        let table = Arc::new(Mutex::new(LeaseTable { assignments: HashMap::new() }));
+        let conn = transport.connect(dm_address)?;
+        let handler = Arc::new(PolicyNotificationHandler { table: Arc::clone(&table) });
+        let endpoint = Endpoint::new(conn, handler, format!("managed-{server_name}"));
+
+        let request = DmRequest::RegisterServer {
+            server_name: server_name.to_string(),
+            address: server_address.to_string(),
+            devices: devices.iter().map(|d| describe_device(d)).collect(),
+        };
+        let response = DmResponse::from_bytes(&endpoint.call(request.to_bytes())?)
+            .map_err(|e| crate::DevMgrError::Protocol(e.to_string()))?;
+        match response {
+            DmResponse::Ok => {}
+            DmResponse::Error { message } => return Err(crate::DevMgrError::Protocol(message)),
+            other => {
+                return Err(crate::DevMgrError::Protocol(format!("unexpected response {other:?}")))
+            }
+        }
+        Ok(ManagedDaemon { policy: Arc::new(ManagedPolicyShared { table, endpoint }) })
+    }
+
+    /// The access policy to pass to [`dopencl::Daemon::start`].
+    pub fn policy(&self) -> Arc<dyn AccessPolicy> {
+        Arc::clone(&self.policy) as Arc<dyn AccessPolicy>
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::{DeviceManager, DeviceManagerServer, SchedulingStrategy};
+    use crate::protocol::DmRequirement;
+    use gcf::transport::inproc::InprocTransport;
+    use vocl::{DeviceProfile, DeviceType, Platform};
+
+    #[test]
+    fn managed_policy_filters_by_lease() {
+        let transport = InprocTransport::new();
+        let dm = DeviceManager::new(SchedulingStrategy::FirstFit);
+        let dm_server =
+            DeviceManagerServer::start(Arc::clone(&dm), Arc::new(transport.clone()), "devmngr")
+                .unwrap();
+
+        let platform = Platform::gpu_server();
+        let managed = ManagedDaemon::connect(
+            Arc::new(transport.clone()),
+            dm_server.address(),
+            "gpuserver",
+            "gpuserver",
+            platform.devices(),
+        )
+        .unwrap();
+        let policy = managed.policy();
+        assert!(policy.managed());
+        assert_eq!(dm.free_device_count(), 5);
+
+        // Without a lease nothing is visible.
+        assert!(policy.visible_devices(None, platform.devices()).is_empty());
+        assert!(policy.visible_devices(Some("bogus"), platform.devices()).is_empty());
+
+        // Assign one GPU; the notification updates the policy's table.
+        let (lease, servers) = dm
+            .assign(
+                "client-a",
+                &[DmRequirement { count: 1, attributes: vec![("TYPE".into(), "GPU".into())] }],
+            )
+            .unwrap();
+        assert_eq!(servers, vec!["gpuserver".to_string()]);
+        // The notification is asynchronous; poll briefly.
+        let mut visible = Vec::new();
+        for _ in 0..100 {
+            visible = policy.visible_devices(Some(&lease.auth_id), platform.devices());
+            if !visible.is_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(visible.len(), 1);
+        assert_eq!(visible[0].device_type(), DeviceType::Gpu);
+
+        // Abnormal disconnect: the policy reports it and the device frees up.
+        policy.client_disconnected(Some(&lease.auth_id));
+        assert_eq!(dm.free_device_count(), 5);
+        assert!(policy.visible_devices(Some(&lease.auth_id), platform.devices()).is_empty());
+    }
+
+    #[test]
+    fn describe_device_extracts_attributes() {
+        let device = vocl::Device::new(DeviceType::Cpu, DeviceProfile::cpu_dual_westmere());
+        let described = describe_device(&device);
+        assert_eq!(described.device_type, "CPU");
+        assert_eq!(described.compute_units, 24);
+        assert!(described.vendor.contains("Intel"));
+        assert_eq!(described.remote_id, device.id());
+    }
+}

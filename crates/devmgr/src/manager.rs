@@ -1,0 +1,497 @@
+//! The central device manager (Section IV of the paper).
+//!
+//! The device manager maintains two sets of devices — *free* and *assigned*
+//! — and turns assignment requests into **leases**: a unique authentication
+//! id, a set of devices, and the set of servers owning those devices.  The
+//! lease's device subsets are pushed to the involved daemons (step 3b of
+//! Figure 2), and the client receives the authentication id plus server list
+//! (step 3a) so it can connect and present the id.
+
+use crate::error::{DevMgrError, Result};
+use crate::protocol::{DmDevice, DmNotification, DmRequest, DmRequirement, DmResponse};
+use gcf::rpc::{Endpoint, EndpointHandler};
+use gcf::transport::{Listener, Transport};
+use gcf::wire::{Decode, Encode};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+/// How free devices are picked for a lease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulingStrategy {
+    /// Walk the servers in registration order and take the first matching
+    /// free devices.
+    #[default]
+    FirstFit,
+    /// Spread assignments across servers round-robin, so concurrent clients
+    /// land on different servers/devices (the behaviour Figure 6 relies on).
+    RoundRobin,
+}
+
+/// A granted lease.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lease {
+    /// The unique authentication id.
+    pub auth_id: String,
+    /// The requesting client's name.
+    pub client_name: String,
+    /// Assigned devices as (server index, daemon-local device id).
+    pub devices: Vec<(usize, u64)>,
+}
+
+struct RegisteredServer {
+    name: String,
+    address: String,
+    devices: Vec<DmDevice>,
+    endpoint: Option<Weak<Endpoint>>,
+}
+
+#[derive(Default)]
+struct ManagerState {
+    servers: Vec<RegisteredServer>,
+    /// Free devices as (server index, device id).
+    free: Vec<(usize, u64)>,
+    leases: BTreeMap<String, Lease>,
+    round_robin_cursor: usize,
+}
+
+/// The device manager's registry and assignment logic (transport-agnostic).
+pub struct DeviceManager {
+    strategy: SchedulingStrategy,
+    state: Mutex<ManagerState>,
+    next_lease: AtomicU64,
+}
+
+impl DeviceManager {
+    /// Create an empty device manager.
+    pub fn new(strategy: SchedulingStrategy) -> Arc<DeviceManager> {
+        Arc::new(DeviceManager {
+            strategy,
+            state: Mutex::new(ManagerState::default()),
+            next_lease: AtomicU64::new(1),
+        })
+    }
+
+    /// Register (or re-register) a server and its devices; returns the
+    /// server index.
+    pub fn register_server(
+        &self,
+        name: &str,
+        address: &str,
+        devices: Vec<DmDevice>,
+        endpoint: Option<Weak<Endpoint>>,
+    ) -> usize {
+        let mut state = self.state.lock();
+        if let Some(index) = state.servers.iter().position(|s| s.name == name) {
+            // Re-registration replaces the endpoint but keeps assignments.
+            state.servers[index].endpoint = endpoint;
+            state.servers[index].address = address.to_string();
+            return index;
+        }
+        let index = state.servers.len();
+        let ids: Vec<(usize, u64)> = devices.iter().map(|d| (index, d.remote_id)).collect();
+        state.servers.push(RegisteredServer {
+            name: name.to_string(),
+            address: address.to_string(),
+            devices,
+            endpoint,
+        });
+        state.free.extend(ids);
+        index
+    }
+
+    /// Number of devices not assigned to any lease.
+    pub fn free_device_count(&self) -> usize {
+        self.state.lock().free.len()
+    }
+
+    /// Number of active leases.
+    pub fn lease_count(&self) -> usize {
+        self.state.lock().leases.len()
+    }
+
+    /// Currently active leases.
+    pub fn leases(&self) -> Vec<Lease> {
+        self.state.lock().leases.values().cloned().collect()
+    }
+
+    /// Handle an assignment request: pick matching free devices, build a
+    /// lease, notify the involved daemons, and return the authentication id
+    /// plus server addresses for the client.
+    pub fn assign(
+        &self,
+        client_name: &str,
+        requirements: &[DmRequirement],
+    ) -> Result<(Lease, Vec<String>)> {
+        if requirements.is_empty() {
+            return Err(DevMgrError::NoMatchingDevices("empty assignment request".into()));
+        }
+        let mut state = self.state.lock();
+        let mut picked: Vec<(usize, u64)> = Vec::new();
+
+        for requirement in requirements {
+            for _ in 0..requirement.count {
+                let candidate = Self::pick_device(
+                    &state,
+                    &picked,
+                    &requirement.attributes,
+                    self.strategy,
+                );
+                match candidate {
+                    Some(dev) => picked.push(dev),
+                    None => {
+                        return Err(DevMgrError::NoMatchingDevices(format!(
+                            "no free device satisfies {:?} for client '{client_name}'",
+                            requirement.attributes
+                        )))
+                    }
+                }
+            }
+        }
+
+        // Commit: remove from the free set, create the lease.
+        state.free.retain(|d| !picked.contains(d));
+        if self.strategy == SchedulingStrategy::RoundRobin {
+            state.round_robin_cursor = state.round_robin_cursor.wrapping_add(1);
+        }
+        let auth_id = format!("lease-{}", self.next_lease.fetch_add(1, Ordering::Relaxed));
+        let lease = Lease {
+            auth_id: auth_id.clone(),
+            client_name: client_name.to_string(),
+            devices: picked.clone(),
+        };
+        state.leases.insert(auth_id.clone(), lease.clone());
+
+        // Step 3b: send each involved server the intersection of its device
+        // list and the lease's device set.
+        let mut per_server: HashMap<usize, Vec<u64>> = HashMap::new();
+        for (server, device) in &picked {
+            per_server.entry(*server).or_default().push(*device);
+        }
+        let mut server_addresses = Vec::new();
+        for (server_index, device_ids) in &per_server {
+            let server = &state.servers[*server_index];
+            server_addresses.push(server.address.clone());
+            if let Some(endpoint) = server.endpoint.as_ref().and_then(Weak::upgrade) {
+                let note = DmNotification::AssignDevices {
+                    auth_id: auth_id.clone(),
+                    device_ids: device_ids.clone(),
+                };
+                let _ = endpoint.notify(note.to_bytes());
+            }
+        }
+        server_addresses.sort();
+        Ok((lease, server_addresses))
+    }
+
+    fn pick_device(
+        state: &ManagerState,
+        already_picked: &[(usize, u64)],
+        attributes: &[(String, String)],
+        strategy: SchedulingStrategy,
+    ) -> Option<(usize, u64)> {
+        let matches = |entry: &(usize, u64)| {
+            if already_picked.contains(entry) {
+                return false;
+            }
+            let server = &state.servers[entry.0];
+            match server.devices.iter().find(|d| d.remote_id == entry.1) {
+                Some(device) => attributes.iter().all(|(k, v)| device.satisfies(k, v)),
+                None => false,
+            }
+        };
+
+        match strategy {
+            SchedulingStrategy::FirstFit => state.free.iter().copied().find(matches),
+            SchedulingStrategy::RoundRobin => {
+                if state.free.is_empty() {
+                    return None;
+                }
+                let n = state.free.len();
+                let start = state.round_robin_cursor % n;
+                (0..n)
+                    .map(|i| state.free[(start + i) % n])
+                    .find(matches)
+            }
+        }
+    }
+
+    /// Release a lease: its devices return to the free set and the involved
+    /// daemons are told to discard the authentication id.
+    pub fn release(&self, auth_id: &str) -> Result<()> {
+        let mut state = self.state.lock();
+        let lease = state
+            .leases
+            .remove(auth_id)
+            .ok_or_else(|| DevMgrError::UnknownLease(auth_id.to_string()))?;
+        let mut involved: Vec<usize> = lease.devices.iter().map(|(s, _)| *s).collect();
+        involved.sort_unstable();
+        involved.dedup();
+        state.free.extend(lease.devices.iter().copied());
+        for server_index in involved {
+            let server = &state.servers[server_index];
+            if let Some(endpoint) = server.endpoint.as_ref().and_then(Weak::upgrade) {
+                let note = DmNotification::RevokeLease { auth_id: auth_id.to_string() };
+                let _ = endpoint.notify(note.to_bytes());
+            }
+        }
+        Ok(())
+    }
+
+    /// Diagnostics counters.
+    pub fn status(&self) -> (u32, u32, u32) {
+        let state = self.state.lock();
+        let assigned: usize = state.leases.values().map(|l| l.devices.len()).sum();
+        (state.free.len() as u32, assigned as u32, state.leases.len() as u32)
+    }
+}
+
+/// The network front end of the device manager: accepts connections from
+/// daemons and clients and serves the [`DmRequest`] protocol.
+pub struct DeviceManagerServer {
+    manager: Arc<DeviceManager>,
+    address: String,
+    shutdown: Arc<AtomicBool>,
+    sessions: Arc<Mutex<Vec<Arc<Endpoint>>>>,
+}
+
+impl DeviceManagerServer {
+    /// Start the device manager listening at `address`.
+    pub fn start(
+        manager: Arc<DeviceManager>,
+        transport: Arc<dyn Transport>,
+        address: &str,
+    ) -> Result<Arc<DeviceManagerServer>> {
+        let listener = transport.listen(address)?;
+        let bound = listener.local_addr();
+        let server = Arc::new(DeviceManagerServer {
+            manager,
+            address: bound,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            sessions: Arc::new(Mutex::new(Vec::new())),
+        });
+        let weak = Arc::downgrade(&server);
+        std::thread::Builder::new()
+            .name("devmgr-accept".to_string())
+            .spawn(move || Self::accept_loop(weak, listener))
+            .map_err(|e| DevMgrError::Protocol(format!("cannot spawn accept thread: {e}")))?;
+        Ok(server)
+    }
+
+    fn accept_loop(server: Weak<DeviceManagerServer>, listener: Box<dyn Listener>) {
+        loop {
+            let Some(strong) = server.upgrade() else { break };
+            if strong.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            drop(strong);
+            let Ok(conn) = listener.accept() else { break };
+            let Some(strong) = server.upgrade() else { break };
+            let session = Arc::new(DmSession {
+                manager: Arc::clone(&strong.manager),
+                endpoint: Mutex::new(None),
+            });
+            let endpoint = Endpoint::new(
+                conn,
+                Arc::clone(&session) as Arc<dyn EndpointHandler>,
+                "devmgr",
+            );
+            *session.endpoint.lock() = Some(Arc::downgrade(&endpoint));
+            strong.sessions.lock().push(endpoint);
+        }
+    }
+
+    /// The address the device manager listens at.
+    pub fn address(&self) -> &str {
+        &self.address
+    }
+
+    /// The underlying registry (for inspection).
+    pub fn manager(&self) -> &Arc<DeviceManager> {
+        &self.manager
+    }
+
+    /// Stop accepting connections.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+}
+
+struct DmSession {
+    manager: Arc<DeviceManager>,
+    endpoint: Mutex<Option<Weak<Endpoint>>>,
+}
+
+impl DmSession {
+    fn handle(&self, request: DmRequest) -> DmResponse {
+        match request {
+            DmRequest::RegisterServer { server_name, address, devices } => {
+                let endpoint = self.endpoint.lock().clone();
+                self.manager.register_server(&server_name, &address, devices, endpoint);
+                DmResponse::Ok
+            }
+            DmRequest::RequestAssignment { client_name, requirements } => {
+                match self.manager.assign(&client_name, &requirements) {
+                    Ok((lease, servers)) => {
+                        DmResponse::Assignment { auth_id: lease.auth_id, servers }
+                    }
+                    Err(e) => DmResponse::Error { message: e.to_string() },
+                }
+            }
+            DmRequest::ReleaseLease { auth_id } | DmRequest::ReportDisconnect { auth_id } => {
+                match self.manager.release(&auth_id) {
+                    Ok(()) => DmResponse::Ok,
+                    Err(e) => DmResponse::Error { message: e.to_string() },
+                }
+            }
+            DmRequest::GetStatus => {
+                let (free_devices, assigned_devices, leases) = self.manager.status();
+                DmResponse::Status { free_devices, assigned_devices, leases }
+            }
+        }
+    }
+}
+
+impl EndpointHandler for DmSession {
+    fn handle_request(&self, payload: &[u8]) -> Vec<u8> {
+        let response = match DmRequest::from_bytes(payload) {
+            Ok(request) => self.handle(request),
+            Err(e) => DmResponse::Error { message: format!("malformed request: {e}") },
+        };
+        response.to_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu(id: u64) -> DmDevice {
+        DmDevice {
+            remote_id: id,
+            name: format!("GPU {id}"),
+            vendor: "NVIDIA".into(),
+            device_type: "GPU".into(),
+            compute_units: 30,
+            global_mem_bytes: 4 << 30,
+        }
+    }
+
+    fn cpu(id: u64) -> DmDevice {
+        DmDevice {
+            remote_id: id,
+            name: format!("CPU {id}"),
+            vendor: "Intel".into(),
+            device_type: "CPU".into(),
+            compute_units: 8,
+            global_mem_bytes: 16 << 30,
+        }
+    }
+
+    fn gpu_requirement() -> DmRequirement {
+        DmRequirement { count: 1, attributes: vec![("TYPE".into(), "GPU".into())] }
+    }
+
+    #[test]
+    fn assignment_creates_lease_and_removes_from_free_set() {
+        let dm = DeviceManager::new(SchedulingStrategy::FirstFit);
+        dm.register_server("srv", "srv-addr", vec![gpu(1), gpu(2), cpu(3)], None);
+        assert_eq!(dm.free_device_count(), 3);
+        let (lease, servers) = dm.assign("client-a", &[gpu_requirement()]).unwrap();
+        assert_eq!(servers, vec!["srv-addr".to_string()]);
+        assert_eq!(lease.devices.len(), 1);
+        assert_eq!(dm.free_device_count(), 2);
+        assert_eq!(dm.lease_count(), 1);
+        dm.release(&lease.auth_id).unwrap();
+        assert_eq!(dm.free_device_count(), 3);
+        assert_eq!(dm.lease_count(), 0);
+        assert!(dm.release(&lease.auth_id).is_err());
+    }
+
+    #[test]
+    fn concurrent_clients_get_distinct_devices() {
+        // The Figure 6 scenario: four clients each requesting one GPU of a
+        // 4-GPU server must end up on four different devices.
+        let dm = DeviceManager::new(SchedulingStrategy::FirstFit);
+        dm.register_server("gpuserver", "gpuserver", vec![gpu(1), gpu(2), gpu(3), gpu(4)], None);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..4 {
+            let (lease, _) = dm.assign(&format!("client-{i}"), &[gpu_requirement()]).unwrap();
+            for d in &lease.devices {
+                assert!(seen.insert(*d), "device {d:?} assigned twice");
+            }
+        }
+        // A fifth client cannot be served.
+        assert!(dm.assign("client-4", &[gpu_requirement()]).is_err());
+    }
+
+    #[test]
+    fn attribute_constraints_are_respected() {
+        let dm = DeviceManager::new(SchedulingStrategy::FirstFit);
+        dm.register_server("srv", "srv", vec![gpu(1), cpu(2)], None);
+        let req = DmRequirement {
+            count: 1,
+            attributes: vec![("TYPE".into(), "CPU".into()), ("VENDOR".into(), "Intel".into())],
+        };
+        let (lease, _) = dm.assign("c", &[req]).unwrap();
+        assert_eq!(lease.devices, vec![(0, 2)]);
+        // Requesting 2 CPUs now fails (only one existed and it is taken).
+        let req = DmRequirement { count: 2, attributes: vec![("TYPE".into(), "CPU".into())] };
+        assert!(dm.assign("c2", &[req]).is_err());
+    }
+
+    #[test]
+    fn round_robin_spreads_across_servers() {
+        let dm = DeviceManager::new(SchedulingStrategy::RoundRobin);
+        dm.register_server("a", "a", vec![gpu(1), gpu(2)], None);
+        dm.register_server("b", "b", vec![gpu(10), gpu(11)], None);
+        let (l1, _) = dm.assign("c1", &[gpu_requirement()]).unwrap();
+        let (l2, _) = dm.assign("c2", &[gpu_requirement()]).unwrap();
+        let s1 = l1.devices[0].0;
+        let s2 = l2.devices[0].0;
+        assert_ne!(
+            (s1, l1.devices[0].1),
+            (s2, l2.devices[0].1),
+            "round robin must not reuse the same device"
+        );
+    }
+
+    #[test]
+    fn multi_server_lease_lists_all_servers() {
+        let dm = DeviceManager::new(SchedulingStrategy::FirstFit);
+        dm.register_server("a", "addr-a", vec![gpu(1)], None);
+        dm.register_server("b", "addr-b", vec![gpu(2)], None);
+        let req = DmRequirement { count: 2, attributes: vec![("TYPE".into(), "GPU".into())] };
+        let (lease, servers) = dm.assign("c", &[req]).unwrap();
+        assert_eq!(lease.devices.len(), 2);
+        assert_eq!(servers, vec!["addr-a".to_string(), "addr-b".to_string()]);
+    }
+
+    #[test]
+    fn reregistration_keeps_assignments() {
+        let dm = DeviceManager::new(SchedulingStrategy::FirstFit);
+        dm.register_server("a", "addr-a", vec![gpu(1)], None);
+        let (lease, _) = dm.assign("c", &[gpu_requirement()]).unwrap();
+        // Daemon restarts and re-registers: device stays assigned.
+        dm.register_server("a", "addr-a2", vec![gpu(1)], None);
+        assert_eq!(dm.free_device_count(), 0);
+        dm.release(&lease.auth_id).unwrap();
+        assert_eq!(dm.free_device_count(), 1);
+    }
+
+    #[test]
+    fn empty_request_is_rejected() {
+        let dm = DeviceManager::new(SchedulingStrategy::FirstFit);
+        dm.register_server("a", "a", vec![gpu(1)], None);
+        assert!(dm.assign("c", &[]).is_err());
+    }
+
+    #[test]
+    fn status_counts() {
+        let dm = DeviceManager::new(SchedulingStrategy::FirstFit);
+        dm.register_server("a", "a", vec![gpu(1), gpu(2)], None);
+        dm.assign("c", &[gpu_requirement()]).unwrap();
+        assert_eq!(dm.status(), (1, 1, 1));
+    }
+}

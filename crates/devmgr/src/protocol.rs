@@ -1,0 +1,383 @@
+//! Wire protocol of the central device manager (Section IV, Figure 2).
+//!
+//! Three parties use it:
+//!
+//! * **daemons** in managed mode register their devices
+//!   ([`DmRequest::RegisterServer`]) and receive device assignments as
+//!   notifications ([`DmNotification::AssignDevices`], step 3b in Figure 2),
+//! * **clients** send assignment requests ([`DmRequest::RequestAssignment`],
+//!   step 1) and receive the lease's authentication id plus server list
+//!   ([`DmResponse::Assignment`], step 3a),
+//! * both report lease termination ([`DmRequest::ReleaseLease`] from the
+//!   client, [`DmRequest::ReportDisconnect`] from a daemon that lost its
+//!   client, Section IV-C).
+
+use gcf::wire::{Decode, Encode, Reader};
+use gcf::GcfError;
+
+fn codec_err(msg: impl Into<String>) -> GcfError {
+    GcfError::Codec(msg.into())
+}
+
+/// A device as registered by a daemon with the device manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DmDevice {
+    /// The daemon-local device id (what the dOpenCL protocol calls the
+    /// remote device id).
+    pub remote_id: u64,
+    /// `CL_DEVICE_NAME`.
+    pub name: String,
+    /// `CL_DEVICE_VENDOR`.
+    pub vendor: String,
+    /// `CL_DEVICE_TYPE` as a string (`CPU`, `GPU`, ...).
+    pub device_type: String,
+    /// `CL_DEVICE_MAX_COMPUTE_UNITS`.
+    pub compute_units: u32,
+    /// `CL_DEVICE_GLOBAL_MEM_SIZE`.
+    pub global_mem_bytes: u64,
+}
+
+impl DmDevice {
+    /// Whether this device satisfies an attribute constraint from a device
+    /// request (`TYPE`, `VENDOR`, `NAME`, `MAX_COMPUTE_UNITS`,
+    /// `GLOBAL_MEM_SIZE`).  Numeric attributes are minimum requirements.
+    pub fn satisfies(&self, name: &str, value: &str) -> bool {
+        match name.to_ascii_uppercase().as_str() {
+            "TYPE" => self.device_type.eq_ignore_ascii_case(value.trim()),
+            "VENDOR" => self.vendor.to_ascii_lowercase().contains(&value.trim().to_ascii_lowercase()),
+            "NAME" => self.name.to_ascii_lowercase().contains(&value.trim().to_ascii_lowercase()),
+            "MAX_COMPUTE_UNITS" => value
+                .trim()
+                .parse::<u32>()
+                .map(|want| self.compute_units >= want)
+                .unwrap_or(false),
+            "GLOBAL_MEM_SIZE" => value
+                .trim()
+                .parse::<u64>()
+                .map(|want| self.global_mem_bytes >= want)
+                .unwrap_or(false),
+            _ => false,
+        }
+    }
+}
+
+impl Encode for DmDevice {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.remote_id.encode(buf);
+        self.name.encode(buf);
+        self.vendor.encode(buf);
+        self.device_type.encode(buf);
+        self.compute_units.encode(buf);
+        self.global_mem_bytes.encode(buf);
+    }
+}
+
+impl Decode for DmDevice {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, GcfError> {
+        Ok(DmDevice {
+            remote_id: u64::decode(r)?,
+            name: String::decode(r)?,
+            vendor: String::decode(r)?,
+            device_type: String::decode(r)?,
+            compute_units: u32::decode(r)?,
+            global_mem_bytes: u64::decode(r)?,
+        })
+    }
+}
+
+/// One device requirement of an assignment request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DmRequirement {
+    /// Number of devices with these attributes.
+    pub count: u32,
+    /// Attribute constraints.
+    pub attributes: Vec<(String, String)>,
+}
+
+impl Encode for DmRequirement {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.count.encode(buf);
+        self.attributes.encode(buf);
+    }
+}
+
+impl Decode for DmRequirement {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, GcfError> {
+        Ok(DmRequirement { count: u32::decode(r)?, attributes: Vec::decode(r)? })
+    }
+}
+
+/// Requests understood by the device manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DmRequest {
+    /// A daemon in managed mode announces itself and its devices.
+    RegisterServer {
+        /// The daemon's node name.
+        server_name: String,
+        /// The address clients should connect to.
+        address: String,
+        /// The devices the daemon owns.
+        devices: Vec<DmDevice>,
+    },
+    /// A client asks for devices (step 1 in Figure 2).
+    RequestAssignment {
+        /// The requesting client's name.
+        client_name: String,
+        /// What it needs.
+        requirements: Vec<DmRequirement>,
+    },
+    /// The client is done with its lease.
+    ReleaseLease {
+        /// The lease's authentication id.
+        auth_id: String,
+    },
+    /// A daemon reports that the client holding `auth_id` disconnected
+    /// (abnormal termination, Section IV-C).
+    ReportDisconnect {
+        /// The invalidated authentication id.
+        auth_id: String,
+    },
+    /// Diagnostics: free/assigned device counts.
+    GetStatus,
+}
+
+impl Encode for DmRequest {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            DmRequest::RegisterServer { server_name, address, devices } => {
+                buf.push(0);
+                server_name.encode(buf);
+                address.encode(buf);
+                devices.encode(buf);
+            }
+            DmRequest::RequestAssignment { client_name, requirements } => {
+                buf.push(1);
+                client_name.encode(buf);
+                requirements.encode(buf);
+            }
+            DmRequest::ReleaseLease { auth_id } => {
+                buf.push(2);
+                auth_id.encode(buf);
+            }
+            DmRequest::ReportDisconnect { auth_id } => {
+                buf.push(3);
+                auth_id.encode(buf);
+            }
+            DmRequest::GetStatus => buf.push(4),
+        }
+    }
+}
+
+impl Decode for DmRequest {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, GcfError> {
+        Ok(match u8::decode(r)? {
+            0 => DmRequest::RegisterServer {
+                server_name: String::decode(r)?,
+                address: String::decode(r)?,
+                devices: Vec::decode(r)?,
+            },
+            1 => DmRequest::RequestAssignment {
+                client_name: String::decode(r)?,
+                requirements: Vec::decode(r)?,
+            },
+            2 => DmRequest::ReleaseLease { auth_id: String::decode(r)? },
+            3 => DmRequest::ReportDisconnect { auth_id: String::decode(r)? },
+            4 => DmRequest::GetStatus,
+            other => return Err(codec_err(format!("invalid device-manager request tag {other}"))),
+        })
+    }
+}
+
+/// Responses of the device manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DmResponse {
+    /// Success without payload.
+    Ok,
+    /// Failure (e.g. no matching devices available).
+    Error {
+        /// Description.
+        message: String,
+    },
+    /// A granted lease (step 3a in Figure 2).
+    Assignment {
+        /// The lease's authentication id.
+        auth_id: String,
+        /// Addresses of the servers owning the assigned devices.
+        servers: Vec<String>,
+    },
+    /// Diagnostics.
+    Status {
+        /// Devices not assigned to any lease.
+        free_devices: u32,
+        /// Devices currently assigned.
+        assigned_devices: u32,
+        /// Active leases.
+        leases: u32,
+    },
+}
+
+impl Encode for DmResponse {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            DmResponse::Ok => buf.push(0),
+            DmResponse::Error { message } => {
+                buf.push(1);
+                message.encode(buf);
+            }
+            DmResponse::Assignment { auth_id, servers } => {
+                buf.push(2);
+                auth_id.encode(buf);
+                servers.encode(buf);
+            }
+            DmResponse::Status { free_devices, assigned_devices, leases } => {
+                buf.push(3);
+                free_devices.encode(buf);
+                assigned_devices.encode(buf);
+                leases.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for DmResponse {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, GcfError> {
+        Ok(match u8::decode(r)? {
+            0 => DmResponse::Ok,
+            1 => DmResponse::Error { message: String::decode(r)? },
+            2 => DmResponse::Assignment { auth_id: String::decode(r)?, servers: Vec::decode(r)? },
+            3 => DmResponse::Status {
+                free_devices: u32::decode(r)?,
+                assigned_devices: u32::decode(r)?,
+                leases: u32::decode(r)?,
+            },
+            other => return Err(codec_err(format!("invalid device-manager response tag {other}"))),
+        })
+    }
+}
+
+/// Notifications pushed by the device manager to registered daemons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DmNotification {
+    /// Associate `device_ids` with the authentication id (step 3b).
+    AssignDevices {
+        /// The lease's authentication id.
+        auth_id: String,
+        /// Daemon-local device ids the lease may use on this server.
+        device_ids: Vec<u64>,
+    },
+    /// Discard the authentication id; its devices are free again.
+    RevokeLease {
+        /// The lease's authentication id.
+        auth_id: String,
+    },
+}
+
+impl Encode for DmNotification {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            DmNotification::AssignDevices { auth_id, device_ids } => {
+                buf.push(0);
+                auth_id.encode(buf);
+                device_ids.encode(buf);
+            }
+            DmNotification::RevokeLease { auth_id } => {
+                buf.push(1);
+                auth_id.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for DmNotification {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, GcfError> {
+        Ok(match u8::decode(r)? {
+            0 => DmNotification::AssignDevices {
+                auth_id: String::decode(r)?,
+                device_ids: Vec::decode(r)?,
+            },
+            1 => DmNotification::RevokeLease { auth_id: String::decode(r)? },
+            other => {
+                return Err(codec_err(format!("invalid device-manager notification tag {other}")))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> DmDevice {
+        DmDevice {
+            remote_id: 7,
+            name: "NVIDIA Tesla S1070".into(),
+            vendor: "NVIDIA Corporation".into(),
+            device_type: "GPU".into(),
+            compute_units: 30,
+            global_mem_bytes: 4 << 30,
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in [
+            DmRequest::RegisterServer {
+                server_name: "gpuserver".into(),
+                address: "gpuserver:7079".into(),
+                devices: vec![device()],
+            },
+            DmRequest::RequestAssignment {
+                client_name: "desktop".into(),
+                requirements: vec![DmRequirement {
+                    count: 2,
+                    attributes: vec![("TYPE".into(), "CPU".into())],
+                }],
+            },
+            DmRequest::ReleaseLease { auth_id: "lease-1".into() },
+            DmRequest::ReportDisconnect { auth_id: "lease-1".into() },
+            DmRequest::GetStatus,
+        ] {
+            assert_eq!(DmRequest::from_bytes(&req.to_bytes()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_and_notifications_roundtrip() {
+        for resp in [
+            DmResponse::Ok,
+            DmResponse::Error { message: "no device".into() },
+            DmResponse::Assignment { auth_id: "lease-2".into(), servers: vec!["a".into(), "b".into()] },
+            DmResponse::Status { free_devices: 3, assigned_devices: 1, leases: 1 },
+        ] {
+            assert_eq!(DmResponse::from_bytes(&resp.to_bytes()).unwrap(), resp);
+        }
+        for n in [
+            DmNotification::AssignDevices { auth_id: "lease-2".into(), device_ids: vec![1, 2] },
+            DmNotification::RevokeLease { auth_id: "lease-2".into() },
+        ] {
+            assert_eq!(DmNotification::from_bytes(&n.to_bytes()).unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn attribute_matching() {
+        let d = device();
+        assert!(d.satisfies("TYPE", "GPU"));
+        assert!(d.satisfies("TYPE", "gpu"));
+        assert!(!d.satisfies("TYPE", "CPU"));
+        assert!(d.satisfies("VENDOR", "nvidia"));
+        assert!(d.satisfies("NAME", "Tesla"));
+        assert!(d.satisfies("MAX_COMPUTE_UNITS", "16"));
+        assert!(!d.satisfies("MAX_COMPUTE_UNITS", "64"));
+        assert!(d.satisfies("GLOBAL_MEM_SIZE", "1073741824"));
+        assert!(!d.satisfies("UNKNOWN_ATTR", "x"));
+        assert!(!d.satisfies("MAX_COMPUTE_UNITS", "not-a-number"));
+    }
+
+    #[test]
+    fn corrupted_messages_rejected() {
+        assert!(DmRequest::from_bytes(&[9]).is_err());
+        assert!(DmResponse::from_bytes(&[9]).is_err());
+        assert!(DmNotification::from_bytes(&[9]).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type shared by all gcf operations.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, GcfError>;
+
+/// Errors produced by the communication framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GcfError {
+    /// The peer closed the connection (or was never reachable).
+    Disconnected(String),
+    /// No listener is registered under the requested address.
+    AddressNotFound(String),
+    /// An address is already in use by another listener.
+    AddressInUse(String),
+    /// A frame could not be decoded.
+    Codec(String),
+    /// An I/O error from the underlying socket.
+    Io(String),
+    /// A request timed out waiting for its response.
+    Timeout(String),
+    /// The operation is not valid in the current state.
+    Protocol(String),
+}
+
+impl fmt::Display for GcfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GcfError::Disconnected(who) => write!(f, "peer disconnected: {who}"),
+            GcfError::AddressNotFound(a) => write!(f, "no listener at address: {a}"),
+            GcfError::AddressInUse(a) => write!(f, "address already in use: {a}"),
+            GcfError::Codec(m) => write!(f, "codec error: {m}"),
+            GcfError::Io(m) => write!(f, "i/o error: {m}"),
+            GcfError::Timeout(m) => write!(f, "timeout: {m}"),
+            GcfError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GcfError {}
+
+impl From<std::io::Error> for GcfError {
+    fn from(e: std::io::Error) -> Self {
+        GcfError::Io(e.to_string())
+    }
+}

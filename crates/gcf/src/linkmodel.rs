@@ -1,0 +1,211 @@
+//! Network and bus link models.
+//!
+//! The paper's evaluation runs on real hardware: an Infiniband cluster for
+//! the Mandelbrot scalability study, a Gigabit Ethernet link between a
+//! desktop PC and a GPU server for the OSEM and device-manager studies, and
+//! the GPU server's PCI Express bus for the raw transfer measurements.
+//!
+//! This reproduction substitutes *parameterised link models*: every transfer
+//! that crosses a link is accounted as `latency + per-message overhead +
+//! bytes / effective bandwidth`.  The default parameters are calibrated from
+//! the figures the paper reports (Section V-D):
+//!
+//! * Gigabit Ethernet: 125 MB/s theoretical, ~106 MB/s effective (iperf
+//!   measures 86 % of theoretical),
+//! * PCI Express (GPU server): strongly asymmetric — reads from the device
+//!   are about 15× slower than writes to it,
+//! * Infiniband: bandwidth comparable to PCI Express (250 MB/s – 12 GB/s
+//!   per the paper; we model QDR-class 3.2 GB/s effective).
+
+use std::time::Duration;
+
+/// Number of bytes in a mebibyte; transfer sizes in the paper are given in MB
+/// (binary) units.
+pub const MIB: u64 = 1024 * 1024;
+
+/// A point-to-point link (network or bus) with a simple linear cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkModel {
+    /// Human-readable name used in reports.
+    pub name: String,
+    /// Effective sustained bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// One-way propagation latency added to every transfer.
+    pub latency: Duration,
+    /// Fixed protocol overhead added per message/request (software stack,
+    /// framing, interrupt handling).
+    pub per_message_overhead: Duration,
+}
+
+impl LinkModel {
+    /// Construct a link model from explicit parameters.
+    pub fn new(
+        name: impl Into<String>,
+        bandwidth_bytes_per_sec: f64,
+        latency: Duration,
+        per_message_overhead: Duration,
+    ) -> Self {
+        assert!(bandwidth_bytes_per_sec > 0.0, "bandwidth must be positive");
+        LinkModel {
+            name: name.into(),
+            bandwidth_bytes_per_sec,
+            latency,
+            per_message_overhead,
+        }
+    }
+
+    /// Gigabit Ethernet as measured in the paper: 125 MB/s theoretical,
+    /// ~106 MB/s effective, ~100 µs software latency per message.
+    pub fn gigabit_ethernet() -> Self {
+        LinkModel::new(
+            "Gigabit Ethernet",
+            106.0 * MIB as f64,
+            Duration::from_micros(80),
+            Duration::from_micros(120),
+        )
+    }
+
+    /// Theoretical (ideal) Gigabit Ethernet, used as the 100 % reference in
+    /// the Figure 8 efficiency plot.
+    pub fn gigabit_ethernet_theoretical() -> Self {
+        LinkModel::new(
+            "Gigabit Ethernet (theoretical)",
+            125.0 * MIB as f64,
+            Duration::ZERO,
+            Duration::ZERO,
+        )
+    }
+
+    /// Infiniband (QDR-class) interconnect of the Mandelbrot cluster.
+    pub fn infiniband() -> Self {
+        LinkModel::new(
+            "Infiniband",
+            3_200.0 * MIB as f64,
+            Duration::from_micros(2),
+            Duration::from_micros(5),
+        )
+    }
+
+    /// An ideal, infinitely fast link (useful for isolating other costs in
+    /// tests and ablations).
+    pub fn ideal() -> Self {
+        LinkModel::new("ideal", 1e15, Duration::ZERO, Duration::ZERO)
+    }
+
+    /// PCI Express *write* direction (host to device) of the paper's GPU
+    /// server.  Calibrated so that Gigabit Ethernet is roughly 50× slower
+    /// for writes (Section V-D).
+    pub fn pcie_write() -> Self {
+        LinkModel::new(
+            "PCI Express (write)",
+            5_400.0 * MIB as f64,
+            Duration::from_micros(10),
+            Duration::from_micros(10),
+        )
+    }
+
+    /// PCI Express *read* direction (device to host): the paper measures
+    /// reads to be up to 15× slower than writes on their server.
+    pub fn pcie_read() -> Self {
+        LinkModel::new(
+            "PCI Express (read)",
+            360.0 * MIB as f64,
+            Duration::from_micros(10),
+            Duration::from_micros(10),
+        )
+    }
+
+    /// Modelled duration of a single bulk transfer of `bytes` bytes.
+    pub fn transfer_time(&self, bytes: u64) -> Duration {
+        let seconds = bytes as f64 / self.bandwidth_bytes_per_sec;
+        self.latency + self.per_message_overhead + Duration::from_secs_f64(seconds)
+    }
+
+    /// Modelled duration of a request/response message exchange carrying
+    /// `request_bytes` and `response_bytes` of payload.
+    ///
+    /// Message-based communication pays the per-message overhead twice (once
+    /// per direction) plus two propagation latencies.
+    pub fn round_trip_time(&self, request_bytes: u64, response_bytes: u64) -> Duration {
+        let payload = (request_bytes + response_bytes) as f64 / self.bandwidth_bytes_per_sec;
+        self.latency * 2 + self.per_message_overhead * 2 + Duration::from_secs_f64(payload)
+    }
+
+    /// Effective bandwidth achieved when transferring `bytes` in a single
+    /// operation, as a fraction of this link's configured bandwidth of
+    /// another (reference) link.
+    pub fn efficiency_vs(&self, reference: &LinkModel, bytes: u64) -> f64 {
+        let actual = self.transfer_time(bytes).as_secs_f64();
+        let ideal = bytes as f64 / reference.bandwidth_bytes_per_sec;
+        if actual <= 0.0 {
+            return 1.0;
+        }
+        (ideal / actual).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_linearly_with_size() {
+        let link = LinkModel::gigabit_ethernet();
+        let t1 = link.transfer_time(1 * MIB);
+        let t64 = link.transfer_time(64 * MIB);
+        let t1024 = link.transfer_time(1024 * MIB);
+        assert!(t64 > t1);
+        assert!(t1024 > t64);
+        // 1024 MB at ~106 MB/s takes roughly 9.7 s.
+        let secs = t1024.as_secs_f64();
+        assert!((9.0..10.5).contains(&secs), "got {secs}");
+    }
+
+    #[test]
+    fn gige_write_about_50x_slower_than_pcie_write() {
+        let gige = LinkModel::gigabit_ethernet();
+        let pcie = LinkModel::pcie_write();
+        let ratio = gige.transfer_time(1024 * MIB).as_secs_f64()
+            / pcie.transfer_time(1024 * MIB).as_secs_f64();
+        assert!((40.0..60.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn pcie_read_about_15x_slower_than_write() {
+        let w = LinkModel::pcie_write();
+        let r = LinkModel::pcie_read();
+        let ratio = r.transfer_time(1024 * MIB).as_secs_f64()
+            / w.transfer_time(1024 * MIB).as_secs_f64();
+        assert!((12.0..18.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn efficiency_increases_with_transfer_size() {
+        let gige = LinkModel::gigabit_ethernet();
+        let theo = LinkModel::gigabit_ethernet_theoretical();
+        let e1 = gige.efficiency_vs(&theo, 1 * MIB);
+        let e1024 = gige.efficiency_vs(&theo, 1024 * MIB);
+        assert!(e1024 > e1);
+        assert!(e1024 < 0.9, "effective GigE stays below the iperf line");
+        assert!(e1024 > 0.80);
+    }
+
+    #[test]
+    fn round_trip_includes_two_overheads() {
+        let link = LinkModel::gigabit_ethernet();
+        let rtt = link.round_trip_time(64, 64);
+        assert!(rtt >= link.latency * 2 + link.per_message_overhead * 2);
+    }
+
+    #[test]
+    fn ideal_link_is_effectively_free() {
+        let link = LinkModel::ideal();
+        assert!(link.transfer_time(1024 * MIB) < Duration::from_micros(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        let _ = LinkModel::new("bad", 0.0, Duration::ZERO, Duration::ZERO);
+    }
+}

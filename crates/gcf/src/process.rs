@@ -1,0 +1,113 @@
+//! Process descriptors.
+//!
+//! GCF represents the communicating parties — the dOpenCL client and the
+//! servers — as *process objects*.  This module provides the lightweight
+//! descriptor type used by the session harness and the device manager to
+//! identify nodes of the (simulated or real) distributed system.
+
+use crate::wire::{Decode, Encode, Reader};
+use crate::{GcfError, Result};
+
+/// The role a process plays in the distributed system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// The host system running the OpenCL application plus the dOpenCL
+    /// client driver.
+    Client,
+    /// A node running a dOpenCL daemon in front of its native OpenCL
+    /// implementation.
+    Server,
+    /// The central device manager (Section IV of the paper).
+    DeviceManager,
+}
+
+impl Role {
+    fn to_byte(self) -> u8 {
+        match self {
+            Role::Client => 0,
+            Role::Server => 1,
+            Role::DeviceManager => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self> {
+        Ok(match b {
+            0 => Role::Client,
+            1 => Role::Server,
+            2 => Role::DeviceManager,
+            other => return Err(GcfError::Codec(format!("invalid role byte {other}"))),
+        })
+    }
+}
+
+/// Identity of a process in the distributed system.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProcessDescriptor {
+    /// Human-readable node name (e.g. `gpuserver.example.com`).
+    pub name: String,
+    /// Transport address the process listens on (empty for clients).
+    pub address: String,
+    /// The process role.
+    pub role: Role,
+}
+
+impl ProcessDescriptor {
+    /// Descriptor for a client process.
+    pub fn client(name: impl Into<String>) -> Self {
+        ProcessDescriptor { name: name.into(), address: String::new(), role: Role::Client }
+    }
+
+    /// Descriptor for a server process listening at `address`.
+    pub fn server(name: impl Into<String>, address: impl Into<String>) -> Self {
+        ProcessDescriptor { name: name.into(), address: address.into(), role: Role::Server }
+    }
+
+    /// Descriptor for the device manager listening at `address`.
+    pub fn device_manager(name: impl Into<String>, address: impl Into<String>) -> Self {
+        ProcessDescriptor {
+            name: name.into(),
+            address: address.into(),
+            role: Role::DeviceManager,
+        }
+    }
+}
+
+impl Encode for ProcessDescriptor {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.name.encode(buf);
+        self.address.encode(buf);
+        buf.push(self.role.to_byte());
+    }
+}
+
+impl Decode for ProcessDescriptor {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let name = String::decode(r)?;
+        let address = String::decode(r)?;
+        let role = Role::from_byte(u8::decode(r)?)?;
+        Ok(ProcessDescriptor { name, address, role })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_roundtrip() {
+        let d = ProcessDescriptor::server("gpuserver", "inproc://gpuserver");
+        assert_eq!(ProcessDescriptor::from_bytes(&d.to_bytes()).unwrap(), d);
+        let c = ProcessDescriptor::client("desktop");
+        assert_eq!(ProcessDescriptor::from_bytes(&c.to_bytes()).unwrap(), c);
+        let m = ProcessDescriptor::device_manager("devmngr", "inproc://devmngr");
+        assert_eq!(ProcessDescriptor::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn invalid_role_rejected() {
+        let mut bytes = ProcessDescriptor::client("x").to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] = 77;
+        assert!(ProcessDescriptor::from_bytes(&bytes).is_err());
+    }
+}

@@ -1,0 +1,453 @@
+//! Request/response endpoint with notifications and bulk streams.
+//!
+//! [`Endpoint`] implements the two communication patterns dOpenCL needs on
+//! top of a raw [`Connection`]:
+//!
+//! * **message-based** — [`Endpoint::call`] sends a request and blocks until
+//!   the matching response arrives; [`Endpoint::notify`] sends a one-way
+//!   notification; incoming requests and notifications are delivered to an
+//!   [`EndpointHandler`],
+//! * **stream-based** — [`Endpoint::send_bulk`] ships raw data in chunks and
+//!   [`Endpoint::wait_bulk`] blocks until a complete bulk transfer for a
+//!   given stream id has arrived.
+//!
+//! A background receiver thread owns the demultiplexing, so calls, streams
+//! and notifications may be issued concurrently from any thread.
+
+use crate::error::{GcfError, Result};
+use crate::message::{Envelope, MessageKind};
+use crate::transport::Connection;
+use crossbeam_channel::{bounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Chunk size used for bulk (stream-based) transfers.
+pub const STREAM_CHUNK: usize = 1 << 20;
+
+/// Default timeout for synchronous calls.
+pub const DEFAULT_CALL_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Handles frames initiated by the peer.
+pub trait EndpointHandler: Send + Sync {
+    /// Handle a request and produce the response payload.
+    fn handle_request(&self, payload: &[u8]) -> Vec<u8>;
+
+    /// Handle a one-way notification.
+    fn handle_notification(&self, _payload: &[u8]) {}
+}
+
+/// A handler that rejects every request; suitable for pure-client endpoints
+/// that only expect notifications they also ignore.
+pub struct NullHandler;
+
+impl EndpointHandler for NullHandler {
+    fn handle_request(&self, _payload: &[u8]) -> Vec<u8> {
+        Vec::new()
+    }
+}
+
+/// Traffic counters, useful for tests and for charging link models.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Number of request frames sent.
+    pub requests_sent: u64,
+    /// Number of notification frames sent.
+    pub notifications_sent: u64,
+    /// Total message payload bytes sent (requests + notifications + responses).
+    pub message_bytes_sent: u64,
+    /// Total bulk payload bytes sent.
+    pub stream_bytes_sent: u64,
+    /// Total bulk payload bytes received.
+    pub stream_bytes_received: u64,
+}
+
+struct BulkBuffers {
+    /// Partially received streams, keyed by stream id.
+    partial: HashMap<u64, Vec<u8>>,
+    /// Completed streams waiting to be claimed.
+    complete: HashMap<u64, Vec<u8>>,
+}
+
+/// Bidirectional RPC endpoint over a connection.
+pub struct Endpoint {
+    conn: Arc<dyn Connection>,
+    next_id: AtomicU64,
+    pending: Mutex<HashMap<u64, Sender<Vec<u8>>>>,
+    bulk: Mutex<BulkBuffers>,
+    bulk_cond: Condvar,
+    stats: Mutex<TrafficStats>,
+    call_timeout: Mutex<Duration>,
+    closed: AtomicBool,
+    name: String,
+}
+
+impl Endpoint {
+    /// Create an endpoint over `conn`, dispatching peer-initiated frames to
+    /// `handler`.  Spawns the receiver thread.
+    pub fn new(
+        conn: Arc<dyn Connection>,
+        handler: Arc<dyn EndpointHandler>,
+        name: impl Into<String>,
+    ) -> Arc<Self> {
+        let endpoint = Arc::new(Endpoint {
+            conn,
+            next_id: AtomicU64::new(1),
+            pending: Mutex::new(HashMap::new()),
+            bulk: Mutex::new(BulkBuffers { partial: HashMap::new(), complete: HashMap::new() }),
+            bulk_cond: Condvar::new(),
+            stats: Mutex::new(TrafficStats::default()),
+            call_timeout: Mutex::new(DEFAULT_CALL_TIMEOUT),
+            closed: AtomicBool::new(false),
+            name: name.into(),
+        });
+        let weak = Arc::downgrade(&endpoint);
+        let thread_name = format!("gcf-endpoint-{}", endpoint.name);
+        std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || {
+                loop {
+                    let Some(ep) = weak.upgrade() else { break };
+                    if ep.closed.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let frame = match ep.conn.recv_timeout(Duration::from_millis(200)) {
+                        Ok(frame) => frame,
+                        Err(GcfError::Timeout(_)) => continue,
+                        Err(_) => {
+                            ep.fail_all_pending();
+                            break;
+                        }
+                    };
+                    ep.dispatch(frame, &handler);
+                }
+            })
+            .expect("spawn endpoint receiver thread");
+        endpoint
+    }
+
+    /// The peer's description.
+    pub fn peer(&self) -> String {
+        self.conn.peer()
+    }
+
+    /// The local endpoint name given at construction.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Override the synchronous call timeout.
+    pub fn set_call_timeout(&self, timeout: Duration) {
+        *self.call_timeout.lock() = timeout;
+    }
+
+    /// Snapshot of traffic counters.
+    pub fn stats(&self) -> TrafficStats {
+        *self.stats.lock()
+    }
+
+    /// Whether the endpoint (and its connection) is still usable.
+    pub fn is_open(&self) -> bool {
+        !self.closed.load(Ordering::Acquire) && self.conn.is_open()
+    }
+
+    fn dispatch(self: &Arc<Self>, frame: Envelope, handler: &Arc<dyn EndpointHandler>) {
+        match frame.kind {
+            MessageKind::Response => {
+                let waiter = self.pending.lock().remove(&frame.id);
+                if let Some(tx) = waiter {
+                    let _ = tx.send(frame.payload);
+                }
+            }
+            MessageKind::Request => {
+                let response = handler.handle_request(&frame.payload);
+                self.stats.lock().message_bytes_sent += response.len() as u64;
+                let _ = self.conn.send(Envelope::response(frame.id, response));
+            }
+            MessageKind::Notification => {
+                handler.handle_notification(&frame.payload);
+            }
+            MessageKind::StreamData => {
+                self.accept_stream_chunk(frame.id, frame.payload);
+            }
+            MessageKind::Hello => {
+                // Handshake frames carry no state we need to track here.
+            }
+            MessageKind::Bye => {
+                self.closed.store(true, Ordering::Release);
+                self.fail_all_pending();
+            }
+        }
+    }
+
+    fn accept_stream_chunk(&self, stream_id: u64, payload: Vec<u8>) {
+        // Chunk layout: [last: u8][data...]
+        if payload.is_empty() {
+            return;
+        }
+        let last = payload[0] == 1;
+        let data = &payload[1..];
+        let mut bulk = self.bulk.lock();
+        bulk.partial.entry(stream_id).or_default().extend_from_slice(data);
+        self.stats.lock().stream_bytes_received += data.len() as u64;
+        if last {
+            let complete = bulk.partial.remove(&stream_id).unwrap_or_default();
+            bulk.complete.insert(stream_id, complete);
+            self.bulk_cond.notify_all();
+        }
+    }
+
+    fn fail_all_pending(&self) {
+        let mut pending = self.pending.lock();
+        pending.clear();
+        // Dropping the senders wakes every waiter with a RecvError.
+    }
+
+    /// Allocate a fresh correlation / stream id.
+    pub fn allocate_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Send a request and block for its response payload.
+    pub fn call(&self, payload: Vec<u8>) -> Result<Vec<u8>> {
+        if !self.is_open() {
+            return Err(GcfError::Disconnected(self.conn.peer()));
+        }
+        let id = self.allocate_id();
+        let (tx, rx) = bounded(1);
+        self.pending.lock().insert(id, tx);
+        {
+            let mut stats = self.stats.lock();
+            stats.requests_sent += 1;
+            stats.message_bytes_sent += payload.len() as u64;
+        }
+        if let Err(e) = self.conn.send(Envelope::request(id, payload)) {
+            self.pending.lock().remove(&id);
+            return Err(e);
+        }
+        let timeout = *self.call_timeout.lock();
+        match rx.recv_timeout(timeout) {
+            Ok(response) => Ok(response),
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                self.pending.lock().remove(&id);
+                Err(GcfError::Timeout(format!("call to {}", self.conn.peer())))
+            }
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                Err(GcfError::Disconnected(self.conn.peer()))
+            }
+        }
+    }
+
+    /// Send a one-way notification.
+    pub fn notify(&self, payload: Vec<u8>) -> Result<()> {
+        if !self.is_open() {
+            return Err(GcfError::Disconnected(self.conn.peer()));
+        }
+        {
+            let mut stats = self.stats.lock();
+            stats.notifications_sent += 1;
+            stats.message_bytes_sent += payload.len() as u64;
+        }
+        self.conn.send(Envelope::notification(self.allocate_id(), payload))
+    }
+
+    /// Send a bulk payload on stream `stream_id` (chunked; the receiver
+    /// reassembles it and makes it available via [`Endpoint::wait_bulk`]).
+    pub fn send_bulk(&self, stream_id: u64, data: &[u8]) -> Result<()> {
+        if !self.is_open() {
+            return Err(GcfError::Disconnected(self.conn.peer()));
+        }
+        self.stats.lock().stream_bytes_sent += data.len() as u64;
+        if data.is_empty() {
+            let payload = vec![1u8];
+            return self.conn.send(Envelope::stream(stream_id, payload));
+        }
+        let mut offset = 0;
+        while offset < data.len() {
+            let end = (offset + STREAM_CHUNK).min(data.len());
+            let last = end == data.len();
+            let mut payload = Vec::with_capacity(1 + end - offset);
+            payload.push(u8::from(last));
+            payload.extend_from_slice(&data[offset..end]);
+            self.conn.send(Envelope::stream(stream_id, payload))?;
+            offset = end;
+        }
+        Ok(())
+    }
+
+    /// Block until a complete bulk transfer for `stream_id` has arrived and
+    /// return its data.
+    pub fn wait_bulk(&self, stream_id: u64, timeout: Duration) -> Result<Vec<u8>> {
+        let mut bulk = self.bulk.lock();
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(data) = bulk.complete.remove(&stream_id) {
+                return Ok(data);
+            }
+            if !self.is_open() {
+                return Err(GcfError::Disconnected(self.conn.peer()));
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(GcfError::Timeout(format!("bulk stream {stream_id}")));
+            }
+            let wait = (deadline - now).min(Duration::from_millis(100));
+            self.bulk_cond.wait_for(&mut bulk, wait);
+        }
+    }
+
+    /// Non-blocking check whether a bulk transfer has completed.
+    pub fn try_take_bulk(&self, stream_id: u64) -> Option<Vec<u8>> {
+        self.bulk.lock().complete.remove(&stream_id)
+    }
+
+    /// Close the endpoint: notify the peer and shut the connection down.
+    pub fn close(&self) {
+        if self.closed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let _ = self.conn.send(Envelope {
+            kind: MessageKind::Bye,
+            id: 0,
+            payload: Vec::new(),
+        });
+        self.conn.close();
+        self.fail_all_pending();
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        if !self.closed.load(Ordering::Acquire) {
+            self.conn.close();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::inproc::InprocTransport;
+    use crate::transport::Transport;
+
+    struct EchoHandler;
+    impl EndpointHandler for EchoHandler {
+        fn handle_request(&self, payload: &[u8]) -> Vec<u8> {
+            let mut out = payload.to_vec();
+            out.reverse();
+            out
+        }
+    }
+
+    struct RecordingHandler {
+        notes: Mutex<Vec<Vec<u8>>>,
+    }
+    impl EndpointHandler for RecordingHandler {
+        fn handle_request(&self, payload: &[u8]) -> Vec<u8> {
+            payload.to_vec()
+        }
+        fn handle_notification(&self, payload: &[u8]) {
+            self.notes.lock().push(payload.to_vec());
+        }
+    }
+
+    fn endpoint_pair(
+        client_handler: Arc<dyn EndpointHandler>,
+        server_handler: Arc<dyn EndpointHandler>,
+    ) -> (Arc<Endpoint>, Arc<Endpoint>) {
+        let t = InprocTransport::new();
+        let listener = t.listen("srv").unwrap();
+        let h = std::thread::spawn(move || listener.accept().unwrap());
+        let client_conn = t.connect("srv").unwrap();
+        let server_conn = h.join().unwrap();
+        let client = Endpoint::new(client_conn, client_handler, "client");
+        let server = Endpoint::new(server_conn, server_handler, "server");
+        (client, server)
+    }
+
+    #[test]
+    fn call_gets_matching_response() {
+        let (client, _server) = endpoint_pair(Arc::new(NullHandler), Arc::new(EchoHandler));
+        let resp = client.call(vec![1, 2, 3]).unwrap();
+        assert_eq!(resp, vec![3, 2, 1]);
+        assert_eq!(client.stats().requests_sent, 1);
+    }
+
+    #[test]
+    fn concurrent_calls_are_matched_by_id() {
+        let (client, _server) = endpoint_pair(Arc::new(NullHandler), Arc::new(EchoHandler));
+        let client = Arc::clone(&client);
+        let mut handles = Vec::new();
+        for i in 0..16u8 {
+            let c = Arc::clone(&client);
+            handles.push(std::thread::spawn(move || {
+                let resp = c.call(vec![i, i + 1, i + 2]).unwrap();
+                assert_eq!(resp, vec![i + 2, i + 1, i]);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn notifications_reach_the_handler() {
+        let recorder = Arc::new(RecordingHandler { notes: Mutex::new(Vec::new()) });
+        let (client, server) = endpoint_pair(Arc::clone(&recorder) as _, Arc::new(EchoHandler));
+        let _ = client; // keep alive
+        server.notify(vec![42]).unwrap();
+        // Wait for async delivery.
+        for _ in 0..100 {
+            if !recorder.notes.lock().is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(recorder.notes.lock().as_slice(), &[vec![42]]);
+    }
+
+    #[test]
+    fn bulk_transfer_roundtrip_multi_chunk() {
+        let (client, server) = endpoint_pair(Arc::new(NullHandler), Arc::new(NullHandler));
+        let data: Vec<u8> = (0..3 * STREAM_CHUNK + 123).map(|i| (i % 251) as u8).collect();
+        client.send_bulk(7, &data).unwrap();
+        let received = server.wait_bulk(7, Duration::from_secs(5)).unwrap();
+        assert_eq!(received, data);
+        assert_eq!(client.stats().stream_bytes_sent, data.len() as u64);
+        assert_eq!(server.stats().stream_bytes_received, data.len() as u64);
+    }
+
+    #[test]
+    fn empty_bulk_transfer_completes() {
+        let (client, server) = endpoint_pair(Arc::new(NullHandler), Arc::new(NullHandler));
+        client.send_bulk(3, &[]).unwrap();
+        let received = server.wait_bulk(3, Duration::from_secs(5)).unwrap();
+        assert!(received.is_empty());
+    }
+
+    #[test]
+    fn wait_bulk_times_out() {
+        let (_client, server) = endpoint_pair(Arc::new(NullHandler), Arc::new(NullHandler));
+        let err = server.wait_bulk(99, Duration::from_millis(50)).unwrap_err();
+        assert!(matches!(err, GcfError::Timeout(_)));
+    }
+
+    #[test]
+    fn call_after_close_fails() {
+        let (client, _server) = endpoint_pair(Arc::new(NullHandler), Arc::new(EchoHandler));
+        client.close();
+        assert!(client.call(vec![1]).is_err());
+    }
+
+    #[test]
+    fn call_when_peer_closed_fails() {
+        let (client, server) = endpoint_pair(Arc::new(NullHandler), Arc::new(EchoHandler));
+        server.close();
+        // Allow the Bye to propagate.
+        std::thread::sleep(Duration::from_millis(50));
+        client.set_call_timeout(Duration::from_millis(200));
+        assert!(client.call(vec![1]).is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! Simulation-time accounting.
+//!
+//! The figures in the paper report wall-clock seconds measured on the
+//! authors' hardware, decomposed into *initialization*, *execution* and
+//! *data transfer* (Figures 4 and 6 use exactly this stacked decomposition).
+//! Because this reproduction replaces the hardware with link and device
+//! models, every component records *modelled* durations into a
+//! [`PhaseBreakdown`]; harnesses combine breakdowns serially (phases that
+//! follow each other) or in parallel (work spread over devices).
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The three phases the paper's stacked bar charts distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Program initialization: connecting to servers, creating contexts,
+    /// building programs.
+    Initialization,
+    /// Kernel execution on devices.
+    Execution,
+    /// Host↔device and client↔server data transfer.
+    DataTransfer,
+}
+
+/// Modelled time split by [`Phase`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Time spent in initialization.
+    pub initialization: Duration,
+    /// Time spent executing kernels.
+    pub execution: Duration,
+    /// Time spent transferring data.
+    pub data_transfer: Duration,
+}
+
+impl PhaseBreakdown {
+    /// An all-zero breakdown.
+    pub fn zero() -> Self {
+        PhaseBreakdown::default()
+    }
+
+    /// Add `d` to the given phase.
+    pub fn add(&mut self, phase: Phase, d: Duration) {
+        match phase {
+            Phase::Initialization => self.initialization += d,
+            Phase::Execution => self.execution += d,
+            Phase::DataTransfer => self.data_transfer += d,
+        }
+    }
+
+    /// Total modelled time across all phases.
+    pub fn total(&self) -> Duration {
+        self.initialization + self.execution + self.data_transfer
+    }
+
+    /// Combine two breakdowns that happen one after the other.
+    pub fn merge_serial(&self, other: &PhaseBreakdown) -> PhaseBreakdown {
+        PhaseBreakdown {
+            initialization: self.initialization + other.initialization,
+            execution: self.execution + other.execution,
+            data_transfer: self.data_transfer + other.data_transfer,
+        }
+    }
+
+    /// Combine two breakdowns that happen concurrently (e.g. two devices
+    /// working on disjoint tiles): each phase takes as long as the slower of
+    /// the two.
+    pub fn merge_parallel(&self, other: &PhaseBreakdown) -> PhaseBreakdown {
+        PhaseBreakdown {
+            initialization: self.initialization.max(other.initialization),
+            execution: self.execution.max(other.execution),
+            data_transfer: self.data_transfer.max(other.data_transfer),
+        }
+    }
+
+    /// Parallel-merge an iterator of breakdowns (empty iterator ⇒ zero).
+    pub fn parallel_over<I: IntoIterator<Item = PhaseBreakdown>>(iter: I) -> PhaseBreakdown {
+        iter.into_iter()
+            .fold(PhaseBreakdown::zero(), |acc, b| acc.merge_parallel(&b))
+    }
+
+    /// Serial-merge an iterator of breakdowns.
+    pub fn serial_over<I: IntoIterator<Item = PhaseBreakdown>>(iter: I) -> PhaseBreakdown {
+        iter.into_iter()
+            .fold(PhaseBreakdown::zero(), |acc, b| acc.merge_serial(&b))
+    }
+}
+
+/// A shared, thread-safe ledger of modelled time.
+///
+/// The dOpenCL client driver, the daemons and the virtual OpenCL runtime all
+/// hold a clone of the same `SimClock` and charge their modelled costs to it.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    inner: Arc<Mutex<PhaseBreakdown>>,
+}
+
+impl SimClock {
+    /// Create a new clock starting at zero.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Charge `d` of modelled time to `phase`.
+    pub fn charge(&self, phase: Phase, d: Duration) {
+        self.inner.lock().add(phase, d);
+    }
+
+    /// Snapshot of the accumulated breakdown.
+    pub fn breakdown(&self) -> PhaseBreakdown {
+        *self.inner.lock()
+    }
+
+    /// Reset the ledger to zero and return the previous breakdown.
+    pub fn take(&self) -> PhaseBreakdown {
+        std::mem::take(&mut *self.inner.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates_per_phase() {
+        let clock = SimClock::new();
+        clock.charge(Phase::Initialization, Duration::from_millis(10));
+        clock.charge(Phase::Execution, Duration::from_millis(20));
+        clock.charge(Phase::Execution, Duration::from_millis(5));
+        clock.charge(Phase::DataTransfer, Duration::from_millis(1));
+        let b = clock.breakdown();
+        assert_eq!(b.initialization, Duration::from_millis(10));
+        assert_eq!(b.execution, Duration::from_millis(25));
+        assert_eq!(b.data_transfer, Duration::from_millis(1));
+        assert_eq!(b.total(), Duration::from_millis(36));
+    }
+
+    #[test]
+    fn clones_share_the_ledger() {
+        let clock = SimClock::new();
+        let clone = clock.clone();
+        clone.charge(Phase::Execution, Duration::from_secs(1));
+        assert_eq!(clock.breakdown().execution, Duration::from_secs(1));
+    }
+
+    #[test]
+    fn take_resets_the_ledger() {
+        let clock = SimClock::new();
+        clock.charge(Phase::Execution, Duration::from_secs(2));
+        let taken = clock.take();
+        assert_eq!(taken.execution, Duration::from_secs(2));
+        assert_eq!(clock.breakdown(), PhaseBreakdown::zero());
+    }
+
+    #[test]
+    fn serial_merge_adds_parallel_merge_maxes() {
+        let a = PhaseBreakdown {
+            initialization: Duration::from_secs(1),
+            execution: Duration::from_secs(4),
+            data_transfer: Duration::from_secs(2),
+        };
+        let b = PhaseBreakdown {
+            initialization: Duration::from_secs(2),
+            execution: Duration::from_secs(3),
+            data_transfer: Duration::from_secs(5),
+        };
+        let s = a.merge_serial(&b);
+        assert_eq!(s.initialization, Duration::from_secs(3));
+        assert_eq!(s.execution, Duration::from_secs(7));
+        let p = a.merge_parallel(&b);
+        assert_eq!(p.initialization, Duration::from_secs(2));
+        assert_eq!(p.execution, Duration::from_secs(4));
+        assert_eq!(p.data_transfer, Duration::from_secs(5));
+    }
+
+    #[test]
+    fn parallel_over_empty_is_zero() {
+        assert_eq!(
+            PhaseBreakdown::parallel_over(std::iter::empty()),
+            PhaseBreakdown::zero()
+        );
+    }
+}

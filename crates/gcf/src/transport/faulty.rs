@@ -1,0 +1,131 @@
+//! Fault-injection wrapper around any [`Connection`].
+//!
+//! Used by failure-injection tests to verify that the dOpenCL client driver,
+//! daemon and device manager behave correctly when a peer disappears
+//! mid-conversation (Section IV-C of the paper: devices must be released
+//! when an application terminates abnormally or the client is disconnected).
+
+use super::Connection;
+use crate::error::{GcfError, Result};
+use crate::message::Envelope;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Wraps a connection and can be told to start failing on demand.
+pub struct FaultyConnection {
+    inner: Arc<dyn Connection>,
+    failing: AtomicBool,
+    /// Fail automatically after this many successful sends (0 = never).
+    fail_after_sends: AtomicU64,
+    sends: AtomicU64,
+}
+
+impl FaultyConnection {
+    /// Wrap `inner`; the connection behaves normally until
+    /// [`FaultyConnection::set_failing`] is called or the send budget is
+    /// exhausted.
+    pub fn new(inner: Arc<dyn Connection>) -> Arc<Self> {
+        Arc::new(FaultyConnection {
+            inner,
+            failing: AtomicBool::new(false),
+            fail_after_sends: AtomicU64::new(0),
+            sends: AtomicU64::new(0),
+        })
+    }
+
+    /// Start (or stop) failing every operation.
+    pub fn set_failing(&self, failing: bool) {
+        self.failing.store(failing, Ordering::Release);
+    }
+
+    /// Automatically switch to the failing state after `n` successful sends.
+    pub fn fail_after_sends(&self, n: u64) {
+        self.fail_after_sends.store(n, Ordering::Release);
+    }
+
+    /// Number of frames successfully sent through the wrapper.
+    pub fn sent_count(&self) -> u64 {
+        self.sends.load(Ordering::Acquire)
+    }
+
+    fn check(&self) -> Result<()> {
+        if self.failing.load(Ordering::Acquire) {
+            return Err(GcfError::Disconnected("injected fault".to_string()));
+        }
+        Ok(())
+    }
+}
+
+impl Connection for FaultyConnection {
+    fn send(&self, env: Envelope) -> Result<()> {
+        self.check()?;
+        let budget = self.fail_after_sends.load(Ordering::Acquire);
+        let sent = self.sends.fetch_add(1, Ordering::AcqRel) + 1;
+        if budget != 0 && sent > budget {
+            self.failing.store(true, Ordering::Release);
+            return Err(GcfError::Disconnected("injected fault (send budget)".to_string()));
+        }
+        self.inner.send(env)
+    }
+
+    fn recv(&self) -> Result<Envelope> {
+        self.check()?;
+        self.inner.recv()
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Envelope> {
+        self.check()?;
+        self.inner.recv_timeout(timeout)
+    }
+
+    fn peer(&self) -> String {
+        self.inner.peer()
+    }
+
+    fn close(&self) {
+        self.inner.close();
+    }
+
+    fn is_open(&self) -> bool {
+        !self.failing.load(Ordering::Acquire) && self.inner.is_open()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::inproc::InprocTransport;
+    use crate::transport::Transport;
+
+    fn connected_pair() -> (Arc<dyn Connection>, Arc<dyn Connection>) {
+        let t = InprocTransport::new();
+        let l = t.listen("srv").unwrap();
+        let h = std::thread::spawn(move || l.accept().unwrap());
+        let client = t.connect("srv").unwrap();
+        let server = h.join().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn passes_through_until_failing() {
+        let (client, server) = connected_pair();
+        let faulty = FaultyConnection::new(client);
+        faulty.send(Envelope::request(1, vec![])).unwrap();
+        assert_eq!(server.recv().unwrap().id, 1);
+        faulty.set_failing(true);
+        assert!(faulty.send(Envelope::request(2, vec![])).is_err());
+        assert!(!faulty.is_open());
+    }
+
+    #[test]
+    fn send_budget_triggers_failure() {
+        let (client, _server) = connected_pair();
+        let faulty = FaultyConnection::new(client);
+        faulty.fail_after_sends(2);
+        assert!(faulty.send(Envelope::request(1, vec![])).is_ok());
+        assert!(faulty.send(Envelope::request(2, vec![])).is_ok());
+        assert!(faulty.send(Envelope::request(3, vec![])).is_err());
+        assert_eq!(faulty.sent_count(), 3);
+    }
+}

@@ -1,0 +1,323 @@
+//! Hand-written binary wire codec.
+//!
+//! Every protocol message exchanged between the dOpenCL client driver and the
+//! daemons implements [`Encode`] and [`Decode`].  The format is a simple,
+//! explicit little-endian byte layout: no external serialization crate is
+//! used, which keeps the wire format stable and auditable and mirrors the
+//! low-level framing a real middleware would define.
+
+use crate::error::{GcfError, Result};
+
+/// Serialize a value into bytes.
+pub trait Encode {
+    /// Append the encoded representation of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Convenience helper returning a freshly encoded byte vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+}
+
+/// Deserialize a value from bytes.
+pub trait Decode: Sized {
+    /// Read a value from the reader, advancing its cursor.
+    fn decode(r: &mut Reader<'_>) -> Result<Self>;
+
+    /// Convenience helper decoding from a full byte slice, requiring that all
+    /// bytes are consumed.
+    fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(GcfError::Codec(format!(
+                "{} trailing bytes after decode",
+                r.remaining()
+            )));
+        }
+        Ok(v)
+    }
+}
+
+/// Cursor over a byte slice used by [`Decode`] implementations.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Create a reader over `bytes` starting at offset 0.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Take the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(GcfError::Codec(format!(
+                "unexpected end of input: wanted {n}, have {}",
+                self.remaining()
+            )));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let slice = self.take(N)?;
+        let mut arr = [0u8; N];
+        arr.copy_from_slice(slice);
+        Ok(arr)
+    }
+}
+
+macro_rules! impl_scalar {
+    ($($ty:ty),*) => {
+        $(
+            impl Encode for $ty {
+                fn encode(&self, buf: &mut Vec<u8>) {
+                    buf.extend_from_slice(&self.to_le_bytes());
+                }
+            }
+            impl Decode for $ty {
+                fn decode(r: &mut Reader<'_>) -> Result<Self> {
+                    Ok(<$ty>::from_le_bytes(r.take_array()?))
+                }
+            }
+        )*
+    };
+}
+
+impl_scalar!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+impl Encode for usize {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (*self as u64).encode(buf);
+    }
+}
+
+impl Decode for usize {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(u64::decode(r)? as usize)
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(GcfError::Codec(format!("invalid bool byte {other}"))),
+        }
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        buf.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let len = u32::decode(r)? as usize;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| GcfError::Codec(format!("invalid utf-8 string: {e}")))
+    }
+}
+
+impl Encode for &str {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        buf.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let len = u32::decode(r)? as usize;
+        let mut out = Vec::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            other => Err(GcfError::Codec(format!("invalid option tag {other}"))),
+        }
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Encode, B: Encode, C: Encode> Encode for (A, B, C) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+}
+
+impl<A: Decode, B: Decode, C: Decode> Decode for (A, B, C) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+/// Encode raw bytes with a length prefix (distinct from `Vec<u8>` only in
+/// intent: used for opaque payloads).
+pub fn encode_bytes(bytes: &[u8], buf: &mut Vec<u8>) {
+    (bytes.len() as u32).encode(buf);
+    buf.extend_from_slice(bytes);
+}
+
+/// Decode raw bytes written by [`encode_bytes`].
+pub fn decode_bytes(r: &mut Reader<'_>) -> Result<Vec<u8>> {
+    let len = u32::decode(r)? as usize;
+    Ok(r.take(len)?.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        let back = T::from_bytes(&bytes).expect("decode");
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(1234u16);
+        roundtrip(0xdead_beefu32);
+        roundtrip(u64::MAX);
+        roundtrip(-42i32);
+        roundtrip(i64::MIN);
+        roundtrip(3.5f32);
+        roundtrip(-2.25f64);
+        roundtrip(true);
+        roundtrip(false);
+    }
+
+    #[test]
+    fn strings_roundtrip() {
+        roundtrip(String::new());
+        roundtrip("hello dOpenCL".to_string());
+        roundtrip("ünïcödé ✓".to_string());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(vec![1u32, 2, 3, 4]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(Some(7u32));
+        roundtrip(Option::<u32>::None);
+        roundtrip((1u32, "x".to_string()));
+        roundtrip((1u8, 2u16, 3u32));
+        roundtrip(vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = 5u32.to_bytes();
+        bytes.push(0);
+        assert!(matches!(u32::from_bytes(&bytes), Err(GcfError::Codec(_))));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let bytes = 5u64.to_bytes();
+        assert!(u64::from_bytes(&bytes[..4]).is_err());
+    }
+
+    #[test]
+    fn invalid_bool_rejected() {
+        assert!(bool::from_bytes(&[2]).is_err());
+    }
+
+    #[test]
+    fn invalid_option_tag_rejected() {
+        assert!(Option::<u8>::from_bytes(&[9]).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = Vec::new();
+        2u32.encode(&mut buf);
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        assert!(String::from_bytes(&buf).is_err());
+    }
+
+    #[test]
+    fn bytes_helpers_roundtrip() {
+        let data = vec![9u8, 8, 7, 6];
+        let mut buf = Vec::new();
+        encode_bytes(&data, &mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(decode_bytes(&mut r).unwrap(), data);
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,322 @@
+//! # mpicl — a minimal MPI-like substrate for the MPI+OpenCL baseline
+//!
+//! Figure 4 of the paper compares dOpenCL against a hand-written
+//! **MPI+OpenCL** version of the Mandelbrot application: the programmer
+//! distributes image tiles over MPI ranks, each rank computes its tile with
+//! its local OpenCL implementation, and the tiles are merged with
+//! `MPI_Gather`.
+//!
+//! This crate provides exactly the message-passing primitives that baseline
+//! needs — a [`World`] of ranks running as threads, point-to-point
+//! [`Communicator::send`]/[`Communicator::recv`], [`Communicator::barrier`],
+//! [`Communicator::gather`] and [`Communicator::bcast`] — layered over
+//! in-process channels, with every transfer charged to a per-rank
+//! [`SimClock`] according to the same [`LinkModel`] the dOpenCL client uses.
+//! This keeps the baseline and dOpenCL comparable: both pay the same
+//! modelled network costs, they just pay them in different places.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use gcf::simtime::{Phase, PhaseBreakdown, SimClock};
+use gcf::LinkModel;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Error type for message-passing operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// The destination or source rank does not exist.
+    InvalidRank(usize),
+    /// A peer rank terminated, closing its channels.
+    Disconnected,
+}
+
+impl std::fmt::Display for MpiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpiError::InvalidRank(r) => write!(f, "invalid rank {r}"),
+            MpiError::Disconnected => write!(f, "peer rank disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, MpiError>;
+
+type Message = (usize, u64, Vec<u8>); // (source, tag, payload)
+
+/// A communicator bound to one rank of a [`World`].
+pub struct Communicator {
+    rank: usize,
+    size: usize,
+    link: LinkModel,
+    clock: SimClock,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    /// Messages received out of order (matched by source + tag later).
+    stash: Mutex<HashMap<(usize, u64), Vec<Vec<u8>>>>,
+    /// Modelled MPI runtime initialization cost, charged once.
+    init_cost: Duration,
+}
+
+impl Communicator {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The per-rank simulation clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Modelled `MPI_Init`: charged to the initialization phase.
+    pub fn init(&self) {
+        self.clock.charge(Phase::Initialization, self.init_cost);
+    }
+
+    /// Send `payload` to `dest` with `tag`.
+    pub fn send(&self, dest: usize, tag: u64, payload: &[u8]) -> Result<()> {
+        let sender = self.senders.get(dest).ok_or(MpiError::InvalidRank(dest))?;
+        sender
+            .send((self.rank, tag, payload.to_vec()))
+            .map_err(|_| MpiError::Disconnected)
+    }
+
+    /// Receive a message from `source` with `tag`, blocking until it
+    /// arrives.  The modelled transfer time is charged to the data-transfer
+    /// phase of the *receiving* rank.
+    pub fn recv(&self, source: usize, tag: u64) -> Result<Vec<u8>> {
+        if source >= self.size {
+            return Err(MpiError::InvalidRank(source));
+        }
+        // Check the stash first.
+        if let Some(queue) = self.stash.lock().get_mut(&(source, tag)) {
+            if !queue.is_empty() {
+                let payload = queue.remove(0);
+                self.charge_transfer(payload.len());
+                return Ok(payload);
+            }
+        }
+        loop {
+            let (from, msg_tag, payload) =
+                self.receiver.recv().map_err(|_| MpiError::Disconnected)?;
+            if from == source && msg_tag == tag {
+                self.charge_transfer(payload.len());
+                return Ok(payload);
+            }
+            self.stash.lock().entry((from, msg_tag)).or_default().push(payload);
+        }
+    }
+
+    fn charge_transfer(&self, bytes: usize) {
+        self.clock
+            .charge(Phase::DataTransfer, self.link.transfer_time(bytes as u64));
+    }
+
+    /// `MPI_Barrier`: a root-gather followed by a broadcast of an empty
+    /// token.
+    pub fn barrier(&self) -> Result<()> {
+        const BARRIER_TAG: u64 = u64::MAX - 1;
+        if self.rank == 0 {
+            for source in 1..self.size {
+                let _ = self.recv(source, BARRIER_TAG)?;
+            }
+            for dest in 1..self.size {
+                self.send(dest, BARRIER_TAG, &[])?;
+            }
+        } else {
+            self.send(0, BARRIER_TAG, &[])?;
+            let _ = self.recv(0, BARRIER_TAG)?;
+        }
+        Ok(())
+    }
+
+    /// `MPI_Gather` to rank 0: every rank contributes `payload`; rank 0
+    /// receives all contributions in rank order.
+    pub fn gather(&self, payload: &[u8]) -> Result<Option<Vec<Vec<u8>>>> {
+        const GATHER_TAG: u64 = u64::MAX - 2;
+        if self.rank == 0 {
+            let mut parts = vec![payload.to_vec()];
+            for source in 1..self.size {
+                parts.push(self.recv(source, GATHER_TAG)?);
+            }
+            Ok(Some(parts))
+        } else {
+            self.send(0, GATHER_TAG, payload)?;
+            Ok(None)
+        }
+    }
+
+    /// `MPI_Bcast` from `root`: returns the broadcast payload on every rank.
+    pub fn bcast(&self, root: usize, payload: Option<&[u8]>) -> Result<Vec<u8>> {
+        const BCAST_TAG: u64 = u64::MAX - 3;
+        if self.rank == root {
+            let data = payload.unwrap_or(&[]).to_vec();
+            for dest in 0..self.size {
+                if dest != root {
+                    self.send(dest, BCAST_TAG, &data)?;
+                }
+            }
+            Ok(data)
+        } else {
+            self.recv(root, BCAST_TAG)
+        }
+    }
+}
+
+/// A world of `size` ranks connected all-to-all.
+pub struct World;
+
+impl World {
+    /// Build the communicators of a world of `size` ranks over `link`.
+    ///
+    /// Each communicator charges its modelled costs to its own fresh clock;
+    /// the caller collects them after the ranks finish.
+    pub fn communicators(size: usize, link: LinkModel) -> Vec<Communicator> {
+        assert!(size > 0, "world size must be at least 1");
+        let channels: Vec<(Sender<Message>, Receiver<Message>)> =
+            (0..size).map(|_| unbounded()).collect();
+        let senders: Vec<Sender<Message>> = channels.iter().map(|(s, _)| s.clone()).collect();
+        channels
+            .into_iter()
+            .enumerate()
+            .map(|(rank, (_, receiver))| Communicator {
+                rank,
+                size,
+                link: link.clone(),
+                clock: SimClock::new(),
+                senders: senders.clone(),
+                receiver,
+                stash: Mutex::new(HashMap::new()),
+                // MPI runtime start-up: process launch + connection setup,
+                // a small constant per rank.
+                init_cost: Duration::from_millis(40),
+            })
+            .collect()
+    }
+
+    /// Run `body` on every rank of a world of `size` ranks (one thread per
+    /// rank) and return the per-rank results together with each rank's
+    /// modelled phase breakdown.
+    pub fn run<T, F>(size: usize, link: LinkModel, body: F) -> Vec<(T, PhaseBreakdown)>
+    where
+        T: Send + 'static,
+        F: Fn(&Communicator) -> T + Send + Sync + 'static,
+    {
+        let comms = World::communicators(size, link);
+        let body = Arc::new(body);
+        let mut handles = Vec::new();
+        for comm in comms {
+            let body = Arc::clone(&body);
+            handles.push(std::thread::spawn(move || {
+                let result = body(&comm);
+                (result, comm.clock().breakdown())
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let results = World::run(2, LinkModel::ideal(), |comm| {
+            comm.init();
+            if comm.rank() == 0 {
+                comm.send(1, 7, b"hello").unwrap();
+                comm.recv(1, 8).unwrap()
+            } else {
+                let msg = comm.recv(0, 7).unwrap();
+                comm.send(0, 8, &msg).unwrap();
+                msg
+            }
+        });
+        assert_eq!(results[0].0, b"hello".to_vec());
+        assert_eq!(results[1].0, b"hello".to_vec());
+        assert!(results.iter().all(|(_, b)| b.initialization > Duration::ZERO));
+    }
+
+    #[test]
+    fn out_of_order_tags_are_stashed() {
+        let results = World::run(2, LinkModel::ideal(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, b"first").unwrap();
+                comm.send(1, 2, b"second").unwrap();
+                Vec::new()
+            } else {
+                // Receive in the opposite order.
+                let second = comm.recv(0, 2).unwrap();
+                let first = comm.recv(0, 1).unwrap();
+                [first, second].concat()
+            }
+        });
+        assert_eq!(results[1].0, b"firstsecond".to_vec());
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let results = World::run(4, LinkModel::gigabit_ethernet(), |comm| {
+            let payload = vec![comm.rank() as u8; 1024];
+            comm.gather(&payload).unwrap()
+        });
+        let root = results[0].0.as_ref().unwrap();
+        assert_eq!(root.len(), 4);
+        for (rank, part) in root.iter().enumerate() {
+            assert_eq!(part, &vec![rank as u8; 1024]);
+        }
+        assert!(results.iter().skip(1).all(|(r, _)| r.is_none()));
+        // The root paid modelled transfer time for the three received parts.
+        assert!(results[0].1.data_transfer > Duration::ZERO);
+    }
+
+    #[test]
+    fn bcast_reaches_every_rank() {
+        let results = World::run(3, LinkModel::ideal(), |comm| {
+            if comm.rank() == 1 {
+                comm.bcast(1, Some(b"config")).unwrap()
+            } else {
+                comm.bcast(1, None).unwrap()
+            }
+        });
+        assert!(results.iter().all(|(r, _)| r == b"config"));
+    }
+
+    #[test]
+    fn barrier_synchronises_all_ranks() {
+        let results = World::run(4, LinkModel::ideal(), |comm| {
+            comm.barrier().unwrap();
+            comm.rank()
+        });
+        let mut ranks: Vec<usize> = results.iter().map(|(r, _)| *r).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn invalid_rank_is_rejected() {
+        let comms = World::communicators(2, LinkModel::ideal());
+        assert!(matches!(comms[0].send(5, 0, b"x"), Err(MpiError::InvalidRank(5))));
+        assert!(matches!(comms[0].recv(9, 0), Err(MpiError::InvalidRank(9))));
+    }
+
+    #[test]
+    #[should_panic(expected = "world size must be at least 1")]
+    fn zero_sized_world_panics() {
+        let _ = World::communicators(0, LinkModel::ideal());
+    }
+}

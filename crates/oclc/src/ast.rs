@@ -1,0 +1,307 @@
+//! Abstract syntax tree for the OpenCL C subset.
+
+use crate::error::Location;
+use crate::types::Type;
+
+/// Index of a function within a [`TranslationUnit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FunctionIndex(pub usize);
+
+/// A fully parsed source file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TranslationUnit {
+    /// Functions in declaration order.
+    pub functions: Vec<Function>,
+}
+
+impl TranslationUnit {
+    /// Find a function by name.
+    pub fn function_by_name(&self, name: &str) -> Option<(FunctionIndex, &Function)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (FunctionIndex(i), f))
+    }
+}
+
+/// A function definition (kernel or helper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Whether the function is declared `__kernel`.
+    pub is_kernel: bool,
+    /// Declared return type.
+    pub return_type: Type,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Function body.
+    pub body: Block,
+    /// Location of the declaration.
+    pub location: Location,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Declared type (pointers carry their address space).
+    pub ty: Type,
+}
+
+/// A brace-delimited block of statements.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Block {
+    /// Statements in order.
+    pub statements: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Variable declaration, e.g. `float x = 1.0f;`.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Location of the declaration.
+        location: Location,
+    },
+    /// An expression evaluated for its side effects.
+    Expr(Expr),
+    /// `if (cond) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_block: Block,
+        /// Optional else branch.
+        else_block: Option<Block>,
+    },
+    /// `while (cond) { .. }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `do { .. } while (cond);`
+    DoWhile {
+        /// Loop body.
+        body: Block,
+        /// Loop condition.
+        cond: Expr,
+    },
+    /// `for (init; cond; step) { .. }`
+    For {
+        /// Optional init statement (declaration or expression).
+        init: Option<Box<Stmt>>,
+        /// Optional condition (absent means "true").
+        cond: Option<Expr>,
+        /// Optional step expression.
+        step: Option<Expr>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `return expr;` / `return;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// A nested block.
+    Block(Block),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    LogicalAnd,
+    /// `||`
+    LogicalOr,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-x`
+    Neg,
+    /// `!x`
+    Not,
+    /// `~x`
+    BitNot,
+    /// `+x`
+    Plus,
+    /// `*p` (pointer dereference)
+    Deref,
+}
+
+/// An expression with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// What kind of expression.
+    pub kind: ExprKind,
+    /// Where it starts.
+    pub location: Location,
+}
+
+impl Expr {
+    /// Construct an expression node.
+    pub fn new(kind: ExprKind, location: Location) -> Self {
+        Expr { kind, location }
+    }
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal (value, explicitly-unsigned flag).
+    IntLit(u64, bool),
+    /// Floating-point literal.
+    FloatLit(f64),
+    /// `true` / `false`.
+    BoolLit(bool),
+    /// Variable reference.
+    Ident(String),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Assignment, optionally compound (`op` is `Some(Add)` for `+=`).
+    Assign {
+        /// Compound operator, if any.
+        op: Option<BinOp>,
+        /// Assignment target (identifier, index or member expression).
+        target: Box<Expr>,
+        /// Value to assign.
+        value: Box<Expr>,
+    },
+    /// `cond ? a : b`
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value if true.
+        then_expr: Box<Expr>,
+        /// Value if false.
+        else_expr: Box<Expr>,
+    },
+    /// Function call (user function, built-in, or vector constructor such as
+    /// `(float4)(a, b, c, d)` which the parser lowers to a call named
+    /// `__vec_float4`).
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `base[index]`
+    Index {
+        /// Pointer or vector expression.
+        base: Box<Expr>,
+        /// Element index.
+        index: Box<Expr>,
+    },
+    /// `base.member` — vector component access (`.x`, `.y`, `.z`, `.w`,
+    /// `.s0`–`.sF`, or swizzles like `.xy`).
+    Member {
+        /// Vector expression.
+        base: Box<Expr>,
+        /// Component name.
+        member: String,
+    },
+    /// `(type)expr`
+    Cast {
+        /// Target type.
+        ty: Type,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `x++` / `x--`
+    PostIncDec {
+        /// Target lvalue.
+        target: Box<Expr>,
+        /// True for `++`.
+        inc: bool,
+    },
+    /// `++x` / `--x`
+    PreIncDec {
+        /// Target lvalue.
+        target: Box<Expr>,
+        /// True for `++`.
+        inc: bool,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ScalarType;
+
+    #[test]
+    fn function_lookup_by_name() {
+        let unit = TranslationUnit {
+            functions: vec![Function {
+                name: "f".into(),
+                is_kernel: true,
+                return_type: Type::Void,
+                params: vec![Param { name: "x".into(), ty: Type::scalar(ScalarType::Int) }],
+                body: Block::default(),
+                location: Location::default(),
+            }],
+        };
+        let (idx, f) = unit.function_by_name("f").unwrap();
+        assert_eq!(idx, FunctionIndex(0));
+        assert_eq!(f.params.len(), 1);
+        assert!(unit.function_by_name("g").is_none());
+    }
+}

@@ -1,0 +1,122 @@
+//! Compile-time diagnostics and the build log.
+
+use std::fmt;
+
+/// A source location (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Location {
+    /// 1-based line number; 0 means "unknown".
+    pub line: u32,
+    /// 1-based column number; 0 means "unknown".
+    pub column: u32,
+}
+
+impl Location {
+    /// Construct a location.
+    pub fn new(line: u32, column: u32) -> Self {
+        Location { line, column }
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "<unknown>")
+        } else {
+            write!(f, "{}:{}", self.line, self.column)
+        }
+    }
+}
+
+/// A single diagnostic produced while building or executing a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Where the problem was detected.
+    pub location: Location,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Diagnostic at a known location.
+    pub fn at(location: Location, message: impl Into<String>) -> Self {
+        CompileError { location, message: message.into() }
+    }
+
+    /// Diagnostic without location information (e.g. runtime errors).
+    pub fn new(message: impl Into<String>) -> Self {
+        CompileError { location: Location::default(), message: message.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error at {}: {}", self.location, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// The build log returned on failure, mirroring
+/// `clGetProgramBuildInfo(..., CL_PROGRAM_BUILD_LOG, ...)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BuildLog {
+    /// Every diagnostic collected during the build.
+    pub messages: Vec<CompileError>,
+}
+
+impl BuildLog {
+    /// Build log containing a single diagnostic.
+    pub fn from_single(error: CompileError) -> Self {
+        BuildLog { messages: vec![error] }
+    }
+
+    /// Build log from a list of diagnostics.
+    pub fn from_errors(errors: Vec<CompileError>) -> Self {
+        BuildLog { messages: errors }
+    }
+
+    /// True if the log contains no diagnostics.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+}
+
+impl fmt::Display for BuildLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for m in &self.messages {
+            writeln!(f, "{m}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for BuildLog {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = CompileError::at(Location::new(3, 14), "unexpected token");
+        assert_eq!(e.to_string(), "error at 3:14: unexpected token");
+    }
+
+    #[test]
+    fn unknown_location_display() {
+        let e = CompileError::new("runtime issue");
+        assert!(e.to_string().contains("<unknown>"));
+    }
+
+    #[test]
+    fn build_log_collects_messages() {
+        let log = BuildLog::from_errors(vec![
+            CompileError::new("a"),
+            CompileError::new("b"),
+        ]);
+        assert_eq!(log.messages.len(), 2);
+        assert!(log.to_string().lines().count() == 2);
+        assert!(!log.is_empty());
+    }
+}

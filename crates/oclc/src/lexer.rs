@@ -1,0 +1,387 @@
+//! Lexer for the OpenCL C subset.
+//!
+//! Handles line (`//`) and block (`/* */`) comments, preprocessor lines
+//! (`#pragma`, `#define` of simple object-like constants is *not* expanded —
+//! directive lines are skipped), decimal/hex integer literals with `u`/`U`
+//! and `l`/`L` suffixes, and float literals with `f`/`F` suffixes.
+
+use crate::error::{CompileError, Location};
+use crate::token::{keyword_from_str, Punct, Token, TokenKind};
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, column: 1 }
+    }
+
+    fn location(&self) -> Location {
+        Location::new(self.line, self.column)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), CompileError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.location();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            None => {
+                                return Err(CompileError::at(start, "unterminated block comment"))
+                            }
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                Some(b'#') if self.column == 1 || self.prev_is_newline() => {
+                    // Preprocessor directive: skip the whole (possibly
+                    // continued) line.
+                    loop {
+                        match self.peek() {
+                            None => break,
+                            Some(b'\\') if self.peek2() == Some(b'\n') => {
+                                self.bump();
+                                self.bump();
+                            }
+                            Some(b'\n') => {
+                                self.bump();
+                                break;
+                            }
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn prev_is_newline(&self) -> bool {
+        if self.pos == 0 {
+            return true;
+        }
+        // Walk back over spaces/tabs to find the previous significant byte.
+        let mut i = self.pos;
+        while i > 0 {
+            let c = self.src[i - 1];
+            if c == b' ' || c == b'\t' {
+                i -= 1;
+            } else {
+                return c == b'\n';
+            }
+        }
+        true
+    }
+
+    fn lex_number(&mut self) -> Result<Token, CompileError> {
+        let loc = self.location();
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            self.bump();
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_hexdigit()) {
+                self.bump();
+            }
+            let text = std::str::from_utf8(&self.src[start + 2..self.pos]).unwrap();
+            let value = u64::from_str_radix(text, 16)
+                .map_err(|e| CompileError::at(loc, format!("invalid hex literal: {e}")))?;
+            let unsigned = self.consume_int_suffix();
+            return Ok(Token::new(TokenKind::IntLiteral(value, unsigned), loc));
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(c) if c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        } else if self.peek() == Some(b'.') {
+            // e.g. "1." — still a float
+            is_float = true;
+            self.bump();
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let mut lookahead = self.pos + 1;
+            if matches!(self.src.get(lookahead), Some(b'+') | Some(b'-')) {
+                lookahead += 1;
+            }
+            if matches!(self.src.get(lookahead), Some(c) if c.is_ascii_digit()) {
+                is_float = true;
+                self.bump();
+                if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                    self.bump();
+                }
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string();
+        if is_float || matches!(self.peek(), Some(b'f') | Some(b'F')) {
+            if matches!(self.peek(), Some(b'f') | Some(b'F')) {
+                self.bump();
+            }
+            let value: f64 = text
+                .parse()
+                .map_err(|e| CompileError::at(loc, format!("invalid float literal: {e}")))?;
+            Ok(Token::new(TokenKind::FloatLiteral(value), loc))
+        } else {
+            let value: u64 = text
+                .parse()
+                .map_err(|e| CompileError::at(loc, format!("invalid integer literal: {e}")))?;
+            let unsigned = self.consume_int_suffix();
+            Ok(Token::new(TokenKind::IntLiteral(value, unsigned), loc))
+        }
+    }
+
+    fn consume_int_suffix(&mut self) -> bool {
+        let mut unsigned = false;
+        for _ in 0..3 {
+            match self.peek() {
+                Some(b'u') | Some(b'U') => {
+                    unsigned = true;
+                    self.bump();
+                }
+                Some(b'l') | Some(b'L') => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        unsigned
+    }
+
+    fn lex_ident(&mut self) -> Token {
+        let loc = self.location();
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        if let Some(kw) = keyword_from_str(text) {
+            Token::new(TokenKind::Keyword(kw), loc)
+        } else {
+            Token::new(TokenKind::Ident(text.to_string()), loc)
+        }
+    }
+
+    fn lex_punct(&mut self) -> Result<Token, CompileError> {
+        let loc = self.location();
+        let c = self.bump().unwrap();
+        let next = self.peek();
+        let punct = match (c, next) {
+            (b'+', Some(b'+')) => { self.bump(); Punct::PlusPlus }
+            (b'+', Some(b'=')) => { self.bump(); Punct::PlusAssign }
+            (b'+', _) => Punct::Plus,
+            (b'-', Some(b'-')) => { self.bump(); Punct::MinusMinus }
+            (b'-', Some(b'=')) => { self.bump(); Punct::MinusAssign }
+            (b'-', _) => Punct::Minus,
+            (b'*', Some(b'=')) => { self.bump(); Punct::StarAssign }
+            (b'*', _) => Punct::Star,
+            (b'/', Some(b'=')) => { self.bump(); Punct::SlashAssign }
+            (b'/', _) => Punct::Slash,
+            (b'%', Some(b'=')) => { self.bump(); Punct::PercentAssign }
+            (b'%', _) => Punct::Percent,
+            (b'=', Some(b'=')) => { self.bump(); Punct::Eq }
+            (b'=', _) => Punct::Assign,
+            (b'!', Some(b'=')) => { self.bump(); Punct::Ne }
+            (b'!', _) => Punct::Not,
+            (b'<', Some(b'<')) => {
+                self.bump();
+                if self.peek() == Some(b'=') { self.bump(); Punct::ShlAssign } else { Punct::Shl }
+            }
+            (b'<', Some(b'=')) => { self.bump(); Punct::Le }
+            (b'<', _) => Punct::Lt,
+            (b'>', Some(b'>')) => {
+                self.bump();
+                if self.peek() == Some(b'=') { self.bump(); Punct::ShrAssign } else { Punct::Shr }
+            }
+            (b'>', Some(b'=')) => { self.bump(); Punct::Ge }
+            (b'>', _) => Punct::Gt,
+            (b'&', Some(b'&')) => { self.bump(); Punct::AndAnd }
+            (b'&', Some(b'=')) => { self.bump(); Punct::AndAssign }
+            (b'&', _) => Punct::Amp,
+            (b'|', Some(b'|')) => { self.bump(); Punct::OrOr }
+            (b'|', Some(b'=')) => { self.bump(); Punct::OrAssign }
+            (b'|', _) => Punct::Pipe,
+            (b'^', Some(b'=')) => { self.bump(); Punct::XorAssign }
+            (b'^', _) => Punct::Caret,
+            (b'~', _) => Punct::Tilde,
+            (b'(', _) => Punct::LParen,
+            (b')', _) => Punct::RParen,
+            (b'{', _) => Punct::LBrace,
+            (b'}', _) => Punct::RBrace,
+            (b'[', _) => Punct::LBracket,
+            (b']', _) => Punct::RBracket,
+            (b';', _) => Punct::Semicolon,
+            (b',', _) => Punct::Comma,
+            (b'.', _) => Punct::Dot,
+            (b'?', _) => Punct::Question,
+            (b':', _) => Punct::Colon,
+            (other, _) => {
+                return Err(CompileError::at(
+                    loc,
+                    format!("unexpected character '{}'", other as char),
+                ))
+            }
+        };
+        Ok(Token::new(TokenKind::Punct(punct), loc))
+    }
+}
+
+/// Tokenize `source`.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let mut lexer = Lexer::new(source);
+    let mut tokens = Vec::new();
+    loop {
+        lexer.skip_trivia()?;
+        let Some(c) = lexer.peek() else {
+            tokens.push(Token::new(TokenKind::Eof, lexer.location()));
+            return Ok(tokens);
+        };
+        let token = if c.is_ascii_digit() {
+            lexer.lex_number()?
+        } else if c.is_ascii_alphabetic() || c == b'_' {
+            lexer.lex_ident()
+        } else {
+            lexer.lex_punct()?
+        };
+        tokens.push(token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::{Keyword, Punct, TokenKind};
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_kernel_header() {
+        let ks = kinds("__kernel void f(__global float* a)");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Keyword::Kernel),
+                TokenKind::Keyword(Keyword::Void),
+                TokenKind::Ident("f".into()),
+                TokenKind::Punct(Punct::LParen),
+                TokenKind::Keyword(Keyword::Global),
+                TokenKind::Ident("float".into()),
+                TokenKind::Punct(Punct::Star),
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct(Punct::RParen),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::IntLiteral(42, false));
+        assert_eq!(kinds("42u")[0], TokenKind::IntLiteral(42, true));
+        assert_eq!(kinds("0xff")[0], TokenKind::IntLiteral(255, false));
+        assert_eq!(kinds("1.5")[0], TokenKind::FloatLiteral(1.5));
+        assert_eq!(kinds("2.0f")[0], TokenKind::FloatLiteral(2.0));
+        assert_eq!(kinds("3f")[0], TokenKind::FloatLiteral(3.0));
+        assert_eq!(kinds("1e3")[0], TokenKind::FloatLiteral(1000.0));
+        assert_eq!(kinds("1.5e-2")[0], TokenKind::FloatLiteral(0.015));
+        assert_eq!(kinds("7ul")[0], TokenKind::IntLiteral(7, true));
+    }
+
+    #[test]
+    fn skips_comments_and_directives() {
+        let src = r#"
+            // line comment
+            /* block
+               comment */
+            #pragma OPENCL EXTENSION cl_khr_fp64 : enable
+            #define UNUSED 1
+            int
+        "#;
+        let ks = kinds(src);
+        assert_eq!(ks, vec![TokenKind::Ident("int".into()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let ks = kinds("a += b << 2; c >= d && e != f");
+        assert!(ks.contains(&TokenKind::Punct(Punct::PlusAssign)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::Shl)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::Ge)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::AndAnd)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::Ne)));
+    }
+
+    #[test]
+    fn unterminated_comment_is_an_error() {
+        assert!(lex("int x; /* oops").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_is_an_error() {
+        assert!(lex("int x = $;").is_err());
+    }
+
+    #[test]
+    fn locations_track_lines() {
+        let tokens = lex("int\nfloat x").unwrap();
+        assert_eq!(tokens[0].location.line, 1);
+        assert_eq!(tokens[1].location.line, 2);
+        assert_eq!(tokens[2].location.line, 2);
+        assert!(tokens[2].location.column > 1);
+    }
+}

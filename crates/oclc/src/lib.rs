@@ -1,0 +1,205 @@
+//! # oclc — an OpenCL C subset front end and interpreter
+//!
+//! OpenCL programs ship their device code as *source strings* which the
+//! runtime compiles per device (`clCreateProgramWithSource` +
+//! `clBuildProgram`).  dOpenCL forwards those strings over the network and
+//! lets the server's native implementation build them.  To reproduce that
+//! path without a vendor compiler, this crate implements a practical subset
+//! of OpenCL C:
+//!
+//! * scalar types (`bool`, `char`, `uchar`, `short`, `ushort`, `int`, `uint`,
+//!   `long`, `ulong`, `size_t`, `float`, `double`) and small vector types
+//!   (`float2`, `float4`, `int2`, `int4`, ...),
+//! * `__global` / `__local` / `__constant` pointer kernel arguments,
+//! * the usual expression grammar (arithmetic, comparison, logical, bitwise,
+//!   ternary, casts, calls, indexing, vector component access),
+//! * statements: declarations, assignment (including compound assignment),
+//!   `if`/`else`, `for`, `while`, `do`, `return`, `break`, `continue`,
+//! * work-item built-ins (`get_global_id`, `get_local_id`, `get_group_id`,
+//!   `get_global_size`, `get_local_size`, `get_work_dim`) and a set of math
+//!   built-ins (`sqrt`, `exp`, `log`, `fabs`, `pow`, `min`, `max`, `clamp`,
+//!   `floor`, `ceil`, `sin`, `cos`, `native_*` aliases, ...),
+//! * helper (non-kernel) functions callable from kernels.
+//!
+//! The pipeline is classic: [`lexer`] → [`parser`] → [`sema`] → [`interp`].
+//! [`Program::build`] corresponds to `clBuildProgram` and produces either a
+//! list of kernels or a build log with diagnostics.
+//!
+//! The interpreter executes one work-item at a time over an NDRange; the
+//! `vocl` runtime decides how NDRanges are scheduled onto device threads and
+//! what *modelled* execution time to charge.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod builtins;
+pub mod error;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod sema;
+pub mod token;
+pub mod types;
+pub mod value;
+
+pub use error::{BuildLog, CompileError};
+pub use interp::{BufferBinding, KernelArgValue, NdRange, WorkItemCounters};
+pub use types::{AddressSpace, ScalarType, Type};
+pub use value::{Scalar, Value};
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A successfully built program: the analysed AST plus its kernel index.
+#[derive(Debug, Clone)]
+pub struct Program {
+    source: String,
+    unit: Arc<ast::TranslationUnit>,
+    kernels: BTreeMap<String, ast::FunctionIndex>,
+}
+
+impl Program {
+    /// Build (lex, parse, analyse) OpenCL C `source`.
+    ///
+    /// Mirrors `clBuildProgram`: on failure the returned [`BuildLog`]
+    /// contains every diagnostic collected.
+    pub fn build(source: &str) -> Result<Program, BuildLog> {
+        let tokens = lexer::lex(source).map_err(BuildLog::from_single)?;
+        let unit = parser::parse(&tokens).map_err(BuildLog::from_single)?;
+        sema::check(&unit).map_err(BuildLog::from_errors)?;
+        let mut kernels = BTreeMap::new();
+        for (idx, f) in unit.functions.iter().enumerate() {
+            if f.is_kernel {
+                kernels.insert(f.name.clone(), ast::FunctionIndex(idx));
+            }
+        }
+        Ok(Program { source: source.to_string(), unit: Arc::new(unit), kernels })
+    }
+
+    /// The original source string.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Names of all `__kernel` functions in the program.
+    pub fn kernel_names(&self) -> Vec<String> {
+        self.kernels.keys().cloned().collect()
+    }
+
+    /// Look up a kernel by name.
+    pub fn kernel(&self, name: &str) -> Option<KernelHandle> {
+        self.kernels.get(name).map(|idx| KernelHandle {
+            unit: Arc::clone(&self.unit),
+            index: *idx,
+            name: name.to_string(),
+        })
+    }
+
+    /// The parsed translation unit (for inspection by tests and tools).
+    pub fn unit(&self) -> &ast::TranslationUnit {
+        &self.unit
+    }
+}
+
+/// A kernel extracted from a built [`Program`] (`clCreateKernel`).
+#[derive(Debug, Clone)]
+pub struct KernelHandle {
+    unit: Arc<ast::TranslationUnit>,
+    index: ast::FunctionIndex,
+    name: String,
+}
+
+impl KernelHandle {
+    /// Kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The kernel's declared parameters.
+    pub fn params(&self) -> &[ast::Param] {
+        &self.unit.functions[self.index.0].params
+    }
+
+    /// Number of declared parameters (`CL_KERNEL_NUM_ARGS`).
+    pub fn num_args(&self) -> usize {
+        self.params().len()
+    }
+
+    /// Execute the kernel over `range`, reading and writing the supplied
+    /// argument values and buffer bindings.
+    ///
+    /// Returns per-work-item operation counters which the device model uses
+    /// to derive modelled execution time.
+    pub fn execute(
+        &self,
+        range: &NdRange,
+        args: &[KernelArgValue],
+        buffers: &mut [BufferBinding<'_>],
+    ) -> Result<WorkItemCounters, CompileError> {
+        interp::execute_kernel(&self.unit, self.index, range, args, buffers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VEC_ADD: &str = r#"
+        __kernel void vec_add(__global const float* a,
+                              __global const float* b,
+                              __global float* out,
+                              uint n) {
+            size_t i = get_global_id(0);
+            if (i < n) {
+                out[i] = a[i] + b[i];
+            }
+        }
+    "#;
+
+    #[test]
+    fn build_and_list_kernels() {
+        let program = Program::build(VEC_ADD).expect("build");
+        assert_eq!(program.kernel_names(), vec!["vec_add".to_string()]);
+        let kernel = program.kernel("vec_add").unwrap();
+        assert_eq!(kernel.num_args(), 4);
+        assert!(program.kernel("missing").is_none());
+    }
+
+    #[test]
+    fn build_error_produces_log() {
+        let log = Program::build("__kernel void broken( {").unwrap_err();
+        assert!(!log.messages.is_empty());
+        assert!(log.to_string().contains("error"));
+    }
+
+    #[test]
+    fn vec_add_executes() {
+        let program = Program::build(VEC_ADD).unwrap();
+        let kernel = program.kernel("vec_add").unwrap();
+        let n = 128usize;
+        let a: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..n).map(|i| (2 * i) as f32).collect();
+        let mut a_bytes: Vec<u8> = a.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut b_bytes: Vec<u8> = b.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut out_bytes = vec![0u8; n * 4];
+        let range = NdRange::linear(n);
+        let args = vec![
+            KernelArgValue::Buffer(0),
+            KernelArgValue::Buffer(1),
+            KernelArgValue::Buffer(2),
+            KernelArgValue::Scalar(Value::uint(n as u64)),
+        ];
+        let mut bindings = vec![
+            BufferBinding::new(&mut a_bytes),
+            BufferBinding::new(&mut b_bytes),
+            BufferBinding::new(&mut out_bytes),
+        ];
+        let counters = kernel.execute(&range, &args, &mut bindings).expect("execute");
+        assert_eq!(counters.work_items, n as u64);
+        for i in 0..n {
+            let v = f32::from_le_bytes(out_bytes[i * 4..i * 4 + 4].try_into().unwrap());
+            assert_eq!(v, (i + 2 * i) as f32);
+        }
+    }
+}

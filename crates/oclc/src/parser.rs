@@ -1,0 +1,764 @@
+//! Recursive-descent parser for the OpenCL C subset.
+
+use crate::ast::*;
+use crate::error::{CompileError, Location};
+use crate::token::{Keyword, Punct, Token, TokenKind};
+use crate::types::{AddressSpace, Type};
+
+/// Parse a token stream produced by [`crate::lexer::lex`] into a
+/// [`TranslationUnit`].
+pub fn parse(tokens: &[Token]) -> Result<TranslationUnit, CompileError> {
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.parse_translation_unit()
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek_at(&self, offset: usize) -> &TokenKind {
+        let idx = (self.pos + offset).min(self.tokens.len() - 1);
+        &self.tokens[idx].kind
+    }
+
+    fn location(&self) -> Location {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].location
+    }
+
+    fn bump(&mut self) -> &'a Token {
+        let t = &self.tokens[self.pos.min(self.tokens.len() - 1)];
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.peek() == &TokenKind::Punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: Punct) -> Result<(), CompileError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(CompileError::at(
+                self.location(),
+                format!("expected {p:?}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn eat_keyword(&mut self, k: Keyword) -> bool {
+        if self.peek() == &TokenKind::Keyword(k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(CompileError::at(
+                self.location(),
+                format!("expected identifier, found {other:?}"),
+            )),
+        }
+    }
+
+    // ----- types ---------------------------------------------------------
+
+    /// True when the current position starts a declaration (type followed by
+    /// an identifier).
+    fn at_declaration(&self) -> bool {
+        match self.peek() {
+            TokenKind::Keyword(
+                Keyword::Global | Keyword::Local | Keyword::Constant | Keyword::Private
+                | Keyword::Const | Keyword::Void,
+            ) => true,
+            TokenKind::Ident(name) if Type::is_type_name(name) => {
+                // Distinguish `float x` (declaration) from `float(x)` and a
+                // plain identifier expression.
+                matches!(self.peek_at(1), TokenKind::Ident(_) | TokenKind::Punct(Punct::Star))
+            }
+            _ => false,
+        }
+    }
+
+    fn parse_address_space(&mut self) -> Option<AddressSpace> {
+        let space = match self.peek() {
+            TokenKind::Keyword(Keyword::Global) => AddressSpace::Global,
+            TokenKind::Keyword(Keyword::Local) => AddressSpace::Local,
+            TokenKind::Keyword(Keyword::Constant) => AddressSpace::Constant,
+            TokenKind::Keyword(Keyword::Private) => AddressSpace::Private,
+            _ => return None,
+        };
+        self.bump();
+        Some(space)
+    }
+
+    fn parse_type(&mut self) -> Result<Type, CompileError> {
+        let loc = self.location();
+        let space = self.parse_address_space();
+        let mut is_const = self.eat_keyword(Keyword::Const);
+        // Address space may also follow const.
+        let space = space.or_else(|| self.parse_address_space());
+        let base = if self.eat_keyword(Keyword::Void) {
+            Type::Void
+        } else {
+            match self.peek().clone() {
+                TokenKind::Keyword(Keyword::Struct) => {
+                    return Err(CompileError::at(loc, "struct types are not supported"));
+                }
+                TokenKind::Ident(name) => match Type::from_name(&name) {
+                    Some(t) => {
+                        self.bump();
+                        t
+                    }
+                    None => {
+                        return Err(CompileError::at(loc, format!("unknown type name '{name}'")))
+                    }
+                },
+                other => {
+                    return Err(CompileError::at(loc, format!("expected type, found {other:?}")))
+                }
+            }
+        };
+        if self.eat_keyword(Keyword::Const) {
+            is_const = true;
+        }
+        if self.eat_punct(Punct::Star) {
+            // Trailing const after '*' (pointer itself const) — accepted and
+            // ignored, as the subset does not model it.
+            let _ = self.eat_keyword(Keyword::Const);
+            Ok(Type::Pointer {
+                pointee: Box::new(base),
+                space: space.unwrap_or(AddressSpace::Private),
+                is_const,
+            })
+        } else {
+            Ok(base)
+        }
+    }
+
+    // ----- top level ------------------------------------------------------
+
+    fn parse_translation_unit(&mut self) -> Result<TranslationUnit, CompileError> {
+        let mut unit = TranslationUnit::default();
+        while self.peek() != &TokenKind::Eof {
+            unit.functions.push(self.parse_function()?);
+        }
+        Ok(unit)
+    }
+
+    fn parse_function(&mut self) -> Result<Function, CompileError> {
+        let location = self.location();
+        let is_kernel = self.eat_keyword(Keyword::Kernel);
+        let return_type = self.parse_type()?;
+        let name = self.expect_ident()?;
+        self.expect_punct(Punct::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat_punct(Punct::RParen) {
+            // Allow a bare `void` parameter list.
+            if self.peek() == &TokenKind::Keyword(Keyword::Void)
+                && self.peek_at(1) == &TokenKind::Punct(Punct::RParen)
+            {
+                self.bump();
+                self.expect_punct(Punct::RParen)?;
+            } else {
+                loop {
+                    let ty = self.parse_type()?;
+                    let pname = self.expect_ident()?;
+                    params.push(Param { name: pname, ty });
+                    if self.eat_punct(Punct::Comma) {
+                        continue;
+                    }
+                    self.expect_punct(Punct::RParen)?;
+                    break;
+                }
+            }
+        }
+        let body = self.parse_block()?;
+        Ok(Function { name, is_kernel, return_type, params, body, location })
+    }
+
+    // ----- statements -----------------------------------------------------
+
+    fn parse_block(&mut self) -> Result<Block, CompileError> {
+        self.expect_punct(Punct::LBrace)?;
+        let mut block = Block::default();
+        while !self.eat_punct(Punct::RBrace) {
+            if self.peek() == &TokenKind::Eof {
+                return Err(CompileError::at(self.location(), "unexpected end of file in block"));
+            }
+            block.statements.push(self.parse_statement()?);
+        }
+        Ok(block)
+    }
+
+    fn parse_statement_or_block(&mut self) -> Result<Block, CompileError> {
+        if self.peek() == &TokenKind::Punct(Punct::LBrace) {
+            self.parse_block()
+        } else {
+            let stmt = self.parse_statement()?;
+            Ok(Block { statements: vec![stmt] })
+        }
+    }
+
+    fn parse_statement(&mut self) -> Result<Stmt, CompileError> {
+        match self.peek().clone() {
+            TokenKind::Punct(Punct::LBrace) => Ok(Stmt::Block(self.parse_block()?)),
+            TokenKind::Punct(Punct::Semicolon) => {
+                self.bump();
+                Ok(Stmt::Block(Block::default()))
+            }
+            TokenKind::Keyword(Keyword::If) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let then_block = self.parse_statement_or_block()?;
+                let else_block = if self.eat_keyword(Keyword::Else) {
+                    Some(self.parse_statement_or_block()?)
+                } else {
+                    None
+                };
+                Ok(Stmt::If { cond, then_block, else_block })
+            }
+            TokenKind::Keyword(Keyword::While) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let body = self.parse_statement_or_block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            TokenKind::Keyword(Keyword::Do) => {
+                self.bump();
+                let body = self.parse_statement_or_block()?;
+                if !self.eat_keyword(Keyword::While) {
+                    return Err(CompileError::at(self.location(), "expected 'while' after do-body"));
+                }
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect_punct(Punct::RParen)?;
+                self.expect_punct(Punct::Semicolon)?;
+                Ok(Stmt::DoWhile { body, cond })
+            }
+            TokenKind::Keyword(Keyword::For) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let init = if self.eat_punct(Punct::Semicolon) {
+                    None
+                } else if self.at_declaration() {
+                    Some(Box::new(self.parse_declaration()?))
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect_punct(Punct::Semicolon)?;
+                    Some(Box::new(Stmt::Expr(e)))
+                };
+                let cond = if self.peek() == &TokenKind::Punct(Punct::Semicolon) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect_punct(Punct::Semicolon)?;
+                let step = if self.peek() == &TokenKind::Punct(Punct::RParen) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect_punct(Punct::RParen)?;
+                let body = self.parse_statement_or_block()?;
+                Ok(Stmt::For { init, cond, step, body })
+            }
+            TokenKind::Keyword(Keyword::Return) => {
+                self.bump();
+                if self.eat_punct(Punct::Semicolon) {
+                    Ok(Stmt::Return(None))
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect_punct(Punct::Semicolon)?;
+                    Ok(Stmt::Return(Some(e)))
+                }
+            }
+            TokenKind::Keyword(Keyword::Break) => {
+                self.bump();
+                self.expect_punct(Punct::Semicolon)?;
+                Ok(Stmt::Break)
+            }
+            TokenKind::Keyword(Keyword::Continue) => {
+                self.bump();
+                self.expect_punct(Punct::Semicolon)?;
+                Ok(Stmt::Continue)
+            }
+            _ if self.at_declaration() => self.parse_declaration(),
+            _ => {
+                let e = self.parse_expr()?;
+                self.expect_punct(Punct::Semicolon)?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn parse_declaration(&mut self) -> Result<Stmt, CompileError> {
+        let location = self.location();
+        let ty = self.parse_type()?;
+        let name = self.expect_ident()?;
+        let init = if self.eat_punct(Punct::Assign) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        // Multiple declarators (`int a = 1, b = 2;`) are lowered into nested
+        // blocks by collecting them here.
+        let mut extra = Vec::new();
+        while self.eat_punct(Punct::Comma) {
+            let loc2 = self.location();
+            let name2 = self.expect_ident()?;
+            let init2 = if self.eat_punct(Punct::Assign) {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            extra.push(Stmt::Decl { name: name2, ty: ty.clone(), init: init2, location: loc2 });
+        }
+        self.expect_punct(Punct::Semicolon)?;
+        let first = Stmt::Decl { name, ty, init, location };
+        if extra.is_empty() {
+            Ok(first)
+        } else {
+            let mut statements = vec![first];
+            statements.extend(extra);
+            Ok(Stmt::Block(Block { statements }))
+        }
+    }
+
+    // ----- expressions -----------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, CompileError> {
+        self.parse_assignment()
+    }
+
+    fn parse_assignment(&mut self) -> Result<Expr, CompileError> {
+        let lhs = self.parse_ternary()?;
+        let loc = self.location();
+        let compound = match self.peek() {
+            TokenKind::Punct(Punct::Assign) => Some(None),
+            TokenKind::Punct(Punct::PlusAssign) => Some(Some(BinOp::Add)),
+            TokenKind::Punct(Punct::MinusAssign) => Some(Some(BinOp::Sub)),
+            TokenKind::Punct(Punct::StarAssign) => Some(Some(BinOp::Mul)),
+            TokenKind::Punct(Punct::SlashAssign) => Some(Some(BinOp::Div)),
+            TokenKind::Punct(Punct::PercentAssign) => Some(Some(BinOp::Rem)),
+            TokenKind::Punct(Punct::AndAssign) => Some(Some(BinOp::BitAnd)),
+            TokenKind::Punct(Punct::OrAssign) => Some(Some(BinOp::BitOr)),
+            TokenKind::Punct(Punct::XorAssign) => Some(Some(BinOp::BitXor)),
+            TokenKind::Punct(Punct::ShlAssign) => Some(Some(BinOp::Shl)),
+            TokenKind::Punct(Punct::ShrAssign) => Some(Some(BinOp::Shr)),
+            _ => None,
+        };
+        if let Some(op) = compound {
+            self.bump();
+            let value = self.parse_assignment()?;
+            Ok(Expr::new(
+                ExprKind::Assign { op, target: Box::new(lhs), value: Box::new(value) },
+                loc,
+            ))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_ternary(&mut self) -> Result<Expr, CompileError> {
+        let cond = self.parse_binary(0)?;
+        if self.eat_punct(Punct::Question) {
+            let loc = self.location();
+            let then_expr = self.parse_expr()?;
+            self.expect_punct(Punct::Colon)?;
+            let else_expr = self.parse_ternary()?;
+            Ok(Expr::new(
+                ExprKind::Ternary {
+                    cond: Box::new(cond),
+                    then_expr: Box::new(then_expr),
+                    else_expr: Box::new(else_expr),
+                },
+                loc,
+            ))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn binop_at(&self, level: usize) -> Option<BinOp> {
+        // Precedence levels from lowest to highest.
+        let op = match (level, self.peek()) {
+            (0, TokenKind::Punct(Punct::OrOr)) => BinOp::LogicalOr,
+            (1, TokenKind::Punct(Punct::AndAnd)) => BinOp::LogicalAnd,
+            (2, TokenKind::Punct(Punct::Pipe)) => BinOp::BitOr,
+            (3, TokenKind::Punct(Punct::Caret)) => BinOp::BitXor,
+            (4, TokenKind::Punct(Punct::Amp)) => BinOp::BitAnd,
+            (5, TokenKind::Punct(Punct::Eq)) => BinOp::Eq,
+            (5, TokenKind::Punct(Punct::Ne)) => BinOp::Ne,
+            (6, TokenKind::Punct(Punct::Lt)) => BinOp::Lt,
+            (6, TokenKind::Punct(Punct::Le)) => BinOp::Le,
+            (6, TokenKind::Punct(Punct::Gt)) => BinOp::Gt,
+            (6, TokenKind::Punct(Punct::Ge)) => BinOp::Ge,
+            (7, TokenKind::Punct(Punct::Shl)) => BinOp::Shl,
+            (7, TokenKind::Punct(Punct::Shr)) => BinOp::Shr,
+            (8, TokenKind::Punct(Punct::Plus)) => BinOp::Add,
+            (8, TokenKind::Punct(Punct::Minus)) => BinOp::Sub,
+            (9, TokenKind::Punct(Punct::Star)) => BinOp::Mul,
+            (9, TokenKind::Punct(Punct::Slash)) => BinOp::Div,
+            (9, TokenKind::Punct(Punct::Percent)) => BinOp::Rem,
+            _ => return None,
+        };
+        Some(op)
+    }
+
+    fn parse_binary(&mut self, level: usize) -> Result<Expr, CompileError> {
+        const MAX_LEVEL: usize = 9;
+        if level > MAX_LEVEL {
+            return self.parse_unary();
+        }
+        let mut lhs = self.parse_binary(level + 1)?;
+        while let Some(op) = self.binop_at(level) {
+            let loc = self.location();
+            self.bump();
+            let rhs = self.parse_binary(level + 1)?;
+            lhs = Expr::new(
+                ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                loc,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn at_cast(&self) -> bool {
+        if self.peek() != &TokenKind::Punct(Punct::LParen) {
+            return false;
+        }
+        match self.peek_at(1) {
+            TokenKind::Keyword(
+                Keyword::Global | Keyword::Local | Keyword::Constant | Keyword::Private
+                | Keyword::Const | Keyword::Void,
+            ) => true,
+            TokenKind::Ident(name) => Type::is_type_name(name),
+            _ => false,
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, CompileError> {
+        let loc = self.location();
+        match self.peek().clone() {
+            TokenKind::Punct(Punct::Minus) => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr::new(ExprKind::Unary { op: UnOp::Neg, expr: Box::new(e) }, loc))
+            }
+            TokenKind::Punct(Punct::Plus) => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr::new(ExprKind::Unary { op: UnOp::Plus, expr: Box::new(e) }, loc))
+            }
+            TokenKind::Punct(Punct::Not) => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr::new(ExprKind::Unary { op: UnOp::Not, expr: Box::new(e) }, loc))
+            }
+            TokenKind::Punct(Punct::Tilde) => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr::new(ExprKind::Unary { op: UnOp::BitNot, expr: Box::new(e) }, loc))
+            }
+            TokenKind::Punct(Punct::Star) => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr::new(ExprKind::Unary { op: UnOp::Deref, expr: Box::new(e) }, loc))
+            }
+            TokenKind::Punct(Punct::PlusPlus) => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr::new(ExprKind::PreIncDec { target: Box::new(e), inc: true }, loc))
+            }
+            TokenKind::Punct(Punct::MinusMinus) => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr::new(ExprKind::PreIncDec { target: Box::new(e), inc: false }, loc))
+            }
+            _ if self.at_cast() => {
+                self.bump(); // '('
+                let ty = self.parse_type()?;
+                self.expect_punct(Punct::RParen)?;
+                // Vector literal: `(float4)(a, b, c, d)`.
+                if let Type::Vector(scalar, width) = &ty {
+                    if self.peek() == &TokenKind::Punct(Punct::LParen) {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if !self.eat_punct(Punct::RParen) {
+                            loop {
+                                args.push(self.parse_expr()?);
+                                if self.eat_punct(Punct::Comma) {
+                                    continue;
+                                }
+                                self.expect_punct(Punct::RParen)?;
+                                break;
+                            }
+                        }
+                        return Ok(Expr::new(
+                            ExprKind::Call { name: format!("__vec_{}{}", scalar.name(), width), args },
+                            loc,
+                        ));
+                    }
+                }
+                let expr = self.parse_unary()?;
+                Ok(Expr::new(ExprKind::Cast { ty, expr: Box::new(expr) }, loc))
+            }
+            _ => self.parse_postfix(),
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut expr = self.parse_primary()?;
+        loop {
+            let loc = self.location();
+            match self.peek().clone() {
+                TokenKind::Punct(Punct::LBracket) => {
+                    self.bump();
+                    let index = self.parse_expr()?;
+                    self.expect_punct(Punct::RBracket)?;
+                    expr = Expr::new(
+                        ExprKind::Index { base: Box::new(expr), index: Box::new(index) },
+                        loc,
+                    );
+                }
+                TokenKind::Punct(Punct::Dot) => {
+                    self.bump();
+                    let member = self.expect_ident()?;
+                    expr = Expr::new(
+                        ExprKind::Member { base: Box::new(expr), member },
+                        loc,
+                    );
+                }
+                TokenKind::Punct(Punct::PlusPlus) => {
+                    self.bump();
+                    expr = Expr::new(
+                        ExprKind::PostIncDec { target: Box::new(expr), inc: true },
+                        loc,
+                    );
+                }
+                TokenKind::Punct(Punct::MinusMinus) => {
+                    self.bump();
+                    expr = Expr::new(
+                        ExprKind::PostIncDec { target: Box::new(expr), inc: false },
+                        loc,
+                    );
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, CompileError> {
+        let loc = self.location();
+        match self.peek().clone() {
+            TokenKind::IntLiteral(v, unsigned) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::IntLit(v, unsigned), loc))
+            }
+            TokenKind::FloatLiteral(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::FloatLit(v), loc))
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::BoolLit(true), loc))
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::BoolLit(false), loc))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.peek() == &TokenKind::Punct(Punct::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat_punct(Punct::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if self.eat_punct(Punct::Comma) {
+                                continue;
+                            }
+                            self.expect_punct(Punct::RParen)?;
+                            break;
+                        }
+                    }
+                    Ok(Expr::new(ExprKind::Call { name, args }, loc))
+                } else {
+                    Ok(Expr::new(ExprKind::Ident(name), loc))
+                }
+            }
+            TokenKind::Punct(Punct::LParen) => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect_punct(Punct::RParen)?;
+                Ok(e)
+            }
+            other => Err(CompileError::at(loc, format!("unexpected token {other:?} in expression"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::types::ScalarType;
+
+    fn parse_src(src: &str) -> TranslationUnit {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_kernel_signature() {
+        let unit = parse_src(
+            "__kernel void f(__global const float* a, __global float* out, uint n) { }",
+        );
+        assert_eq!(unit.functions.len(), 1);
+        let f = &unit.functions[0];
+        assert!(f.is_kernel);
+        assert_eq!(f.name, "f");
+        assert_eq!(f.params.len(), 3);
+        assert!(f.params[0].ty.is_pointer());
+        assert_eq!(f.params[2].ty, Type::scalar(ScalarType::UInt));
+    }
+
+    #[test]
+    fn parses_helper_function_and_kernel() {
+        let unit = parse_src(
+            r#"
+            float square(float x) { return x * x; }
+            __kernel void k(__global float* a) { a[0] = square(a[0]); }
+            "#,
+        );
+        assert_eq!(unit.functions.len(), 2);
+        assert!(!unit.functions[0].is_kernel);
+        assert!(unit.functions[1].is_kernel);
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let unit = parse_src(
+            r#"
+            __kernel void k(__global int* a, uint n) {
+                for (uint i = 0; i < n; i++) {
+                    if (i % 2 == 0) { a[i] = 1; } else a[i] = 0;
+                }
+                uint j = 0;
+                while (j < n) { j += 1; }
+                do { j--; } while (j > 0);
+            }
+            "#,
+        );
+        let body = &unit.functions[0].body;
+        assert!(matches!(body.statements[0], Stmt::For { .. }));
+        assert!(matches!(body.statements[2], Stmt::While { .. }));
+        assert!(matches!(body.statements[3], Stmt::DoWhile { .. }));
+    }
+
+    #[test]
+    fn parses_casts_and_vector_literals() {
+        let unit = parse_src(
+            r#"
+            __kernel void k(__global float* a) {
+                float x = (float)1;
+                float4 v = (float4)(1.0f, 2.0f, 3.0f, 4.0f);
+                a[0] = v.x + v.w + x;
+            }
+            "#,
+        );
+        let body = &unit.functions[0].body;
+        match &body.statements[1] {
+            Stmt::Decl { init: Some(e), .. } => match &e.kind {
+                ExprKind::Call { name, args } => {
+                    assert_eq!(name, "__vec_float4");
+                    assert_eq!(args.len(), 4);
+                }
+                other => panic!("expected vector literal, got {other:?}"),
+            },
+            other => panic!("expected declaration, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_multi_declarator() {
+        let unit = parse_src("__kernel void k() { int a = 1, b = 2, c; a = b + c; }");
+        let body = &unit.functions[0].body;
+        match &body.statements[0] {
+            Stmt::Block(block) => assert_eq!(block.statements.len(), 3),
+            other => panic!("expected block of declarations, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let unit = parse_src("__kernel void k(__global int* a) { a[0] = 1 + 2 * 3; }");
+        let body = &unit.functions[0].body;
+        match &body.statements[0] {
+            Stmt::Expr(e) => match &e.kind {
+                ExprKind::Assign { value, .. } => match &value.kind {
+                    ExprKind::Binary { op: BinOp::Add, rhs, .. } => {
+                        assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
+                    }
+                    other => panic!("expected add at top, got {other:?}"),
+                },
+                other => panic!("expected assignment, got {other:?}"),
+            },
+            other => panic!("expected expression statement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ternary_and_logical_operators() {
+        parse_src("__kernel void k(__global int* a, int n) { a[0] = n > 0 && n < 10 ? 1 : 0; }");
+    }
+
+    #[test]
+    fn error_on_unknown_type() {
+        let tokens = lex("__kernel void k(mytype x) { }").unwrap();
+        assert!(parse(&tokens).is_err());
+    }
+
+    #[test]
+    fn error_on_struct() {
+        let tokens = lex("struct S { int x; };").unwrap();
+        assert!(parse(&tokens).is_err());
+    }
+
+    #[test]
+    fn error_on_missing_semicolon() {
+        let tokens = lex("__kernel void k() { int a = 1 }").unwrap();
+        assert!(parse(&tokens).is_err());
+    }
+
+    #[test]
+    fn error_on_unterminated_block() {
+        let tokens = lex("__kernel void k() { int a = 1;").unwrap();
+        assert!(parse(&tokens).is_err());
+    }
+}

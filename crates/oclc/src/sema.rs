@@ -1,0 +1,374 @@
+//! Semantic analysis: scope / call / flow checks performed at build time.
+//!
+//! The checks are deliberately pragmatic: they catch the mistakes that would
+//! otherwise surface as confusing interpreter errors (unknown identifiers,
+//! unknown callees, `break` outside a loop, assigning to something that is
+//! not an lvalue, non-`void` kernels) and report them with source locations
+//! through the build log, the way `clBuildProgram` would.
+
+use crate::ast::*;
+use crate::builtins;
+use crate::error::CompileError;
+use crate::types::Type;
+use std::collections::{HashMap, HashSet};
+
+/// Check a parsed translation unit; returns every diagnostic found.
+pub fn check(unit: &TranslationUnit) -> Result<(), Vec<CompileError>> {
+    let mut checker = Checker::new(unit);
+    checker.check_unit();
+    if checker.errors.is_empty() {
+        Ok(())
+    } else {
+        Err(checker.errors)
+    }
+}
+
+struct Checker<'a> {
+    unit: &'a TranslationUnit,
+    functions: HashMap<&'a str, &'a Function>,
+    errors: Vec<CompileError>,
+}
+
+struct Scope {
+    names: Vec<HashSet<String>>,
+    loop_depth: usize,
+}
+
+impl Scope {
+    fn new() -> Self {
+        Scope { names: vec![HashSet::new()], loop_depth: 0 }
+    }
+
+    fn push(&mut self) {
+        self.names.push(HashSet::new());
+    }
+
+    fn pop(&mut self) {
+        self.names.pop();
+    }
+
+    fn declare(&mut self, name: &str) {
+        if let Some(top) = self.names.last_mut() {
+            top.insert(name.to_string());
+        }
+    }
+
+    fn is_declared(&self, name: &str) -> bool {
+        self.names.iter().any(|s| s.contains(name))
+    }
+}
+
+impl<'a> Checker<'a> {
+    fn new(unit: &'a TranslationUnit) -> Self {
+        Checker { unit, functions: HashMap::new(), errors: Vec::new() }
+    }
+
+    fn check_unit(&mut self) {
+        for f in &self.unit.functions {
+            if self.functions.insert(f.name.as_str(), f).is_some() {
+                self.errors.push(CompileError::at(
+                    f.location,
+                    format!("function '{}' is defined more than once", f.name),
+                ));
+            }
+        }
+        let mut has_kernel = false;
+        for f in &self.unit.functions {
+            if f.is_kernel {
+                has_kernel = true;
+                if f.return_type != Type::Void {
+                    self.errors.push(CompileError::at(
+                        f.location,
+                        format!("kernel '{}' must return void", f.name),
+                    ));
+                }
+            }
+            self.check_function(f);
+        }
+        if !has_kernel && !self.unit.functions.is_empty() {
+            // Not an error per the OpenCL spec, but worth noting: programs
+            // without kernels cannot be launched.  We keep it silent.
+        }
+    }
+
+    fn check_function(&mut self, f: &Function) {
+        let mut scope = Scope::new();
+        let mut seen_params = HashSet::new();
+        for p in &f.params {
+            if !seen_params.insert(p.name.clone()) {
+                self.errors.push(CompileError::at(
+                    f.location,
+                    format!("duplicate parameter name '{}' in '{}'", p.name, f.name),
+                ));
+            }
+            scope.declare(&p.name);
+        }
+        self.check_block(&f.body, &mut scope, f);
+    }
+
+    fn check_block(&mut self, block: &Block, scope: &mut Scope, f: &Function) {
+        scope.push();
+        for stmt in &block.statements {
+            self.check_stmt(stmt, scope, f);
+        }
+        scope.pop();
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt, scope: &mut Scope, f: &Function) {
+        match stmt {
+            Stmt::Decl { name, ty, init, location } => {
+                if *ty == Type::Void {
+                    self.errors.push(CompileError::at(
+                        *location,
+                        format!("variable '{name}' cannot have type void"),
+                    ));
+                }
+                if let Some(e) = init {
+                    self.check_expr(e, scope);
+                }
+                scope.declare(name);
+            }
+            Stmt::Expr(e) => self.check_expr(e, scope),
+            Stmt::If { cond, then_block, else_block } => {
+                self.check_expr(cond, scope);
+                self.check_block(then_block, scope, f);
+                if let Some(b) = else_block {
+                    self.check_block(b, scope, f);
+                }
+            }
+            Stmt::While { cond, body } => {
+                self.check_expr(cond, scope);
+                scope.loop_depth += 1;
+                self.check_block(body, scope, f);
+                scope.loop_depth -= 1;
+            }
+            Stmt::DoWhile { body, cond } => {
+                scope.loop_depth += 1;
+                self.check_block(body, scope, f);
+                scope.loop_depth -= 1;
+                self.check_expr(cond, scope);
+            }
+            Stmt::For { init, cond, step, body } => {
+                scope.push();
+                if let Some(s) = init {
+                    self.check_stmt(s, scope, f);
+                }
+                if let Some(c) = cond {
+                    self.check_expr(c, scope);
+                }
+                if let Some(s) = step {
+                    self.check_expr(s, scope);
+                }
+                scope.loop_depth += 1;
+                self.check_block(body, scope, f);
+                scope.loop_depth -= 1;
+                scope.pop();
+            }
+            Stmt::Return(e) => {
+                match (e, &f.return_type) {
+                    (Some(_), Type::Void) => self.errors.push(CompileError::at(
+                        f.location,
+                        format!("function '{}' returns void but a value is returned", f.name),
+                    )),
+                    (None, t) if *t != Type::Void => self.errors.push(CompileError::at(
+                        f.location,
+                        format!("function '{}' must return a value of type {t}", f.name),
+                    )),
+                    _ => {}
+                }
+                if let Some(e) = e {
+                    self.check_expr(e, scope);
+                }
+            }
+            Stmt::Break | Stmt::Continue => {
+                if scope.loop_depth == 0 {
+                    self.errors.push(CompileError::new(
+                        "'break'/'continue' outside of a loop".to_string(),
+                    ));
+                }
+            }
+            Stmt::Block(b) => self.check_block(b, scope, f),
+        }
+    }
+
+    fn check_lvalue(&mut self, target: &Expr) {
+        match &target.kind {
+            ExprKind::Ident(_) | ExprKind::Index { .. } | ExprKind::Member { .. } => {}
+            ExprKind::Unary { op: UnOp::Deref, .. } => {}
+            _ => self.errors.push(CompileError::at(
+                target.location,
+                "assignment target is not an lvalue".to_string(),
+            )),
+        }
+    }
+
+    fn check_expr(&mut self, expr: &Expr, scope: &mut Scope) {
+        match &expr.kind {
+            ExprKind::IntLit(..) | ExprKind::FloatLit(_) | ExprKind::BoolLit(_) => {}
+            ExprKind::Ident(name) => {
+                if !scope.is_declared(name) && builtins::builtin_constant(name).is_none() {
+                    self.errors.push(CompileError::at(
+                        expr.location,
+                        format!("use of undeclared identifier '{name}'"),
+                    ));
+                }
+            }
+            ExprKind::Binary { lhs, rhs, .. } => {
+                self.check_expr(lhs, scope);
+                self.check_expr(rhs, scope);
+            }
+            ExprKind::Unary { expr: inner, .. } => self.check_expr(inner, scope),
+            ExprKind::Assign { target, value, .. } => {
+                self.check_lvalue(target);
+                self.check_expr(target, scope);
+                self.check_expr(value, scope);
+            }
+            ExprKind::Ternary { cond, then_expr, else_expr } => {
+                self.check_expr(cond, scope);
+                self.check_expr(then_expr, scope);
+                self.check_expr(else_expr, scope);
+            }
+            ExprKind::Call { name, args } => {
+                for a in args {
+                    self.check_expr(a, scope);
+                }
+                if let Some(f) = self.functions.get(name.as_str()) {
+                    if f.params.len() != args.len() {
+                        self.errors.push(CompileError::at(
+                            expr.location,
+                            format!(
+                                "call to '{name}' passes {} argument(s), expected {}",
+                                args.len(),
+                                f.params.len()
+                            ),
+                        ));
+                    }
+                } else if builtins::classify(name).is_none() {
+                    self.errors.push(CompileError::at(
+                        expr.location,
+                        format!("call to unknown function '{name}'"),
+                    ));
+                }
+            }
+            ExprKind::Index { base, index } => {
+                self.check_expr(base, scope);
+                self.check_expr(index, scope);
+            }
+            ExprKind::Member { base, .. } => self.check_expr(base, scope),
+            ExprKind::Cast { expr: inner, .. } => self.check_expr(inner, scope),
+            ExprKind::PostIncDec { target, .. } | ExprKind::PreIncDec { target, .. } => {
+                self.check_lvalue(target);
+                self.check_expr(target, scope);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<(), Vec<CompileError>> {
+        check(&parse(&lex(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn accepts_valid_kernel() {
+        check_src(
+            r#"
+            float helper(float x) { return x + 1.0f; }
+            __kernel void k(__global float* a, uint n) {
+                size_t i = get_global_id(0);
+                if (i < n) { a[i] = helper(a[i]); }
+            }
+            "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_non_void_kernel() {
+        let errs = check_src("__kernel int k() { return 1; }").unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("must return void")));
+    }
+
+    #[test]
+    fn rejects_undeclared_identifier() {
+        let errs = check_src("__kernel void k() { int a = b; }").unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("undeclared identifier 'b'")));
+    }
+
+    #[test]
+    fn rejects_unknown_callee() {
+        let errs = check_src("__kernel void k() { frobnicate(1); }").unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("unknown function")));
+    }
+
+    #[test]
+    fn rejects_wrong_arity_call() {
+        let errs = check_src(
+            "float f(float a, float b) { return a + b; } __kernel void k() { float x = f(1.0f); }",
+        )
+        .unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("expected 2")));
+    }
+
+    #[test]
+    fn rejects_break_outside_loop() {
+        let errs = check_src("__kernel void k() { break; }").unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("outside of a loop")));
+    }
+
+    #[test]
+    fn rejects_duplicate_functions_and_params() {
+        let errs = check_src(
+            "void f(int a, int a) { } void f(int b) { } __kernel void k() { }",
+        )
+        .unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("more than once")));
+        assert!(errs.iter().any(|e| e.message.contains("duplicate parameter")));
+    }
+
+    #[test]
+    fn rejects_invalid_assignment_target() {
+        let errs = check_src("__kernel void k() { 3 = 4; }").unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("not an lvalue")));
+    }
+
+    #[test]
+    fn rejects_return_value_from_void() {
+        let errs = check_src("__kernel void k() { return 3; }").unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("returns void")));
+    }
+
+    #[test]
+    fn rejects_void_variable() {
+        let errs = check_src("__kernel void k() { void x; }").unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("cannot have type void")));
+    }
+
+    #[test]
+    fn builtin_constants_are_in_scope() {
+        check_src("__kernel void k() { barrier(CLK_LOCAL_MEM_FENCE); float pi = M_PI; }").unwrap();
+    }
+
+    #[test]
+    fn variables_scope_to_blocks() {
+        let errs = check_src(
+            "__kernel void k() { { int x = 1; } int y = x; }",
+        )
+        .unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("undeclared identifier 'x'")));
+    }
+
+    #[test]
+    fn for_loop_variable_scoped_to_loop() {
+        let errs = check_src(
+            "__kernel void k(__global int* a) { for (int i = 0; i < 4; i++) { a[i] = i; } a[0] = i; }",
+        )
+        .unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("undeclared identifier 'i'")));
+    }
+}

@@ -1,0 +1,209 @@
+//! Token definitions for the OpenCL C subset.
+
+use crate::error::Location;
+
+/// Keywords recognised by the lexer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    /// `__kernel` / `kernel`
+    Kernel,
+    /// `__global` / `global`
+    Global,
+    /// `__local` / `local`
+    Local,
+    /// `__constant` / `constant`
+    Constant,
+    /// `__private` / `private`
+    Private,
+    /// `const`
+    Const,
+    /// `void`
+    Void,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `for`
+    For,
+    /// `while`
+    While,
+    /// `do`
+    Do,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `struct` (recognised but unsupported — produces a clear diagnostic)
+    Struct,
+    /// `true`
+    True,
+    /// `false`
+    False,
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Punct {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `/=`
+    SlashAssign,
+    /// `%=`
+    PercentAssign,
+    /// `&=`
+    AndAssign,
+    /// `|=`
+    OrAssign,
+    /// `^=`
+    XorAssign,
+    /// `<<=`
+    ShlAssign,
+    /// `>>=`
+    ShrAssign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+}
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A keyword.
+    Keyword(Keyword),
+    /// An identifier (including type names, which the parser resolves).
+    Ident(String),
+    /// An integer literal (value plus whether it was suffixed unsigned).
+    IntLiteral(u64, bool),
+    /// A floating-point literal.
+    FloatLiteral(f64),
+    /// Punctuation or operator.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub location: Location,
+}
+
+impl Token {
+    /// Construct a token.
+    pub fn new(kind: TokenKind, location: Location) -> Self {
+        Token { kind, location }
+    }
+}
+
+/// Try to interpret an identifier as a keyword.
+pub fn keyword_from_str(s: &str) -> Option<Keyword> {
+    Some(match s {
+        "__kernel" | "kernel" => Keyword::Kernel,
+        "__global" | "global" => Keyword::Global,
+        "__local" | "local" => Keyword::Local,
+        "__constant" | "constant" => Keyword::Constant,
+        "__private" | "private" => Keyword::Private,
+        "const" => Keyword::Const,
+        "void" => Keyword::Void,
+        "if" => Keyword::If,
+        "else" => Keyword::Else,
+        "for" => Keyword::For,
+        "while" => Keyword::While,
+        "do" => Keyword::Do,
+        "return" => Keyword::Return,
+        "break" => Keyword::Break,
+        "continue" => Keyword::Continue,
+        "struct" => Keyword::Struct,
+        "true" => Keyword::True,
+        "false" => Keyword::False,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve_with_and_without_underscores() {
+        assert_eq!(keyword_from_str("__kernel"), Some(Keyword::Kernel));
+        assert_eq!(keyword_from_str("kernel"), Some(Keyword::Kernel));
+        assert_eq!(keyword_from_str("__global"), Some(Keyword::Global));
+        assert_eq!(keyword_from_str("float"), None);
+        assert_eq!(keyword_from_str("whatever"), None);
+    }
+}

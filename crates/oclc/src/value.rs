@@ -1,0 +1,383 @@
+//! Runtime values used by the interpreter.
+
+use crate::error::CompileError;
+use crate::types::{AddressSpace, ScalarType, Type};
+
+/// A scalar runtime value.  Signed integers, unsigned integers and floats are
+/// kept in their widest representation; the associated [`ScalarType`] on
+/// [`Value`] determines truncation on stores and conversions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scalar {
+    /// Signed integer payload.
+    I(i64),
+    /// Unsigned integer payload.
+    U(u64),
+    /// Floating-point payload.
+    F(f64),
+}
+
+impl Scalar {
+    /// Value as f64 (integers are converted).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Scalar::I(v) => v as f64,
+            Scalar::U(v) => v as f64,
+            Scalar::F(v) => v,
+        }
+    }
+
+    /// Value as i64 (floats are truncated toward zero).
+    pub fn as_i64(self) -> i64 {
+        match self {
+            Scalar::I(v) => v,
+            Scalar::U(v) => v as i64,
+            Scalar::F(v) => v as i64,
+        }
+    }
+
+    /// Value as u64 (floats truncated; negative signed values wrap).
+    pub fn as_u64(self) -> u64 {
+        match self {
+            Scalar::I(v) => v as u64,
+            Scalar::U(v) => v,
+            Scalar::F(v) => v as u64,
+        }
+    }
+
+    /// C truthiness.
+    pub fn as_bool(self) -> bool {
+        match self {
+            Scalar::I(v) => v != 0,
+            Scalar::U(v) => v != 0,
+            Scalar::F(v) => v != 0.0,
+        }
+    }
+}
+
+/// A pointer into one of the kernel's buffer bindings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pointer {
+    /// Index of the buffer binding this pointer refers to.
+    pub buffer: usize,
+    /// Byte offset from the start of the buffer.
+    pub byte_offset: i64,
+    /// Element type pointed at.
+    pub pointee: ScalarType,
+    /// Address space of the pointee.
+    pub space: AddressSpace,
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A typed scalar.
+    Scalar(ScalarType, Scalar),
+    /// A typed vector of scalar lanes.
+    Vector(ScalarType, Vec<Scalar>),
+    /// A pointer into a buffer.
+    Ptr(Pointer),
+    /// The absence of a value (`void` returns).
+    Void,
+}
+
+impl Value {
+    /// Convenience constructor: `int`.
+    pub fn int(v: i64) -> Value {
+        Value::Scalar(ScalarType::Int, Scalar::I(v))
+    }
+
+    /// Convenience constructor: `uint` / `size_t`-compatible unsigned value.
+    pub fn uint(v: u64) -> Value {
+        Value::Scalar(ScalarType::UInt, Scalar::U(v))
+    }
+
+    /// Convenience constructor: `size_t`.
+    pub fn size_t(v: u64) -> Value {
+        Value::Scalar(ScalarType::SizeT, Scalar::U(v))
+    }
+
+    /// Convenience constructor: `long`.
+    pub fn long(v: i64) -> Value {
+        Value::Scalar(ScalarType::Long, Scalar::I(v))
+    }
+
+    /// Convenience constructor: `float`.
+    pub fn float(v: f32) -> Value {
+        Value::Scalar(ScalarType::Float, Scalar::F(v as f64))
+    }
+
+    /// Convenience constructor: `double`.
+    pub fn double(v: f64) -> Value {
+        Value::Scalar(ScalarType::Double, Scalar::F(v))
+    }
+
+    /// Convenience constructor: `bool`.
+    pub fn boolean(v: bool) -> Value {
+        Value::Scalar(ScalarType::Bool, Scalar::U(u64::from(v)))
+    }
+
+    /// The static type of this value.
+    pub fn ty(&self) -> Type {
+        match self {
+            Value::Scalar(t, _) => Type::Scalar(*t),
+            Value::Vector(t, lanes) => Type::Vector(*t, lanes.len() as u8),
+            Value::Ptr(p) => Type::Pointer {
+                pointee: Box::new(Type::Scalar(p.pointee)),
+                space: p.space,
+                is_const: false,
+            },
+            Value::Void => Type::Void,
+        }
+    }
+
+    /// Truthiness for conditions; errors on pointers/vectors used directly.
+    pub fn as_bool(&self) -> Result<bool, CompileError> {
+        match self {
+            Value::Scalar(_, s) => Ok(s.as_bool()),
+            other => Err(CompileError::new(format!(
+                "value of type {} cannot be used as a condition",
+                other.ty()
+            ))),
+        }
+    }
+
+    /// Scalar payload (error for non-scalars).
+    pub fn scalar(&self) -> Result<Scalar, CompileError> {
+        match self {
+            Value::Scalar(_, s) => Ok(*s),
+            other => Err(CompileError::new(format!(
+                "expected a scalar value, found {}",
+                other.ty()
+            ))),
+        }
+    }
+
+    /// Value as f64.
+    pub fn as_f64(&self) -> Result<f64, CompileError> {
+        Ok(self.scalar()?.as_f64())
+    }
+
+    /// Value as i64.
+    pub fn as_i64(&self) -> Result<i64, CompileError> {
+        Ok(self.scalar()?.as_i64())
+    }
+
+    /// Value as u64.
+    pub fn as_u64(&self) -> Result<u64, CompileError> {
+        Ok(self.scalar()?.as_u64())
+    }
+
+    /// Value as usize (for indices and sizes).
+    pub fn as_usize(&self) -> Result<usize, CompileError> {
+        Ok(self.scalar()?.as_u64() as usize)
+    }
+
+    /// Convert this value to the given scalar type (C-style conversion with
+    /// truncation/wrapping).
+    pub fn convert_to_scalar(&self, target: ScalarType) -> Result<Value, CompileError> {
+        let s = self.scalar()?;
+        Ok(Value::Scalar(target, convert_scalar(s, target)))
+    }
+
+    /// Convert to an arbitrary subset type (scalar, vector splat, or pointer
+    /// passthrough).
+    pub fn convert_to(&self, target: &Type) -> Result<Value, CompileError> {
+        match (self, target) {
+            (_, Type::Scalar(t)) => self.convert_to_scalar(*t),
+            (Value::Vector(_, lanes), Type::Vector(t, n)) => {
+                if lanes.len() != *n as usize {
+                    return Err(CompileError::new(format!(
+                        "cannot convert {}-lane vector to {}",
+                        lanes.len(),
+                        target
+                    )));
+                }
+                Ok(Value::Vector(*t, lanes.iter().map(|l| convert_scalar(*l, *t)).collect()))
+            }
+            (Value::Scalar(_, s), Type::Vector(t, n)) => {
+                // Scalar splat.
+                Ok(Value::Vector(*t, vec![convert_scalar(*s, *t); *n as usize]))
+            }
+            (Value::Ptr(p), Type::Pointer { pointee, space, .. }) => {
+                let pointee = pointee.element_scalar().ok_or_else(|| {
+                    CompileError::new("only pointers to scalar types are supported")
+                })?;
+                Ok(Value::Ptr(Pointer { pointee, space: *space, ..*p }))
+            }
+            (v, t) => Err(CompileError::new(format!(
+                "cannot convert {} to {}",
+                v.ty(),
+                t
+            ))),
+        }
+    }
+}
+
+/// Convert a scalar payload to the representation appropriate for `target`,
+/// applying C-style truncation and wrapping semantics.
+pub fn convert_scalar(s: Scalar, target: ScalarType) -> Scalar {
+    match target {
+        ScalarType::Float | ScalarType::Double => {
+            let f = s.as_f64();
+            if target == ScalarType::Float {
+                Scalar::F(f as f32 as f64)
+            } else {
+                Scalar::F(f)
+            }
+        }
+        ScalarType::Bool => Scalar::U(u64::from(s.as_bool())),
+        ScalarType::Char => Scalar::I(s.as_i64() as i8 as i64),
+        ScalarType::UChar => Scalar::U(s.as_u64() as u8 as u64),
+        ScalarType::Short => Scalar::I(s.as_i64() as i16 as i64),
+        ScalarType::UShort => Scalar::U(s.as_u64() as u16 as u64),
+        ScalarType::Int => Scalar::I(s.as_i64() as i32 as i64),
+        ScalarType::UInt => Scalar::U(s.as_u64() as u32 as u64),
+        ScalarType::Long => Scalar::I(s.as_i64()),
+        ScalarType::ULong | ScalarType::SizeT => Scalar::U(s.as_u64()),
+    }
+}
+
+/// Read a scalar of type `ty` from `bytes` at `offset` (little-endian).
+pub fn load_scalar(bytes: &[u8], offset: usize, ty: ScalarType) -> Result<Scalar, CompileError> {
+    let size = ty.size();
+    let end = offset
+        .checked_add(size)
+        .ok_or_else(|| CompileError::new("pointer offset overflow"))?;
+    if end > bytes.len() {
+        return Err(CompileError::new(format!(
+            "out-of-bounds read of {size} bytes at offset {offset} (buffer is {} bytes)",
+            bytes.len()
+        )));
+    }
+    let raw = &bytes[offset..end];
+    Ok(match ty {
+        ScalarType::Bool => Scalar::U(u64::from(raw[0] != 0)),
+        ScalarType::Char => Scalar::I(raw[0] as i8 as i64),
+        ScalarType::UChar => Scalar::U(raw[0] as u64),
+        ScalarType::Short => Scalar::I(i16::from_le_bytes([raw[0], raw[1]]) as i64),
+        ScalarType::UShort => Scalar::U(u16::from_le_bytes([raw[0], raw[1]]) as u64),
+        ScalarType::Int => Scalar::I(i32::from_le_bytes(raw.try_into().unwrap()) as i64),
+        ScalarType::UInt => Scalar::U(u32::from_le_bytes(raw.try_into().unwrap()) as u64),
+        ScalarType::Long => Scalar::I(i64::from_le_bytes(raw.try_into().unwrap())),
+        ScalarType::ULong | ScalarType::SizeT => {
+            Scalar::U(u64::from_le_bytes(raw.try_into().unwrap()))
+        }
+        ScalarType::Float => Scalar::F(f32::from_le_bytes(raw.try_into().unwrap()) as f64),
+        ScalarType::Double => Scalar::F(f64::from_le_bytes(raw.try_into().unwrap())),
+    })
+}
+
+/// Write scalar `s` (converted to `ty`) into `bytes` at `offset`
+/// (little-endian).
+pub fn store_scalar(
+    bytes: &mut [u8],
+    offset: usize,
+    ty: ScalarType,
+    s: Scalar,
+) -> Result<(), CompileError> {
+    let size = ty.size();
+    let end = offset
+        .checked_add(size)
+        .ok_or_else(|| CompileError::new("pointer offset overflow"))?;
+    if end > bytes.len() {
+        return Err(CompileError::new(format!(
+            "out-of-bounds write of {size} bytes at offset {offset} (buffer is {} bytes)",
+            bytes.len()
+        )));
+    }
+    let s = convert_scalar(s, ty);
+    let dst = &mut bytes[offset..end];
+    match ty {
+        ScalarType::Bool => dst[0] = u8::from(s.as_bool()),
+        ScalarType::Char => dst[0] = s.as_i64() as i8 as u8,
+        ScalarType::UChar => dst[0] = s.as_u64() as u8,
+        ScalarType::Short => dst.copy_from_slice(&(s.as_i64() as i16).to_le_bytes()),
+        ScalarType::UShort => dst.copy_from_slice(&(s.as_u64() as u16).to_le_bytes()),
+        ScalarType::Int => dst.copy_from_slice(&(s.as_i64() as i32).to_le_bytes()),
+        ScalarType::UInt => dst.copy_from_slice(&(s.as_u64() as u32).to_le_bytes()),
+        ScalarType::Long => dst.copy_from_slice(&s.as_i64().to_le_bytes()),
+        ScalarType::ULong | ScalarType::SizeT => dst.copy_from_slice(&s.as_u64().to_le_bytes()),
+        ScalarType::Float => dst.copy_from_slice(&(s.as_f64() as f32).to_le_bytes()),
+        ScalarType::Double => dst.copy_from_slice(&s.as_f64().to_le_bytes()),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_truncate_like_c() {
+        assert_eq!(convert_scalar(Scalar::I(300), ScalarType::UChar), Scalar::U(44));
+        assert_eq!(convert_scalar(Scalar::I(-1), ScalarType::UInt), Scalar::U(0xffff_ffff));
+        assert_eq!(convert_scalar(Scalar::F(3.9), ScalarType::Int), Scalar::I(3));
+        assert_eq!(convert_scalar(Scalar::U(1), ScalarType::Bool), Scalar::U(1));
+        assert_eq!(convert_scalar(Scalar::I(0), ScalarType::Bool), Scalar::U(0));
+    }
+
+    #[test]
+    fn float_conversion_goes_through_f32() {
+        let v = convert_scalar(Scalar::F(1.000000001), ScalarType::Float);
+        assert_eq!(v, Scalar::F(1.000000001f32 as f64));
+    }
+
+    #[test]
+    fn load_store_roundtrip_all_types() {
+        let types = [
+            ScalarType::Char,
+            ScalarType::UChar,
+            ScalarType::Short,
+            ScalarType::UShort,
+            ScalarType::Int,
+            ScalarType::UInt,
+            ScalarType::Long,
+            ScalarType::ULong,
+            ScalarType::SizeT,
+            ScalarType::Float,
+            ScalarType::Double,
+        ];
+        for ty in types {
+            let mut bytes = vec![0u8; 16];
+            store_scalar(&mut bytes, 4, ty, Scalar::I(37)).unwrap();
+            let loaded = load_scalar(&bytes, 4, ty).unwrap();
+            assert_eq!(loaded.as_i64(), 37, "type {ty:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_access_is_an_error() {
+        let mut bytes = vec![0u8; 4];
+        assert!(load_scalar(&bytes, 2, ScalarType::Float).is_err());
+        assert!(store_scalar(&mut bytes, 4, ScalarType::Int, Scalar::I(1)).is_err());
+        assert!(load_scalar(&bytes, 0, ScalarType::Float).is_ok());
+    }
+
+    #[test]
+    fn value_helpers() {
+        assert!(Value::boolean(true).as_bool().unwrap());
+        assert_eq!(Value::int(-5).as_i64().unwrap(), -5);
+        assert_eq!(Value::uint(5).as_u64().unwrap(), 5);
+        assert_eq!(Value::float(2.5).as_f64().unwrap(), 2.5);
+        assert_eq!(Value::size_t(9).ty(), Type::Scalar(ScalarType::SizeT));
+        assert!(Value::Void.as_bool().is_err());
+    }
+
+    #[test]
+    fn convert_to_vector_splats_scalars() {
+        let v = Value::float(2.0).convert_to(&Type::Vector(ScalarType::Float, 4)).unwrap();
+        match v {
+            Value::Vector(ScalarType::Float, lanes) => {
+                assert_eq!(lanes.len(), 4);
+                assert!(lanes.iter().all(|l| l.as_f64() == 2.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn convert_vector_length_mismatch_errors() {
+        let v = Value::Vector(ScalarType::Float, vec![Scalar::F(1.0); 2]);
+        assert!(v.convert_to(&Type::Vector(ScalarType::Float, 4)).is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! OpenCL contexts: a set of devices sharing management objects.
+
+use crate::device::Device;
+use crate::error::{ClError, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NEXT_CONTEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// An OpenCL context (`cl_context`).
+#[derive(Debug)]
+pub struct Context {
+    id: u64,
+    devices: Vec<Arc<Device>>,
+}
+
+impl Context {
+    /// `clCreateContext`: create a context over `devices`.
+    pub fn new(devices: Vec<Arc<Device>>) -> Result<Arc<Context>> {
+        if devices.is_empty() {
+            return Err(ClError::InvalidValue("a context needs at least one device".into()));
+        }
+        Ok(Arc::new(Context {
+            id: NEXT_CONTEXT_ID.fetch_add(1, Ordering::Relaxed),
+            devices,
+        }))
+    }
+
+    /// Unique context id within the process.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// `CL_CONTEXT_DEVICES`.
+    pub fn devices(&self) -> &[Arc<Device>] {
+        &self.devices
+    }
+
+    /// True if `device` belongs to this context.
+    pub fn contains_device(&self, device: &Arc<Device>) -> bool {
+        self.devices.iter().any(|d| Arc::ptr_eq(d, device))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceType;
+    use crate::profile::DeviceProfile;
+
+    #[test]
+    fn context_requires_devices() {
+        assert!(Context::new(vec![]).is_err());
+        let d = Device::new(DeviceType::Cpu, DeviceProfile::test_device("d"));
+        let ctx = Context::new(vec![Arc::clone(&d)]).unwrap();
+        assert!(ctx.contains_device(&d));
+        let other = Device::new(DeviceType::Cpu, DeviceProfile::test_device("e"));
+        assert!(!ctx.contains_device(&other));
+        assert_eq!(ctx.devices().len(), 1);
+    }
+
+    #[test]
+    fn context_ids_are_unique() {
+        let d = Device::new(DeviceType::Cpu, DeviceProfile::test_device("d"));
+        let a = Context::new(vec![Arc::clone(&d)]).unwrap();
+        let b = Context::new(vec![d]).unwrap();
+        assert_ne!(a.id(), b.id());
+    }
+}

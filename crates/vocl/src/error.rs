@@ -1,0 +1,114 @@
+//! OpenCL-style error codes.
+
+use std::fmt;
+
+/// Result alias for runtime operations.
+pub type Result<T> = std::result::Result<T, ClError>;
+
+/// Error codes mirroring the OpenCL API error space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClError {
+    /// `CL_DEVICE_NOT_FOUND`
+    DeviceNotFound,
+    /// `CL_DEVICE_NOT_AVAILABLE`
+    DeviceNotAvailable,
+    /// `CL_BUILD_PROGRAM_FAILURE` with its build log.
+    BuildProgramFailure(String),
+    /// `CL_INVALID_VALUE`
+    InvalidValue(String),
+    /// `CL_INVALID_CONTEXT`
+    InvalidContext(String),
+    /// `CL_INVALID_MEM_OBJECT`
+    InvalidMemObject(String),
+    /// `CL_INVALID_KERNEL_NAME`
+    InvalidKernelName(String),
+    /// `CL_INVALID_KERNEL_ARGS`
+    InvalidKernelArgs(String),
+    /// `CL_INVALID_WORK_GROUP_SIZE`
+    InvalidWorkGroupSize(String),
+    /// `CL_MEM_OBJECT_ALLOCATION_FAILURE`
+    MemObjectAllocationFailure(String),
+    /// `CL_OUT_OF_RESOURCES`
+    OutOfResources(String),
+    /// `CL_INVALID_OPERATION`
+    InvalidOperation(String),
+    /// `CL_INVALID_EVENT`
+    InvalidEvent(String),
+    /// Kernel execution failed at runtime (maps to
+    /// `CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST` territory).
+    ExecutionFailure(String),
+    /// The command queue (or its device worker) has shut down.
+    QueueShutDown,
+}
+
+impl ClError {
+    /// The numeric OpenCL error code this variant corresponds to.
+    pub fn code(&self) -> i32 {
+        match self {
+            ClError::DeviceNotFound => -1,
+            ClError::DeviceNotAvailable => -2,
+            ClError::BuildProgramFailure(_) => -11,
+            ClError::MemObjectAllocationFailure(_) => -4,
+            ClError::OutOfResources(_) => -5,
+            ClError::InvalidValue(_) => -30,
+            ClError::InvalidContext(_) => -34,
+            ClError::InvalidMemObject(_) => -38,
+            ClError::InvalidKernelName(_) => -46,
+            ClError::InvalidKernelArgs(_) => -52,
+            ClError::InvalidWorkGroupSize(_) => -54,
+            ClError::InvalidOperation(_) => -59,
+            ClError::InvalidEvent(_) => -58,
+            ClError::ExecutionFailure(_) => -14,
+            ClError::QueueShutDown => -36,
+        }
+    }
+}
+
+impl fmt::Display for ClError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClError::DeviceNotFound => write!(f, "CL_DEVICE_NOT_FOUND"),
+            ClError::DeviceNotAvailable => write!(f, "CL_DEVICE_NOT_AVAILABLE"),
+            ClError::BuildProgramFailure(log) => {
+                write!(f, "CL_BUILD_PROGRAM_FAILURE:\n{log}")
+            }
+            ClError::InvalidValue(m) => write!(f, "CL_INVALID_VALUE: {m}"),
+            ClError::InvalidContext(m) => write!(f, "CL_INVALID_CONTEXT: {m}"),
+            ClError::InvalidMemObject(m) => write!(f, "CL_INVALID_MEM_OBJECT: {m}"),
+            ClError::InvalidKernelName(m) => write!(f, "CL_INVALID_KERNEL_NAME: {m}"),
+            ClError::InvalidKernelArgs(m) => write!(f, "CL_INVALID_KERNEL_ARGS: {m}"),
+            ClError::InvalidWorkGroupSize(m) => write!(f, "CL_INVALID_WORK_GROUP_SIZE: {m}"),
+            ClError::MemObjectAllocationFailure(m) => {
+                write!(f, "CL_MEM_OBJECT_ALLOCATION_FAILURE: {m}")
+            }
+            ClError::OutOfResources(m) => write!(f, "CL_OUT_OF_RESOURCES: {m}"),
+            ClError::InvalidOperation(m) => write!(f, "CL_INVALID_OPERATION: {m}"),
+            ClError::InvalidEvent(m) => write!(f, "CL_INVALID_EVENT: {m}"),
+            ClError::ExecutionFailure(m) => write!(f, "kernel execution failure: {m}"),
+            ClError::QueueShutDown => write!(f, "command queue has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ClError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_opencl_numbers() {
+        assert_eq!(ClError::DeviceNotFound.code(), -1);
+        assert_eq!(ClError::BuildProgramFailure(String::new()).code(), -11);
+        assert_eq!(ClError::InvalidValue("x".into()).code(), -30);
+        assert_eq!(ClError::InvalidKernelName("k".into()).code(), -46);
+    }
+
+    #[test]
+    fn display_contains_cl_name() {
+        assert!(ClError::InvalidValue("oops".into()).to_string().contains("CL_INVALID_VALUE"));
+        assert!(ClError::BuildProgramFailure("log text".into())
+            .to_string()
+            .contains("log text"));
+    }
+}

@@ -1,0 +1,115 @@
+//! OpenCL platforms: a named collection of devices, as exposed by one
+//! vendor implementation installed on one machine.
+
+use crate::device::{Device, DeviceType};
+use crate::profile::DeviceProfile;
+use std::sync::Arc;
+
+/// An OpenCL platform (`cl_platform_id`).
+#[derive(Debug, Clone)]
+pub struct Platform {
+    name: String,
+    vendor: String,
+    version: String,
+    devices: Vec<Arc<Device>>,
+}
+
+impl Platform {
+    /// Create a platform exposing `devices`.
+    pub fn new(name: impl Into<String>, vendor: impl Into<String>, devices: Vec<Arc<Device>>) -> Self {
+        Platform {
+            name: name.into(),
+            vendor: vendor.into(),
+            version: "OpenCL 1.1 (dOpenCL reproduction)".to_string(),
+            devices,
+        }
+    }
+
+    /// `CL_PLATFORM_NAME`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `CL_PLATFORM_VENDOR`.
+    pub fn vendor(&self) -> &str {
+        &self.vendor
+    }
+
+    /// `CL_PLATFORM_VERSION`.
+    pub fn version(&self) -> &str {
+        &self.version
+    }
+
+    /// All devices of the platform.
+    pub fn devices(&self) -> &[Arc<Device>] {
+        &self.devices
+    }
+
+    /// Devices of a particular type (`clGetDeviceIDs` with a type filter).
+    pub fn devices_of_type(&self, ty: DeviceType) -> Vec<Arc<Device>> {
+        self.devices.iter().filter(|d| d.device_type() == ty).cloned().collect()
+    }
+
+    // ----- canned machine configurations used throughout the evaluation ----
+
+    /// A compute node of the paper's Infiniband cluster: one CPU device
+    /// (2× hexa-core Westmere presented as a single device by AMD APP).
+    pub fn cluster_node() -> Self {
+        Platform::new(
+            "AMD Accelerated Parallel Processing",
+            "Advanced Micro Devices, Inc.",
+            vec![Device::new(DeviceType::Cpu, DeviceProfile::cpu_dual_westmere())],
+        )
+    }
+
+    /// The paper's GPU server: an NVIDIA Tesla S1070 (4 GPU devices) plus the
+    /// host Xeon E5520 as a CPU device.
+    pub fn gpu_server() -> Self {
+        let mut devices: Vec<Arc<Device>> = (0..4)
+            .map(|_| Device::new(DeviceType::Gpu, DeviceProfile::gpu_tesla_s1070_unit()))
+            .collect();
+        devices.push(Device::new(DeviceType::Cpu, DeviceProfile::cpu_xeon_e5520()));
+        Platform::new("NVIDIA CUDA", "NVIDIA Corporation", devices)
+    }
+
+    /// The paper's desktop PC with its low-end NVS 3100M GPU.
+    pub fn desktop_pc() -> Self {
+        Platform::new(
+            "NVIDIA CUDA",
+            "NVIDIA Corporation",
+            vec![Device::new(DeviceType::Gpu, DeviceProfile::gpu_nvs_3100m())],
+        )
+    }
+
+    /// A tiny test platform with `n` fast deterministic CPU devices.
+    pub fn test_platform(n: usize) -> Self {
+        let devices = (0..n)
+            .map(|i| Device::new(DeviceType::Cpu, DeviceProfile::test_device(&format!("test-cpu-{i}"))))
+            .collect();
+        Platform::new("dOpenCL test platform", "dOpenCL reproduction", devices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canned_platforms_have_expected_devices() {
+        assert_eq!(Platform::cluster_node().devices().len(), 1);
+        let server = Platform::gpu_server();
+        assert_eq!(server.devices().len(), 5);
+        assert_eq!(server.devices_of_type(DeviceType::Gpu).len(), 4);
+        assert_eq!(server.devices_of_type(DeviceType::Cpu).len(), 1);
+        assert_eq!(Platform::desktop_pc().devices_of_type(DeviceType::Gpu).len(), 1);
+        assert_eq!(Platform::test_platform(3).devices().len(), 3);
+    }
+
+    #[test]
+    fn platform_info() {
+        let p = Platform::cluster_node();
+        assert!(p.name().contains("AMD"));
+        assert!(p.version().contains("OpenCL"));
+        assert!(!p.vendor().is_empty());
+    }
+}

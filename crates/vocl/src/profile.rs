@@ -1,0 +1,258 @@
+//! Device performance profiles and the host↔device bus model.
+//!
+//! The paper's measurements are taken on specific hardware (Section V):
+//!
+//! * a cluster whose nodes have two hexa-core Intel Westmere X5650 CPUs,
+//!   presented as **one** CPU device by the AMD APP SDK,
+//! * a GPU server with an NVIDIA Tesla S1070 (4 GPUs, 4 GB each),
+//! * a desktop PC with a low-end NVIDIA NVS 3100M GPU,
+//! * PCI Express transfers that are strongly asymmetric on that server
+//!   (reads ~15× slower than writes).
+//!
+//! This module replaces the hardware with explicit throughput/bandwidth
+//! parameters.  The absolute values are calibrated so that the figure
+//! harnesses land in the same range the paper reports; the *ratios* (which
+//! determine the shape of every figure) follow directly from the paper.
+
+use std::time::Duration;
+
+/// Host↔device bus (PCI Express) cost model with asymmetric directions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusModel {
+    /// Host-to-device (write) bandwidth in bytes/second.
+    pub write_bytes_per_sec: f64,
+    /// Device-to-host (read) bandwidth in bytes/second.
+    pub read_bytes_per_sec: f64,
+    /// Fixed per-transfer latency.
+    pub latency: Duration,
+}
+
+impl BusModel {
+    /// The GPU server's PCI Express bus (calibrated from Figure 7: reads are
+    /// about 15× slower than writes; Gigabit Ethernet is about 50× slower
+    /// than a write and 4.5× slower than a read for 1 GiB transfers).
+    pub fn pcie_gpu_server() -> Self {
+        BusModel {
+            write_bytes_per_sec: 5_400.0 * 1024.0 * 1024.0,
+            read_bytes_per_sec: 360.0 * 1024.0 * 1024.0,
+            latency: Duration::from_micros(20),
+        }
+    }
+
+    /// A desktop-class PCI Express link (low-end GPU in the desktop PC).
+    pub fn pcie_desktop() -> Self {
+        BusModel {
+            write_bytes_per_sec: 2_500.0 * 1024.0 * 1024.0,
+            read_bytes_per_sec: 1_200.0 * 1024.0 * 1024.0,
+            latency: Duration::from_micros(25),
+        }
+    }
+
+    /// A CPU device: "transfers" are memcpys within host memory.
+    pub fn system_memory() -> Self {
+        BusModel {
+            write_bytes_per_sec: 12_000.0 * 1024.0 * 1024.0,
+            read_bytes_per_sec: 12_000.0 * 1024.0 * 1024.0,
+            latency: Duration::from_micros(1),
+        }
+    }
+
+    /// Modelled duration of a host-to-device transfer.
+    pub fn write_time(&self, bytes: u64) -> Duration {
+        self.latency + Duration::from_secs_f64(bytes as f64 / self.write_bytes_per_sec)
+    }
+
+    /// Modelled duration of a device-to-host transfer.
+    pub fn read_time(&self, bytes: u64) -> Duration {
+        self.latency + Duration::from_secs_f64(bytes as f64 / self.read_bytes_per_sec)
+    }
+}
+
+/// Compute-throughput model of a device.
+///
+/// Two rates are distinguished because kernels can execute through two paths:
+/// the OpenCL C interpreter (whose `steps` counter is the cost unit) and
+/// built-in native kernels (which report an explicit floating-point operation
+/// count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputeModel {
+    /// Modelled native floating-point operations per second for this device.
+    pub flops: f64,
+    /// Interpreter steps per second when running interpreted kernels
+    /// (captures both the device speed and the interpreter overhead).
+    pub interp_steps_per_sec: f64,
+    /// Fixed kernel-launch overhead.
+    pub launch_overhead: Duration,
+}
+
+impl ComputeModel {
+    /// Modelled execution time for a native kernel that performs `flops`
+    /// floating-point operations.
+    pub fn native_time(&self, flops: f64) -> Duration {
+        self.launch_overhead + Duration::from_secs_f64(flops / self.flops)
+    }
+
+    /// Modelled execution time for an interpreted kernel that executed
+    /// `steps` interpreter steps.
+    pub fn interp_time(&self, steps: u64) -> Duration {
+        self.launch_overhead + Duration::from_secs_f64(steps as f64 / self.interp_steps_per_sec)
+    }
+}
+
+/// A complete device profile: identity plus cost models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Marketing name reported through `CL_DEVICE_NAME`.
+    pub name: String,
+    /// Vendor reported through `CL_DEVICE_VENDOR`.
+    pub vendor: String,
+    /// Number of compute units (`CL_DEVICE_MAX_COMPUTE_UNITS`).
+    pub compute_units: u32,
+    /// Clock frequency in MHz (`CL_DEVICE_MAX_CLOCK_FREQUENCY`).
+    pub clock_mhz: u32,
+    /// Global memory size in bytes (`CL_DEVICE_GLOBAL_MEM_SIZE`).
+    pub global_mem_bytes: u64,
+    /// Maximum single allocation (`CL_DEVICE_MAX_MEM_ALLOC_SIZE`).
+    pub max_alloc_bytes: u64,
+    /// Compute cost model.
+    pub compute: ComputeModel,
+    /// Host↔device transfer cost model.
+    pub bus: BusModel,
+}
+
+impl DeviceProfile {
+    /// The cluster node CPU device: two hexa-core Intel Westmere X5650
+    /// presented as a single OpenCL CPU device by the AMD APP SDK.
+    pub fn cpu_dual_westmere() -> Self {
+        DeviceProfile {
+            name: "Intel Xeon X5650 x2 (AMD APP)".to_string(),
+            vendor: "GenuineIntel".to_string(),
+            compute_units: 24,
+            clock_mhz: 2660,
+            global_mem_bytes: 24 * (1 << 30),
+            max_alloc_bytes: 6 * (1 << 30),
+            compute: ComputeModel {
+                flops: 12.5e9,
+                interp_steps_per_sec: 400.0e6,
+                launch_overhead: Duration::from_micros(30),
+            },
+            bus: BusModel::system_memory(),
+        }
+    }
+
+    /// One GPU of the NVIDIA Tesla S1070 in the paper's GPU server.
+    pub fn gpu_tesla_s1070_unit() -> Self {
+        DeviceProfile {
+            name: "NVIDIA Tesla S1070 (1 of 4)".to_string(),
+            vendor: "NVIDIA Corporation".to_string(),
+            compute_units: 30,
+            clock_mhz: 1440,
+            global_mem_bytes: 4 * (1 << 30),
+            max_alloc_bytes: 1 << 30,
+            compute: ComputeModel {
+                flops: 6.2e10,
+                interp_steps_per_sec: 1.2e9,
+                launch_overhead: Duration::from_micros(60),
+            },
+            bus: BusModel::pcie_gpu_server(),
+        }
+    }
+
+    /// The desktop PC's low-end NVIDIA NVS 3100M GPU.
+    pub fn gpu_nvs_3100m() -> Self {
+        DeviceProfile {
+            name: "NVIDIA NVS 3100M".to_string(),
+            vendor: "NVIDIA Corporation".to_string(),
+            compute_units: 2,
+            clock_mhz: 1080,
+            global_mem_bytes: 512 * (1 << 20),
+            max_alloc_bytes: 128 * (1 << 20),
+            compute: ComputeModel {
+                flops: 4.4e9,
+                interp_steps_per_sec: 1.5e8,
+                launch_overhead: Duration::from_micros(40),
+            },
+            bus: BusModel::pcie_desktop(),
+        }
+    }
+
+    /// The Intel quad-core Xeon E5520 CPU in the GPU server (host CPU; also
+    /// usable as an OpenCL CPU device).
+    pub fn cpu_xeon_e5520() -> Self {
+        DeviceProfile {
+            name: "Intel Xeon E5520".to_string(),
+            vendor: "GenuineIntel".to_string(),
+            compute_units: 8,
+            clock_mhz: 2270,
+            global_mem_bytes: 16 * (1 << 30),
+            max_alloc_bytes: 4 * (1 << 30),
+            compute: ComputeModel {
+                flops: 2.2e9,
+                interp_steps_per_sec: 2.5e8,
+                launch_overhead: Duration::from_micros(20),
+            },
+            bus: BusModel::system_memory(),
+        }
+    }
+
+    /// A generic tiny test device with fast launch and deterministic rates —
+    /// used by unit tests that do not care about realistic numbers.
+    pub fn test_device(name: &str) -> Self {
+        DeviceProfile {
+            name: name.to_string(),
+            vendor: "dOpenCL reproduction".to_string(),
+            compute_units: 4,
+            clock_mhz: 1000,
+            global_mem_bytes: 1 << 30,
+            max_alloc_bytes: 1 << 28,
+            compute: ComputeModel {
+                flops: 1.0e9,
+                interp_steps_per_sec: 1.0e9,
+                launch_overhead: Duration::from_micros(1),
+            },
+            bus: BusModel::system_memory(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB: u64 = 1024 * 1024;
+
+    #[test]
+    fn pcie_read_is_about_15x_slower_than_write() {
+        let bus = BusModel::pcie_gpu_server();
+        let w = bus.write_time(1024 * MIB).as_secs_f64();
+        let r = bus.read_time(1024 * MIB).as_secs_f64();
+        let ratio = r / w;
+        assert!((12.0..18.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn compute_model_scales_with_work() {
+        let m = DeviceProfile::gpu_tesla_s1070_unit().compute;
+        assert!(m.native_time(1e9) < m.native_time(1e10));
+        assert!(m.interp_time(1_000) < m.interp_time(1_000_000));
+    }
+
+    #[test]
+    fn tesla_is_much_faster_than_nvs_3100m() {
+        let tesla = DeviceProfile::gpu_tesla_s1070_unit();
+        let nvs = DeviceProfile::gpu_nvs_3100m();
+        let work = 1e12;
+        let t_tesla = tesla.compute.native_time(work).as_secs_f64();
+        let t_nvs = nvs.compute.native_time(work).as_secs_f64();
+        assert!(t_nvs / t_tesla > 5.0, "low-end GPU must be much slower");
+    }
+
+    #[test]
+    fn profiles_report_plausible_info() {
+        let p = DeviceProfile::cpu_dual_westmere();
+        assert_eq!(p.compute_units, 24);
+        assert!(p.global_mem_bytes > p.max_alloc_bytes);
+        let t = DeviceProfile::test_device("t");
+        assert_eq!(t.name, "t");
+    }
+}

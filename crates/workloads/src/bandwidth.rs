@@ -1,0 +1,173 @@
+//! The data-transfer test application of Section V-D (Figures 7 and 8).
+//!
+//! "We created a simple OpenCL application that transfers an arbitrary
+//! amount of data from the host to a device and vice versa."  The
+//! application is run in two configurations:
+//!
+//! * **native** — directly on the GPU server through its own OpenCL
+//!   implementation, so transfers only cross the PCI Express bus,
+//! * **dOpenCL** — from a remote client over Gigabit Ethernet, so every
+//!   transfer crosses the network *and* the PCI Express bus.
+
+use crate::iperf;
+use dopencl::{Client, LocalCluster};
+use gcf::simtime::SimClock;
+use gcf::LinkModel;
+use std::time::Duration;
+use vocl::{BusModel, DeviceProfile, Platform};
+
+/// Modelled write/read times of one transfer experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferTimes {
+    /// Host → device ("write") time.
+    pub write: Duration,
+    /// Device → host ("read") time.
+    pub read: Duration,
+}
+
+/// Bytes per MB as used in the paper's transfer sizes (binary mebibytes).
+pub const MB: u64 = 1024 * 1024;
+
+/// Native execution on the server: transfers only cross the PCI Express bus
+/// of `profile`.
+pub fn native_transfer(profile: &DeviceProfile, megabytes: u64) -> TransferTimes {
+    native_transfer_on(&profile.bus, megabytes)
+}
+
+/// Native transfer times for an explicit bus model.
+pub fn native_transfer_on(bus: &BusModel, megabytes: u64) -> TransferTimes {
+    let bytes = megabytes * MB;
+    TransferTimes { write: bus.write_time(bytes), read: bus.read_time(bytes) }
+}
+
+/// Run the transfer application through dOpenCL against `cluster` (the
+/// client is connected to every daemon of the cluster) and return the
+/// modelled write/read times of a `megabytes`-sized transfer to and from
+/// the first device.
+pub fn dopencl_transfer(cluster: &LocalCluster, megabytes: u64) -> dopencl::Result<TransferTimes> {
+    let clock = SimClock::new();
+    let client = cluster.client_with_clock("bandwidth-test", clock.clone())?;
+    dopencl_transfer_with(&client, &clock, megabytes)
+}
+
+/// Same as [`dopencl_transfer`] but reusing an existing client and clock
+/// (so callers can sweep transfer sizes over one connection, like the
+/// paper's measurement loop does).
+pub fn dopencl_transfer_with(
+    client: &Client,
+    clock: &SimClock,
+    megabytes: u64,
+) -> dopencl::Result<TransferTimes> {
+    let bytes = (megabytes * MB) as usize;
+    let devices = client.devices();
+    let device = devices
+        .first()
+        .ok_or_else(|| dopencl::DclError::InvalidArgument("no devices available".into()))?;
+    let context = client.create_context(std::slice::from_ref(device))?;
+    let queue = client.create_command_queue(&context, device)?;
+    let buffer = client.create_buffer(&context, bytes)?;
+
+    // Host → device: the upload crosses the network, then the PCIe bus.
+    let before = clock.breakdown();
+    let payload = vec![0xA5u8; bytes];
+    let write_event = client.enqueue_write_buffer(&queue, &buffer, 0, &payload, &[])?;
+    write_event.wait()?;
+    let after_write = clock.breakdown();
+
+    // Device → host.
+    let (data, read_event) = client.enqueue_read_buffer(&queue, &buffer, 0, bytes, &[])?;
+    read_event.wait()?;
+    assert_eq!(data.len(), bytes);
+    let after_read = clock.breakdown();
+
+    Ok(TransferTimes {
+        write: after_write.data_transfer - before.data_transfer,
+        read: after_read.data_transfer - after_write.data_transfer,
+    })
+}
+
+/// A single row of the Figure 8 efficiency sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EfficiencyPoint {
+    /// Transfer size in MB.
+    pub megabytes: u64,
+    /// Efficiency of the dOpenCL write path relative to theoretical Gigabit
+    /// Ethernet bandwidth.
+    pub write_efficiency: f64,
+    /// Efficiency of the dOpenCL read path.
+    pub read_efficiency: f64,
+}
+
+/// Sweep transfer sizes through dOpenCL and compute the fraction of the
+/// theoretical Gigabit Ethernet bandwidth that is achieved (Figure 8).
+///
+/// `network_only` subtracts the modelled PCIe time so that the efficiency
+/// refers to the network link alone, which is what the paper plots.
+pub fn efficiency_sweep(sizes_mb: &[u64]) -> dopencl::Result<Vec<EfficiencyPoint>> {
+    let mut cluster = LocalCluster::new(LinkModel::gigabit_ethernet());
+    cluster.add_node("gpuserver", &Platform::gpu_server())?;
+    let clock = SimClock::new();
+    let client = cluster.client_with_clock("efficiency", clock.clone())?;
+    let theoretical = LinkModel::gigabit_ethernet_theoretical();
+    let bus = DeviceProfile::gpu_tesla_s1070_unit().bus;
+
+    let mut points = Vec::with_capacity(sizes_mb.len());
+    for &mb in sizes_mb {
+        let times = dopencl_transfer_with(&client, &clock, mb)?;
+        let bytes = mb * MB;
+        let ideal = Duration::from_secs_f64(bytes as f64 / theoretical.bandwidth_bytes_per_sec);
+        // Remove the device-side PCIe share so the efficiency measures how
+        // well dOpenCL uses the *network*, as in the paper.
+        let write_net = times.write.saturating_sub(bus.write_time(bytes));
+        let read_net = times.read.saturating_sub(bus.read_time(bytes));
+        points.push(EfficiencyPoint {
+            megabytes: mb,
+            write_efficiency: (ideal.as_secs_f64() / write_net.as_secs_f64().max(1e-9)).min(1.0),
+            read_efficiency: (ideal.as_secs_f64() / read_net.as_secs_f64().max(1e-9)).min(1.0),
+        });
+    }
+    Ok(points)
+}
+
+/// The iperf reference efficiency (the solid line of Figure 8).
+pub fn iperf_reference_efficiency() -> f64 {
+    iperf::measure_efficiency(
+        &LinkModel::gigabit_ethernet(),
+        &LinkModel::gigabit_ethernet_theoretical(),
+        1024 * MB,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dopencl::LocalCluster;
+
+    #[test]
+    fn native_pcie_asymmetry() {
+        let t = native_transfer(&DeviceProfile::gpu_tesla_s1070_unit(), 1024);
+        let ratio = t.read.as_secs_f64() / t.write.as_secs_f64();
+        assert!((12.0..18.0).contains(&ratio), "read/write ratio {ratio}");
+    }
+
+    #[test]
+    fn dopencl_transfer_is_much_slower_than_native() {
+        let mut cluster = LocalCluster::new(LinkModel::gigabit_ethernet());
+        cluster.add_node("gpuserver", &Platform::gpu_server()).unwrap();
+        let remote = dopencl_transfer(&cluster, 64).unwrap();
+        let native = native_transfer(&DeviceProfile::gpu_tesla_s1070_unit(), 64);
+        assert!(remote.write > native.write * 10);
+        assert!(remote.read > native.read);
+    }
+
+    #[test]
+    fn efficiency_grows_with_size_and_stays_below_iperf() {
+        let points = efficiency_sweep(&[1, 16, 256]).unwrap();
+        assert!(points[0].write_efficiency < points[2].write_efficiency);
+        let iperf = iperf_reference_efficiency();
+        assert!(iperf > 0.8 && iperf < 0.9, "iperf reference {iperf}");
+        for p in &points {
+            assert!(p.write_efficiency <= iperf + 0.02, "{p:?} exceeds the iperf line");
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! An iperf-like bandwidth probe.
+//!
+//! The paper uses iperf to measure the *effective* bandwidth of its Gigabit
+//! Ethernet link (~106 MB/s, i.e. ~86 % of the theoretical 125 MB/s) and
+//! plots that as the reference line of Figure 8.  This module measures the
+//! same quantity against a [`LinkModel`]: the fraction of a reference link's
+//! theoretical bandwidth that a long bulk transfer achieves.
+
+use gcf::LinkModel;
+
+/// Effective bandwidth (bytes/second) achieved for a bulk transfer of
+/// `bytes` over `link`.
+pub fn effective_bandwidth(link: &LinkModel, bytes: u64) -> f64 {
+    let t = link.transfer_time(bytes).as_secs_f64();
+    if t <= 0.0 {
+        return f64::INFINITY;
+    }
+    bytes as f64 / t
+}
+
+/// Efficiency of `link` relative to `reference` for a transfer of `bytes`:
+/// `effective bandwidth / reference bandwidth`, capped at 1.
+pub fn measure_efficiency(link: &LinkModel, reference: &LinkModel, bytes: u64) -> f64 {
+    (effective_bandwidth(link, bytes) / reference.bandwidth_bytes_per_sec).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcf::linkmodel::MIB;
+
+    #[test]
+    fn gigabit_efficiency_is_about_86_percent() {
+        let eff = measure_efficiency(
+            &LinkModel::gigabit_ethernet(),
+            &LinkModel::gigabit_ethernet_theoretical(),
+            1024 * MIB,
+        );
+        assert!((0.82..0.88).contains(&eff), "efficiency {eff}");
+    }
+
+    #[test]
+    fn small_transfers_achieve_less_of_the_link() {
+        let link = LinkModel::gigabit_ethernet();
+        let reference = LinkModel::gigabit_ethernet_theoretical();
+        let small = measure_efficiency(&link, &reference, MIB);
+        let large = measure_efficiency(&link, &reference, 1024 * MIB);
+        assert!(small < large);
+    }
+
+    #[test]
+    fn effective_bandwidth_is_finite_and_positive() {
+        let bw = effective_bandwidth(&LinkModel::infiniband(), 64 * MIB);
+        assert!(bw > 1e9);
+        assert!(bw.is_finite());
+    }
+}

@@ -1,0 +1,38 @@
+//! # workloads — the applications of the dOpenCL evaluation
+//!
+//! Section V of the paper evaluates dOpenCL with three applications:
+//!
+//! * [`mandelbrot`] — the scalability benchmark of Figure 4 (and the
+//!   application shared between clients in the device-manager study of
+//!   Figure 6),
+//! * [`osem`] — the list-mode OSEM tomography reconstruction of Figure 5
+//!   (synthetic PET events substitute the quadHIDAC patient data),
+//! * [`bandwidth`] — the raw data-transfer application of Figures 7 and 8,
+//!   together with the [`iperf`]-like probe used as the reference line.
+//!
+//! Every workload provides
+//!
+//! * an OpenCL C kernel (exercised through the `oclc` interpreter at small
+//!   sizes),
+//! * a *built-in* native kernel registered with the `vocl` runtime for
+//!   full-scale runs (its operation counters drive the device time model),
+//! * a pure-Rust reference implementation used by the tests to check
+//!   functional correctness, and
+//! * cost helpers that the figure harnesses use to model the paper-scale
+//!   problem sizes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod iperf;
+pub mod mandelbrot;
+pub mod osem;
+
+/// Register every built-in native kernel provided by this crate with the
+/// `vocl` runtime.  Idempotent; call it once at start-up of examples,
+/// benches and tests that launch built-in kernels.
+pub fn register_all_built_in_kernels() {
+    mandelbrot::register_built_in_kernels();
+    osem::register_built_in_kernels();
+}

@@ -1,0 +1,376 @@
+//! Mandelbrot set computation (Section V-A of the paper).
+//!
+//! "A Mandelbrot fractal is a section of the complex numbers plane where
+//! each pixel corresponds to a complex number. [...] An iterative algorithm
+//! is used to determine whether a complex number is part of the Mandelbrot
+//! set or not."  The paper computes a 4800×3200 fractal with up to 20 000
+//! iterations per pixel; each line of the fractal is assigned to a device in
+//! round-robin fashion.
+
+use oclc::{BufferBinding, KernelArgValue, NdRange, WorkItemCounters};
+use std::sync::Arc;
+use vocl::register_built_in_kernel;
+
+/// Floating-point operations per Mandelbrot iteration (z = z² + c plus the
+/// escape test): used to convert iteration counts into modelled device time.
+pub const FLOPS_PER_ITERATION: f64 = 8.0;
+
+/// Name of the built-in (native) kernel registered by
+/// [`register_built_in_kernels`].
+pub const BUILTIN_KERNEL: &str = "mandelbrot_rows";
+
+/// OpenCL C source of the Mandelbrot kernel (used through the interpreter at
+/// small problem sizes, and shipped over the network by dOpenCL exactly like
+/// any other program source).
+pub const KERNEL_SOURCE: &str = r#"
+__kernel void mandelbrot_rows(__global uint* out,
+                              uint width,
+                              uint rows,
+                              float x_min,
+                              float y_min,
+                              float dx,
+                              float dy,
+                              uint row_offset,
+                              uint max_iter) {
+    size_t gx = get_global_id(0);
+    size_t gy = get_global_id(1);
+    if (gx >= width || gy >= rows) return;
+    float cr = x_min + dx * (float)gx;
+    float ci = y_min + dy * (float)(gy + row_offset);
+    float zr = 0.0f;
+    float zi = 0.0f;
+    uint iter = 0;
+    while (zr * zr + zi * zi <= 4.0f && iter < max_iter) {
+        float t = zr * zr - zi * zi + cr;
+        zi = 2.0f * zr * zi + ci;
+        zr = t;
+        iter = iter + 1;
+    }
+    out[gy * width + gx] = iter;
+}
+"#;
+
+/// Parameters of a Mandelbrot computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MandelbrotParams {
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Iteration threshold per pixel.
+    pub max_iter: u32,
+    /// Left edge of the complex-plane section.
+    pub x_min: f64,
+    /// Right edge.
+    pub x_max: f64,
+    /// Bottom edge.
+    pub y_min: f64,
+    /// Top edge.
+    pub y_max: f64,
+}
+
+impl MandelbrotParams {
+    /// The configuration of the paper's Figure 4: a 4800×3200 image with up
+    /// to 20 000 iterations per pixel.
+    pub fn paper() -> Self {
+        MandelbrotParams {
+            width: 4800,
+            height: 3200,
+            max_iter: 20_000,
+            x_min: -2.5,
+            x_max: 1.0,
+            y_min: -1.1667,
+            y_max: 1.1667,
+        }
+    }
+
+    /// A small configuration suitable for functional tests and examples.
+    pub fn small() -> Self {
+        MandelbrotParams {
+            width: 192,
+            height: 128,
+            max_iter: 256,
+            x_min: -2.5,
+            x_max: 1.0,
+            y_min: -1.1667,
+            y_max: 1.1667,
+        }
+    }
+
+    /// Horizontal step between adjacent pixels.
+    pub fn dx(&self) -> f64 {
+        (self.x_max - self.x_min) / self.width as f64
+    }
+
+    /// Vertical step between adjacent pixels.
+    pub fn dy(&self) -> f64 {
+        (self.y_max - self.y_min) / self.height as f64
+    }
+
+    /// Total number of pixels.
+    pub fn pixels(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// A copy of these parameters at a reduced resolution (used to derive
+    /// iteration statistics for the full-scale cost model without computing
+    /// 15 M pixels).
+    pub fn downscaled(&self, factor: usize) -> MandelbrotParams {
+        MandelbrotParams {
+            width: (self.width / factor).max(1),
+            height: (self.height / factor).max(1),
+            ..*self
+        }
+    }
+}
+
+/// Reference computation of the escape iteration count of a single pixel.
+pub fn iterations_at(params: &MandelbrotParams, px: usize, py: usize) -> u32 {
+    let cr = params.x_min + params.dx() * px as f64;
+    let ci = params.y_min + params.dy() * py as f64;
+    let (mut zr, mut zi) = (0.0f64, 0.0f64);
+    let mut iter = 0u32;
+    while zr * zr + zi * zi <= 4.0 && iter < params.max_iter {
+        let t = zr * zr - zi * zi + cr;
+        zi = 2.0 * zr * zi + ci;
+        zr = t;
+        iter += 1;
+    }
+    iter
+}
+
+/// Reference computation of `row_count` rows starting at `row_offset`.
+///
+/// Returns the per-pixel iteration counts plus the total number of
+/// iterations performed (the work measure the cost model uses).
+pub fn compute_rows(
+    params: &MandelbrotParams,
+    row_offset: usize,
+    row_count: usize,
+) -> (Vec<u32>, u64) {
+    let mut out = Vec::with_capacity(row_count * params.width);
+    let mut total = 0u64;
+    for y in row_offset..row_offset + row_count {
+        for x in 0..params.width {
+            let it = iterations_at(params, x, y);
+            total += it as u64;
+            out.push(it);
+        }
+    }
+    (out, total)
+}
+
+/// Estimate the total number of iterations of the full image by sampling one
+/// pixel out of every `step × step` block.
+pub fn estimate_total_iterations(params: &MandelbrotParams, step: usize) -> u64 {
+    let step = step.max(1);
+    let mut sampled = 0u64;
+    let mut samples = 0u64;
+    let mut y = 0;
+    while y < params.height {
+        let mut x = 0;
+        while x < params.width {
+            sampled += iterations_at(params, x, y) as u64;
+            samples += 1;
+            x += step;
+        }
+        y += step;
+    }
+    if samples == 0 {
+        return 0;
+    }
+    sampled * params.pixels() as u64 / samples
+}
+
+/// Modelled floating-point work (in FLOPs) of computing the whole image.
+pub fn estimated_flops(params: &MandelbrotParams, sample_step: usize) -> f64 {
+    estimate_total_iterations(params, sample_step) as f64 * FLOPS_PER_ITERATION
+}
+
+fn scalar_arg(args: &[KernelArgValue], index: usize) -> Result<f64, String> {
+    match args.get(index) {
+        Some(KernelArgValue::Scalar(v)) => {
+            v.as_f64().map_err(|e| format!("argument {index}: {e}"))
+        }
+        other => Err(format!("argument {index}: expected a scalar, got {other:?}")),
+    }
+}
+
+/// Register the `mandelbrot_rows` built-in kernel with the `vocl` runtime.
+///
+/// The built-in kernel has the same signature as [`KERNEL_SOURCE`] and is
+/// used for paper-scale runs where interpreting 15 M pixels would be
+/// pointlessly slow; its reported operation count drives the device model.
+pub fn register_built_in_kernels() {
+    register_built_in_kernel(
+        BUILTIN_KERNEL,
+        Arc::new(|range: &NdRange, args: &[KernelArgValue], buffers: &mut [BufferBinding<'_>]| {
+            let Some(&KernelArgValue::Buffer(out_idx)) = args.first() else {
+                return Err("argument 0 must be the output buffer".to_string());
+            };
+            let width = scalar_arg(args, 1)? as usize;
+            let rows = scalar_arg(args, 2)? as usize;
+            let x_min = scalar_arg(args, 3)?;
+            let y_min = scalar_arg(args, 4)?;
+            let dx = scalar_arg(args, 5)?;
+            let dy = scalar_arg(args, 6)?;
+            let row_offset = scalar_arg(args, 7)? as usize;
+            let max_iter = scalar_arg(args, 8)? as u32;
+
+            let out = buffers
+                .get_mut(out_idx)
+                .ok_or_else(|| "output buffer binding missing".to_string())?;
+            let out_bytes = out.bytes_mut();
+            if out_bytes.len() < width * rows * 4 {
+                return Err(format!(
+                    "output buffer too small: {} bytes for {width}x{rows} pixels",
+                    out_bytes.len()
+                ));
+            }
+
+            let gx_count = range.global[0].max(1).min(width);
+            let gy_count = range.global[1].max(1).min(rows);
+            let mut total_iterations = 0u64;
+            for gy in 0..gy_count {
+                let ci = y_min + dy * (gy + row_offset) as f64;
+                for gx in 0..gx_count {
+                    let cr = x_min + dx * gx as f64;
+                    let (mut zr, mut zi) = (0.0f64, 0.0f64);
+                    let mut iter = 0u32;
+                    while zr * zr + zi * zi <= 4.0 && iter < max_iter {
+                        let t = zr * zr - zi * zi + cr;
+                        zi = 2.0 * zr * zi + ci;
+                        zr = t;
+                        iter += 1;
+                    }
+                    total_iterations += iter as u64;
+                    let offset = (gy * width + gx) * 4;
+                    out_bytes[offset..offset + 4].copy_from_slice(&iter.to_le_bytes());
+                }
+            }
+            Ok(WorkItemCounters {
+                work_items: (gx_count * gy_count) as u64,
+                ops: (total_iterations as f64 * FLOPS_PER_ITERATION) as u64,
+                loads: 0,
+                stores: (gx_count * gy_count) as u64,
+                steps: total_iterations,
+            })
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oclc::Program;
+
+    #[test]
+    fn paper_parameters_match_section_v_a() {
+        let p = MandelbrotParams::paper();
+        assert_eq!(p.width, 4800);
+        assert_eq!(p.height, 3200);
+        assert_eq!(p.max_iter, 20_000);
+        assert_eq!(p.pixels(), 15_360_000);
+    }
+
+    #[test]
+    fn reference_escape_behaviour() {
+        let p = MandelbrotParams::small();
+        // The origin is in the set: it exhausts max_iter.
+        let px_origin = ((0.0 - p.x_min) / p.dx()) as usize;
+        let py_origin = ((0.0 - p.y_min) / p.dy()) as usize;
+        assert_eq!(iterations_at(&p, px_origin, py_origin), p.max_iter);
+        // The top-left corner (far outside) escapes almost immediately.
+        assert!(iterations_at(&p, 0, 0) < 5);
+    }
+
+    #[test]
+    fn interpreted_kernel_matches_reference() {
+        let params = MandelbrotParams {
+            width: 32,
+            height: 16,
+            max_iter: 64,
+            ..MandelbrotParams::small()
+        };
+        let program = Program::build(KERNEL_SOURCE).expect("kernel source builds");
+        let kernel = program.kernel("mandelbrot_rows").unwrap();
+        let mut out = vec![0u8; params.width * params.height * 4];
+        let args = vec![
+            KernelArgValue::Buffer(0),
+            KernelArgValue::Scalar(oclc::Value::uint(params.width as u64)),
+            KernelArgValue::Scalar(oclc::Value::uint(params.height as u64)),
+            KernelArgValue::Scalar(oclc::Value::float(params.x_min as f32)),
+            KernelArgValue::Scalar(oclc::Value::float(params.y_min as f32)),
+            KernelArgValue::Scalar(oclc::Value::float(params.dx() as f32)),
+            KernelArgValue::Scalar(oclc::Value::float(params.dy() as f32)),
+            KernelArgValue::Scalar(oclc::Value::uint(0)),
+            KernelArgValue::Scalar(oclc::Value::uint(params.max_iter as u64)),
+        ];
+        let mut bindings = vec![BufferBinding::new(&mut out)];
+        kernel
+            .execute(&NdRange::two_d(params.width, params.height), &args, &mut bindings)
+            .unwrap();
+        let (reference, _) = compute_rows(&params, 0, params.height);
+        let computed: Vec<u32> = out
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        // f32 vs f64 rounding can shift the escape iteration slightly near
+        // the set boundary; the bulk of the image must agree exactly.
+        let matching = computed.iter().zip(&reference).filter(|(a, b)| a == b).count();
+        assert!(
+            matching as f64 / reference.len() as f64 > 0.97,
+            "only {matching}/{} pixels match",
+            reference.len()
+        );
+    }
+
+    #[test]
+    fn builtin_kernel_matches_reference_exactly() {
+        register_built_in_kernels();
+        let params = MandelbrotParams { width: 64, height: 32, max_iter: 128, ..MandelbrotParams::small() };
+        let f = vocl::built_in_kernel(BUILTIN_KERNEL).expect("registered");
+        let mut out = vec![0u8; params.width * params.height * 4];
+        let args = vec![
+            KernelArgValue::Buffer(0),
+            KernelArgValue::Scalar(oclc::Value::uint(params.width as u64)),
+            KernelArgValue::Scalar(oclc::Value::uint(params.height as u64)),
+            KernelArgValue::Scalar(oclc::Value::double(params.x_min)),
+            KernelArgValue::Scalar(oclc::Value::double(params.y_min)),
+            KernelArgValue::Scalar(oclc::Value::double(params.dx())),
+            KernelArgValue::Scalar(oclc::Value::double(params.dy())),
+            KernelArgValue::Scalar(oclc::Value::uint(0)),
+            KernelArgValue::Scalar(oclc::Value::uint(params.max_iter as u64)),
+        ];
+        let counters = {
+            let mut bindings = vec![BufferBinding::new(&mut out)];
+            f(&NdRange::two_d(params.width, params.height), &args, &mut bindings).unwrap()
+        };
+        let (reference, total_iters) = compute_rows(&params, 0, params.height);
+        let computed: Vec<u32> = out
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(computed, reference);
+        assert_eq!(counters.work_items, (params.width * params.height) as u64);
+        assert_eq!(counters.ops, (total_iters as f64 * FLOPS_PER_ITERATION) as u64);
+    }
+
+    #[test]
+    fn iteration_estimate_is_close_to_exact_count() {
+        let params = MandelbrotParams { width: 160, height: 120, max_iter: 200, ..MandelbrotParams::small() };
+        let (_, exact) = compute_rows(&params, 0, params.height);
+        let estimate = estimate_total_iterations(&params, 4);
+        let ratio = estimate as f64 / exact as f64;
+        assert!((0.8..1.2).contains(&ratio), "estimate off by {ratio}");
+        assert!(estimated_flops(&params, 4) > 0.0);
+    }
+
+    #[test]
+    fn downscaled_keeps_region() {
+        let p = MandelbrotParams::paper().downscaled(10);
+        assert_eq!(p.width, 480);
+        assert_eq!(p.height, 320);
+        assert_eq!(p.x_min, MandelbrotParams::paper().x_min);
+    }
+}

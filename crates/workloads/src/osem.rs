@@ -1,0 +1,338 @@
+//! List-mode OSEM tomography reconstruction (Section V-B of the paper).
+//!
+//! Positron Emission Tomography records *list-mode events* (detected photon
+//! pairs); the list-mode OSEM algorithm iterates over subsets of those
+//! events and, per subset, forward-projects the current image estimate along
+//! each event's line of response, computes a correction factor, and
+//! back-projects it into the image.
+//!
+//! The paper uses real quadHIDAC patient data and the EMRECON reconstruction
+//! software; this reproduction substitutes a **synthetic event stream** and
+//! a simplified projector (a fixed number of voxel samples along a
+//! pseudo-random line per event).  The computational structure — per event,
+//! `ray_steps` voxel reads for the forward projection and `ray_steps`
+//! accumulations for the back projection — is preserved, which is what the
+//! runtime of Figure 5 depends on.
+
+use oclc::{BufferBinding, KernelArgValue, NdRange, WorkItemCounters};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use vocl::register_built_in_kernel;
+
+/// Floating-point operations per voxel sample of an event (forward
+/// projection + correction + back projection).
+pub const FLOPS_PER_EVENT_STEP: f64 = 12.0;
+
+/// Name of the built-in (native) kernel registered by
+/// [`register_built_in_kernels`].
+pub const BUILTIN_KERNEL: &str = "osem_subset";
+
+/// Number of `f32` values stored per event.
+pub const FLOATS_PER_EVENT: usize = 4;
+
+/// OpenCL C source of the per-subset kernel (interpreted path, small sizes).
+pub const KERNEL_SOURCE: &str = r#"
+__kernel void osem_subset(__global const float* events,
+                          __global const float* image,
+                          __global float* correction,
+                          uint events_in_subset,
+                          uint ray_steps,
+                          uint num_voxels) {
+    size_t e = get_global_id(0);
+    if (e >= events_in_subset) return;
+    float x = events[e * 4 + 0];
+    float y = events[e * 4 + 1];
+    float z = events[e * 4 + 2];
+    float d = events[e * 4 + 3];
+    float forward = 0.0f;
+    for (uint s = 0; s < ray_steps; s++) {
+        float t = x + y * (float)s + z * (float)s * (float)s + d;
+        uint voxel = ((uint)fabs(t * 1000.0f)) % num_voxels;
+        forward += image[voxel];
+    }
+    float ratio = 1.0f / (forward + 1.0f);
+    for (uint s = 0; s < ray_steps; s++) {
+        float t = x + y * (float)s + z * (float)s * (float)s + d;
+        uint voxel = ((uint)fabs(t * 1000.0f)) % num_voxels;
+        correction[voxel] = correction[voxel] + ratio;
+    }
+}
+"#;
+
+/// Parameters of a list-mode OSEM reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OsemParams {
+    /// Total number of list-mode events.
+    pub num_events: usize,
+    /// Number of subsets per iteration (OSEM processes one subset at a
+    /// time).
+    pub subsets: usize,
+    /// Number of image voxels.
+    pub num_voxels: usize,
+    /// Voxel samples per event (length of the line of response).
+    pub ray_steps: usize,
+}
+
+impl OsemParams {
+    /// A configuration representative of the paper's quadHIDAC study:
+    /// tens of millions of list-mode events, ten subsets, a
+    /// clinical-resolution image volume.  Calibrated so that one iteration
+    /// on the desktop GPU takes ~15 s and on the remote 4-GPU server ~4 s,
+    /// matching Figure 5.
+    pub fn paper() -> Self {
+        OsemParams {
+            num_events: 25_000_000,
+            subsets: 10,
+            num_voxels: 128 * 128 * 64,
+            ray_steps: 220,
+        }
+    }
+
+    /// A small configuration for functional tests and examples.
+    pub fn small() -> Self {
+        OsemParams { num_events: 4_096, subsets: 4, num_voxels: 4_096, ray_steps: 16 }
+    }
+
+    /// Events per subset.
+    pub fn events_per_subset(&self) -> usize {
+        self.num_events / self.subsets.max(1)
+    }
+
+    /// Modelled floating-point work of one full OSEM iteration (all
+    /// subsets).
+    pub fn flops_per_iteration(&self) -> f64 {
+        self.num_events as f64 * self.ray_steps as f64 * FLOPS_PER_EVENT_STEP
+    }
+
+    /// Bytes of event data shipped to the device per iteration.
+    pub fn event_bytes(&self) -> u64 {
+        (self.num_events * FLOATS_PER_EVENT * 4) as u64
+    }
+
+    /// Bytes of one image volume.
+    pub fn image_bytes(&self) -> u64 {
+        (self.num_voxels * 4) as u64
+    }
+}
+
+/// Generate a deterministic synthetic event stream (`FLOATS_PER_EVENT`
+/// floats per event).
+pub fn generate_events(params: &OsemParams, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::with_capacity(params.num_events * FLOATS_PER_EVENT);
+    for _ in 0..params.num_events {
+        events.push(rng.gen_range(-1.0f32..1.0));
+        events.push(rng.gen_range(-1.0f32..1.0));
+        events.push(rng.gen_range(-1.0f32..1.0));
+        events.push(rng.gen_range(0.0f32..1.0));
+    }
+    events
+}
+
+fn voxel_for(x: f32, y: f32, z: f32, d: f32, step: usize, num_voxels: usize) -> usize {
+    let s = step as f32;
+    let t = x + y * s + z * s * s + d;
+    ((t * 1000.0).abs() as u32 as usize) % num_voxels.max(1)
+}
+
+/// Pure-Rust reference of one subset update: returns the correction volume
+/// produced from `events` (a slice of the subset's events) and `image`.
+pub fn reference_subset_update(
+    params: &OsemParams,
+    events: &[f32],
+    image: &[f32],
+) -> Vec<f32> {
+    let mut correction = vec![0.0f32; params.num_voxels];
+    for event in events.chunks_exact(FLOATS_PER_EVENT) {
+        let (x, y, z, d) = (event[0], event[1], event[2], event[3]);
+        let mut forward = 0.0f32;
+        for s in 0..params.ray_steps {
+            forward += image[voxel_for(x, y, z, d, s, params.num_voxels)];
+        }
+        let ratio = 1.0 / (forward + 1.0);
+        for s in 0..params.ray_steps {
+            let voxel = voxel_for(x, y, z, d, s, params.num_voxels);
+            correction[voxel] += ratio;
+        }
+    }
+    correction
+}
+
+fn f32s(bytes: &[u8]) -> Vec<f32> {
+    bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect()
+}
+
+fn scalar_arg(args: &[KernelArgValue], index: usize) -> Result<u64, String> {
+    match args.get(index) {
+        Some(KernelArgValue::Scalar(v)) => v.as_u64().map_err(|e| format!("argument {index}: {e}")),
+        other => Err(format!("argument {index}: expected a scalar, got {other:?}")),
+    }
+}
+
+/// Register the `osem_subset` built-in kernel with the `vocl` runtime.
+pub fn register_built_in_kernels() {
+    register_built_in_kernel(
+        BUILTIN_KERNEL,
+        Arc::new(|range: &NdRange, args: &[KernelArgValue], buffers: &mut [BufferBinding<'_>]| {
+            let Some(&KernelArgValue::Buffer(events_idx)) = args.first() else {
+                return Err("argument 0 must be the events buffer".to_string());
+            };
+            let Some(&KernelArgValue::Buffer(image_idx)) = args.get(1) else {
+                return Err("argument 1 must be the image buffer".to_string());
+            };
+            let Some(&KernelArgValue::Buffer(correction_idx)) = args.get(2) else {
+                return Err("argument 2 must be the correction buffer".to_string());
+            };
+            let events_in_subset = scalar_arg(args, 3)? as usize;
+            let ray_steps = scalar_arg(args, 4)? as usize;
+            let num_voxels = scalar_arg(args, 5)? as usize;
+
+            // Copy out the inputs so the output buffer can be borrowed
+            // mutably (the indices may alias the same unique-buffer list).
+            let events = f32s(buffers[events_idx].bytes());
+            let image = f32s(buffers[image_idx].bytes());
+            if image.len() < num_voxels {
+                return Err(format!(
+                    "image buffer holds {} voxels, kernel expects {num_voxels}",
+                    image.len()
+                ));
+            }
+            let n = range.total_items().min(events_in_subset);
+            let correction_bytes = buffers[correction_idx].bytes_mut();
+            for e in 0..n {
+                let base = e * FLOATS_PER_EVENT;
+                if base + 3 >= events.len() {
+                    break;
+                }
+                let (x, y, z, d) = (events[base], events[base + 1], events[base + 2], events[base + 3]);
+                let mut forward = 0.0f32;
+                for s in 0..ray_steps {
+                    forward += image[voxel_for(x, y, z, d, s, num_voxels)];
+                }
+                let ratio = 1.0 / (forward + 1.0);
+                for s in 0..ray_steps {
+                    let voxel = voxel_for(x, y, z, d, s, num_voxels);
+                    let offset = voxel * 4;
+                    let current = f32::from_le_bytes(
+                        correction_bytes[offset..offset + 4].try_into().unwrap(),
+                    );
+                    correction_bytes[offset..offset + 4]
+                        .copy_from_slice(&(current + ratio).to_le_bytes());
+                }
+            }
+            Ok(WorkItemCounters {
+                work_items: n as u64,
+                ops: (n as f64 * ray_steps as f64 * FLOPS_PER_EVENT_STEP) as u64,
+                loads: (n * ray_steps) as u64,
+                stores: (n * ray_steps) as u64,
+                steps: (n * ray_steps) as u64,
+            })
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oclc::Program;
+
+    #[test]
+    fn paper_and_small_parameters_are_consistent() {
+        let p = OsemParams::paper();
+        assert_eq!(p.events_per_subset(), 2_500_000);
+        assert!(p.flops_per_iteration() > 1e9);
+        assert_eq!(p.event_bytes(), (p.num_events * 16) as u64);
+        let s = OsemParams::small();
+        assert_eq!(s.events_per_subset(), 1024);
+    }
+
+    #[test]
+    fn event_generation_is_deterministic() {
+        let p = OsemParams::small();
+        let a = generate_events(&p, 42);
+        let b = generate_events(&p, 42);
+        let c = generate_events(&p, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), p.num_events * FLOATS_PER_EVENT);
+    }
+
+    #[test]
+    fn builtin_kernel_matches_reference() {
+        register_built_in_kernels();
+        let params = OsemParams { num_events: 256, subsets: 1, num_voxels: 512, ray_steps: 8 };
+        let events = generate_events(&params, 7);
+        let image = vec![0.5f32; params.num_voxels];
+
+        let reference = reference_subset_update(&params, &events, &image);
+
+        let f = vocl::built_in_kernel(BUILTIN_KERNEL).unwrap();
+        let mut events_bytes: Vec<u8> = events.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut image_bytes: Vec<u8> = image.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut correction_bytes = vec![0u8; params.num_voxels * 4];
+        let args = vec![
+            KernelArgValue::Buffer(0),
+            KernelArgValue::Buffer(1),
+            KernelArgValue::Buffer(2),
+            KernelArgValue::Scalar(oclc::Value::uint(params.num_events as u64)),
+            KernelArgValue::Scalar(oclc::Value::uint(params.ray_steps as u64)),
+            KernelArgValue::Scalar(oclc::Value::uint(params.num_voxels as u64)),
+        ];
+        let counters = {
+            let mut bindings = vec![
+                BufferBinding::new(&mut events_bytes),
+                BufferBinding::new(&mut image_bytes),
+                BufferBinding::new(&mut correction_bytes),
+            ];
+            f(&NdRange::linear(params.num_events), &args, &mut bindings).unwrap()
+        };
+        let computed = f32s(&correction_bytes);
+        for (a, b) in computed.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        assert_eq!(counters.work_items, params.num_events as u64);
+        assert!(counters.ops > 0);
+    }
+
+    #[test]
+    fn interpreted_kernel_matches_reference_on_tiny_input() {
+        let params = OsemParams { num_events: 16, subsets: 1, num_voxels: 64, ray_steps: 4 };
+        let events = generate_events(&params, 3);
+        let image = vec![0.25f32; params.num_voxels];
+        let reference = reference_subset_update(&params, &events, &image);
+
+        let program = Program::build(KERNEL_SOURCE).expect("osem kernel builds");
+        let kernel = program.kernel("osem_subset").unwrap();
+        let mut events_bytes: Vec<u8> = events.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut image_bytes: Vec<u8> = image.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut correction_bytes = vec![0u8; params.num_voxels * 4];
+        let args = vec![
+            KernelArgValue::Buffer(0),
+            KernelArgValue::Buffer(1),
+            KernelArgValue::Buffer(2),
+            KernelArgValue::Scalar(oclc::Value::uint(params.num_events as u64)),
+            KernelArgValue::Scalar(oclc::Value::uint(params.ray_steps as u64)),
+            KernelArgValue::Scalar(oclc::Value::uint(params.num_voxels as u64)),
+        ];
+        let mut bindings = vec![
+            BufferBinding::new(&mut events_bytes),
+            BufferBinding::new(&mut image_bytes),
+            BufferBinding::new(&mut correction_bytes),
+        ];
+        kernel
+            .execute(&NdRange::linear(params.num_events), &args, &mut bindings)
+            .unwrap();
+        let computed = f32s(&correction_bytes);
+        let close = computed
+            .iter()
+            .zip(&reference)
+            .filter(|(a, b)| (*a - *b).abs() < 1e-3)
+            .count();
+        assert!(
+            close as f64 / reference.len() as f64 > 0.95,
+            "only {close}/{} voxels close",
+            reference.len()
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! The Section IV / Figure 6 scenario: two independent applications share
+//! the GPU server through the central device manager, each getting its own
+//! GPU.
+//!
+//! ```text
+//! cargo run -p dopencl-examples --bin device_manager_sharing
+//! ```
+
+use devmgr::{
+    connect_via_device_manager, parse_device_request, release_assignment, DeviceManager,
+    DeviceManagerServer, ManagedDaemon, SchedulingStrategy,
+};
+use dopencl::{LinkModel, LocalCluster, NdRange, SimClock, Value};
+use std::sync::Arc;
+use vocl::Platform;
+use workloads::mandelbrot::{MandelbrotParams, BUILTIN_KERNEL};
+
+fn run_instance(client: &dopencl::Client, name: &str) -> dopencl::Result<()> {
+    let params =
+        MandelbrotParams { width: 96, height: 64, max_iter: 128, ..MandelbrotParams::small() };
+    let devices = client.devices();
+    println!("[{name}] sees {} device(s): {}", devices.len(), devices[0].name());
+    let context = client.create_context(&devices)?;
+    let queue = client.create_command_queue(&context, &devices[0])?;
+    let buffer = client.create_buffer(&context, params.pixels() * 4)?;
+    let program = client.create_program_with_built_in_kernels(&context, BUILTIN_KERNEL)?;
+    client.build_program(&program)?;
+    let kernel = client.create_kernel(&program, BUILTIN_KERNEL)?;
+    client.set_kernel_arg_buffer(&kernel, 0, &buffer)?;
+    client.set_kernel_arg_scalar(&kernel, 1, Value::uint(params.width as u64))?;
+    client.set_kernel_arg_scalar(&kernel, 2, Value::uint(params.height as u64))?;
+    client.set_kernel_arg_scalar(&kernel, 3, Value::double(params.x_min))?;
+    client.set_kernel_arg_scalar(&kernel, 4, Value::double(params.y_min))?;
+    client.set_kernel_arg_scalar(&kernel, 5, Value::double(params.dx()))?;
+    client.set_kernel_arg_scalar(&kernel, 6, Value::double(params.dy()))?;
+    client.set_kernel_arg_scalar(&kernel, 7, Value::uint(0))?;
+    client.set_kernel_arg_scalar(&kernel, 8, Value::uint(params.max_iter as u64))?;
+    let event = client.enqueue_nd_range_kernel(
+        &queue,
+        &kernel,
+        NdRange::two_d(params.width, params.height),
+        &[],
+    )?;
+    event.wait()?;
+    println!("[{name}] kernel finished, modelled execution time {:?}", event.modeled_duration());
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    workloads::register_all_built_in_kernels();
+
+    // Infrastructure: GPU server daemon (managed mode) + device manager.
+    let mut cluster = LocalCluster::new(LinkModel::gigabit_ethernet());
+    let transport: Arc<dyn gcf::Transport> = Arc::new(cluster.transport());
+    let dm = DeviceManager::new(SchedulingStrategy::FirstFit);
+    let dm_server = DeviceManagerServer::start(Arc::clone(&dm), Arc::clone(&transport), "devmngr")?;
+    let platform = Platform::gpu_server();
+    let managed = ManagedDaemon::connect(
+        Arc::clone(&transport),
+        dm_server.address(),
+        "gpuserver",
+        "gpuserver",
+        platform.devices(),
+    )?;
+    cluster.add_node_with_policy("gpuserver", &platform, managed.policy())?;
+    println!(
+        "device manager at '{}', {} devices free",
+        dm_server.address(),
+        dm.free_device_count()
+    );
+
+    // Each application ships the XML configuration file of Listing 3.
+    let xml = r#"
+        <devmngr>devmngr</devmngr>
+        <devices>
+          <device>
+            <attribute name="TYPE">GPU</attribute>
+          </device>
+        </devices>
+    "#;
+    let config = parse_device_request(xml)?;
+
+    let mut assignments = Vec::new();
+    for name in ["application-A", "application-B"] {
+        let client = cluster.detached_client(name, SimClock::new());
+        let assignment = connect_via_device_manager(&client, &transport, &config)?;
+        println!("[{name}] lease {} on servers {:?}", assignment.auth_id, assignment.servers);
+        run_instance(&client, name)?;
+        assignments.push(assignment);
+    }
+    println!(
+        "\nleases active: {}, devices still free: {}",
+        dm.lease_count(),
+        dm.free_device_count()
+    );
+
+    for assignment in &assignments {
+        release_assignment(&transport, assignment)?;
+    }
+    println!("after release: {} devices free", dm.free_device_count());
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Quickstart: run an unmodified OpenCL-style program on a remote device
+//! through dOpenCL.
+//!
+//! ```text
+//! cargo run -p dopencl-examples --bin quickstart
+//! ```
+//!
+//! The example starts a daemon in-process (standing in for a remote GPU
+//! server), connects a client driver to it via a server configuration file —
+//! exactly the way an existing OpenCL application is pointed at dOpenCL in
+//! the paper — and runs a SAXPY kernel shipped as OpenCL C source.
+
+use dopencl::{LinkModel, LocalCluster, NdRange, Value};
+use vocl::Platform;
+
+fn main() -> dopencl::Result<()> {
+    // One "server": the paper's GPU server, reachable over Gigabit Ethernet.
+    let mut cluster = LocalCluster::new(LinkModel::gigabit_ethernet());
+    cluster.add_node("gpuserver.example.com", &Platform::gpu_server())?;
+
+    // The application's execution directory would contain this file
+    // (Listing 2 of the paper); the client driver connects automatically.
+    let server_config = cluster.server_config();
+    println!("server configuration file:\n{server_config}");
+
+    let client = cluster.client("quickstart")?;
+    println!("platform: {} ({})", client.platform_name(), client.platform_vendor());
+    for device in client.devices() {
+        println!(
+            "  device: {} [{}] on server {:?}",
+            device.name(),
+            device.device_type(),
+            device.server()
+        );
+    }
+
+    // Standard OpenCL workflow: context → queue → buffers → program → kernel.
+    let gpus = client.devices_of_type("GPU");
+    let context = client.create_context(&gpus[..1])?;
+    let queue = client.create_command_queue(&context, &gpus[0])?;
+
+    let n = 1024usize;
+    let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+    let y: Vec<f32> = (0..n).map(|i| 2.0 * i as f32).collect();
+    let to_bytes = |v: &[f32]| v.iter().flat_map(|f| f.to_le_bytes()).collect::<Vec<u8>>();
+
+    let bx = client.create_buffer(&context, n * 4)?;
+    let by = client.create_buffer(&context, n * 4)?;
+    client.enqueue_write_buffer(&queue, &bx, 0, &to_bytes(&x), &[])?.wait()?;
+    client.enqueue_write_buffer(&queue, &by, 0, &to_bytes(&y), &[])?.wait()?;
+
+    let program = client.create_program_with_source(
+        &context,
+        r#"
+        __kernel void saxpy(float a, __global const float* x, __global float* y, uint n) {
+            size_t i = get_global_id(0);
+            if (i < n) { y[i] = a * x[i] + y[i]; }
+        }
+        "#,
+    )?;
+    client.build_program(&program)?;
+    let kernel = client.create_kernel(&program, "saxpy")?;
+    client.set_kernel_arg_scalar(&kernel, 0, Value::float(1.5))?;
+    client.set_kernel_arg_buffer(&kernel, 1, &bx)?;
+    client.set_kernel_arg_buffer(&kernel, 2, &by)?;
+    client.set_kernel_arg_scalar(&kernel, 3, Value::uint(n as u64))?;
+
+    let event = client.enqueue_nd_range_kernel(&queue, &kernel, NdRange::linear(n), &[])?;
+    event.wait()?;
+
+    let (result, _) = client.enqueue_read_buffer(&queue, &by, 0, n * 4, &[])?;
+    let first = f32::from_le_bytes(result[4..8].try_into().unwrap());
+    println!("\ny[1] = {first} (expected {})", 1.5 * 1.0 + 2.0);
+    assert_eq!(first, 1.5 + 2.0);
+
+    let breakdown = client.clock().breakdown();
+    println!(
+        "modelled time — initialization: {:.3} s, execution: {:.6} s, data transfer: {:.3} s",
+        breakdown.initialization.as_secs_f64(),
+        breakdown.execution.as_secs_f64(),
+        breakdown.data_transfer.as_secs_f64()
+    );
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The actual tests live in `tests/tests/*.rs`; this small library only
+//! provides conveniences they share.
+
+#![forbid(unsafe_code)]
+
+use dopencl::{LocalCluster, SimClock};
+use gcf::LinkModel;
+use vocl::Platform;
+
+/// Build a Gigabit-Ethernet cluster with `nodes` test nodes of `devices`
+/// devices each, plus a connected client.
+pub fn test_cluster(nodes: usize, devices: usize) -> (LocalCluster, dopencl::Client, SimClock) {
+    let mut cluster = LocalCluster::new(LinkModel::gigabit_ethernet());
+    for i in 0..nodes {
+        cluster
+            .add_node(&format!("node{i}"), &Platform::test_platform(devices))
+            .expect("start daemon");
+    }
+    let clock = SimClock::new();
+    let client = cluster.client_with_clock("integration", clock.clone()).expect("client");
+    (cluster, client, clock)
+}
+
+/// Interpret a byte slice as little-endian `i32`s.
+pub fn as_i32s(bytes: &[u8]) -> Vec<i32> {
+    bytes.chunks_exact(4).map(|c| i32::from_le_bytes(c.try_into().unwrap())).collect()
+}
+
+/// Interpret a byte slice as little-endian `f32`s.
+pub fn as_f32s(bytes: &[u8]) -> Vec<f32> {
+    bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect()
+}

@@ -1,0 +1,56 @@
+//! Integration tests of the WWU API extension (Listing 1) and the dOpenCL
+//! platform semantics (Section III-C / III-E).
+
+use dopencl::ext::{cl_connect_server_wwu, cl_disconnect_server_wwu, cl_get_server_info_wwu};
+use dopencl::{LinkModel, LocalCluster, SimClock};
+use vocl::Platform;
+
+#[test]
+fn devices_become_available_and_unavailable_at_runtime() {
+    let mut cluster = LocalCluster::new(LinkModel::gigabit_ethernet());
+    let d0 = cluster.add_node("gpuserver", &Platform::gpu_server()).unwrap();
+    let d1 = cluster.add_node("cpunode", &Platform::cluster_node()).unwrap();
+
+    let client = cluster.detached_client("dynamic", SimClock::new());
+    assert!(client.devices().is_empty(), "no servers connected yet");
+
+    // clConnectServerWWU
+    let s0 = cl_connect_server_wwu(&client, d0.address()).unwrap();
+    assert_eq!(client.devices().len(), 5, "the GPU server adds 4 GPUs + 1 CPU");
+    let s1 = cl_connect_server_wwu(&client, d1.address()).unwrap();
+    assert_eq!(client.devices().len(), 6);
+
+    // The uniform dOpenCL platform merges devices from all servers.
+    assert_eq!(client.platform_name(), "dOpenCL");
+    assert_eq!(client.devices_of_type("GPU").len(), 4);
+    assert_eq!(client.devices_of_type("CPU").len(), 2);
+
+    // clGetServerInfoWWU
+    let info0 = cl_get_server_info_wwu(&client, s0).unwrap();
+    assert_eq!(info0.name, "gpuserver");
+    assert_eq!(info0.device_count, 5);
+    assert!(!info0.managed);
+
+    // clDisconnectServerWWU: the server's devices become unavailable.
+    cl_disconnect_server_wwu(&client, s0).unwrap();
+    assert_eq!(client.devices().len(), 1);
+    assert!(cl_get_server_info_wwu(&client, s0).is_err());
+    assert!(cl_get_server_info_wwu(&client, s1).is_ok());
+
+    // Connecting to an address with no daemon fails cleanly.
+    assert!(cl_connect_server_wwu(&client, "no-such-server").is_err());
+}
+
+#[test]
+fn connecting_the_same_server_twice_exposes_its_devices_twice() {
+    // The paper's connection mechanism treats every configured entry as a
+    // separate server connection; connecting twice is legal and simply
+    // yields two independent sessions.
+    let mut cluster = LocalCluster::new(LinkModel::ideal());
+    let daemon = cluster.add_node("node", &Platform::test_platform(1)).unwrap();
+    let client = cluster.detached_client("twice", SimClock::new());
+    cl_connect_server_wwu(&client, daemon.address()).unwrap();
+    cl_connect_server_wwu(&client, daemon.address()).unwrap();
+    assert_eq!(client.devices().len(), 2);
+    assert_eq!(client.servers().len(), 2);
+}
