@@ -3,7 +3,7 @@
 //! (the write-invalidate path of Section III-D).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use dopencl::{LocalCluster, NdRange, Value};
+use dopencl::{Context, LocalCluster, NdRange, Value};
 use gcf::LinkModel;
 use vocl::Platform;
 
@@ -13,20 +13,17 @@ fn coherence_benches(c: &mut Criterion) {
     cluster.add_node("node1", &Platform::test_platform(1)).unwrap();
     let client = cluster.client("coherence-bench").unwrap();
     let devices = client.devices();
-    let context = client.create_context(&devices).unwrap();
-    let q0 = client.create_command_queue(&context, &devices[0]).unwrap();
-    let q1 = client.create_command_queue(&context, &devices[1]).unwrap();
+    let context = Context::new(&client, &devices).unwrap();
+    let q0 = context.create_command_queue(&devices[0]).unwrap();
+    let q1 = context.create_command_queue(&devices[1]).unwrap();
     let size = 1 << 20;
-    let buffer = client.create_buffer(&context, size).unwrap();
-    let program = client
-        .create_program_with_source(
-            &context,
-            "__kernel void touch(__global int* a) { a[0] = a[0] + 1; }",
-        )
+    let buffer = context.create_buffer(size).unwrap();
+    let program = context
+        .create_program_with_source("__kernel void touch(__global int* a) { a[0] = a[0] + 1; }")
         .unwrap();
-    client.build_program(&program).unwrap();
-    let kernel = client.create_kernel(&program, "touch").unwrap();
-    client.set_kernel_arg_buffer(&kernel, 0, &buffer).unwrap();
+    program.build().unwrap();
+    let kernel = program.create_kernel("touch").unwrap();
+    kernel.set_arg(0, &buffer).unwrap();
 
     let mut group = c.benchmark_group("coherence");
     group.throughput(Throughput::Bytes(size as u64));
@@ -34,19 +31,19 @@ fn coherence_benches(c: &mut Criterion) {
         b.iter(|| {
             // Alternating launches on the two servers force the MSI
             // directory to move the buffer through the client every time.
-            let e0 = client.enqueue_nd_range_kernel(&q0, &kernel, NdRange::linear(1), &[]).unwrap();
+            let e0 = q0.launch(&kernel, NdRange::linear(1)).submit().unwrap();
             e0.wait().unwrap();
-            let e1 = client.enqueue_nd_range_kernel(&q1, &kernel, NdRange::linear(1), &[]).unwrap();
+            let e1 = q1.launch(&kernel, NdRange::linear(1)).submit().unwrap();
             e1.wait().unwrap();
         });
     });
     group.bench_function("repeated_launch_same_server_no_traffic", |b| {
         // Baseline: staying on one server needs no coherence transfers after
         // the first validation.
-        let _ = client.set_kernel_arg_scalar(&kernel, 0, Value::int(0)).is_err();
-        client.set_kernel_arg_buffer(&kernel, 0, &buffer).unwrap();
+        let _ = kernel.set_arg(0, Value::int(0)).is_err();
+        kernel.set_arg(0, &buffer).unwrap();
         b.iter(|| {
-            let e0 = client.enqueue_nd_range_kernel(&q0, &kernel, NdRange::linear(1), &[]).unwrap();
+            let e0 = q0.launch(&kernel, NdRange::linear(1)).submit().unwrap();
             e0.wait().unwrap();
         });
     });

@@ -22,7 +22,8 @@ fn kernel_args(params: &MandelbrotParams) -> Vec<KernelArgValue> {
 
 fn kernel_benches(c: &mut Criterion) {
     mandelbrot::register_built_in_kernels();
-    let params = MandelbrotParams { width: 64, height: 64, max_iter: 128, ..MandelbrotParams::small() };
+    let params =
+        MandelbrotParams { width: 64, height: 64, max_iter: 128, ..MandelbrotParams::small() };
     let pixels = (params.width * params.height) as u64;
     let args = kernel_args(&params);
 
@@ -47,7 +48,8 @@ fn kernel_benches(c: &mut Criterion) {
         let mut out = vec![0u8; params.pixels() * 4];
         b.iter(|| {
             let mut bindings = vec![BufferBinding::new(&mut out)];
-            let counters = f(&NdRange::two_d(params.width, params.height), &args, &mut bindings).unwrap();
+            let counters =
+                f(&NdRange::two_d(params.width, params.height), &args, &mut bindings).unwrap();
             std::hint::black_box(counters.work_items);
         });
     });

@@ -35,7 +35,7 @@ fn protocol_benches(c: &mut Criterion) {
         b.iter_batched(
             || devices.clone(),
             |devices| {
-                let context = client.create_context(&devices).unwrap();
+                let context = dopencl::Context::new(&client, &devices).unwrap();
                 std::hint::black_box(context);
             },
             BatchSize::SmallInput,

@@ -1,12 +1,11 @@
 //! Figure 4: runtime of the Mandelbrot application, dOpenCL vs MPI+OpenCL,
 //! on 2–16 devices of the Infiniband CPU cluster.
 
-use dopencl::{infiniband_cpu_cluster, Phase, PhaseBreakdown, SimClock, Value};
+use dopencl::{infiniband_cpu_cluster, Event, Phase, PhaseBreakdown, SimClock, Value};
 use gcf::LinkModel;
 use std::time::Duration;
 use vocl::{
-    Buffer, CommandQueue, Context, KernelArg, MemFlags, NdRange, Platform, Program,
-    QueueProperties,
+    Buffer, CommandQueue, Context, KernelArg, MemFlags, NdRange, Platform, Program, QueueProperties,
 };
 use workloads::mandelbrot::{self, MandelbrotParams, BUILTIN_KERNEL};
 
@@ -47,9 +46,9 @@ pub fn run_dopencl(n: usize, functional_scale: usize) -> dopencl::Result<Fig4Row
     let devices = client.devices();
     assert_eq!(devices.len(), n, "one CPU device per cluster node");
 
-    let context = client.create_context(&devices)?;
-    let program = client.create_program_with_built_in_kernels(&context, BUILTIN_KERNEL)?;
-    client.build_program(&program)?;
+    let context = dopencl::Context::new(&client, &devices)?;
+    let program = context.create_program_with_built_in_kernels(BUILTIN_KERNEL)?;
+    program.build()?;
     // Remote program build: every daemon runs its native `clBuildProgram`
     // when the client builds the compound program stub.  The vendor
     // compilers of the paper's testbed need tens of milliseconds for this;
@@ -70,37 +69,32 @@ pub fn run_dopencl(n: usize, functional_scale: usize) -> dopencl::Result<Fig4Row
     let mut buffers = Vec::new();
     let mut queues = Vec::new();
     for (i, device) in devices.iter().enumerate() {
-        let queue = client.create_command_queue(&context, device)?;
+        let queue = context.create_command_queue(device)?;
         for chunk in [i, 2 * n - 1 - i] {
             let row_offset = chunk * chunk_rows;
             let rows = chunk_rows.min(func.height.saturating_sub(row_offset));
             if rows == 0 {
                 continue;
             }
-            let buffer = client.create_buffer(&context, func.width * rows * 4)?;
-            let kernel = client.create_kernel(&program, BUILTIN_KERNEL)?;
-            client.set_kernel_arg_buffer(&kernel, 0, &buffer)?;
-            client.set_kernel_arg_scalar(&kernel, 1, Value::uint(func.width as u64))?;
-            client.set_kernel_arg_scalar(&kernel, 2, Value::uint(rows as u64))?;
-            client.set_kernel_arg_scalar(&kernel, 3, Value::double(func.x_min))?;
-            client.set_kernel_arg_scalar(&kernel, 4, Value::double(func.y_min))?;
-            client.set_kernel_arg_scalar(&kernel, 5, Value::double(func.dx()))?;
-            client.set_kernel_arg_scalar(&kernel, 6, Value::double(func.dy()))?;
-            client.set_kernel_arg_scalar(&kernel, 7, Value::uint(row_offset as u64))?;
-            client.set_kernel_arg_scalar(&kernel, 8, Value::uint(func.max_iter as u64))?;
-            let event = client.enqueue_nd_range_kernel(
-                &queue,
-                &kernel,
-                NdRange::two_d(func.width, rows),
-                &[],
-            )?;
+            let buffer = context.create_buffer(func.width * rows * 4)?;
+            let kernel = program.create_kernel(BUILTIN_KERNEL)?;
+            kernel.set_arg(0, &buffer)?;
+            kernel.set_arg(1, Value::uint(func.width as u64))?;
+            kernel.set_arg(2, Value::uint(rows as u64))?;
+            kernel.set_arg(3, Value::double(func.x_min))?;
+            kernel.set_arg(4, Value::double(func.y_min))?;
+            kernel.set_arg(5, Value::double(func.dx()))?;
+            kernel.set_arg(6, Value::double(func.dy()))?;
+            kernel.set_arg(7, Value::uint(row_offset as u64))?;
+            kernel.set_arg(8, Value::uint(func.max_iter as u64))?;
+            let event = queue.launch(&kernel, NdRange::two_d(func.width, rows)).submit()?;
             events.push((i, event));
             buffers.push((buffer, rows));
             queues.push(queue.clone());
         }
     }
     let all_events: Vec<_> = events.iter().map(|(_, e)| e.clone()).collect();
-    client.wait_for_events(&all_events)?;
+    Event::wait_all(&all_events)?;
 
     // Devices compute their tiles in parallel: the execution phase of the
     // application is the slowest device, not the sum the client clock keeps.
@@ -111,8 +105,8 @@ pub fn run_dopencl(n: usize, functional_scale: usize) -> dopencl::Result<Fig4Row
 
     // Download the tiles (the paper's result image assembly).
     let mut assembled = Vec::with_capacity(func.pixels());
-    for ((buffer, rows), queue) in buffers.iter().zip(&queues) {
-        let (data, _) = client.enqueue_read_buffer(queue, buffer, 0, func.width * rows * 4, &[])?;
+    for ((buffer, _rows), queue) in buffers.iter().zip(&queues) {
+        let (data, _) = queue.read_buffer(buffer).submit()?;
         assembled.extend(data.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())));
     }
     // Spot-check the assembled image against the reference.
@@ -125,7 +119,11 @@ pub fn run_dopencl(n: usize, functional_scale: usize) -> dopencl::Result<Fig4Row
         execution,
         data_transfer: measured.data_transfer,
     };
-    Ok(Fig4Row { devices: n, variant: "dOpenCL", breakdown: scale_breakdown(breakdown, work_scale) })
+    Ok(Fig4Row {
+        devices: n,
+        variant: "dOpenCL",
+        breakdown: scale_breakdown(breakdown, work_scale),
+    })
 }
 
 /// Run the MPI+OpenCL baseline on `n` ranks.
@@ -141,8 +139,8 @@ pub fn run_mpi_opencl(n: usize, functional_scale: usize) -> Fig4Row {
         let platform = Platform::cluster_node();
         let device = platform.devices()[0].clone();
         let context = Context::new(vec![device.clone()]).expect("context");
-        let queue = CommandQueue::new(context.clone(), device, QueueProperties::default())
-            .expect("queue");
+        let queue =
+            CommandQueue::new(context.clone(), device, QueueProperties::default()).expect("queue");
         // Local OpenCL initialization (context + program build), a small
         // constant per rank: the binaries are already on every node.
         comm.clock().charge(Phase::Initialization, Duration::from_millis(60));
@@ -177,7 +175,9 @@ pub fn run_mpi_opencl(n: usize, functional_scale: usize) -> Fig4Row {
                 .expect("launch");
             event.wait().expect("kernel");
             comm.clock().charge(Phase::Execution, event.modeled_duration());
-            tile.extend(queue.read_buffer_blocking(&buffer, 0, func.width * rows * 4).expect("read"));
+            tile.extend(
+                queue.read_buffer_blocking(&buffer, 0, func.width * rows * 4).expect("read"),
+            );
         }
         // MPI_Gather of the tiles to rank 0.
         let gathered = comm.gather(&tile).expect("gather");
@@ -188,11 +188,7 @@ pub fn run_mpi_opencl(n: usize, functional_scale: usize) -> Fig4Row {
     });
 
     let breakdown = PhaseBreakdown::parallel_over(results.into_iter().map(|(_, b)| b));
-    Fig4Row {
-        devices: n,
-        variant: "MPI+OpenCL",
-        breakdown: scale_breakdown(breakdown, work_scale),
-    }
+    Fig4Row { devices: n, variant: "MPI+OpenCL", breakdown: scale_breakdown(breakdown, work_scale) }
 }
 
 /// Run the full Figure 4 sweep.
@@ -226,7 +222,8 @@ mod tests {
         assert!((0.8..1.2).contains(&exec_ratio), "execution ratio {exec_ratio}");
         assert!(dcl2.breakdown.initialization > mpi2.breakdown.initialization);
         // Total runtime of dOpenCL stays within a moderate factor.
-        let total_ratio = dcl2.breakdown.total().as_secs_f64() / mpi2.breakdown.total().as_secs_f64();
+        let total_ratio =
+            dcl2.breakdown.total().as_secs_f64() / mpi2.breakdown.total().as_secs_f64();
         assert!(total_ratio < 1.6, "dOpenCL overhead too large: {total_ratio}");
     }
 }

@@ -2,7 +2,7 @@
 //! the desktop PC's own low-end GPU, the desktop offloading to the remote
 //! 4-GPU server through dOpenCL, and native execution on the server.
 
-use dopencl::{desktop_and_gpu_server, PhaseBreakdown, SimClock, Value};
+use dopencl::{desktop_and_gpu_server, DeviceType, PhaseBreakdown, SimClock, Value};
 use std::time::Duration;
 use vocl::{
     Buffer, CommandQueue, Context, Device, KernelArg, MemFlags, NdRange, Platform, Program,
@@ -112,13 +112,8 @@ fn native_iteration(devices: &[std::sync::Arc<Device>], params: &OsemParams) -> 
         let kernel = program.create_kernel(BUILTIN_KERNEL).unwrap();
 
         let slice = &events[i * events_per_gpu * 4..(i + 1) * events_per_gpu * 4];
-        let events_buf = Buffer::new(
-            context.clone(),
-            slice.len() * 4,
-            MemFlags::READ_ONLY,
-            None,
-        )
-        .unwrap();
+        let events_buf =
+            Buffer::new(context.clone(), slice.len() * 4, MemFlags::READ_ONLY, None).unwrap();
         let image_buf =
             Buffer::new(context.clone(), params.num_voxels * 4, MemFlags::READ_ONLY, None).unwrap();
         let corr_buf =
@@ -156,8 +151,7 @@ fn native_iteration(devices: &[std::sync::Arc<Device>], params: &OsemParams) -> 
 /// Variant (a): the desktop PC's own NVS 3100M through its local OpenCL.
 pub fn desktop_local(scaled: &ScaledOsem) -> Fig5Row {
     let platform = Platform::desktop_pc();
-    let execution =
-        scaled.paper_execution(&platform.devices()[0].profile().compute, 1);
+    let execution = scaled.paper_execution(&platform.devices()[0].profile().compute, 1);
     let breakdown =
         scaled.scale(native_iteration(platform.devices(), &scaled.functional), execution);
     Fig5Row { variant: "Desktop PC using OpenCL", iteration_time: breakdown.total(), breakdown }
@@ -185,7 +179,7 @@ pub fn desktop_via_dopencl(scaled: &ScaledOsem) -> dopencl::Result<Fig5Row> {
     let cluster = desktop_and_gpu_server()?;
     let clock = SimClock::new();
     let client = cluster.client_with_clock("osem-desktop", clock.clone())?;
-    let gpus = client.devices_of_type("GPU");
+    let gpus = client.devices_of(DeviceType::Gpu);
     assert_eq!(gpus.len(), 4, "the paper's server has four GPUs");
 
     let events = osem::generate_events(params, 11);
@@ -193,33 +187,33 @@ pub fn desktop_via_dopencl(scaled: &ScaledOsem) -> dopencl::Result<Fig5Row> {
     let events_per_gpu = params.num_events / gpus.len();
     let per_subset = events_per_gpu / params.subsets;
 
-    let context = client.create_context(&gpus)?;
-    let program = client.create_program_with_built_in_kernels(&context, BUILTIN_KERNEL)?;
-    client.build_program(&program)?;
+    let context = dopencl::Context::new(&client, &gpus)?;
+    let program = context.create_program_with_built_in_kernels(BUILTIN_KERNEL)?;
+    program.build()?;
 
     let mut kernel_events = Vec::new();
     let mut per_gpu_exec: Vec<Duration> = Vec::new();
     let mut corr_buffers = Vec::new();
     let mut queues = Vec::new();
     for (i, gpu) in gpus.iter().enumerate() {
-        let queue = client.create_command_queue(&context, gpu)?;
+        let queue = context.create_command_queue(gpu)?;
         let slice = &events[i * events_per_gpu * 4..(i + 1) * events_per_gpu * 4];
-        let events_buf = client.create_buffer(&context, slice.len() * 4)?;
-        let image_buf = client.create_buffer(&context, params.num_voxels * 4)?;
-        let corr_buf = client.create_buffer(&context, params.num_voxels * 4)?;
-        client.enqueue_write_buffer(&queue, &events_buf, 0, &f32_bytes(slice), &[])?.wait()?;
-        client.enqueue_write_buffer(&queue, &image_buf, 0, &f32_bytes(&image), &[])?.wait()?;
+        let events_buf = context.create_buffer(slice.len() * 4)?;
+        let image_buf = context.create_buffer(params.num_voxels * 4)?;
+        let corr_buf = context.create_buffer(params.num_voxels * 4)?;
+        queue.write_buffer(&events_buf, &f32_bytes(slice)).blocking().submit()?;
+        queue.write_buffer(&image_buf, &f32_bytes(&image)).blocking().submit()?;
 
-        let kernel = client.create_kernel(&program, BUILTIN_KERNEL)?;
-        client.set_kernel_arg_buffer(&kernel, 0, &events_buf)?;
-        client.set_kernel_arg_buffer(&kernel, 1, &image_buf)?;
-        client.set_kernel_arg_buffer(&kernel, 2, &corr_buf)?;
-        client.set_kernel_arg_scalar(&kernel, 3, Value::uint(per_subset as u64))?;
-        client.set_kernel_arg_scalar(&kernel, 4, Value::uint(params.ray_steps as u64))?;
-        client.set_kernel_arg_scalar(&kernel, 5, Value::uint(params.num_voxels as u64))?;
+        let kernel = program.create_kernel(BUILTIN_KERNEL)?;
+        kernel.set_arg(0, &events_buf)?;
+        kernel.set_arg(1, &image_buf)?;
+        kernel.set_arg(2, &corr_buf)?;
+        kernel.set_arg(3, Value::uint(per_subset as u64))?;
+        kernel.set_arg(4, Value::uint(params.ray_steps as u64))?;
+        kernel.set_arg(5, Value::uint(params.num_voxels as u64))?;
         let mut gpu_exec = Duration::ZERO;
         for _ in 0..params.subsets {
-            let e = client.enqueue_nd_range_kernel(&queue, &kernel, NdRange::linear(per_subset), &[])?;
+            let e = queue.launch(&kernel, NdRange::linear(per_subset)).submit()?;
             e.wait()?;
             gpu_exec += e.modeled_duration();
             kernel_events.push(e);
@@ -229,7 +223,7 @@ pub fn desktop_via_dopencl(scaled: &ScaledOsem) -> dopencl::Result<Fig5Row> {
         queues.push(queue);
     }
     for (corr, queue) in corr_buffers.iter().zip(&queues) {
-        let (_data, e) = client.enqueue_read_buffer(queue, corr, 0, params.num_voxels * 4, &[])?;
+        let (_data, e) = queue.read_buffer(corr).submit()?;
         e.wait()?;
     }
 
@@ -238,8 +232,8 @@ pub fn desktop_via_dopencl(scaled: &ScaledOsem) -> dopencl::Result<Fig5Row> {
     // dominates), so the paper-scale execution phase is evaluated from the
     // Tesla compute model directly; the four GPUs work concurrently.
     let _ = per_gpu_exec;
-    let execution = scaled
-        .paper_execution(&vocl::DeviceProfile::gpu_tesla_s1070_unit().compute, gpus.len());
+    let execution =
+        scaled.paper_execution(&vocl::DeviceProfile::gpu_tesla_s1070_unit().compute, gpus.len());
     let breakdown = PhaseBreakdown {
         initialization: measured.initialization,
         execution: Duration::ZERO,

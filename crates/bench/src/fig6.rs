@@ -2,8 +2,10 @@
 //! application instances share the GPU server concurrently, with and without
 //! the device manager.
 
-use dopencl::{LocalCluster, PhaseBreakdown, SimClock, Value};
-use devmgr::{DeviceManager, DeviceManagerServer, DeviceRequirement, ManagedDaemon, SchedulingStrategy};
+use devmgr::{
+    DeviceManager, DeviceManagerServer, DeviceRequirement, ManagedDaemon, SchedulingStrategy,
+};
+use dopencl::{Context, DeviceType, LocalCluster, PhaseBreakdown, SimClock, Value};
 use gcf::LinkModel;
 use std::sync::Arc;
 use std::time::Duration;
@@ -40,25 +42,24 @@ fn run_instance(
     let device = devices
         .first()
         .ok_or_else(|| dopencl::DclError::InvalidArgument("client has no device".into()))?;
-    let context = client.create_context(std::slice::from_ref(device))?;
-    let queue = client.create_command_queue(&context, device)?;
-    let program = client.create_program_with_built_in_kernels(&context, BUILTIN_KERNEL)?;
-    client.build_program(&program)?;
-    let buffer = client.create_buffer(&context, func.pixels() * 4)?;
-    let kernel = client.create_kernel(&program, BUILTIN_KERNEL)?;
-    client.set_kernel_arg_buffer(&kernel, 0, &buffer)?;
-    client.set_kernel_arg_scalar(&kernel, 1, Value::uint(func.width as u64))?;
-    client.set_kernel_arg_scalar(&kernel, 2, Value::uint(func.height as u64))?;
-    client.set_kernel_arg_scalar(&kernel, 3, Value::double(func.x_min))?;
-    client.set_kernel_arg_scalar(&kernel, 4, Value::double(func.y_min))?;
-    client.set_kernel_arg_scalar(&kernel, 5, Value::double(func.dx()))?;
-    client.set_kernel_arg_scalar(&kernel, 6, Value::double(func.dy()))?;
-    client.set_kernel_arg_scalar(&kernel, 7, Value::uint(0))?;
-    client.set_kernel_arg_scalar(&kernel, 8, Value::uint(func.max_iter as u64))?;
-    let event =
-        client.enqueue_nd_range_kernel(&queue, &kernel, NdRange::two_d(func.width, func.height), &[])?;
+    let context = Context::new(client, std::slice::from_ref(device))?;
+    let queue = context.create_command_queue(device)?;
+    let program = context.create_program_with_built_in_kernels(BUILTIN_KERNEL)?;
+    program.build()?;
+    let buffer = context.create_buffer(func.pixels() * 4)?;
+    let kernel = program.create_kernel(BUILTIN_KERNEL)?;
+    kernel.set_arg(0, &buffer)?;
+    kernel.set_arg(1, Value::uint(func.width as u64))?;
+    kernel.set_arg(2, Value::uint(func.height as u64))?;
+    kernel.set_arg(3, Value::double(func.x_min))?;
+    kernel.set_arg(4, Value::double(func.y_min))?;
+    kernel.set_arg(5, Value::double(func.dx()))?;
+    kernel.set_arg(6, Value::double(func.dy()))?;
+    kernel.set_arg(7, Value::uint(0))?;
+    kernel.set_arg(8, Value::uint(func.max_iter as u64))?;
+    let event = queue.launch(&kernel, NdRange::two_d(func.width, func.height)).submit()?;
     event.wait()?;
-    let (_data, read) = client.enqueue_read_buffer(&queue, &buffer, 0, func.pixels() * 4, &[])?;
+    let (_data, read) = queue.read_buffer(&buffer).submit()?;
     read.wait()?;
     let measured = clock.breakdown();
     Ok(PhaseBreakdown {
@@ -124,11 +125,7 @@ pub fn with_device_manager(clients: usize, functional_scale: usize) -> dopencl::
         execution: avg.execution,
         data_transfer: avg.data_transfer.mul_f64(clients as f64),
     };
-    Ok(Fig6Row {
-        clients,
-        with_device_manager: true,
-        breakdown: scale(contended, work_scale),
-    })
+    Ok(Fig6Row { clients, with_device_manager: true, breakdown: scale(contended, work_scale) })
 }
 
 /// Average runtime **without** the device manager: every instance picks the
@@ -149,9 +146,9 @@ pub fn without_device_manager(clients: usize, functional_scale: usize) -> dopenc
         // Without the device manager every instance freely chooses a device
         // — and they all pick the first GPU (the paper's observed worst
         // case).
-        let gpus = client.devices_of_type("GPU");
+        let gpus = client.devices_of(DeviceType::Gpu);
         let first = gpus[0].clone();
-        let context = client.create_context(std::slice::from_ref(&first))?;
+        let context = Context::new(&client, std::slice::from_ref(&first))?;
         drop(context);
         breakdowns.push(run_instance(&client, &clock, &func)?);
     }
@@ -164,11 +161,7 @@ pub fn without_device_manager(clients: usize, functional_scale: usize) -> dopenc
         execution: avg.execution.mul_f64(clients as f64),
         data_transfer: avg.data_transfer.mul_f64(clients as f64),
     };
-    Ok(Fig6Row {
-        clients,
-        with_device_manager: false,
-        breakdown: scale(contended, work_scale),
-    })
+    Ok(Fig6Row { clients, with_device_manager: false, breakdown: scale(contended, work_scale) })
 }
 
 fn average(breakdowns: &[PhaseBreakdown]) -> PhaseBreakdown {

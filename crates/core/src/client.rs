@@ -1,13 +1,76 @@
-//! The dOpenCL client driver.
+//! The dOpenCL client driver: handle-based object API.
 //!
 //! The client driver is the library an OpenCL application links against
 //! (Section III-B of the paper).  It presents all devices of every connected
 //! server as if they were installed locally (the *dOpenCL platform*,
 //! Section III-E), intercepts API calls, and forwards them to the daemons
-//! owning the referenced remote objects.  Object stubs are identified by
-//! client-assigned [`ObjectId`]s; *compound stubs* (contexts, programs,
-//! kernels, buffers, events) replicate calls to every participating server
-//! and keep the copies consistent:
+//! owning the referenced remote objects.
+//!
+//! # The object model
+//!
+//! [`Client`] owns the connection state (server table, event registry,
+//! simulation clock) and exposes only *platform-level* operations: server
+//! management (the WWU extension of [`crate::ext`]) and device enumeration.
+//! Everything else lives on the object that owns the operation, exactly like
+//! a native OpenCL binding:
+//!
+//! ```text
+//! Client ──► Context::new(&client, &devices)
+//!               │
+//!               ├─ context.create_command_queue(&device) ──► CommandQueue
+//!               ├─ context.create_buffer(size)           ──► Buffer
+//!               └─ context.create_program_with_source(s) ──► Program
+//!                     ├─ program.build()
+//!                     └─ program.create_kernel(name)     ──► Kernel
+//!                           └─ kernel.set_arg(i, arg)
+//! ```
+//!
+//! Enqueue operations are builders on [`CommandQueue`], so new options
+//! (batching, async submission) can be added without signature churn:
+//!
+//! ```text
+//! queue.write_buffer(&buf, &data).at_offset(64).after(&[e]).submit()?;
+//! let (bytes, event) = queue.read_buffer(&buf).submit()?;
+//! queue.launch(&kernel, NdRange::linear(1024)).after(&[e]).submit()?;
+//! queue.marker().submit()?;
+//! queue.finish()?;
+//! ```
+//!
+//! Every stub holds a weak reference to the client's internals: once the
+//! last [`Client`] clone is dropped, using a surviving stub fails with
+//! [`DclError::ClientDropped`] instead of panicking or hanging.
+//!
+//! # Migration from the retired `Client` god-object
+//!
+//! The pre-0.2 API funnelled all ~30 operations through `Client` methods.
+//! Those methods remain as `#[deprecated]` forwarding shims for one release;
+//! migrate as follows:
+//!
+//! | old (deprecated) | new |
+//! |---|---|
+//! | `client.create_context(&devs)` | [`Context::new`]`(&client, &devs)` |
+//! | `client.create_command_queue(&ctx, &dev)` | `ctx.create_command_queue(&dev)` |
+//! | `client.create_buffer(&ctx, n)` | `ctx.create_buffer(n)` |
+//! | `client.create_program_with_source(&ctx, src)` | `ctx.create_program_with_source(src)` |
+//! | `client.create_program_with_built_in_kernels(&ctx, names)` | `ctx.create_program_with_built_in_kernels(names)` |
+//! | `client.build_program(&prog)` | `prog.build()` |
+//! | `client.get_build_log(&prog)` | `prog.build_log()` |
+//! | `client.create_kernel(&prog, name)` | `prog.create_kernel(name)` |
+//! | `client.set_kernel_arg_scalar(&k, i, v)` | `k.set_arg(i, v)` |
+//! | `client.set_kernel_arg_buffer(&k, i, &buf)` | `k.set_arg(i, &buf)` |
+//! | `client.set_kernel_arg_local(&k, i, n)` | `k.set_arg(i, Arg::local(n))` |
+//! | `client.enqueue_write_buffer(&q, &b, off, data, &ws)` | `q.write_buffer(&b, data).at_offset(off).after(&ws).submit()` |
+//! | `client.enqueue_read_buffer(&q, &b, off, len, &ws)` | `q.read_buffer(&b).at_offset(off).len(len).after(&ws).submit()` |
+//! | `client.enqueue_nd_range_kernel(&q, &k, r, &ws)` | `q.launch(&k, r).after(&ws).submit()` |
+//! | `client.enqueue_marker(&q, &ws)` | `q.marker().after(&ws).submit()` |
+//! | `client.finish(&q)` | `q.finish()` |
+//! | `client.wait_for_events(&es)` | [`Event::wait_all`]`(&es)` |
+//! | `client.devices_of_type("GPU")` | `client.devices_of(DeviceType::Gpu)` |
+//!
+//! # Consistency protocols
+//!
+//! *Compound stubs* (contexts, programs, kernels, buffers, events) replicate
+//! calls to every participating server and keep the copies consistent:
 //!
 //! * memory objects through the directory-based MSI protocol in
 //!   [`crate::coherence`], and
@@ -24,8 +87,7 @@ use crate::coherence::{BufferDirectory, ValidationPlan};
 use crate::config;
 use crate::error::{DclError, Result};
 use crate::protocol::{
-    DeviceDescriptor, Notification, ObjectId, Request, Response, ServerInfo, WireNdRange,
-    WireValue,
+    DeviceDescriptor, Notification, ObjectId, Request, Response, ServerInfo, WireNdRange, WireValue,
 };
 use gcf::rpc::{Endpoint, EndpointHandler};
 use gcf::simtime::{Phase, SimClock};
@@ -43,6 +105,52 @@ use vocl::{NdRange, Value};
 /// table).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ServerId(pub usize);
+
+/// `CL_DEVICE_TYPE_*` as seen through the dOpenCL platform.
+///
+/// Replaces the stringly-typed `devices_of_type("GPU")` filter of the old
+/// API; parse daemon-reported descriptor strings with [`DeviceType::parse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceType {
+    /// `CL_DEVICE_TYPE_CPU`
+    Cpu,
+    /// `CL_DEVICE_TYPE_GPU`
+    Gpu,
+    /// `CL_DEVICE_TYPE_ACCELERATOR`
+    Accelerator,
+    /// `CL_DEVICE_TYPE_CUSTOM` — anything a daemon reports that is not one
+    /// of the three standard kinds.
+    Custom,
+}
+
+impl DeviceType {
+    /// Parse a descriptor string (`"CPU"`, `"GPU"`, `"ACCELERATOR"`, case
+    /// insensitive); anything else maps to [`DeviceType::Custom`].
+    pub fn parse(s: &str) -> DeviceType {
+        match s.to_ascii_uppercase().as_str() {
+            "CPU" => DeviceType::Cpu,
+            "GPU" => DeviceType::Gpu,
+            "ACCELERATOR" => DeviceType::Accelerator,
+            _ => DeviceType::Custom,
+        }
+    }
+
+    /// The canonical descriptor spelling (`"CPU"`, `"GPU"`, ...).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DeviceType::Cpu => "CPU",
+            DeviceType::Gpu => "GPU",
+            DeviceType::Accelerator => "ACCELERATOR",
+            DeviceType::Custom => "CUSTOM",
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// A remote device stub (simple stub: owned by exactly one server).
 #[derive(Debug, Clone)]
@@ -72,7 +180,13 @@ impl Device {
         &self.descriptor.vendor
     }
 
-    /// `CL_DEVICE_TYPE` as a string (`CPU`, `GPU`, ...).
+    /// `CL_DEVICE_TYPE`.
+    pub fn kind(&self) -> DeviceType {
+        DeviceType::parse(&self.descriptor.device_type)
+    }
+
+    /// `CL_DEVICE_TYPE` as the raw descriptor string (`CPU`, `GPU`, ...).
+    #[deprecated(since = "0.2.0", note = "use `kind()` and the `DeviceType` enum instead")]
     pub fn device_type(&self) -> &str {
         &self.descriptor.device_type
     }
@@ -89,15 +203,23 @@ impl Device {
 }
 
 /// A context stub (compound stub spanning every server that hosts one of its
-/// devices).
+/// devices).  Created with [`Context::new`]; owns buffer, queue and program
+/// creation.
 #[derive(Debug, Clone)]
 pub struct Context {
+    client: Weak<ClientInner>,
     id: ObjectId,
     devices: Vec<Device>,
     servers: Vec<usize>,
 }
 
 impl Context {
+    /// `clCreateContext` over any mix of devices from any servers of
+    /// `client`.
+    pub fn new(client: &Client, devices: &[Device]) -> Result<Context> {
+        client.inner.create_context(devices)
+    }
+
     /// The context's devices.
     pub fn devices(&self) -> &[Device] {
         &self.devices
@@ -112,9 +234,41 @@ impl Context {
     pub fn id(&self) -> ObjectId {
         self.id
     }
+
+    /// `clCreateCommandQueue` for `device` (which must be part of this
+    /// context).
+    pub fn create_command_queue(&self, device: &Device) -> Result<CommandQueue> {
+        self.inner()?.create_command_queue(self, device)
+    }
+
+    /// `clCreateBuffer` of `size` bytes, replicated on every participating
+    /// server and kept consistent by the MSI directory.
+    pub fn create_buffer(&self, size: usize) -> Result<Buffer> {
+        self.inner()?.create_buffer(self, size)
+    }
+
+    /// `clCreateProgramWithSource`: ship `source` to every participating
+    /// server.
+    pub fn create_program_with_source(&self, source: &str) -> Result<Program> {
+        self.inner()?.create_program_with_source(self, source)
+    }
+
+    /// `clCreateProgramWithBuiltInKernels` (OpenCL 1.2-style), used by the
+    /// evaluation workloads for their throughput-critical kernels.
+    pub fn create_program_with_built_in_kernels(&self, names: &str) -> Result<Program> {
+        self.inner()?.create_program_with_built_in_kernels(self, names)
+    }
+
+    fn inner(&self) -> Result<Arc<ClientInner>> {
+        upgrade(&self.client)
+    }
 }
 
 /// A buffer stub (compound stub with an MSI coherence directory).
+///
+/// Buffers are pure data handles: every operation on their contents goes
+/// through a [`CommandQueue`], which carries the client back-reference, so
+/// the buffer itself does not need one.
 #[derive(Debug, Clone)]
 pub struct Buffer {
     id: ObjectId,
@@ -140,9 +294,10 @@ impl Buffer {
     }
 }
 
-/// A program stub (compound stub).
+/// A program stub (compound stub).  Owns building and kernel creation.
 #[derive(Debug, Clone)]
 pub struct Program {
+    client: Weak<ClientInner>,
     id: ObjectId,
     servers: Vec<usize>,
     source_len: usize,
@@ -153,12 +308,69 @@ impl Program {
     pub fn id(&self) -> ObjectId {
         self.id
     }
+
+    /// `clBuildProgram` on every participating server.  On failure the
+    /// first server's build log is appended to the error.
+    pub fn build(&self) -> Result<()> {
+        upgrade(&self.client)?.build_program(self)
+    }
+
+    /// `clGetProgramBuildInfo(CL_PROGRAM_BUILD_LOG)` from the first server.
+    pub fn build_log(&self) -> Result<String> {
+        upgrade(&self.client)?.get_build_log(self)
+    }
+
+    /// `clCreateKernel`.
+    pub fn create_kernel(&self, name: &str) -> Result<Kernel> {
+        upgrade(&self.client)?.create_kernel(self, name)
+    }
+}
+
+/// A kernel argument, as accepted by [`Kernel::set_arg`].
+///
+/// Scalars and buffers convert implicitly (`kernel.set_arg(0, &buffer)?`,
+/// `kernel.set_arg(1, Value::uint(42))?`); `__local` memory is requested
+/// explicitly with [`Arg::local`].
+#[derive(Debug, Clone)]
+pub enum Arg {
+    /// A by-value scalar argument.
+    Scalar(Value),
+    /// A memory-object argument.
+    Buffer(Buffer),
+    /// A `__local` memory allocation of the given size in bytes.
+    Local(usize),
+}
+
+impl Arg {
+    /// A `__local` memory argument of `bytes` bytes.
+    pub fn local(bytes: usize) -> Arg {
+        Arg::Local(bytes)
+    }
+}
+
+impl From<Value> for Arg {
+    fn from(value: Value) -> Arg {
+        Arg::Scalar(value)
+    }
+}
+
+impl From<&Buffer> for Arg {
+    fn from(buffer: &Buffer) -> Arg {
+        Arg::Buffer(buffer.clone())
+    }
+}
+
+impl From<Buffer> for Arg {
+    fn from(buffer: Buffer) -> Arg {
+        Arg::Buffer(buffer)
+    }
 }
 
 /// A kernel stub (compound stub).  Remembers which arguments are buffers so
 /// kernel launches can run the coherence protocol for them.
 #[derive(Debug, Clone)]
 pub struct Kernel {
+    client: Weak<ClientInner>,
     id: ObjectId,
     name: String,
     servers: Vec<usize>,
@@ -175,11 +387,19 @@ impl Kernel {
     pub fn id(&self) -> ObjectId {
         self.id
     }
+
+    /// `clSetKernelArg`: set argument `index` to `arg` on every
+    /// participating server.
+    pub fn set_arg(&self, index: u32, arg: impl Into<Arg>) -> Result<()> {
+        upgrade(&self.client)?.set_kernel_arg(self, index, arg.into())
+    }
 }
 
 /// A command queue stub (simple stub: tied to one device on one server).
+/// Owns the enqueue builders.
 #[derive(Debug, Clone)]
 pub struct CommandQueue {
+    client: Weak<ClientInner>,
     id: ObjectId,
     server: usize,
     device: Device,
@@ -200,6 +420,176 @@ impl CommandQueue {
     /// Stub object id.
     pub fn id(&self) -> ObjectId {
         self.id
+    }
+
+    /// `clEnqueueWriteBuffer`: build an upload of `data` into `buffer`.
+    ///
+    /// Defaults: offset 0, empty wait list, non-blocking.  Finish with
+    /// [`WriteBufferOp::submit`].
+    pub fn write_buffer<'a>(&'a self, buffer: &'a Buffer, data: &'a [u8]) -> WriteBufferOp<'a> {
+        WriteBufferOp { queue: self, buffer, data, offset: 0, wait: Vec::new(), blocking: false }
+    }
+
+    /// `clEnqueueReadBuffer` (blocking): build a download from `buffer`.
+    ///
+    /// Defaults: offset 0, the whole buffer, empty wait list.  Finish with
+    /// [`ReadBufferOp::submit`].
+    pub fn read_buffer<'a>(&'a self, buffer: &'a Buffer) -> ReadBufferOp<'a> {
+        ReadBufferOp { queue: self, buffer, offset: 0, len: None, wait: Vec::new() }
+    }
+
+    /// `clEnqueueNDRangeKernel`: build a launch of `kernel` over `range`.
+    ///
+    /// Defaults: empty wait list.  Finish with [`LaunchOp::submit`].
+    pub fn launch<'a>(&'a self, kernel: &'a Kernel, range: NdRange) -> LaunchOp<'a> {
+        LaunchOp { queue: self, kernel, range, wait: Vec::new() }
+    }
+
+    /// `clEnqueueMarkerWithWaitList`: build a marker command.
+    pub fn marker(&self) -> MarkerOp<'_> {
+        MarkerOp { queue: self, wait: Vec::new() }
+    }
+
+    /// `clFinish`: block until every command previously enqueued on this
+    /// queue has completed.
+    pub fn finish(&self) -> Result<()> {
+        let marker = self.marker().submit()?;
+        marker.wait()
+    }
+
+    fn inner(&self) -> Result<Arc<ClientInner>> {
+        upgrade(&self.client)
+    }
+}
+
+/// Builder for `clEnqueueWriteBuffer` (see [`CommandQueue::write_buffer`]).
+#[must_use = "the write is not enqueued until submit() is called"]
+#[derive(Debug)]
+pub struct WriteBufferOp<'a> {
+    queue: &'a CommandQueue,
+    buffer: &'a Buffer,
+    data: &'a [u8],
+    offset: usize,
+    wait: Vec<ObjectId>,
+    blocking: bool,
+}
+
+impl WriteBufferOp<'_> {
+    /// Write starting at `offset` bytes into the buffer (default 0).
+    pub fn at_offset(mut self, offset: usize) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Wait for `events` before executing (appends to the wait list).
+    pub fn after(mut self, events: &[Event]) -> Self {
+        self.wait.extend(events.iter().map(|e| e.id));
+        self
+    }
+
+    /// Block until the upload completes before returning (the returned
+    /// event is then already terminal), mirroring `blocking_write = CL_TRUE`.
+    pub fn blocking(mut self) -> Self {
+        self.blocking = true;
+        self
+    }
+
+    /// Enqueue the write; returns its completion event.
+    pub fn submit(self) -> Result<Event> {
+        let inner = self.queue.inner()?;
+        let event =
+            inner.enqueue_write(self.queue, self.buffer, self.offset, self.data, &self.wait)?;
+        if self.blocking {
+            event.wait()?;
+        }
+        Ok(event)
+    }
+}
+
+/// Builder for a blocking `clEnqueueReadBuffer` (see
+/// [`CommandQueue::read_buffer`]).
+#[must_use = "the read is not enqueued until submit() is called"]
+#[derive(Debug)]
+pub struct ReadBufferOp<'a> {
+    queue: &'a CommandQueue,
+    buffer: &'a Buffer,
+    offset: usize,
+    len: Option<usize>,
+    wait: Vec<ObjectId>,
+}
+
+impl ReadBufferOp<'_> {
+    /// Read starting at `offset` bytes into the buffer (default 0).
+    pub fn at_offset(mut self, offset: usize) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Read `len` bytes (default: the whole buffer from the offset on).
+    pub fn len(mut self, len: usize) -> Self {
+        self.len = Some(len);
+        self
+    }
+
+    /// Wait for `events` before executing (appends to the wait list).
+    pub fn after(mut self, events: &[Event]) -> Self {
+        self.wait.extend(events.iter().map(|e| e.id));
+        self
+    }
+
+    /// Enqueue the read and block for the data; returns it together with
+    /// the (already terminal) completion event, mirroring a blocking
+    /// `clEnqueueReadBuffer`.
+    pub fn submit(self) -> Result<(Vec<u8>, Event)> {
+        let inner = self.queue.inner()?;
+        let len = self.len.unwrap_or_else(|| self.buffer.size().saturating_sub(self.offset));
+        inner.enqueue_read(self.queue, self.buffer, self.offset, len, &self.wait)
+    }
+}
+
+/// Builder for `clEnqueueNDRangeKernel` (see [`CommandQueue::launch`]).
+#[must_use = "the launch is not enqueued until submit() is called"]
+#[derive(Debug)]
+pub struct LaunchOp<'a> {
+    queue: &'a CommandQueue,
+    kernel: &'a Kernel,
+    range: NdRange,
+    wait: Vec<ObjectId>,
+}
+
+impl LaunchOp<'_> {
+    /// Wait for `events` before executing (appends to the wait list).
+    pub fn after(mut self, events: &[Event]) -> Self {
+        self.wait.extend(events.iter().map(|e| e.id));
+        self
+    }
+
+    /// Enqueue the kernel launch; returns its completion event.
+    pub fn submit(self) -> Result<Event> {
+        let inner = self.queue.inner()?;
+        inner.enqueue_launch(self.queue, self.kernel, self.range, &self.wait)
+    }
+}
+
+/// Builder for `clEnqueueMarkerWithWaitList` (see [`CommandQueue::marker`]).
+#[must_use = "the marker is not enqueued until submit() is called"]
+#[derive(Debug)]
+pub struct MarkerOp<'a> {
+    queue: &'a CommandQueue,
+    wait: Vec<ObjectId>,
+}
+
+impl MarkerOp<'_> {
+    /// Wait for `events` before completing (appends to the wait list).
+    pub fn after(mut self, events: &[Event]) -> Self {
+        self.wait.extend(events.iter().map(|e| e.id));
+        self
+    }
+
+    /// Enqueue the marker; returns its completion event.
+    pub fn submit(self) -> Result<Event> {
+        let inner = self.queue.inner()?;
+        inner.enqueue_marker(self.queue, &self.wait)
     }
 }
 
@@ -291,11 +681,23 @@ impl Event {
         }
     }
 
+    /// `clWaitForEvents`: wait for every event in `events`.
+    pub fn wait_all(events: &[Event]) -> Result<()> {
+        for e in events {
+            e.wait()?;
+        }
+        Ok(())
+    }
+
     /// Modelled duration reported by the owning server (kernel execution or
     /// PCIe transfer time).
     pub fn modeled_duration(&self) -> Duration {
         *self.record.modeled.lock()
     }
+}
+
+fn upgrade(client: &Weak<ClientInner>) -> Result<Arc<ClientInner>> {
+    client.upgrade().ok_or(DclError::ClientDropped)
 }
 
 struct ServerConn {
@@ -353,10 +755,8 @@ impl ClientInner {
             return;
         }
         let servers = record.user_event_servers.clone();
-        let connections: Vec<_> = servers
-            .iter()
-            .filter_map(|server| self.server(*server).ok())
-            .collect();
+        let connections: Vec<_> =
+            servers.iter().filter_map(|server| self.server(*server).ok()).collect();
         std::thread::Builder::new()
             .name("dcl-event-forward".to_string())
             .spawn(move || {
@@ -366,6 +766,468 @@ impl ClientInner {
                 }
             })
             .ok();
+    }
+
+    // ----- object creation (compound stubs) --------------------------------
+
+    fn create_context(self: &Arc<Self>, devices: &[Device]) -> Result<Context> {
+        if devices.is_empty() {
+            return Err(DclError::InvalidArgument("a context needs at least one device".into()));
+        }
+        let id = self.allocate_id();
+        let mut per_server: HashMap<usize, Vec<ObjectId>> = HashMap::new();
+        for d in devices {
+            per_server.entry(d.server).or_default().push(d.descriptor.remote_id);
+        }
+        let mut servers: Vec<usize> = per_server.keys().copied().collect();
+        servers.sort_unstable();
+        for (&server, device_ids) in &per_server {
+            self.call_server(
+                server,
+                Request::CreateContext { context_id: id, devices: device_ids.clone() },
+                Phase::Initialization,
+            )?;
+        }
+        Ok(Context { client: Arc::downgrade(self), id, devices: devices.to_vec(), servers })
+    }
+
+    fn create_command_queue(
+        self: &Arc<Self>,
+        context: &Context,
+        device: &Device,
+    ) -> Result<CommandQueue> {
+        if !context.devices.iter().any(|d| {
+            d.server == device.server && d.descriptor.remote_id == device.descriptor.remote_id
+        }) {
+            return Err(DclError::InvalidArgument("the device is not part of the context".into()));
+        }
+        let id = self.allocate_id();
+        self.call_server(
+            device.server,
+            Request::CreateCommandQueue {
+                queue_id: id,
+                context_id: context.id,
+                device: device.descriptor.remote_id,
+            },
+            Phase::Initialization,
+        )?;
+        Ok(CommandQueue {
+            client: Arc::downgrade(self),
+            id,
+            server: device.server,
+            device: device.clone(),
+            context_servers: context.servers.clone(),
+        })
+    }
+
+    fn create_buffer(self: &Arc<Self>, context: &Context, size: usize) -> Result<Buffer> {
+        if size == 0 {
+            return Err(DclError::InvalidArgument("buffer size must be non-zero".into()));
+        }
+        let id = self.allocate_id();
+        for &server in &context.servers {
+            self.call_server(
+                server,
+                Request::CreateBuffer {
+                    buffer_id: id,
+                    context_id: context.id,
+                    size: size as u64,
+                    readable: true,
+                    writable: true,
+                },
+                Phase::Initialization,
+            )?;
+        }
+        Ok(Buffer {
+            id,
+            size,
+            directory: Arc::new(Mutex::new(BufferDirectory::new(
+                context.servers.iter().copied(),
+                size,
+            ))),
+        })
+    }
+
+    fn create_program_with_source(
+        self: &Arc<Self>,
+        context: &Context,
+        source: &str,
+    ) -> Result<Program> {
+        let id = self.allocate_id();
+        for &server in &context.servers {
+            // Program code is shipped to every server: charge the transfer.
+            self.clock.charge(Phase::Initialization, self.link.transfer_time(source.len() as u64));
+            self.call_server(
+                server,
+                Request::CreateProgramWithSource {
+                    program_id: id,
+                    context_id: context.id,
+                    source: source.to_string(),
+                },
+                Phase::Initialization,
+            )?;
+        }
+        Ok(Program {
+            client: Arc::downgrade(self),
+            id,
+            servers: context.servers.clone(),
+            source_len: source.len(),
+        })
+    }
+
+    fn create_program_with_built_in_kernels(
+        self: &Arc<Self>,
+        context: &Context,
+        names: &str,
+    ) -> Result<Program> {
+        let id = self.allocate_id();
+        for &server in &context.servers {
+            self.call_server(
+                server,
+                Request::CreateProgramWithBuiltInKernels {
+                    program_id: id,
+                    context_id: context.id,
+                    names: names.to_string(),
+                },
+                Phase::Initialization,
+            )?;
+        }
+        Ok(Program {
+            client: Arc::downgrade(self),
+            id,
+            servers: context.servers.clone(),
+            source_len: 0,
+        })
+    }
+
+    fn build_program(&self, program: &Program) -> Result<()> {
+        for &server in &program.servers {
+            match self.call_server(
+                server,
+                Request::BuildProgram { program_id: program.id },
+                Phase::Initialization,
+            ) {
+                Ok(_) => {}
+                Err(e) => {
+                    let log = self.get_build_log(program).unwrap_or_default();
+                    return Err(DclError::Cl(vocl::ClError::BuildProgramFailure(format!(
+                        "{e}\n{log}"
+                    ))));
+                }
+            }
+        }
+        let _ = program.source_len;
+        Ok(())
+    }
+
+    fn get_build_log(&self, program: &Program) -> Result<String> {
+        let server = *program
+            .servers
+            .first()
+            .ok_or_else(|| DclError::InvalidArgument("program has no servers".into()))?;
+        match self.call_server(
+            server,
+            Request::GetBuildLog { program_id: program.id },
+            Phase::Initialization,
+        )? {
+            Response::BuildLog { log } => Ok(log),
+            other => Err(DclError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    fn create_kernel(self: &Arc<Self>, program: &Program, name: &str) -> Result<Kernel> {
+        let id = self.allocate_id();
+        for &server in &program.servers {
+            self.call_server(
+                server,
+                Request::CreateKernel {
+                    kernel_id: id,
+                    program_id: program.id,
+                    name: name.to_string(),
+                },
+                Phase::Initialization,
+            )?;
+        }
+        Ok(Kernel {
+            client: Arc::downgrade(self),
+            id,
+            name: name.to_string(),
+            servers: program.servers.clone(),
+            buffer_args: Arc::new(Mutex::new(HashMap::new())),
+        })
+    }
+
+    fn set_kernel_arg(&self, kernel: &Kernel, index: u32, arg: Arg) -> Result<()> {
+        match arg {
+            Arg::Scalar(value) => {
+                kernel.buffer_args.lock().remove(&index);
+                for &server in &kernel.servers {
+                    self.call_server(
+                        server,
+                        Request::SetKernelArgScalar {
+                            kernel_id: kernel.id,
+                            index,
+                            value: WireValue(value.clone()),
+                        },
+                        Phase::Initialization,
+                    )?;
+                }
+            }
+            Arg::Buffer(buffer) => {
+                for &server in &kernel.servers {
+                    self.call_server(
+                        server,
+                        Request::SetKernelArgBuffer {
+                            kernel_id: kernel.id,
+                            index,
+                            buffer_id: buffer.id,
+                        },
+                        Phase::Initialization,
+                    )?;
+                }
+                kernel.buffer_args.lock().insert(index, buffer);
+            }
+            Arg::Local(bytes) => {
+                kernel.buffer_args.lock().remove(&index);
+                for &server in &kernel.servers {
+                    self.call_server(
+                        server,
+                        Request::SetKernelArgLocal {
+                            kernel_id: kernel.id,
+                            index,
+                            bytes: bytes as u64,
+                        },
+                        Phase::Initialization,
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ----- command execution -----------------------------------------------
+
+    fn enqueue_write(
+        &self,
+        queue: &CommandQueue,
+        buffer: &Buffer,
+        offset: usize,
+        data: &[u8],
+        wait: &[ObjectId],
+    ) -> Result<Event> {
+        if offset.checked_add(data.len()).is_none_or(|end| end > buffer.size) {
+            return Err(DclError::InvalidArgument(format!(
+                "write of {} bytes at offset {offset} exceeds buffer size {}",
+                data.len(),
+                buffer.size
+            )));
+        }
+        let server = queue.server;
+        let conn = self.server(server)?;
+        let event_id = self.allocate_id();
+        let stream_id = conn.endpoint.allocate_id();
+
+        // Stream-based communication: the payload crosses the network.
+        self.clock.charge(Phase::DataTransfer, self.link.transfer_time(data.len() as u64));
+        conn.endpoint.send_bulk(stream_id, data)?;
+
+        let request = Request::EnqueueWriteBuffer {
+            queue_id: queue.id,
+            buffer_id: buffer.id,
+            offset: offset as u64,
+            size: data.len() as u64,
+            event_id,
+            stream_id,
+            wait_events: wait.to_vec(),
+        };
+        let event =
+            self.register_event(event_id, server, &queue.context_servers, Phase::DataTransfer)?;
+        self.call_server_on(&conn, &request, Phase::DataTransfer)?;
+        buffer.directory.lock().record_host_write(server, offset, data);
+        Ok(event)
+    }
+
+    fn enqueue_read(
+        &self,
+        queue: &CommandQueue,
+        buffer: &Buffer,
+        offset: usize,
+        len: usize,
+        wait: &[ObjectId],
+    ) -> Result<(Vec<u8>, Event)> {
+        if offset.checked_add(len).is_none_or(|end| end > buffer.size) {
+            return Err(DclError::InvalidArgument(format!(
+                "read of {len} bytes at offset {offset} exceeds buffer size {}",
+                buffer.size
+            )));
+        }
+        let server = queue.server;
+        self.ensure_valid_on(server, buffer)?;
+        let conn = self.server(server)?;
+        let event_id = self.allocate_id();
+        let stream_id = conn.endpoint.allocate_id();
+        let request = Request::EnqueueReadBuffer {
+            queue_id: queue.id,
+            buffer_id: buffer.id,
+            offset: offset as u64,
+            size: len as u64,
+            event_id,
+            stream_id,
+            wait_events: wait.to_vec(),
+        };
+        let event =
+            self.register_event(event_id, server, &queue.context_servers, Phase::DataTransfer)?;
+        self.call_server_on(&conn, &request, Phase::DataTransfer)?;
+        let data = conn.endpoint.wait_bulk(stream_id, Duration::from_secs(300))?;
+        // Stream-based communication back to the client.
+        self.clock.charge(Phase::DataTransfer, self.link.transfer_time(len as u64));
+        buffer.directory.lock().record_host_read(server, offset, &data);
+        Ok((data, event))
+    }
+
+    fn enqueue_launch(
+        &self,
+        queue: &CommandQueue,
+        kernel: &Kernel,
+        range: NdRange,
+        wait: &[ObjectId],
+    ) -> Result<Event> {
+        let server = queue.server;
+        // Memory consistency: the target server needs a valid copy of every
+        // memory object the kernel may read.
+        let buffer_args: Vec<Buffer> = kernel.buffer_args.lock().values().cloned().collect();
+        for buffer in &buffer_args {
+            self.ensure_valid_on(server, buffer)?;
+        }
+        let conn = self.server(server)?;
+        let event_id = self.allocate_id();
+        let request = Request::EnqueueNdRange {
+            queue_id: queue.id,
+            kernel_id: kernel.id,
+            event_id,
+            range: WireNdRange(range),
+            wait_events: wait.to_vec(),
+        };
+        let event =
+            self.register_event(event_id, server, &queue.context_servers, Phase::Execution)?;
+        self.call_server_on(&conn, &request, Phase::Execution)?;
+        // The kernel may have written any of its buffer arguments.
+        for buffer in &buffer_args {
+            buffer.directory.lock().record_device_write(server);
+        }
+        Ok(event)
+    }
+
+    fn enqueue_marker(&self, queue: &CommandQueue, wait: &[ObjectId]) -> Result<Event> {
+        let conn = self.server(queue.server)?;
+        let event_id = self.allocate_id();
+        let request =
+            Request::EnqueueMarker { queue_id: queue.id, event_id, wait_events: wait.to_vec() };
+        let event =
+            self.register_event(event_id, queue.server, &queue.context_servers, Phase::Execution)?;
+        self.call_server_on(&conn, &request, Phase::Execution)?;
+        Ok(event)
+    }
+
+    // ----- internals --------------------------------------------------------
+
+    fn register_event(
+        &self,
+        event_id: ObjectId,
+        owner: usize,
+        context_servers: &[usize],
+        phase: Phase,
+    ) -> Result<Event> {
+        // Event consistency (Section III-D): create user events as
+        // replacements for the original event on every other server of the
+        // context.
+        let mut user_event_servers = Vec::new();
+        for &server in context_servers {
+            if server != owner {
+                self.call_server(server, Request::CreateUserEvent { event_id }, Phase::Execution)?;
+                user_event_servers.push(server);
+            }
+        }
+        let record = EventRecord::new(owner, user_event_servers, phase);
+        self.events.lock().insert(event_id, Arc::clone(&record));
+        Ok(Event { id: event_id, record })
+    }
+
+    /// Run the MSI validation plan so that `server` holds a valid copy of
+    /// `buffer` before a command reads it there.
+    fn ensure_valid_on(&self, server: usize, buffer: &Buffer) -> Result<()> {
+        let plan = buffer.directory.lock().plan_validation(server);
+        match plan {
+            ValidationPlan::AlreadyValid => Ok(()),
+            ValidationPlan::UploadFromClient => {
+                let data = buffer.directory.lock().client_data();
+                self.upload_buffer_data(server, buffer, &data)?;
+                buffer.directory.lock().record_upload(server);
+                Ok(())
+            }
+            ValidationPlan::FetchThenUpload { source } => {
+                let data = self.download_buffer_data(source, buffer)?;
+                buffer.directory.lock().record_client_fetch(source, data.clone());
+                self.upload_buffer_data(server, buffer, &data)?;
+                buffer.directory.lock().record_upload(server);
+                Ok(())
+            }
+        }
+    }
+
+    fn upload_buffer_data(&self, server: usize, buffer: &Buffer, data: &[u8]) -> Result<()> {
+        let conn = self.server(server)?;
+        let stream_id = conn.endpoint.allocate_id();
+        self.clock.charge(Phase::DataTransfer, self.link.transfer_time(data.len() as u64));
+        conn.endpoint.send_bulk(stream_id, data)?;
+        let request =
+            Request::UploadBufferData { buffer_id: buffer.id, stream_id, size: data.len() as u64 };
+        match self.call_server_on(&conn, &request, Phase::DataTransfer)? {
+            Response::OkTimed { modeled_nanos } => {
+                self.clock.charge(Phase::DataTransfer, Duration::from_nanos(modeled_nanos));
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn download_buffer_data(&self, server: usize, buffer: &Buffer) -> Result<Vec<u8>> {
+        let conn = self.server(server)?;
+        let stream_id = conn.endpoint.allocate_id();
+        let request = Request::DownloadBufferData { buffer_id: buffer.id, stream_id };
+        let response = self.call_server_on(&conn, &request, Phase::DataTransfer)?;
+        if let Response::OkTimed { modeled_nanos } = response {
+            self.clock.charge(Phase::DataTransfer, Duration::from_nanos(modeled_nanos));
+        }
+        let data = conn.endpoint.wait_bulk(stream_id, Duration::from_secs(300))?;
+        self.clock.charge(Phase::DataTransfer, self.link.transfer_time(data.len() as u64));
+        Ok(data)
+    }
+
+    fn charge_message(&self, phase: Phase, request: &Request) {
+        let size = crate::protocol::request_wire_size(request);
+        self.clock.charge(phase, self.link.round_trip_time(size, 64));
+    }
+
+    fn call_server(&self, server: usize, request: Request, phase: Phase) -> Result<Response> {
+        let conn = self.server(server)?;
+        self.call_server_on(&conn, &request, phase)
+    }
+
+    fn call_server_on(
+        &self,
+        conn: &Arc<ServerConn>,
+        request: &Request,
+        phase: Phase,
+    ) -> Result<Response> {
+        self.charge_message(phase, request);
+        let bytes = conn
+            .endpoint
+            .call(request.to_bytes())
+            .map_err(|e| DclError::ServerUnavailable(format!("{}: {e}", conn.name)))?;
+        let response =
+            Response::from_bytes(&bytes).map_err(|e| DclError::Protocol(e.to_string()))?;
+        response.into_result()
     }
 }
 
@@ -392,6 +1254,10 @@ impl EndpointHandler for ClientHandler {
 }
 
 /// The dOpenCL client driver: the application-facing entry point.
+///
+/// `Client` owns platform- and server-level state; object-level operations
+/// live on the stubs it hands out (see the [module docs](self) for the full
+/// object model and the migration table from the pre-0.2 god-object API).
 #[derive(Clone)]
 pub struct Client {
     inner: Arc<ClientInner>,
@@ -469,13 +1335,13 @@ impl Client {
             client_name: self.inner.name.clone(),
             auth_id: self.inner.auth_id.lock().clone(),
         };
-        self.charge_message(Phase::Initialization, &hello);
+        self.inner.charge_message(Phase::Initialization, &hello);
         let response = Response::from_bytes(&endpoint.call(hello.to_bytes())?)
             .map_err(|e| DclError::Protocol(e.to_string()))?;
         response.into_result()?;
 
         let list_req = Request::GetDeviceList;
-        self.charge_message(Phase::Initialization, &list_req);
+        self.inner.charge_message(Phase::Initialization, &list_req);
         let response = Response::from_bytes(&endpoint.call(list_req.to_bytes())?)
             .map_err(|e| DclError::Protocol(e.to_string()))?;
         let devices = match response.into_result()? {
@@ -485,11 +1351,7 @@ impl Client {
 
         let mut servers = self.inner.servers.lock();
         let index = servers.len();
-        servers.push(Some(Arc::new(ServerConn {
-            name: address.to_string(),
-            endpoint,
-            devices,
-        })));
+        servers.push(Some(Arc::new(ServerConn { name: address.to_string(), endpoint, devices })));
         Ok(ServerId(index))
     }
 
@@ -509,7 +1371,7 @@ impl Client {
     pub fn disconnect_server(&self, server: ServerId) -> Result<()> {
         let conn = self.inner.server(server.0)?;
         let request = Request::Disconnect;
-        self.charge_message(Phase::Initialization, &request);
+        self.inner.charge_message(Phase::Initialization, &request);
         let _ = conn.endpoint.call(request.to_bytes());
         conn.endpoint.close();
         self.inner.servers.lock()[server.0] = None;
@@ -518,7 +1380,8 @@ impl Client {
 
     /// `clGetServerInfoWWU`: query information about a connected server.
     pub fn server_info(&self, server: ServerId) -> Result<ServerInfo> {
-        let response = self.call_server(server.0, Request::GetServerInfo, Phase::Initialization)?;
+        let response =
+            self.inner.call_server(server.0, Request::GetServerInfo, Phase::Initialization)?;
         match response {
             Response::ServerInfo(info) => Ok(info),
             other => Err(DclError::Protocol(format!("unexpected response {other:?}"))),
@@ -551,231 +1414,109 @@ impl Client {
         out
     }
 
-    /// Devices of a given type (`"CPU"`, `"GPU"`, ...).
-    pub fn devices_of_type(&self, device_type: &str) -> Vec<Device> {
-        self.devices()
-            .into_iter()
-            .filter(|d| d.device_type().eq_ignore_ascii_case(device_type))
-            .collect()
+    /// Devices of the given [`DeviceType`].
+    pub fn devices_of(&self, kind: DeviceType) -> Vec<Device> {
+        self.devices().into_iter().filter(|d| d.kind() == kind).collect()
     }
 
-    // ----- object creation (compound stubs) --------------------------------
+    // ----- deprecated god-object forwarding shims --------------------------
+    //
+    // The pre-0.2 API routed every object operation through `Client`.  The
+    // shims below keep those call sites compiling for one release; they
+    // forward to the handle methods, which are the only implementation.
+
+    /// Devices of a given type (`"CPU"`, `"GPU"`, ...).
+    #[deprecated(since = "0.2.0", note = "use `devices_of(DeviceType::...)` instead")]
+    pub fn devices_of_type(&self, device_type: &str) -> Vec<Device> {
+        self.devices_of(DeviceType::parse(device_type))
+    }
 
     /// `clCreateContext` over any mix of devices from any servers.
+    #[deprecated(since = "0.2.0", note = "use `Context::new(&client, &devices)` instead")]
     pub fn create_context(&self, devices: &[Device]) -> Result<Context> {
-        if devices.is_empty() {
-            return Err(DclError::InvalidArgument("a context needs at least one device".into()));
-        }
-        let id = self.inner.allocate_id();
-        let mut per_server: HashMap<usize, Vec<ObjectId>> = HashMap::new();
-        for d in devices {
-            per_server.entry(d.server).or_default().push(d.descriptor.remote_id);
-        }
-        let mut servers: Vec<usize> = per_server.keys().copied().collect();
-        servers.sort_unstable();
-        for (&server, device_ids) in &per_server {
-            self.call_server(
-                server,
-                Request::CreateContext { context_id: id, devices: device_ids.clone() },
-                Phase::Initialization,
-            )?;
-        }
-        Ok(Context { id, devices: devices.to_vec(), servers })
+        Context::new(self, devices)
     }
 
     /// `clCreateCommandQueue` for `device` within `context`.
+    #[deprecated(since = "0.2.0", note = "use `context.create_command_queue(&device)` instead")]
     pub fn create_command_queue(&self, context: &Context, device: &Device) -> Result<CommandQueue> {
-        if !context.devices.iter().any(|d| {
-            d.server == device.server && d.descriptor.remote_id == device.descriptor.remote_id
-        }) {
-            return Err(DclError::InvalidArgument(
-                "the device is not part of the context".into(),
-            ));
-        }
-        let id = self.inner.allocate_id();
-        self.call_server(
-            device.server,
-            Request::CreateCommandQueue {
-                queue_id: id,
-                context_id: context.id,
-                device: device.descriptor.remote_id,
-            },
-            Phase::Initialization,
-        )?;
-        Ok(CommandQueue {
-            id,
-            server: device.server,
-            device: device.clone(),
-            context_servers: context.servers.clone(),
-        })
+        self.inner.create_command_queue(context, device)
     }
 
     /// `clCreateBuffer` of `size` bytes.
+    #[deprecated(since = "0.2.0", note = "use `context.create_buffer(size)` instead")]
     pub fn create_buffer(&self, context: &Context, size: usize) -> Result<Buffer> {
-        if size == 0 {
-            return Err(DclError::InvalidArgument("buffer size must be non-zero".into()));
-        }
-        let id = self.inner.allocate_id();
-        for &server in &context.servers {
-            self.call_server(
-                server,
-                Request::CreateBuffer {
-                    buffer_id: id,
-                    context_id: context.id,
-                    size: size as u64,
-                    readable: true,
-                    writable: true,
-                },
-                Phase::Initialization,
-            )?;
-        }
-        Ok(Buffer {
-            id,
-            size,
-            directory: Arc::new(Mutex::new(BufferDirectory::new(
-                context.servers.iter().copied(),
-                size,
-            ))),
-        })
+        self.inner.create_buffer(context, size)
     }
 
     /// `clCreateProgramWithSource`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `context.create_program_with_source(source)` instead"
+    )]
     pub fn create_program_with_source(&self, context: &Context, source: &str) -> Result<Program> {
-        let id = self.inner.allocate_id();
-        for &server in &context.servers {
-            // Program code is shipped to every server: charge the transfer.
-            self.inner.clock.charge(
-                Phase::Initialization,
-                self.inner.link.transfer_time(source.len() as u64),
-            );
-            self.call_server(
-                server,
-                Request::CreateProgramWithSource {
-                    program_id: id,
-                    context_id: context.id,
-                    source: source.to_string(),
-                },
-                Phase::Initialization,
-            )?;
-        }
-        Ok(Program { id, servers: context.servers.clone(), source_len: source.len() })
+        self.inner.create_program_with_source(context, source)
     }
 
-    /// `clCreateProgramWithBuiltInKernels` (OpenCL 1.2-style), used by the
-    /// evaluation workloads for their throughput-critical kernels.
+    /// `clCreateProgramWithBuiltInKernels` (OpenCL 1.2-style).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `context.create_program_with_built_in_kernels(names)` instead"
+    )]
     pub fn create_program_with_built_in_kernels(
         &self,
         context: &Context,
         names: &str,
     ) -> Result<Program> {
-        let id = self.inner.allocate_id();
-        for &server in &context.servers {
-            self.call_server(
-                server,
-                Request::CreateProgramWithBuiltInKernels {
-                    program_id: id,
-                    context_id: context.id,
-                    names: names.to_string(),
-                },
-                Phase::Initialization,
-            )?;
-        }
-        Ok(Program { id, servers: context.servers.clone(), source_len: 0 })
+        self.inner.create_program_with_built_in_kernels(context, names)
     }
 
     /// `clBuildProgram` on every participating server.
+    #[deprecated(since = "0.2.0", note = "use `program.build()` instead")]
     pub fn build_program(&self, program: &Program) -> Result<()> {
-        for &server in &program.servers {
-            match self.call_server(server, Request::BuildProgram { program_id: program.id }, Phase::Initialization) {
-                Ok(_) => {}
-                Err(e) => {
-                    let log = self.get_build_log(program).unwrap_or_default();
-                    return Err(DclError::Cl(vocl::ClError::BuildProgramFailure(format!(
-                        "{e}\n{log}"
-                    ))));
-                }
-            }
-        }
-        let _ = program.source_len;
-        Ok(())
+        self.inner.build_program(program)
     }
 
     /// `clGetProgramBuildInfo(CL_PROGRAM_BUILD_LOG)` from the first server.
+    #[deprecated(since = "0.2.0", note = "use `program.build_log()` instead")]
     pub fn get_build_log(&self, program: &Program) -> Result<String> {
-        let server = *program
-            .servers
-            .first()
-            .ok_or_else(|| DclError::InvalidArgument("program has no servers".into()))?;
-        match self.call_server(server, Request::GetBuildLog { program_id: program.id }, Phase::Initialization)? {
-            Response::BuildLog { log } => Ok(log),
-            other => Err(DclError::Protocol(format!("unexpected response {other:?}"))),
-        }
+        self.inner.get_build_log(program)
     }
 
     /// `clCreateKernel`.
+    #[deprecated(since = "0.2.0", note = "use `program.create_kernel(name)` instead")]
     pub fn create_kernel(&self, program: &Program, name: &str) -> Result<Kernel> {
-        let id = self.inner.allocate_id();
-        for &server in &program.servers {
-            self.call_server(
-                server,
-                Request::CreateKernel { kernel_id: id, program_id: program.id, name: name.to_string() },
-                Phase::Initialization,
-            )?;
-        }
-        Ok(Kernel {
-            id,
-            name: name.to_string(),
-            servers: program.servers.clone(),
-            buffer_args: Arc::new(Mutex::new(HashMap::new())),
-        })
+        self.inner.create_kernel(program, name)
     }
 
     /// `clSetKernelArg` with a by-value argument.
+    #[deprecated(since = "0.2.0", note = "use `kernel.set_arg(index, value)` instead")]
     pub fn set_kernel_arg_scalar(&self, kernel: &Kernel, index: u32, value: Value) -> Result<()> {
-        kernel.buffer_args.lock().remove(&index);
-        for &server in &kernel.servers {
-            self.call_server(
-                server,
-                Request::SetKernelArgScalar {
-                    kernel_id: kernel.id,
-                    index,
-                    value: WireValue(value.clone()),
-                },
-                Phase::Initialization,
-            )?;
-        }
-        Ok(())
+        self.inner.set_kernel_arg(kernel, index, Arg::Scalar(value))
     }
 
     /// `clSetKernelArg` with a buffer argument.
-    pub fn set_kernel_arg_buffer(&self, kernel: &Kernel, index: u32, buffer: &Buffer) -> Result<()> {
-        for &server in &kernel.servers {
-            self.call_server(
-                server,
-                Request::SetKernelArgBuffer { kernel_id: kernel.id, index, buffer_id: buffer.id },
-                Phase::Initialization,
-            )?;
-        }
-        kernel.buffer_args.lock().insert(index, buffer.clone());
-        Ok(())
+    #[deprecated(since = "0.2.0", note = "use `kernel.set_arg(index, &buffer)` instead")]
+    pub fn set_kernel_arg_buffer(
+        &self,
+        kernel: &Kernel,
+        index: u32,
+        buffer: &Buffer,
+    ) -> Result<()> {
+        self.inner.set_kernel_arg(kernel, index, Arg::Buffer(buffer.clone()))
     }
 
     /// `clSetKernelArg` with a `__local` memory argument.
+    #[deprecated(since = "0.2.0", note = "use `kernel.set_arg(index, Arg::local(bytes))` instead")]
     pub fn set_kernel_arg_local(&self, kernel: &Kernel, index: u32, bytes: usize) -> Result<()> {
-        kernel.buffer_args.lock().remove(&index);
-        for &server in &kernel.servers {
-            self.call_server(
-                server,
-                Request::SetKernelArgLocal { kernel_id: kernel.id, index, bytes: bytes as u64 },
-                Phase::Initialization,
-            )?;
-        }
-        Ok(())
+        self.inner.set_kernel_arg(kernel, index, Arg::Local(bytes))
     }
 
-    // ----- command execution -----------------------------------------------
-
     /// `clEnqueueWriteBuffer`: upload `data` into `buffer` through `queue`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `queue.write_buffer(&buffer, data).at_offset(o).after(&ws).submit()` instead"
+    )]
     pub fn enqueue_write_buffer(
         &self,
         queue: &CommandQueue,
@@ -784,36 +1525,14 @@ impl Client {
         data: &[u8],
         wait_list: &[Event],
     ) -> Result<Event> {
-        let server = queue.server;
-        let conn = self.inner.server(server)?;
-        let event_id = self.inner.allocate_id();
-        let stream_id = conn.endpoint.allocate_id();
-
-        // Stream-based communication: the payload crosses the network.
-        self.inner
-            .clock
-            .charge(Phase::DataTransfer, self.inner.link.transfer_time(data.len() as u64));
-        conn.endpoint.send_bulk(stream_id, data)?;
-
-        let request = Request::EnqueueWriteBuffer {
-            queue_id: queue.id,
-            buffer_id: buffer.id,
-            offset: offset as u64,
-            size: data.len() as u64,
-            event_id,
-            stream_id,
-            wait_events: wait_list.iter().map(|e| e.id).collect(),
-        };
-        let event = self.register_event(event_id, server, &queue.context_servers, Phase::DataTransfer)?;
-        self.call_server_on(&conn, &request, Phase::DataTransfer)?;
-        buffer.directory.lock().record_host_write(server, offset, data);
-        Ok(event)
+        queue.write_buffer(buffer, data).at_offset(offset).after(wait_list).submit()
     }
 
     /// `clEnqueueReadBuffer` (blocking): download `len` bytes at `offset`.
-    ///
-    /// Returns the data together with the completion event (already
-    /// terminal), mirroring a blocking `clEnqueueReadBuffer` call.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `queue.read_buffer(&buffer).at_offset(o).len(n).after(&ws).submit()` instead"
+    )]
     pub fn enqueue_read_buffer(
         &self,
         queue: &CommandQueue,
@@ -822,32 +1541,14 @@ impl Client {
         len: usize,
         wait_list: &[Event],
     ) -> Result<(Vec<u8>, Event)> {
-        let server = queue.server;
-        self.ensure_valid_on(server, buffer)?;
-        let conn = self.inner.server(server)?;
-        let event_id = self.inner.allocate_id();
-        let stream_id = conn.endpoint.allocate_id();
-        let request = Request::EnqueueReadBuffer {
-            queue_id: queue.id,
-            buffer_id: buffer.id,
-            offset: offset as u64,
-            size: len as u64,
-            event_id,
-            stream_id,
-            wait_events: wait_list.iter().map(|e| e.id).collect(),
-        };
-        let event = self.register_event(event_id, server, &queue.context_servers, Phase::DataTransfer)?;
-        self.call_server_on(&conn, &request, Phase::DataTransfer)?;
-        let data = conn.endpoint.wait_bulk(stream_id, Duration::from_secs(300))?;
-        // Stream-based communication back to the client.
-        self.inner
-            .clock
-            .charge(Phase::DataTransfer, self.inner.link.transfer_time(len as u64));
-        buffer.directory.lock().record_host_read(server, offset, &data);
-        Ok((data, event))
+        queue.read_buffer(buffer).at_offset(offset).len(len).after(wait_list).submit()
     }
 
     /// `clEnqueueNDRangeKernel`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `queue.launch(&kernel, range).after(&ws).submit()` instead"
+    )]
     pub fn enqueue_nd_range_kernel(
         &self,
         queue: &CommandQueue,
@@ -855,168 +1556,25 @@ impl Client {
         range: NdRange,
         wait_list: &[Event],
     ) -> Result<Event> {
-        let server = queue.server;
-        // Memory consistency: the target server needs a valid copy of every
-        // memory object the kernel may read.
-        let buffer_args: Vec<Buffer> = kernel.buffer_args.lock().values().cloned().collect();
-        for buffer in &buffer_args {
-            self.ensure_valid_on(server, buffer)?;
-        }
-        let conn = self.inner.server(server)?;
-        let event_id = self.inner.allocate_id();
-        let request = Request::EnqueueNdRange {
-            queue_id: queue.id,
-            kernel_id: kernel.id,
-            event_id,
-            range: WireNdRange(range),
-            wait_events: wait_list.iter().map(|e| e.id).collect(),
-        };
-        let event = self.register_event(event_id, server, &queue.context_servers, Phase::Execution)?;
-        self.call_server_on(&conn, &request, Phase::Execution)?;
-        // The kernel may have written any of its buffer arguments.
-        for buffer in &buffer_args {
-            buffer.directory.lock().record_device_write(server);
-        }
-        Ok(event)
+        queue.launch(kernel, range).after(wait_list).submit()
     }
 
     /// `clEnqueueMarkerWithWaitList`.
+    #[deprecated(since = "0.2.0", note = "use `queue.marker().after(&ws).submit()` instead")]
     pub fn enqueue_marker(&self, queue: &CommandQueue, wait_list: &[Event]) -> Result<Event> {
-        let conn = self.inner.server(queue.server)?;
-        let event_id = self.inner.allocate_id();
-        let request = Request::EnqueueMarker {
-            queue_id: queue.id,
-            event_id,
-            wait_events: wait_list.iter().map(|e| e.id).collect(),
-        };
-        let event = self.register_event(event_id, queue.server, &queue.context_servers, Phase::Execution)?;
-        self.call_server_on(&conn, &request, Phase::Execution)?;
-        Ok(event)
+        queue.marker().after(wait_list).submit()
     }
 
     /// `clFinish`: block until every command previously enqueued on `queue`
     /// has completed.
+    #[deprecated(since = "0.2.0", note = "use `queue.finish()` instead")]
     pub fn finish(&self, queue: &CommandQueue) -> Result<()> {
-        let marker = self.enqueue_marker(queue, &[])?;
-        marker.wait()
+        queue.finish()
     }
 
     /// `clWaitForEvents`.
+    #[deprecated(since = "0.2.0", note = "use `Event::wait_all(&events)` instead")]
     pub fn wait_for_events(&self, events: &[Event]) -> Result<()> {
-        for e in events {
-            e.wait()?;
-        }
-        Ok(())
-    }
-
-    // ----- internals --------------------------------------------------------
-
-    fn register_event(
-        &self,
-        event_id: ObjectId,
-        owner: usize,
-        context_servers: &[usize],
-        phase: Phase,
-    ) -> Result<Event> {
-        // Event consistency (Section III-D): create user events as
-        // replacements for the original event on every other server of the
-        // context.
-        let mut user_event_servers = Vec::new();
-        for &server in context_servers {
-            if server != owner {
-                self.call_server(server, Request::CreateUserEvent { event_id }, Phase::Execution)?;
-                user_event_servers.push(server);
-            }
-        }
-        let record = EventRecord::new(owner, user_event_servers, phase);
-        self.inner.events.lock().insert(event_id, Arc::clone(&record));
-        Ok(Event { id: event_id, record })
-    }
-
-    /// Run the MSI validation plan so that `server` holds a valid copy of
-    /// `buffer` before a command reads it there.
-    fn ensure_valid_on(&self, server: usize, buffer: &Buffer) -> Result<()> {
-        let plan = buffer.directory.lock().plan_validation(server);
-        match plan {
-            ValidationPlan::AlreadyValid => Ok(()),
-            ValidationPlan::UploadFromClient => {
-                let data = buffer.directory.lock().client_data();
-                self.upload_buffer_data(server, buffer, &data)?;
-                buffer.directory.lock().record_upload(server);
-                Ok(())
-            }
-            ValidationPlan::FetchThenUpload { source } => {
-                let data = self.download_buffer_data(source, buffer)?;
-                buffer.directory.lock().record_client_fetch(source, data.clone());
-                self.upload_buffer_data(server, buffer, &data)?;
-                buffer.directory.lock().record_upload(server);
-                Ok(())
-            }
-        }
-    }
-
-    fn upload_buffer_data(&self, server: usize, buffer: &Buffer, data: &[u8]) -> Result<()> {
-        let conn = self.inner.server(server)?;
-        let stream_id = conn.endpoint.allocate_id();
-        self.inner
-            .clock
-            .charge(Phase::DataTransfer, self.inner.link.transfer_time(data.len() as u64));
-        conn.endpoint.send_bulk(stream_id, data)?;
-        let request = Request::UploadBufferData {
-            buffer_id: buffer.id,
-            stream_id,
-            size: data.len() as u64,
-        };
-        match self.call_server_on(&conn, &request, Phase::DataTransfer)? {
-            Response::OkTimed { modeled_nanos } => {
-                self.inner
-                    .clock
-                    .charge(Phase::DataTransfer, Duration::from_nanos(modeled_nanos));
-                Ok(())
-            }
-            _ => Ok(()),
-        }
-    }
-
-    fn download_buffer_data(&self, server: usize, buffer: &Buffer) -> Result<Vec<u8>> {
-        let conn = self.inner.server(server)?;
-        let stream_id = conn.endpoint.allocate_id();
-        let request = Request::DownloadBufferData { buffer_id: buffer.id, stream_id };
-        let response = self.call_server_on(&conn, &request, Phase::DataTransfer)?;
-        if let Response::OkTimed { modeled_nanos } = response {
-            self.inner
-                .clock
-                .charge(Phase::DataTransfer, Duration::from_nanos(modeled_nanos));
-        }
-        let data = conn.endpoint.wait_bulk(stream_id, Duration::from_secs(300))?;
-        self.inner
-            .clock
-            .charge(Phase::DataTransfer, self.inner.link.transfer_time(data.len() as u64));
-        Ok(data)
-    }
-
-    fn charge_message(&self, phase: Phase, request: &Request) {
-        let size = crate::protocol::request_wire_size(request);
-        self.inner.clock.charge(phase, self.inner.link.round_trip_time(size, 64));
-    }
-
-    fn call_server(&self, server: usize, request: Request, phase: Phase) -> Result<Response> {
-        let conn = self.inner.server(server)?;
-        self.call_server_on(&conn, &request, phase)
-    }
-
-    fn call_server_on(
-        &self,
-        conn: &Arc<ServerConn>,
-        request: &Request,
-        phase: Phase,
-    ) -> Result<Response> {
-        self.charge_message(phase, request);
-        let bytes = conn.endpoint.call(request.to_bytes()).map_err(|e| {
-            DclError::ServerUnavailable(format!("{}: {e}", conn.name))
-        })?;
-        let response =
-            Response::from_bytes(&bytes).map_err(|e| DclError::Protocol(e.to_string()))?;
-        response.into_result()
+        Event::wait_all(events)
     }
 }

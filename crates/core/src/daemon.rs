@@ -15,9 +15,7 @@
 //! this is abstracted behind the [`AccessPolicy`] trait so that the device
 //! manager crate can plug in without a dependency cycle.
 
-use crate::protocol::{
-    DeviceDescriptor, Notification, ObjectId, Request, Response, ServerInfo,
-};
+use crate::protocol::{DeviceDescriptor, Notification, ObjectId, Request, Response, ServerInfo};
 use crate::Result;
 use gcf::rpc::{Endpoint, EndpointHandler};
 use gcf::transport::{Listener, Transport};
@@ -241,14 +239,42 @@ impl DaemonSession {
     }
 
     fn device_by_id(&self, id: ObjectId) -> std::result::Result<Arc<Device>, ClError> {
-        self.visible_devices()
-            .into_iter()
-            .find(|d| d.id() == id)
-            .ok_or_else(|| ClError::DeviceNotFound)
+        self.visible_devices().into_iter().find(|d| d.id() == id).ok_or(ClError::DeviceNotFound)
     }
 
     fn cl_error(e: &ClError) -> Response {
         Response::Error { code: e.code(), message: e.to_string() }
+    }
+
+    /// Drain every queue of `buffer`'s context before coherence traffic
+    /// touches the buffer directly (not through a queue): a kernel that was
+    /// enqueued earlier may still be writing it, and the MSI protocol
+    /// assumes the copy it moves reflects all previously submitted commands.
+    ///
+    /// The wait is bounded: this runs on the session's receiver thread, and
+    /// a queued command could be gated on a user event whose
+    /// `SetUserEventComplete` arrives over that very thread — an unbounded
+    /// `finish()` would then deadlock.  A queue in that state stalls the
+    /// transfer for the full timeout and the data is read as-is (the
+    /// pre-quiesce behaviour); the timeout is kept short so that worst case
+    /// is a bounded delay, while the common case — a busy but ungated queue
+    /// — drains in microseconds.  Command failures surface through their
+    /// own events, so they are ignored here.
+    fn quiesce_buffer_queues(&self, buffer: &Buffer) {
+        let queues: Vec<Arc<CommandQueue>> = {
+            let state = self.state.lock();
+            state
+                .queues
+                .values()
+                .filter(|q| q.context().id() == buffer.context().id())
+                .cloned()
+                .collect()
+        };
+        for queue in queues {
+            if let Ok(marker) = queue.enqueue_marker(Vec::new()) {
+                let _ = marker.wait_timeout(Duration::from_millis(500));
+            }
+        }
     }
 
     fn missing(kind: &str, id: ObjectId) -> Response {
@@ -358,7 +384,11 @@ impl DaemonSession {
                     Ok(d) => d,
                     Err(e) => return Self::cl_error(&e),
                 };
-                match CommandQueue::new(context, device, QueueProperties { profiling: true, out_of_order: false }) {
+                match CommandQueue::new(
+                    context,
+                    device,
+                    QueueProperties { profiling: true, out_of_order: false },
+                ) {
                     Ok(q) => {
                         self.state.lock().queues.insert(queue_id, q);
                         Response::Ok
@@ -495,13 +525,19 @@ impl DaemonSession {
                 let data = match endpoint.wait_bulk(stream_id, Duration::from_secs(120)) {
                     Ok(d) => d,
                     Err(e) => {
-                        return Response::Error { code: -30, message: format!("missing upload stream: {e}") }
+                        return Response::Error {
+                            code: -30,
+                            message: format!("missing upload stream: {e}"),
+                        }
                     }
                 };
                 if data.len() as u64 != size {
                     return Response::Error {
                         code: -30,
-                        message: format!("upload size mismatch: expected {size}, got {}", data.len()),
+                        message: format!(
+                            "upload size mismatch: expected {size}, got {}",
+                            data.len()
+                        ),
                     };
                 }
                 self.stats.lock().bytes_uploaded += size;
@@ -658,16 +694,23 @@ impl DaemonSession {
                 let data = match endpoint.wait_bulk(stream_id, Duration::from_secs(120)) {
                     Ok(d) => d,
                     Err(e) => {
-                        return Response::Error { code: -30, message: format!("missing upload stream: {e}") }
+                        return Response::Error {
+                            code: -30,
+                            message: format!("missing upload stream: {e}"),
+                        }
                     }
                 };
                 if data.len() as u64 != size {
-                    return Response::Error { code: -30, message: "coherence upload size mismatch".into() };
+                    return Response::Error {
+                        code: -30,
+                        message: "coherence upload size mismatch".into(),
+                    };
                 }
                 let buffer = match self.state.lock().buffers.get(&buffer_id) {
                     Some(b) => Arc::clone(b),
                     None => return Self::missing("buffer", buffer_id),
                 };
+                self.quiesce_buffer_queues(&buffer);
                 self.stats.lock().bytes_uploaded += size;
                 // Direct write (not through a queue): coherence traffic still
                 // pays the bus cost of the first device of the context.
@@ -690,6 +733,7 @@ impl DaemonSession {
                     Some(b) => Arc::clone(b),
                     None => return Self::missing("buffer", buffer_id),
                 };
+                self.quiesce_buffer_queues(&buffer);
                 let data = match buffer.read(0, buffer.size()) {
                     Ok(d) => d,
                     Err(e) => return Self::cl_error(&e),
@@ -751,8 +795,8 @@ impl Drop for DaemonSession {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gcf::transport::inproc::InprocTransport;
     use gcf::rpc::NullHandler;
+    use gcf::transport::inproc::InprocTransport;
 
     fn start_test_daemon() -> (Arc<Daemon>, Arc<Endpoint>, InprocTransport) {
         let transport = InprocTransport::new();
@@ -804,7 +848,10 @@ mod tests {
             Response::Ok
         ));
         assert!(matches!(
-            call(&endpoint, Request::CreateCommandQueue { queue_id: 2, context_id: 1, device: dev }),
+            call(
+                &endpoint,
+                Request::CreateCommandQueue { queue_id: 2, context_id: 1, device: dev }
+            ),
             Response::Ok
         ));
         assert!(matches!(
@@ -834,7 +881,10 @@ mod tests {
         ));
         assert!(matches!(call(&endpoint, Request::BuildProgram { program_id: 4 }), Response::Ok));
         assert!(matches!(
-            call(&endpoint, Request::CreateKernel { kernel_id: 5, program_id: 4, name: "fill".into() }),
+            call(
+                &endpoint,
+                Request::CreateKernel { kernel_id: 5, program_id: 4, name: "fill".into() }
+            ),
             Response::Ok
         ));
         assert!(matches!(
@@ -889,7 +939,13 @@ mod tests {
         call(&endpoint, Request::CreateCommandQueue { queue_id: 2, context_id: 1, device: dev });
         call(
             &endpoint,
-            Request::CreateBuffer { buffer_id: 3, context_id: 1, size: 8, readable: true, writable: true },
+            Request::CreateBuffer {
+                buffer_id: 3,
+                context_id: 1,
+                size: 8,
+                readable: true,
+                writable: true,
+            },
         );
         // Send the payload first (stream-based communication), then the
         // request (message-based communication).
@@ -937,7 +993,13 @@ mod tests {
         call(&endpoint, Request::CreateCommandQueue { queue_id: 2, context_id: 1, device: dev });
         call(
             &endpoint,
-            Request::CreateBuffer { buffer_id: 3, context_id: 1, size: 4, readable: true, writable: true },
+            Request::CreateBuffer {
+                buffer_id: 3,
+                context_id: 1,
+                size: 4,
+                readable: true,
+                writable: true,
+            },
         );
         assert!(matches!(
             call(&endpoint, Request::CreateUserEvent { event_id: 100 }),
@@ -958,7 +1020,8 @@ mod tests {
         );
         // The write is gated by the user event: its status stays submitted.
         std::thread::sleep(Duration::from_millis(50));
-        let Response::EventStatus { status } = call(&endpoint, Request::GetEventStatus { event_id: 101 })
+        let Response::EventStatus { status } =
+            call(&endpoint, Request::GetEventStatus { event_id: 101 })
         else {
             panic!()
         };

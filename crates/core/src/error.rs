@@ -24,6 +24,9 @@ pub enum DclError {
     AssignmentRejected(String),
     /// An invalid argument was passed to the middleware API.
     InvalidArgument(String),
+    /// An object handle outlived its [`crate::Client`]: the operation was
+    /// issued after the last `Client` clone was dropped.
+    ClientDropped,
 }
 
 impl fmt::Display for DclError {
@@ -37,6 +40,9 @@ impl fmt::Display for DclError {
             DclError::Config(s) => write!(f, "configuration error: {s}"),
             DclError::AssignmentRejected(s) => write!(f, "device assignment rejected: {s}"),
             DclError::InvalidArgument(s) => write!(f, "invalid argument: {s}"),
+            DclError::ClientDropped => {
+                write!(f, "the client driver backing this handle has been dropped")
+            }
         }
     }
 }

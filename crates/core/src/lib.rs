@@ -5,7 +5,44 @@
 //! of a distributed system usable by a single application as if they were
 //! local.
 //!
-//! The pieces map to the paper as follows:
+//! # The handle-based object API
+//!
+//! The public API mirrors the object model of a native OpenCL binding:
+//! operations live on the object that owns them, not on a central
+//! god-object.  A [`Client`] only manages servers and enumerates devices;
+//! everything else hangs off the handles it creates:
+//!
+//! ```no_run
+//! use dopencl::{Client, Context, DeviceType, Event, NdRange, Value};
+//! # fn run(client: Client) -> dopencl::Result<()> {
+//! let gpus = client.devices_of(DeviceType::Gpu);
+//! let context = Context::new(&client, &gpus)?;
+//! let queue = context.create_command_queue(&gpus[0])?;
+//! let buffer = context.create_buffer(4096)?;
+//! let program = context.create_program_with_source("__kernel void f() {}")?;
+//! program.build()?;
+//! let kernel = program.create_kernel("f")?;
+//! kernel.set_arg(0, &buffer)?;
+//! kernel.set_arg(1, Value::uint(42))?;
+//!
+//! let written = queue.write_buffer(&buffer, &[0u8; 4096]).submit()?;
+//! let ran = queue.launch(&kernel, NdRange::linear(1024)).after(&[written]).submit()?;
+//! let (bytes, _read) = queue.read_buffer(&buffer).after(&[ran]).submit()?;
+//! queue.finish()?;
+//! # let _ = bytes; Ok(())
+//! # }
+//! ```
+//!
+//! Handles stay valid as long as *any* clone of their [`Client`] lives;
+//! afterwards operations return [`DclError::ClientDropped`].  The enqueue
+//! builders ([`client::WriteBufferOp`], [`client::ReadBufferOp`],
+//! [`client::LaunchOp`], [`client::MarkerOp`]) carry offset / wait-list /
+//! blocking options so future capabilities (batching, async submission) can
+//! be added without changing any signatures.  The old `Client` methods
+//! survive one release as `#[deprecated]` forwarding shims; the migration
+//! table lives in the [`client`] module docs.
+//!
+//! # Mapping to the paper
 //!
 //! | Paper concept (section) | Module |
 //! |---|---|
@@ -33,7 +70,10 @@ pub mod error;
 pub mod ext;
 pub mod protocol;
 
-pub use client::{Buffer, Client, CommandQueue, Context, Device, Event, Kernel, Program, ServerId};
+pub use client::{
+    Arg, Buffer, Client, CommandQueue, Context, Device, DeviceType, Event, Kernel, LaunchOp,
+    MarkerOp, Program, ReadBufferOp, ServerId, WriteBufferOp,
+};
 pub use cluster::{desktop_and_gpu_server, infiniband_cpu_cluster, LocalCluster};
 pub use daemon::{AccessPolicy, Daemon, DaemonStats, OpenAccess};
 pub use error::{DclError, Result};

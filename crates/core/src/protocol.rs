@@ -162,8 +162,8 @@ impl Encode for WireNdRange {
             None => buf.push(0),
             Some(local) => {
                 buf.push(1);
-                for d in 0..3 {
-                    (local[d] as u64).encode(buf);
+                for v in local {
+                    (v as u64).encode(buf);
                 }
             }
         }
@@ -979,7 +979,10 @@ mod tests {
 
     #[test]
     fn all_requests_roundtrip() {
-        roundtrip_request(Request::Hello { client_name: "pc".into(), auth_id: Some("lease-1".into()) });
+        roundtrip_request(Request::Hello {
+            client_name: "pc".into(),
+            auth_id: Some("lease-1".into()),
+        });
         roundtrip_request(Request::GetDeviceList);
         roundtrip_request(Request::CreateContext { context_id: 1, devices: vec![10, 11] });
         roundtrip_request(Request::ReleaseContext { context_id: 1 });
@@ -1038,7 +1041,11 @@ mod tests {
             range: WireNdRange(NdRange::two_d(64, 32).with_local([8, 8, 1])),
             wait_events: vec![7, 8],
         });
-        roundtrip_request(Request::EnqueueMarker { queue_id: 2, event_id: 10, wait_events: vec![9] });
+        roundtrip_request(Request::EnqueueMarker {
+            queue_id: 2,
+            event_id: 10,
+            wait_events: vec![9],
+        });
         roundtrip_request(Request::CreateUserEvent { event_id: 11 });
         roundtrip_request(Request::SetUserEventComplete { event_id: 11 });
         roundtrip_request(Request::GetEventStatus { event_id: 9 });

@@ -56,11 +56,9 @@ pub fn request_assignment(
     )?;
     endpoint.close();
     match response {
-        DmResponse::Assignment { auth_id, servers } => Ok(Assignment {
-            auth_id,
-            servers,
-            device_manager: dm_address.to_string(),
-        }),
+        DmResponse::Assignment { auth_id, servers } => {
+            Ok(Assignment { auth_id, servers, device_manager: dm_address.to_string() })
+        }
         DmResponse::Error { message } => Err(DevMgrError::NoMatchingDevices(message)),
         other => Err(DevMgrError::Protocol(format!("unexpected response {other:?}"))),
     }
@@ -99,10 +97,7 @@ pub fn connect_via_device_manager(
 }
 
 /// Query the device manager's status counters (diagnostics).
-pub fn query_status(
-    transport: &Arc<dyn Transport>,
-    dm_address: &str,
-) -> Result<(u32, u32, u32)> {
+pub fn query_status(transport: &Arc<dyn Transport>, dm_address: &str) -> Result<(u32, u32, u32)> {
     let endpoint = dm_endpoint(transport, dm_address)?;
     let response = dm_call(&endpoint, DmRequest::GetStatus)?;
     endpoint.close();
@@ -118,8 +113,8 @@ pub fn query_status(
 mod tests {
     use super::*;
     use crate::config::parse_device_request;
-    use crate::manager::{DeviceManager, DeviceManagerServer, SchedulingStrategy};
     use crate::managed::ManagedDaemon;
+    use crate::manager::{DeviceManager, DeviceManagerServer, SchedulingStrategy};
     use dopencl::LocalCluster;
     use gcf::LinkModel;
     use vocl::Platform;
@@ -166,7 +161,7 @@ mod tests {
         // Only the single assigned GPU is visible, not all five devices.
         let devices = client.devices();
         assert_eq!(devices.len(), 1);
-        assert_eq!(devices[0].device_type(), "GPU");
+        assert_eq!(devices[0].kind(), dopencl::DeviceType::Gpu);
 
         // The manager shows one lease; after release everything is free.
         assert_eq!(query_status(&transport, dm_server.address()).unwrap(), (4, 1, 1));
@@ -179,8 +174,7 @@ mod tests {
         let transport: Arc<dyn gcf::Transport> =
             Arc::new(gcf::transport::inproc::InprocTransport::new());
         let dm = DeviceManager::new(SchedulingStrategy::FirstFit);
-        let dm_server =
-            DeviceManagerServer::start(dm, Arc::clone(&transport), "devmngr").unwrap();
+        let dm_server = DeviceManagerServer::start(dm, Arc::clone(&transport), "devmngr").unwrap();
         let result = request_assignment(
             &transport,
             dm_server.address(),

@@ -67,7 +67,7 @@ impl<'a> Cursor<'a> {
         if let Some(stripped) = rest.strip_prefix('<') {
             let stripped = stripped.trim_start();
             if let Some(after) = stripped.strip_prefix(name) {
-                return after.starts_with(|c: char| c == '>' || c == ' ' || c == '/');
+                return after.starts_with(['>', ' ', '/']);
             }
         }
         false
@@ -77,12 +77,12 @@ impl<'a> Cursor<'a> {
     fn open_tag(&mut self, name: &str) -> Result<String> {
         self.skip_ws();
         let rest = self.rest();
-        let inner = rest
-            .strip_prefix('<')
-            .ok_or_else(|| DevMgrError::Config(format!("expected <{name}>, found '{}'", snippet(rest))))?;
-        let end = inner
-            .find('>')
-            .ok_or_else(|| DevMgrError::Config(format!("unterminated tag near '{}'", snippet(rest))))?;
+        let inner = rest.strip_prefix('<').ok_or_else(|| {
+            DevMgrError::Config(format!("expected <{name}>, found '{}'", snippet(rest)))
+        })?;
+        let end = inner.find('>').ok_or_else(|| {
+            DevMgrError::Config(format!("unterminated tag near '{}'", snippet(rest)))
+        })?;
         let tag_body = &inner[..end];
         let mut parts = tag_body.trim().splitn(2, char::is_whitespace);
         let tag_name = parts.next().unwrap_or("");
@@ -232,7 +232,8 @@ mod tests {
     #[test]
     fn missing_devmngr_is_an_error() {
         assert!(parse_device_request("<devices><device></device></devices>").is_err());
-        assert!(parse_device_request("<devmngr></devmngr><devices><device></device></devices>").is_err());
+        assert!(parse_device_request("<devmngr></devmngr><devices><device></device></devices>")
+            .is_err());
     }
 
     #[test]
@@ -243,7 +244,9 @@ mod tests {
     #[test]
     fn malformed_tags_are_errors() {
         assert!(parse_device_request("<devmngr>x</devmngr><devices><device>").is_err());
-        assert!(parse_device_request("<devmngr>x</devmngr><devices><wrong></wrong></devices>").is_err());
+        assert!(
+            parse_device_request("<devmngr>x</devmngr><devices><wrong></wrong></devices>").is_err()
+        );
         assert!(parse_device_request(
             "<devmngr>x</devmngr><devices><device count=\"zero\"></device></devices>"
         )
@@ -256,7 +259,8 @@ mod tests {
 
     #[test]
     fn attribute_without_name_is_an_error() {
-        let bad = r#"<devmngr>x</devmngr><devices><device><attribute>GPU</attribute></device></devices>"#;
+        let bad =
+            r#"<devmngr>x</devmngr><devices><device><attribute>GPU</attribute></device></devices>"#;
         assert!(parse_device_request(bad).is_err());
     }
 

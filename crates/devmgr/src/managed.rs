@@ -44,13 +44,9 @@ struct PolicyNotificationHandler {
     table: Arc<Mutex<LeaseTable>>,
 }
 
-impl EndpointHandler for PolicyNotificationHandler {
-    fn handle_request(&self, _payload: &[u8]) -> Vec<u8> {
-        Vec::new()
-    }
-
-    fn handle_notification(&self, payload: &[u8]) {
-        let Ok(notification) = DmNotification::from_bytes(payload) else { return };
+impl PolicyNotificationHandler {
+    fn apply(&self, payload: &[u8]) -> bool {
+        let Ok(notification) = DmNotification::from_bytes(payload) else { return false };
         let mut table = self.table.lock();
         match notification {
             DmNotification::AssignDevices { auth_id, device_ids } => {
@@ -60,6 +56,26 @@ impl EndpointHandler for PolicyNotificationHandler {
                 table.assignments.remove(&auth_id);
             }
         }
+        true
+    }
+}
+
+impl EndpointHandler for PolicyNotificationHandler {
+    fn handle_request(&self, payload: &[u8]) -> Vec<u8> {
+        // The device manager pushes lease updates as *calls* so that the
+        // client cannot observe a daemon that does not yet know its auth id
+        // (the reply acknowledges that the table is updated).
+        if self.apply(payload) {
+            DmResponse::Ok.to_bytes()
+        } else {
+            DmResponse::Error { message: "malformed lease update".into() }.to_bytes()
+        }
+    }
+
+    fn handle_notification(&self, payload: &[u8]) {
+        // Older managers pushed updates as fire-and-forget notifications;
+        // keep accepting them.
+        self.apply(payload);
     }
 }
 
@@ -179,15 +195,9 @@ mod tests {
             )
             .unwrap();
         assert_eq!(servers, vec!["gpuserver".to_string()]);
-        // The notification is asynchronous; poll briefly.
-        let mut visible = Vec::new();
-        for _ in 0..100 {
-            visible = policy.visible_devices(Some(&lease.auth_id), platform.devices());
-            if !visible.is_empty() {
-                break;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(5));
-        }
+        // The lease push is synchronous: once assign() returns, the daemon
+        // knows the auth id.
+        let visible = policy.visible_devices(Some(&lease.auth_id), platform.devices());
         assert_eq!(visible.len(), 1);
         assert_eq!(visible[0].device_type(), DeviceType::Gpu);
 

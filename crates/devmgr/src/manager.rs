@@ -132,12 +132,8 @@ impl DeviceManager {
 
         for requirement in requirements {
             for _ in 0..requirement.count {
-                let candidate = Self::pick_device(
-                    &state,
-                    &picked,
-                    &requirement.attributes,
-                    self.strategy,
-                );
+                let candidate =
+                    Self::pick_device(&state, &picked, &requirement.attributes, self.strategy);
                 match candidate {
                     Some(dev) => picked.push(dev),
                     None => {
@@ -170,6 +166,7 @@ impl DeviceManager {
             per_server.entry(*server).or_default().push(*device);
         }
         let mut server_addresses = Vec::new();
+        let mut pushes = Vec::new();
         for (server_index, device_ids) in &per_server {
             let server = &state.servers[*server_index];
             server_addresses.push(server.address.clone());
@@ -178,8 +175,39 @@ impl DeviceManager {
                     auth_id: auth_id.clone(),
                     device_ids: device_ids.clone(),
                 };
-                let _ = endpoint.notify(note.to_bytes());
+                pushes.push((endpoint, note));
             }
+        }
+        // The daemons must know the lease before the client (who connects
+        // the moment it has the auth id) presents it, so the push is a
+        // synchronous call, issued outside the state lock: the daemon's
+        // reply arrives on this manager's session receiver thread, which
+        // must stay free to take the lock for unrelated requests.
+        drop(state);
+        let mut pushed: Vec<Arc<Endpoint>> = Vec::new();
+        for (endpoint, note) in pushes {
+            let acked = match endpoint.call(note.to_bytes()) {
+                Ok(bytes) => matches!(DmResponse::from_bytes(&bytes), Ok(DmResponse::Ok)),
+                Err(_) => false,
+            };
+            if !acked {
+                // A daemon that never learned the auth id would show the
+                // client zero devices; hand back an error instead of a
+                // lease that cannot be used.  Roll the commit back and tell
+                // the daemons that did ack to forget the lease.
+                let mut state = self.state.lock();
+                state.leases.remove(&auth_id);
+                state.free.extend(picked.iter().copied());
+                drop(state);
+                let revoke = DmNotification::RevokeLease { auth_id: auth_id.clone() };
+                for endpoint in pushed {
+                    let _ = endpoint.notify(revoke.to_bytes());
+                }
+                return Err(DevMgrError::Protocol(format!(
+                    "a daemon did not acknowledge lease {auth_id}"
+                )));
+            }
+            pushed.push(endpoint);
         }
         server_addresses.sort();
         Ok((lease, server_addresses))
@@ -210,9 +238,7 @@ impl DeviceManager {
                 }
                 let n = state.free.len();
                 let start = state.round_robin_cursor % n;
-                (0..n)
-                    .map(|i| state.free[(start + i) % n])
-                    .find(matches)
+                (0..n).map(|i| state.free[(start + i) % n]).find(matches)
             }
         }
     }
@@ -229,12 +255,21 @@ impl DeviceManager {
         involved.sort_unstable();
         involved.dedup();
         state.free.extend(lease.devices.iter().copied());
-        for server_index in involved {
-            let server = &state.servers[server_index];
-            if let Some(endpoint) = server.endpoint.as_ref().and_then(Weak::upgrade) {
-                let note = DmNotification::RevokeLease { auth_id: auth_id.to_string() };
-                let _ = endpoint.notify(note.to_bytes());
-            }
+        let revocations: Vec<_> = involved
+            .into_iter()
+            .filter_map(|server_index| {
+                state.servers[server_index].endpoint.as_ref().and_then(Weak::upgrade)
+            })
+            .collect();
+        // Revocation stays fire-and-forget: release() may run on a daemon
+        // session's own receiver thread (ReportDisconnect), where a
+        // synchronous call back over that endpoint could never see its
+        // reply.  The reporting daemon drops the auth id locally anyway;
+        // the free-set bookkeeping above is what must be (and is) atomic.
+        drop(state);
+        for endpoint in revocations {
+            let note = DmNotification::RevokeLease { auth_id: auth_id.to_string() };
+            let _ = endpoint.notify(note.to_bytes());
         }
         Ok(())
     }
@@ -292,11 +327,8 @@ impl DeviceManagerServer {
                 manager: Arc::clone(&strong.manager),
                 endpoint: Mutex::new(None),
             });
-            let endpoint = Endpoint::new(
-                conn,
-                Arc::clone(&session) as Arc<dyn EndpointHandler>,
-                "devmgr",
-            );
+            let endpoint =
+                Endpoint::new(conn, Arc::clone(&session) as Arc<dyn EndpointHandler>, "devmgr");
             *session.endpoint.lock() = Some(Arc::downgrade(&endpoint));
             strong.sessions.lock().push(endpoint);
         }

@@ -44,13 +44,13 @@ impl DmDevice {
     pub fn satisfies(&self, name: &str, value: &str) -> bool {
         match name.to_ascii_uppercase().as_str() {
             "TYPE" => self.device_type.eq_ignore_ascii_case(value.trim()),
-            "VENDOR" => self.vendor.to_ascii_lowercase().contains(&value.trim().to_ascii_lowercase()),
+            "VENDOR" => {
+                self.vendor.to_ascii_lowercase().contains(&value.trim().to_ascii_lowercase())
+            }
             "NAME" => self.name.to_ascii_lowercase().contains(&value.trim().to_ascii_lowercase()),
-            "MAX_COMPUTE_UNITS" => value
-                .trim()
-                .parse::<u32>()
-                .map(|want| self.compute_units >= want)
-                .unwrap_or(false),
+            "MAX_COMPUTE_UNITS" => {
+                value.trim().parse::<u32>().map(|want| self.compute_units >= want).unwrap_or(false)
+            }
             "GLOBAL_MEM_SIZE" => value
                 .trim()
                 .parse::<u64>()
@@ -346,7 +346,10 @@ mod tests {
         for resp in [
             DmResponse::Ok,
             DmResponse::Error { message: "no device".into() },
-            DmResponse::Assignment { auth_id: "lease-2".into(), servers: vec!["a".into(), "b".into()] },
+            DmResponse::Assignment {
+                auth_id: "lease-2".into(),
+                servers: vec!["a".into(), "b".into()],
+            },
             DmResponse::Status { free_devices: 3, assigned_devices: 1, leases: 1 },
         ] {
             assert_eq!(DmResponse::from_bytes(&resp.to_bytes()).unwrap(), resp);

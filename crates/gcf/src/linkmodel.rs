@@ -46,12 +46,7 @@ impl LinkModel {
         per_message_overhead: Duration,
     ) -> Self {
         assert!(bandwidth_bytes_per_sec > 0.0, "bandwidth must be positive");
-        LinkModel {
-            name: name.into(),
-            bandwidth_bytes_per_sec,
-            latency,
-            per_message_overhead,
-        }
+        LinkModel { name: name.into(), bandwidth_bytes_per_sec, latency, per_message_overhead }
     }
 
     /// Gigabit Ethernet as measured in the paper: 125 MB/s theoretical,
@@ -151,7 +146,7 @@ mod tests {
     #[test]
     fn transfer_time_scales_linearly_with_size() {
         let link = LinkModel::gigabit_ethernet();
-        let t1 = link.transfer_time(1 * MIB);
+        let t1 = link.transfer_time(MIB);
         let t64 = link.transfer_time(64 * MIB);
         let t1024 = link.transfer_time(1024 * MIB);
         assert!(t64 > t1);
@@ -174,8 +169,8 @@ mod tests {
     fn pcie_read_about_15x_slower_than_write() {
         let w = LinkModel::pcie_write();
         let r = LinkModel::pcie_read();
-        let ratio = r.transfer_time(1024 * MIB).as_secs_f64()
-            / w.transfer_time(1024 * MIB).as_secs_f64();
+        let ratio =
+            r.transfer_time(1024 * MIB).as_secs_f64() / w.transfer_time(1024 * MIB).as_secs_f64();
         assert!((12.0..18.0).contains(&ratio), "ratio {ratio}");
     }
 
@@ -183,7 +178,7 @@ mod tests {
     fn efficiency_increases_with_transfer_size() {
         let gige = LinkModel::gigabit_ethernet();
         let theo = LinkModel::gigabit_ethernet_theoretical();
-        let e1 = gige.efficiency_vs(&theo, 1 * MIB);
+        let e1 = gige.efficiency_vs(&theo, MIB);
         let e1024 = gige.efficiency_vs(&theo, 1024 * MIB);
         assert!(e1024 > e1);
         assert!(e1024 < 0.9, "effective GigE stays below the iperf line");

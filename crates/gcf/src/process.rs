@@ -64,11 +64,7 @@ impl ProcessDescriptor {
 
     /// Descriptor for the device manager listening at `address`.
     pub fn device_manager(name: impl Into<String>, address: impl Into<String>) -> Self {
-        ProcessDescriptor {
-            name: name.into(),
-            address: address.into(),
-            role: Role::DeviceManager,
-        }
+        ProcessDescriptor { name: name.into(), address: address.into(), role: Role::DeviceManager }
     }
 }
 

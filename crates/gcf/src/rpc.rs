@@ -107,22 +107,20 @@ impl Endpoint {
         let thread_name = format!("gcf-endpoint-{}", endpoint.name);
         std::thread::Builder::new()
             .name(thread_name)
-            .spawn(move || {
-                loop {
-                    let Some(ep) = weak.upgrade() else { break };
-                    if ep.closed.load(Ordering::Acquire) {
+            .spawn(move || loop {
+                let Some(ep) = weak.upgrade() else { break };
+                if ep.closed.load(Ordering::Acquire) {
+                    break;
+                }
+                let frame = match ep.conn.recv_timeout(Duration::from_millis(200)) {
+                    Ok(frame) => frame,
+                    Err(GcfError::Timeout(_)) => continue,
+                    Err(_) => {
+                        ep.fail_all_pending();
                         break;
                     }
-                    let frame = match ep.conn.recv_timeout(Duration::from_millis(200)) {
-                        Ok(frame) => frame,
-                        Err(GcfError::Timeout(_)) => continue,
-                        Err(_) => {
-                            ep.fail_all_pending();
-                            break;
-                        }
-                    };
-                    ep.dispatch(frame, &handler);
-                }
+                };
+                ep.dispatch(frame, &handler);
             })
             .expect("spawn endpoint receiver thread");
         endpoint
@@ -308,11 +306,7 @@ impl Endpoint {
         if self.closed.swap(true, Ordering::AcqRel) {
             return;
         }
-        let _ = self.conn.send(Envelope {
-            kind: MessageKind::Bye,
-            id: 0,
-            payload: Vec::new(),
-        });
+        let _ = self.conn.send(Envelope { kind: MessageKind::Bye, id: 0, payload: Vec::new() });
         self.conn.close();
         self.fail_all_pending();
     }

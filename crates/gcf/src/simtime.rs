@@ -77,14 +77,12 @@ impl PhaseBreakdown {
 
     /// Parallel-merge an iterator of breakdowns (empty iterator ⇒ zero).
     pub fn parallel_over<I: IntoIterator<Item = PhaseBreakdown>>(iter: I) -> PhaseBreakdown {
-        iter.into_iter()
-            .fold(PhaseBreakdown::zero(), |acc, b| acc.merge_parallel(&b))
+        iter.into_iter().fold(PhaseBreakdown::zero(), |acc, b| acc.merge_parallel(&b))
     }
 
     /// Serial-merge an iterator of breakdowns.
     pub fn serial_over<I: IntoIterator<Item = PhaseBreakdown>>(iter: I) -> PhaseBreakdown {
-        iter.into_iter()
-            .fold(PhaseBreakdown::zero(), |acc, b| acc.merge_serial(&b))
+        iter.into_iter().fold(PhaseBreakdown::zero(), |acc, b| acc.merge_serial(&b))
     }
 }
 
@@ -177,9 +175,6 @@ mod tests {
 
     #[test]
     fn parallel_over_empty_is_zero() {
-        assert_eq!(
-            PhaseBreakdown::parallel_over(std::iter::empty()),
-            PhaseBreakdown::zero()
-        );
+        assert_eq!(PhaseBreakdown::parallel_over(std::iter::empty()), PhaseBreakdown::zero());
     }
 }

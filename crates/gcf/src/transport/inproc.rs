@@ -50,9 +50,7 @@ impl Connection for InprocConnection {
         if !self.open.load(Ordering::Acquire) {
             return Err(GcfError::Disconnected(self.peer.clone()));
         }
-        self.tx
-            .send(env)
-            .map_err(|_| GcfError::Disconnected(self.peer.clone()))
+        self.tx.send(env).map_err(|_| GcfError::Disconnected(self.peer.clone()))
     }
 
     fn recv(&self) -> Result<Envelope> {
@@ -81,9 +79,7 @@ impl Connection for InprocConnection {
             Err(RecvTimeoutError::Timeout) => {
                 Err(GcfError::Timeout(format!("recv from {}", self.peer)))
             }
-            Err(RecvTimeoutError::Disconnected) => {
-                Err(GcfError::Disconnected(self.peer.clone()))
-            }
+            Err(RecvTimeoutError::Disconnected) => Err(GcfError::Disconnected(self.peer.clone())),
         }
     }
 
@@ -100,10 +96,13 @@ impl Connection for InprocConnection {
     }
 }
 
+/// Address table shared by every connection of one in-process "network".
+type Registry = Arc<Mutex<HashMap<String, Sender<Arc<dyn Connection>>>>>;
+
 struct InprocListenerInner {
     rx: Receiver<Arc<dyn Connection>>,
     addr: String,
-    registry: Arc<Mutex<HashMap<String, Sender<Arc<dyn Connection>>>>>,
+    registry: Registry,
 }
 
 /// Listener half of the in-process transport.
@@ -138,7 +137,7 @@ impl Drop for InprocListener {
 /// connections.
 #[derive(Clone, Default)]
 pub struct InprocTransport {
-    registry: Arc<Mutex<HashMap<String, Sender<Arc<dyn Connection>>>>>,
+    registry: Registry,
 }
 
 impl InprocTransport {
@@ -173,9 +172,7 @@ impl Transport for InprocTransport {
     fn connect(&self, addr: &str) -> Result<Arc<dyn Connection>> {
         let acceptor = {
             let reg = self.registry.lock();
-            reg.get(addr)
-                .cloned()
-                .ok_or_else(|| GcfError::AddressNotFound(addr.to_string()))?
+            reg.get(addr).cloned().ok_or_else(|| GcfError::AddressNotFound(addr.to_string()))?
         };
         let (client, server) = InprocConnection::pair("client", addr);
         acceptor

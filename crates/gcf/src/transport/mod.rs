@@ -79,8 +79,7 @@ mod tests {
             let conn = listener.accept().expect("accept");
             let req = conn.recv().expect("server recv");
             assert_eq!(req.kind, MessageKind::Request);
-            conn.send(Envelope::response(req.id, req.payload.clone()))
-                .expect("server send");
+            conn.send(Envelope::response(req.id, req.payload.clone())).expect("server send");
             req.payload
         });
 

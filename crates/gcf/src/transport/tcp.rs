@@ -30,10 +30,8 @@ pub struct TcpConnection {
 
 impl TcpConnection {
     fn new(stream: TcpStream) -> Result<Self> {
-        let peer = stream
-            .peer_addr()
-            .map(|a| a.to_string())
-            .unwrap_or_else(|_| "<unknown>".to_string());
+        let peer =
+            stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "<unknown>".to_string());
         let reader = stream.try_clone()?;
         Ok(TcpConnection {
             reader: Mutex::new(reader),
@@ -144,8 +142,8 @@ impl TcpTransport {
 
 impl Transport for TcpTransport {
     fn listen(&self, addr: &str) -> Result<Box<dyn Listener>> {
-        let listener = TcpListener::bind(addr)
-            .map_err(|e| GcfError::Io(format!("bind {addr}: {e}")))?;
+        let listener =
+            TcpListener::bind(addr).map_err(|e| GcfError::Io(format!("bind {addr}: {e}")))?;
         let addr = listener.local_addr()?.to_string();
         Ok(Box::new(TcpListenerWrapper { listener, addr }))
     }

@@ -32,10 +32,7 @@ pub trait Decode: Sized {
         let mut r = Reader::new(bytes);
         let v = Self::decode(&mut r)?;
         if !r.is_empty() {
-            return Err(GcfError::Codec(format!(
-                "{} trailing bytes after decode",
-                r.remaining()
-            )));
+            return Err(GcfError::Codec(format!("{} trailing bytes after decode", r.remaining())));
         }
         Ok(v)
     }

@@ -51,6 +51,10 @@ pub type Result<T> = std::result::Result<T, MpiError>;
 
 type Message = (usize, u64, Vec<u8>); // (source, tag, payload)
 
+/// Out-of-order messages parked until a matching `recv`, keyed by
+/// (source, tag).
+type Stash = Mutex<HashMap<(usize, u64), Vec<Vec<u8>>>>;
+
 /// A communicator bound to one rank of a [`World`].
 pub struct Communicator {
     rank: usize,
@@ -60,7 +64,7 @@ pub struct Communicator {
     senders: Vec<Sender<Message>>,
     receiver: Receiver<Message>,
     /// Messages received out of order (matched by source + tag later).
-    stash: Mutex<HashMap<(usize, u64), Vec<Vec<u8>>>>,
+    stash: Stash,
     /// Modelled MPI runtime initialization cost, charged once.
     init_cost: Duration,
 }
@@ -89,9 +93,7 @@ impl Communicator {
     /// Send `payload` to `dest` with `tag`.
     pub fn send(&self, dest: usize, tag: u64, payload: &[u8]) -> Result<()> {
         let sender = self.senders.get(dest).ok_or(MpiError::InvalidRank(dest))?;
-        sender
-            .send((self.rank, tag, payload.to_vec()))
-            .map_err(|_| MpiError::Disconnected)
+        sender.send((self.rank, tag, payload.to_vec())).map_err(|_| MpiError::Disconnected)
     }
 
     /// Receive a message from `source` with `tag`, blocking until it
@@ -121,8 +123,7 @@ impl Communicator {
     }
 
     fn charge_transfer(&self, bytes: usize) {
-        self.clock
-            .charge(Phase::DataTransfer, self.link.transfer_time(bytes as u64));
+        self.clock.charge(Phase::DataTransfer, self.link.transfer_time(bytes as u64));
     }
 
     /// `MPI_Barrier`: a root-gather followed by a broadcast of an empty

@@ -54,12 +54,59 @@ pub fn classify(name: &str) -> Option<BuiltinKind> {
 
 /// Names of the pure math / common built-ins supported by [`eval_math`].
 pub const MATH_BUILTINS: &[&str] = &[
-    "sqrt", "rsqrt", "native_sqrt", "native_rsqrt", "fabs", "abs", "exp", "native_exp", "exp2",
-    "log", "native_log", "log2", "log10", "pow", "powr", "native_powr", "sin", "native_sin",
-    "cos", "native_cos", "tan", "native_tan", "asin", "acos", "atan", "atan2", "hypot", "floor",
-    "ceil", "round", "trunc", "fmin", "fmax", "min", "max", "clamp", "mix", "fma", "mad",
-    "fmod", "dot", "length", "distance", "normalize", "isnan", "isinf", "sign", "convert_int",
-    "convert_uint", "convert_float", "convert_double", "convert_long", "convert_ulong",
+    "sqrt",
+    "rsqrt",
+    "native_sqrt",
+    "native_rsqrt",
+    "fabs",
+    "abs",
+    "exp",
+    "native_exp",
+    "exp2",
+    "log",
+    "native_log",
+    "log2",
+    "log10",
+    "pow",
+    "powr",
+    "native_powr",
+    "sin",
+    "native_sin",
+    "cos",
+    "native_cos",
+    "tan",
+    "native_tan",
+    "asin",
+    "acos",
+    "atan",
+    "atan2",
+    "hypot",
+    "floor",
+    "ceil",
+    "round",
+    "trunc",
+    "fmin",
+    "fmax",
+    "min",
+    "max",
+    "clamp",
+    "mix",
+    "fma",
+    "mad",
+    "fmod",
+    "dot",
+    "length",
+    "distance",
+    "normalize",
+    "isnan",
+    "isinf",
+    "sign",
+    "convert_int",
+    "convert_uint",
+    "convert_float",
+    "convert_double",
+    "convert_long",
+    "convert_ulong",
 ];
 
 /// Identifier-level built-in constants (flag arguments to `barrier`).
@@ -79,9 +126,7 @@ pub fn builtin_constant(name: &str) -> Option<Value> {
 }
 
 fn f_arg(args: &[Value], i: usize, name: &str) -> Result<f64, CompileError> {
-    args.get(i)
-        .ok_or_else(|| CompileError::new(format!("{name}: missing argument {i}")))?
-        .as_f64()
+    args.get(i).ok_or_else(|| CompileError::new(format!("{name}: missing argument {i}")))?.as_f64()
 }
 
 fn float_result(args: &[Value], v: f64) -> Value {
@@ -226,11 +271,7 @@ pub fn eval_math(name: &str, args: &[Value]) -> Result<Value, CompileError> {
                 .ok_or_else(|| CompileError::new("distance: expected vector arguments"))?;
             let (_, b) = lanes_of(&args[1])
                 .ok_or_else(|| CompileError::new("distance: expected vector arguments"))?;
-            let v: f64 = a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| (x.as_f64() - y.as_f64()).powi(2))
-                .sum();
+            let v: f64 = a.iter().zip(b).map(|(x, y)| (x.as_f64() - y.as_f64()).powi(2)).sum();
             Ok(Value::float(v.sqrt() as f32))
         }
         "normalize" => {
@@ -245,7 +286,16 @@ pub fn eval_math(name: &str, args: &[Value]) -> Result<Value, CompileError> {
         "isinf" => Ok(Value::int(i64::from(f_arg(args, 0, name)?.is_infinite()))),
         "sign" => {
             let v = f_arg(args, 0, name)?;
-            Ok(float_result(args, if v > 0.0 { 1.0 } else if v < 0.0 { -1.0 } else { 0.0 }))
+            Ok(float_result(
+                args,
+                if v > 0.0 {
+                    1.0
+                } else if v < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                },
+            ))
         }
         "convert_int" => Ok(Value::int(args[0].as_i64()? as i32 as i64)),
         "convert_uint" => Ok(Value::uint(args[0].as_u64()? as u32 as u64)),
@@ -298,9 +348,12 @@ mod tests {
     fn math_scalar_functions() {
         assert_eq!(eval_math("sqrt", &[Value::float(9.0)]).unwrap().as_f64().unwrap(), 3.0);
         assert_eq!(eval_math("max", &[Value::int(3), Value::int(7)]).unwrap().as_i64().unwrap(), 7);
-        assert_eq!(eval_math("min", &[Value::uint(3), Value::uint(7)]).unwrap().as_u64().unwrap(), 3);
-        let clamped = eval_math("clamp", &[Value::float(5.0), Value::float(0.0), Value::float(1.0)])
-            .unwrap();
+        assert_eq!(
+            eval_math("min", &[Value::uint(3), Value::uint(7)]).unwrap().as_u64().unwrap(),
+            3
+        );
+        let clamped =
+            eval_math("clamp", &[Value::float(5.0), Value::float(0.0), Value::float(1.0)]).unwrap();
         assert_eq!(clamped.as_f64().unwrap(), 1.0);
         assert_eq!(
             eval_math("fma", &[Value::float(2.0), Value::float(3.0), Value::float(4.0)])
@@ -322,11 +375,14 @@ mod tests {
         let a = Value::Vector(ScalarType::Float, vec![Scalar::F(1.0), Scalar::F(2.0)]);
         let b = Value::Vector(ScalarType::Float, vec![Scalar::F(3.0), Scalar::F(4.0)]);
         assert_eq!(eval_math("dot", &[a.clone(), b]).unwrap().as_f64().unwrap(), 11.0);
-        let len = eval_math("length", &[a.clone()]).unwrap().as_f64().unwrap();
+        let len = eval_math("length", std::slice::from_ref(&a)).unwrap().as_f64().unwrap();
         assert!((len - 5f64.sqrt()).abs() < 1e-6);
         // Elementwise application over vectors.
-        let sq = eval_math("sqrt", &[Value::Vector(ScalarType::Float, vec![Scalar::F(4.0), Scalar::F(9.0)])])
-            .unwrap();
+        let sq = eval_math(
+            "sqrt",
+            &[Value::Vector(ScalarType::Float, vec![Scalar::F(4.0), Scalar::F(9.0)])],
+        )
+        .unwrap();
         match sq {
             Value::Vector(_, lanes) => {
                 assert_eq!(lanes[0].as_f64(), 2.0);

@@ -111,10 +111,7 @@ mod tests {
 
     #[test]
     fn build_log_collects_messages() {
-        let log = BuildLog::from_errors(vec![
-            CompileError::new("a"),
-            CompileError::new("b"),
-        ]);
+        let log = BuildLog::from_errors(vec![CompileError::new("a"), CompileError::new("b")]);
         assert_eq!(log.messages.len(), 2);
         assert!(log.to_string().lines().count() == 2);
         assert!(!log.is_empty());

@@ -182,10 +182,8 @@ pub fn execute_kernel(
     args: &[KernelArgValue],
     buffers: &mut [BufferBinding<'_>],
 ) -> Result<WorkItemCounters, CompileError> {
-    let function = unit
-        .functions
-        .get(index.0)
-        .ok_or_else(|| CompileError::new("invalid kernel index"))?;
+    let function =
+        unit.functions.get(index.0).ok_or_else(|| CompileError::new("invalid kernel index"))?;
     if !function.is_kernel {
         return Err(CompileError::new(format!("'{}' is not a kernel", function.name)));
     }
@@ -226,11 +224,7 @@ pub fn execute_kernel(
         for y in 0..range.global[1].max(1) {
             for x in 0..range.global[0].max(1) {
                 interp.item = WorkItem {
-                    global_id: [
-                        x + range.offset[0],
-                        y + range.offset[1],
-                        z + range.offset[2],
-                    ],
+                    global_id: [x + range.offset[0], y + range.offset[1], z + range.offset[2]],
                     global_size: [
                         range.global[0].max(1),
                         range.global[1].max(1),
@@ -296,7 +290,12 @@ impl<'u, 'b, 'd> Interp<'u, 'b, 'd> {
         }
     }
 
-    fn mem_load(&mut self, buffer: usize, offset: usize, ty: ScalarType) -> Result<Scalar, CompileError> {
+    fn mem_load(
+        &mut self,
+        buffer: usize,
+        offset: usize,
+        ty: ScalarType,
+    ) -> Result<Scalar, CompileError> {
         self.counters.loads += 1;
         if buffer < self.bufs.len() {
             load_scalar(self.bufs[buffer].data, offset, ty)
@@ -442,10 +441,7 @@ impl<'u, 'b, 'd> Interp<'u, 'b, 'd> {
 
     // ----- expressions -----------------------------------------------------
 
-    fn lookup<'e>(
-        env: &'e [HashMap<String, Value>],
-        name: &str,
-    ) -> Option<&'e Value> {
+    fn lookup<'e>(env: &'e [HashMap<String, Value>], name: &str) -> Option<&'e Value> {
         env.iter().rev().find_map(|scope| scope.get(name))
     }
 
@@ -481,7 +477,10 @@ impl<'u, 'b, 'd> Interp<'u, 'b, 'd> {
             ExprKind::Member { base, member } => {
                 if let ExprKind::Ident(name) = &base.kind {
                     let lane = component_index(member).ok_or_else(|| {
-                        CompileError::at(expr.location, format!("unknown vector component '{member}'"))
+                        CompileError::at(
+                            expr.location,
+                            format!("unknown vector component '{member}'"),
+                        )
                     })?;
                     Ok(Place::VarLane(name.clone(), lane))
                 } else {
@@ -515,7 +514,11 @@ impl<'u, 'b, 'd> Interp<'u, 'b, 'd> {
                         if p.byte_offset < 0 {
                             return Err(CompileError::at(expr.location, "negative pointer offset"));
                         }
-                        Ok(Place::Mem { buffer: p.buffer, offset: p.byte_offset as usize, ty: p.pointee })
+                        Ok(Place::Mem {
+                            buffer: p.buffer,
+                            offset: p.byte_offset as usize,
+                            ty: p.pointee,
+                        })
                     }
                     other => Err(CompileError::at(
                         expr.location,
@@ -633,7 +636,8 @@ impl<'u, 'b, 'd> Interp<'u, 'b, 'd> {
                     _ => {
                         let l = self.eval(lhs, env)?;
                         let r = self.eval(rhs, env)?;
-                        eval_binary(*op, &l, &r).map_err(|e| CompileError::at(expr.location, e.message))
+                        eval_binary(*op, &l, &r)
+                            .map_err(|e| CompileError::at(expr.location, e.message))
                     }
                 }
             }
@@ -785,11 +789,7 @@ impl<'u, 'b, 'd> Interp<'u, 'b, 'd> {
         })?;
         match kind {
             BuiltinKind::WorkItem => {
-                let dim = if args.is_empty() {
-                    0
-                } else {
-                    self.eval(&args[0], env)?.as_usize()?
-                };
+                let dim = if args.is_empty() { 0 } else { self.eval(&args[0], env)?.as_usize()? };
                 let d = dim.min(2);
                 let v = match name {
                     "get_global_id" => self.item.global_id[d],
@@ -813,15 +813,15 @@ impl<'u, 'b, 'd> Interp<'u, 'b, 'd> {
             }
             BuiltinKind::Atomic => {
                 if args.is_empty() {
-                    return Err(CompileError::at(expr.location, format!("{name}: missing pointer")));
+                    return Err(CompileError::at(
+                        expr.location,
+                        format!("{name}: missing pointer"),
+                    ));
                 }
                 let place = self.resolve_place(&unary_deref(&args[0]), env)?;
                 let old = self.read_place(&place, env)?;
-                let operand = if args.len() > 1 {
-                    self.eval(&args[1], env)?
-                } else {
-                    Value::int(1)
-                };
+                let operand =
+                    if args.len() > 1 { self.eval(&args[1], env)? } else { Value::int(1) };
                 let new = match name {
                     "atomic_add" | "atom_add" | "atomic_inc" | "atom_inc" => {
                         eval_binary(BinOp::Add, &old, &operand)?
@@ -885,10 +885,7 @@ impl<'u, 'b, 'd> Interp<'u, 'b, 'd> {
 /// Wrap an expression in a synthetic dereference so that `atomic_add(p, v)`
 /// resolves `*p` as its place.
 fn unary_deref(expr: &Expr) -> Expr {
-    Expr::new(
-        ExprKind::Unary { op: UnOp::Deref, expr: Box::new(expr.clone()) },
-        expr.location,
-    )
+    Expr::new(ExprKind::Unary { op: UnOp::Deref, expr: Box::new(expr.clone()) }, expr.location)
 }
 
 fn default_value(ty: &Type) -> Result<Value, CompileError> {
@@ -968,14 +965,10 @@ fn promote(a: ScalarType, b: ScalarType) -> ScalarType {
     if a == ScalarType::Float || b == ScalarType::Float {
         return ScalarType::Float;
     }
-    let (hi, lo) = if integer_rank(a) >= integer_rank(b) { (a, b) } else { (b, a) };
-    // If either operand is unsigned at the highest rank, the result is
-    // unsigned (simplified C integer-promotion rules).
-    if !hi.is_signed() || (!lo.is_signed() && integer_rank(lo) == integer_rank(hi)) {
-        hi
-    } else {
-        hi
-    }
+    // Simplified C integer-promotion rules: the result takes the
+    // higher-ranked operand's type, signedness included.
+    let (hi, _lo) = if integer_rank(a) >= integer_rank(b) { (a, b) } else { (b, a) };
+    hi
 }
 
 /// Evaluate a binary operation on two values (public for reuse in tests).
@@ -996,17 +989,13 @@ pub(crate) fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value, Comp
             return Ok(Value::Vector(*t, lanes?));
         }
         (Value::Vector(t, a), Value::Scalar(..)) => {
-            let lanes: Result<Vec<Scalar>, CompileError> = a
-                .iter()
-                .map(|x| eval_binary(op, &Value::Scalar(*t, *x), r)?.scalar())
-                .collect();
+            let lanes: Result<Vec<Scalar>, CompileError> =
+                a.iter().map(|x| eval_binary(op, &Value::Scalar(*t, *x), r)?.scalar()).collect();
             return Ok(Value::Vector(*t, lanes?));
         }
         (Value::Scalar(..), Value::Vector(t, b)) => {
-            let lanes: Result<Vec<Scalar>, CompileError> = b
-                .iter()
-                .map(|y| eval_binary(op, l, &Value::Scalar(*t, *y))?.scalar())
-                .collect();
+            let lanes: Result<Vec<Scalar>, CompileError> =
+                b.iter().map(|y| eval_binary(op, l, &Value::Scalar(*t, *y))?.scalar()).collect();
             return Ok(Value::Vector(*t, lanes?));
         }
         _ => {}
@@ -1161,10 +1150,17 @@ fn eval_unary(op: UnOp, v: &Value) -> Result<Value, CompileError> {
                 }
             }
             Value::Vector(t, lanes) => {
-                let lanes = lanes
-                    .iter()
-                    .map(|s| if t.is_float() { Scalar::F(-s.as_f64()) } else { Scalar::I(-s.as_i64()) })
-                    .collect();
+                let lanes =
+                    lanes
+                        .iter()
+                        .map(|s| {
+                            if t.is_float() {
+                                Scalar::F(-s.as_f64())
+                            } else {
+                                Scalar::I(-s.as_i64())
+                            }
+                        })
+                        .collect();
                 Ok(Value::Vector(*t, lanes))
             }
             other => Err(CompileError::new(format!("cannot negate {}", other.ty()))),
@@ -1204,17 +1200,11 @@ mod tests {
     }
 
     fn f32s(bytes: &[u8]) -> Vec<f32> {
-        bytes
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-            .collect()
+        bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect()
     }
 
     fn u32s(bytes: &[u8]) -> Vec<u32> {
-        bytes
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-            .collect()
+        bytes.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect()
     }
 
     #[test]

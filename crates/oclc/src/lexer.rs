@@ -220,41 +220,99 @@ impl<'a> Lexer<'a> {
         let c = self.bump().unwrap();
         let next = self.peek();
         let punct = match (c, next) {
-            (b'+', Some(b'+')) => { self.bump(); Punct::PlusPlus }
-            (b'+', Some(b'=')) => { self.bump(); Punct::PlusAssign }
+            (b'+', Some(b'+')) => {
+                self.bump();
+                Punct::PlusPlus
+            }
+            (b'+', Some(b'=')) => {
+                self.bump();
+                Punct::PlusAssign
+            }
             (b'+', _) => Punct::Plus,
-            (b'-', Some(b'-')) => { self.bump(); Punct::MinusMinus }
-            (b'-', Some(b'=')) => { self.bump(); Punct::MinusAssign }
+            (b'-', Some(b'-')) => {
+                self.bump();
+                Punct::MinusMinus
+            }
+            (b'-', Some(b'=')) => {
+                self.bump();
+                Punct::MinusAssign
+            }
             (b'-', _) => Punct::Minus,
-            (b'*', Some(b'=')) => { self.bump(); Punct::StarAssign }
+            (b'*', Some(b'=')) => {
+                self.bump();
+                Punct::StarAssign
+            }
             (b'*', _) => Punct::Star,
-            (b'/', Some(b'=')) => { self.bump(); Punct::SlashAssign }
+            (b'/', Some(b'=')) => {
+                self.bump();
+                Punct::SlashAssign
+            }
             (b'/', _) => Punct::Slash,
-            (b'%', Some(b'=')) => { self.bump(); Punct::PercentAssign }
+            (b'%', Some(b'=')) => {
+                self.bump();
+                Punct::PercentAssign
+            }
             (b'%', _) => Punct::Percent,
-            (b'=', Some(b'=')) => { self.bump(); Punct::Eq }
+            (b'=', Some(b'=')) => {
+                self.bump();
+                Punct::Eq
+            }
             (b'=', _) => Punct::Assign,
-            (b'!', Some(b'=')) => { self.bump(); Punct::Ne }
+            (b'!', Some(b'=')) => {
+                self.bump();
+                Punct::Ne
+            }
             (b'!', _) => Punct::Not,
             (b'<', Some(b'<')) => {
                 self.bump();
-                if self.peek() == Some(b'=') { self.bump(); Punct::ShlAssign } else { Punct::Shl }
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Punct::ShlAssign
+                } else {
+                    Punct::Shl
+                }
             }
-            (b'<', Some(b'=')) => { self.bump(); Punct::Le }
+            (b'<', Some(b'=')) => {
+                self.bump();
+                Punct::Le
+            }
             (b'<', _) => Punct::Lt,
             (b'>', Some(b'>')) => {
                 self.bump();
-                if self.peek() == Some(b'=') { self.bump(); Punct::ShrAssign } else { Punct::Shr }
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Punct::ShrAssign
+                } else {
+                    Punct::Shr
+                }
             }
-            (b'>', Some(b'=')) => { self.bump(); Punct::Ge }
+            (b'>', Some(b'=')) => {
+                self.bump();
+                Punct::Ge
+            }
             (b'>', _) => Punct::Gt,
-            (b'&', Some(b'&')) => { self.bump(); Punct::AndAnd }
-            (b'&', Some(b'=')) => { self.bump(); Punct::AndAssign }
+            (b'&', Some(b'&')) => {
+                self.bump();
+                Punct::AndAnd
+            }
+            (b'&', Some(b'=')) => {
+                self.bump();
+                Punct::AndAssign
+            }
             (b'&', _) => Punct::Amp,
-            (b'|', Some(b'|')) => { self.bump(); Punct::OrOr }
-            (b'|', Some(b'=')) => { self.bump(); Punct::OrAssign }
+            (b'|', Some(b'|')) => {
+                self.bump();
+                Punct::OrOr
+            }
+            (b'|', Some(b'=')) => {
+                self.bump();
+                Punct::OrAssign
+            }
             (b'|', _) => Punct::Pipe,
-            (b'^', Some(b'=')) => { self.bump(); Punct::XorAssign }
+            (b'^', Some(b'=')) => {
+                self.bump();
+                Punct::XorAssign
+            }
             (b'^', _) => Punct::Caret,
             (b'~', _) => Punct::Tilde,
             (b'(', _) => Punct::LParen,

@@ -88,8 +88,12 @@ impl<'a> Parser<'a> {
     fn at_declaration(&self) -> bool {
         match self.peek() {
             TokenKind::Keyword(
-                Keyword::Global | Keyword::Local | Keyword::Constant | Keyword::Private
-                | Keyword::Const | Keyword::Void,
+                Keyword::Global
+                | Keyword::Local
+                | Keyword::Constant
+                | Keyword::Private
+                | Keyword::Const
+                | Keyword::Void,
             ) => true,
             TokenKind::Ident(name) if Type::is_type_name(name) => {
                 // Distinguish `float x` (declaration) from `float(x)` and a
@@ -252,7 +256,10 @@ impl<'a> Parser<'a> {
                 self.bump();
                 let body = self.parse_statement_or_block()?;
                 if !self.eat_keyword(Keyword::While) {
-                    return Err(CompileError::at(self.location(), "expected 'while' after do-body"));
+                    return Err(CompileError::at(
+                        self.location(),
+                        "expected 'while' after do-body",
+                    ));
                 }
                 self.expect_punct(Punct::LParen)?;
                 let cond = self.parse_expr()?;
@@ -320,22 +327,14 @@ impl<'a> Parser<'a> {
         let location = self.location();
         let ty = self.parse_type()?;
         let name = self.expect_ident()?;
-        let init = if self.eat_punct(Punct::Assign) {
-            Some(self.parse_expr()?)
-        } else {
-            None
-        };
+        let init = if self.eat_punct(Punct::Assign) { Some(self.parse_expr()?) } else { None };
         // Multiple declarators (`int a = 1, b = 2;`) are lowered into nested
         // blocks by collecting them here.
         let mut extra = Vec::new();
         while self.eat_punct(Punct::Comma) {
             let loc2 = self.location();
             let name2 = self.expect_ident()?;
-            let init2 = if self.eat_punct(Punct::Assign) {
-                Some(self.parse_expr()?)
-            } else {
-                None
-            };
+            let init2 = if self.eat_punct(Punct::Assign) { Some(self.parse_expr()?) } else { None };
             extra.push(Stmt::Decl { name: name2, ty: ty.clone(), init: init2, location: loc2 });
         }
         self.expect_punct(Punct::Semicolon)?;
@@ -440,10 +439,7 @@ impl<'a> Parser<'a> {
             let loc = self.location();
             self.bump();
             let rhs = self.parse_binary(level + 1)?;
-            lhs = Expr::new(
-                ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
-                loc,
-            );
+            lhs = Expr::new(ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, loc);
         }
         Ok(lhs)
     }
@@ -454,8 +450,12 @@ impl<'a> Parser<'a> {
         }
         match self.peek_at(1) {
             TokenKind::Keyword(
-                Keyword::Global | Keyword::Local | Keyword::Constant | Keyword::Private
-                | Keyword::Const | Keyword::Void,
+                Keyword::Global
+                | Keyword::Local
+                | Keyword::Constant
+                | Keyword::Private
+                | Keyword::Const
+                | Keyword::Void,
             ) => true,
             TokenKind::Ident(name) => Type::is_type_name(name),
             _ => false,
@@ -520,7 +520,10 @@ impl<'a> Parser<'a> {
                             }
                         }
                         return Ok(Expr::new(
-                            ExprKind::Call { name: format!("__vec_{}{}", scalar.name(), width), args },
+                            ExprKind::Call {
+                                name: format!("__vec_{}{}", scalar.name(), width),
+                                args,
+                            },
                             loc,
                         ));
                     }
@@ -549,24 +552,17 @@ impl<'a> Parser<'a> {
                 TokenKind::Punct(Punct::Dot) => {
                     self.bump();
                     let member = self.expect_ident()?;
-                    expr = Expr::new(
-                        ExprKind::Member { base: Box::new(expr), member },
-                        loc,
-                    );
+                    expr = Expr::new(ExprKind::Member { base: Box::new(expr), member }, loc);
                 }
                 TokenKind::Punct(Punct::PlusPlus) => {
                     self.bump();
-                    expr = Expr::new(
-                        ExprKind::PostIncDec { target: Box::new(expr), inc: true },
-                        loc,
-                    );
+                    expr =
+                        Expr::new(ExprKind::PostIncDec { target: Box::new(expr), inc: true }, loc);
                 }
                 TokenKind::Punct(Punct::MinusMinus) => {
                     self.bump();
-                    expr = Expr::new(
-                        ExprKind::PostIncDec { target: Box::new(expr), inc: false },
-                        loc,
-                    );
+                    expr =
+                        Expr::new(ExprKind::PostIncDec { target: Box::new(expr), inc: false }, loc);
                 }
                 _ => break,
             }
@@ -619,7 +615,9 @@ impl<'a> Parser<'a> {
                 self.expect_punct(Punct::RParen)?;
                 Ok(e)
             }
-            other => Err(CompileError::at(loc, format!("unexpected token {other:?} in expression"))),
+            other => {
+                Err(CompileError::at(loc, format!("unexpected token {other:?} in expression")))
+            }
         }
     }
 }
@@ -636,9 +634,8 @@ mod tests {
 
     #[test]
     fn parses_kernel_signature() {
-        let unit = parse_src(
-            "__kernel void f(__global const float* a, __global float* out, uint n) { }",
-        );
+        let unit =
+            parse_src("__kernel void f(__global const float* a, __global float* out, uint n) { }");
         assert_eq!(unit.functions.len(), 1);
         let f = &unit.functions[0];
         assert!(f.is_kernel);

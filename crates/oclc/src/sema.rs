@@ -323,10 +323,8 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_functions_and_params() {
-        let errs = check_src(
-            "void f(int a, int a) { } void f(int b) { } __kernel void k() { }",
-        )
-        .unwrap_err();
+        let errs = check_src("void f(int a, int a) { } void f(int b) { } __kernel void k() { }")
+            .unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("more than once")));
         assert!(errs.iter().any(|e| e.message.contains("duplicate parameter")));
     }
@@ -356,10 +354,7 @@ mod tests {
 
     #[test]
     fn variables_scope_to_blocks() {
-        let errs = check_src(
-            "__kernel void k() { { int x = 1; } int y = x; }",
-        )
-        .unwrap_err();
+        let errs = check_src("__kernel void k() { { int x = 1; } int y = x; }").unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("undeclared identifier 'x'")));
     }
 

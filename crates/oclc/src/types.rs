@@ -54,10 +54,7 @@ impl ScalarType {
 
     /// True for signed integer types.
     pub fn is_signed(self) -> bool {
-        matches!(
-            self,
-            ScalarType::Char | ScalarType::Short | ScalarType::Int | ScalarType::Long
-        )
+        matches!(self, ScalarType::Char | ScalarType::Short | ScalarType::Int | ScalarType::Long)
     }
 
     /// Resolve a scalar type name.

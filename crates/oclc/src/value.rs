@@ -145,10 +145,9 @@ impl Value {
     pub fn scalar(&self) -> Result<Scalar, CompileError> {
         match self {
             Value::Scalar(_, s) => Ok(*s),
-            other => Err(CompileError::new(format!(
-                "expected a scalar value, found {}",
-                other.ty()
-            ))),
+            other => {
+                Err(CompileError::new(format!("expected a scalar value, found {}", other.ty())))
+            }
         }
     }
 
@@ -204,11 +203,7 @@ impl Value {
                 })?;
                 Ok(Value::Ptr(Pointer { pointee, space: *space, ..*p }))
             }
-            (v, t) => Err(CompileError::new(format!(
-                "cannot convert {} to {}",
-                v.ty(),
-                t
-            ))),
+            (v, t) => Err(CompileError::new(format!("cannot convert {} to {}", v.ty(), t))),
         }
     }
 }
@@ -240,9 +235,8 @@ pub fn convert_scalar(s: Scalar, target: ScalarType) -> Scalar {
 /// Read a scalar of type `ty` from `bytes` at `offset` (little-endian).
 pub fn load_scalar(bytes: &[u8], offset: usize, ty: ScalarType) -> Result<Scalar, CompileError> {
     let size = ty.size();
-    let end = offset
-        .checked_add(size)
-        .ok_or_else(|| CompileError::new("pointer offset overflow"))?;
+    let end =
+        offset.checked_add(size).ok_or_else(|| CompileError::new("pointer offset overflow"))?;
     if end > bytes.len() {
         return Err(CompileError::new(format!(
             "out-of-bounds read of {size} bytes at offset {offset} (buffer is {} bytes)",
@@ -276,9 +270,8 @@ pub fn store_scalar(
     s: Scalar,
 ) -> Result<(), CompileError> {
     let size = ty.size();
-    let end = offset
-        .checked_add(size)
-        .ok_or_else(|| CompileError::new("pointer offset overflow"))?;
+    let end =
+        offset.checked_add(size).ok_or_else(|| CompileError::new("pointer offset overflow"))?;
     if end > bytes.len() {
         return Err(CompileError::new(format!(
             "out-of-bounds write of {size} bytes at offset {offset} (buffer is {} bytes)",

@@ -48,12 +48,8 @@ impl Buffer {
         if size == 0 {
             return Err(ClError::InvalidValue("buffer size must be non-zero".into()));
         }
-        let max_alloc = context
-            .devices()
-            .iter()
-            .map(|d| d.profile().max_alloc_bytes)
-            .max()
-            .unwrap_or(u64::MAX);
+        let max_alloc =
+            context.devices().iter().map(|d| d.profile().max_alloc_bytes).max().unwrap_or(u64::MAX);
         if size as u64 > max_alloc {
             return Err(ClError::MemObjectAllocationFailure(format!(
                 "requested {size} bytes exceeds CL_DEVICE_MAX_MEM_ALLOC_SIZE ({max_alloc})"
@@ -101,9 +97,9 @@ impl Buffer {
     /// Copy `len` bytes starting at `offset` out of the buffer.
     pub fn read(&self, offset: usize, len: usize) -> Result<Vec<u8>> {
         let data = self.data.lock();
-        let end = offset.checked_add(len).ok_or_else(|| {
-            ClError::InvalidValue("read range overflows".into())
-        })?;
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| ClError::InvalidValue("read range overflows".into()))?;
         if end > data.len() {
             return Err(ClError::InvalidValue(format!(
                 "read of {len} bytes at offset {offset} exceeds buffer size {}",
@@ -116,9 +112,9 @@ impl Buffer {
     /// Copy `bytes` into the buffer starting at `offset`.
     pub fn write(&self, offset: usize, bytes: &[u8]) -> Result<()> {
         let mut data = self.data.lock();
-        let end = offset.checked_add(bytes.len()).ok_or_else(|| {
-            ClError::InvalidValue("write range overflows".into())
-        })?;
+        let end = offset
+            .checked_add(bytes.len())
+            .ok_or_else(|| ClError::InvalidValue("write range overflows".into()))?;
         if end > data.len() {
             return Err(ClError::InvalidValue(format!(
                 "write of {} bytes at offset {offset} exceeds buffer size {}",

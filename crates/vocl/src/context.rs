@@ -20,10 +20,7 @@ impl Context {
         if devices.is_empty() {
             return Err(ClError::InvalidValue("a context needs at least one device".into()));
         }
-        Ok(Arc::new(Context {
-            id: NEXT_CONTEXT_ID.fetch_add(1, Ordering::Relaxed),
-            devices,
-        }))
+        Ok(Arc::new(Context { id: NEXT_CONTEXT_ID.fetch_add(1, Ordering::Relaxed), devices }))
     }
 
     /// Unique context id within the process.

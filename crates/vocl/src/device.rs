@@ -159,13 +159,13 @@ impl Device {
             return false;
         };
         match self.info(param) {
-            DeviceInfoValue::Str(s) => {
-                s.to_ascii_lowercase().contains(&value.to_ascii_lowercase())
-            }
+            DeviceInfoValue::Str(s) => s.to_ascii_lowercase().contains(&value.to_ascii_lowercase()),
             DeviceInfoValue::Type(t) => {
                 DeviceType::from_attribute(value).map(|want| want == t).unwrap_or(false)
             }
-            DeviceInfoValue::UInt(v) => value.trim().parse::<u64>().map(|want| v >= want).unwrap_or(false),
+            DeviceInfoValue::UInt(v) => {
+                value.trim().parse::<u64>().map(|want| v >= want).unwrap_or(false)
+            }
         }
     }
 }

@@ -107,8 +107,6 @@ mod tests {
     #[test]
     fn display_contains_cl_name() {
         assert!(ClError::InvalidValue("oops".into()).to_string().contains("CL_INVALID_VALUE"));
-        assert!(ClError::BuildProgramFailure("log text".into())
-            .to_string()
-            .contains("log text"));
+        assert!(ClError::BuildProgramFailure("log text".into()).to_string().contains("log text"));
     }
 }

@@ -224,9 +224,9 @@ impl Event {
         }
         match state.status {
             EventStatus::Complete => Ok(()),
-            EventStatus::Error(code) => Err(ClError::ExecutionFailure(format!(
-                "command failed with status {code}"
-            ))),
+            EventStatus::Error(code) => {
+                Err(ClError::ExecutionFailure(format!("command failed with status {code}")))
+            }
             _ => unreachable!("terminal check above"),
         }
     }
@@ -244,9 +244,9 @@ impl Event {
         }
         match state.status {
             EventStatus::Complete => Ok(true),
-            EventStatus::Error(code) => Err(ClError::ExecutionFailure(format!(
-                "command failed with status {code}"
-            ))),
+            EventStatus::Error(code) => {
+                Err(ClError::ExecutionFailure(format!("command failed with status {code}")))
+            }
             _ => unreachable!(),
         }
     }

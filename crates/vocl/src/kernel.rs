@@ -32,15 +32,16 @@ pub struct Kernel {
 
 impl std::fmt::Debug for Kernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Kernel")
-            .field("id", &self.id)
-            .field("name", &self.name)
-            .finish()
+        f.debug_struct("Kernel").field("id", &self.id).field("name", &self.name).finish()
     }
 }
 
 impl Kernel {
-    pub(crate) fn new(program: Arc<Program>, name: &str, declared_args: Option<usize>) -> Arc<Kernel> {
+    pub(crate) fn new(
+        program: Arc<Program>,
+        name: &str,
+        declared_args: Option<usize>,
+    ) -> Arc<Kernel> {
         Arc::new(Kernel {
             id: NEXT_KERNEL_ID.fetch_add(1, Ordering::Relaxed),
             program,
@@ -136,19 +137,20 @@ impl Kernel {
 
         let mut guards: Vec<_> = unique.iter().map(|b| b.lock_data()).collect();
         let mut bindings: Vec<BufferBinding<'_>> =
-            guards.iter_mut().map(|g| BufferBinding::new(&mut **g)).collect();
+            guards.iter_mut().map(|g| BufferBinding::new(g)).collect();
 
         if self.program.is_built_in() {
             let f = built_in_kernel(&self.name).ok_or_else(|| {
                 ClError::InvalidKernelName(format!("built-in kernel '{}' vanished", self.name))
             })?;
-            let counters = f(range, &arg_values, &mut bindings)
-                .map_err(ClError::ExecutionFailure)?;
+            let counters =
+                f(range, &arg_values, &mut bindings).map_err(ClError::ExecutionFailure)?;
             Ok((counters, false))
         } else {
-            let compiled = self.program.compiled().ok_or_else(|| {
-                ClError::InvalidOperation("program is not built".into())
-            })?;
+            let compiled = self
+                .program
+                .compiled()
+                .ok_or_else(|| ClError::InvalidOperation("program is not built".into()))?;
             let handle = compiled.kernel(&self.name).ok_or_else(|| {
                 ClError::InvalidKernelName(format!("kernel '{}' not found", self.name))
             })?;
@@ -240,10 +242,8 @@ mod tests {
         kernel.set_arg(1, KernelArg::Buffer(Arc::clone(&buffer))).unwrap();
         kernel.execute(&NdRange::linear(4)).unwrap();
         let out = buffer.read(0, 16).unwrap();
-        let values: Vec<i32> = out
-            .chunks_exact(4)
-            .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let values: Vec<i32> =
+            out.chunks_exact(4).map(|c| i32::from_le_bytes(c.try_into().unwrap())).collect();
         assert_eq!(values, vec![2, 4, 6, 8]);
     }
 
@@ -264,11 +264,16 @@ mod tests {
                 // BufferBinding has no direct accessor; use a scratch kernel
                 // counters result only — the real workloads mutate through
                 // load/store helpers in their own crates.
-                Ok(WorkItemCounters { work_items: n as u64, ops: (n * 2) as u64, ..Default::default() })
+                Ok(WorkItemCounters {
+                    work_items: n as u64,
+                    ops: (n * 2) as u64,
+                    ..Default::default()
+                })
             }),
         );
         let context = ctx();
-        let program = Program::with_built_in_kernels(Arc::clone(&context), "unit_test_double").unwrap();
+        let program =
+            Program::with_built_in_kernels(Arc::clone(&context), "unit_test_double").unwrap();
         let kernel = program.create_kernel("unit_test_double").unwrap();
         let buffer = Buffer::new(Arc::clone(&context), 16, MemFlags::READ_WRITE, None).unwrap();
         kernel.set_arg(0, KernelArg::Buffer(buffer)).unwrap();

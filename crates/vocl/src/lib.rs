@@ -95,7 +95,8 @@ mod tests {
         kernel.set_arg(2, KernelArg::Buffer(Arc::clone(&by))).unwrap();
         kernel.set_arg(3, KernelArg::Scalar(Value::uint(n as u64))).unwrap();
 
-        let launch = queue.enqueue_nd_range_kernel(&kernel, NdRange::linear(n), Vec::new()).unwrap();
+        let launch =
+            queue.enqueue_nd_range_kernel(&kernel, NdRange::linear(n), Vec::new()).unwrap();
         launch.wait().unwrap();
 
         let out = queue.read_buffer_blocking(&by, 0, n * 4).unwrap();

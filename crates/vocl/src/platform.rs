@@ -16,7 +16,11 @@ pub struct Platform {
 
 impl Platform {
     /// Create a platform exposing `devices`.
-    pub fn new(name: impl Into<String>, vendor: impl Into<String>, devices: Vec<Arc<Device>>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        vendor: impl Into<String>,
+        devices: Vec<Arc<Device>>,
+    ) -> Self {
         Platform {
             name: name.into(),
             vendor: vendor.into(),
@@ -84,7 +88,9 @@ impl Platform {
     /// A tiny test platform with `n` fast deterministic CPU devices.
     pub fn test_platform(n: usize) -> Self {
         let devices = (0..n)
-            .map(|i| Device::new(DeviceType::Cpu, DeviceProfile::test_device(&format!("test-cpu-{i}"))))
+            .map(|i| {
+                Device::new(DeviceType::Cpu, DeviceProfile::test_device(&format!("test-cpu-{i}")))
+            })
             .collect();
         Platform::new("dOpenCL test platform", "dOpenCL reproduction", devices)
     }

@@ -18,7 +18,11 @@ static NEXT_PROGRAM_ID: AtomicU64 = AtomicU64::new(1);
 /// Built-in kernels receive the same argument representation as interpreted
 /// kernels; the returned counters drive the device's modelled execution time
 /// (`ops` is interpreted as the number of floating-point operations).
-pub type BuiltInKernelFn = dyn Fn(&NdRange, &[KernelArgValue], &mut [BufferBinding<'_>]) -> std::result::Result<WorkItemCounters, String>
+pub type BuiltInKernelFn = dyn Fn(
+        &NdRange,
+        &[KernelArgValue],
+        &mut [BufferBinding<'_>],
+    ) -> std::result::Result<WorkItemCounters, String>
     + Send
     + Sync;
 
@@ -48,13 +52,8 @@ pub fn built_in_kernel_names() -> Vec<String> {
 }
 
 enum ProgramKind {
-    Source {
-        source: String,
-        built: Mutex<Option<std::result::Result<oclc::Program, String>>>,
-    },
-    BuiltIn {
-        names: Vec<String>,
-    },
+    Source { source: String, built: Mutex<Option<std::result::Result<oclc::Program, String>>> },
+    BuiltIn { names: Vec<String> },
 }
 
 /// A program object (`cl_program`).
@@ -66,10 +65,7 @@ pub struct Program {
 
 impl std::fmt::Debug for Program {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Program")
-            .field("id", &self.id)
-            .field("built", &self.is_built())
-            .finish()
+        f.debug_struct("Program").field("id", &self.id).field("built", &self.is_built()).finish()
     }
 }
 
@@ -86,11 +82,8 @@ impl Program {
     /// `clCreateProgramWithBuiltInKernels`: `names` is a semicolon-separated
     /// list of registered built-in kernel names.
     pub fn with_built_in_kernels(context: Arc<Context>, names: &str) -> Result<Arc<Program>> {
-        let names: Vec<String> = names
-            .split(';')
-            .map(|s| s.trim().to_string())
-            .filter(|s| !s.is_empty())
-            .collect();
+        let names: Vec<String> =
+            names.split(';').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
         if names.is_empty() {
             return Err(ClError::InvalidValue("no built-in kernel names given".into()));
         }
@@ -279,7 +272,10 @@ mod tests {
         register_built_in_kernel(
             "unit_test_noop",
             Arc::new(|range, _args, _bufs| {
-                Ok(WorkItemCounters { work_items: range.total_items() as u64, ..Default::default() })
+                Ok(WorkItemCounters {
+                    work_items: range.total_items() as u64,
+                    ..Default::default()
+                })
             }),
         );
         let p = Program::with_built_in_kernels(ctx(), "unit_test_noop").unwrap();

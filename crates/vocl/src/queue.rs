@@ -150,9 +150,7 @@ impl CommandQueue {
 
     fn submit(&self, command: Command, event: &Arc<Event>) -> Result<Arc<Event>> {
         event.set_status(EventStatus::Submitted);
-        self.tx
-            .send(command)
-            .map_err(|_| ClError::QueueShutDown)?;
+        self.tx.send(command).map_err(|_| ClError::QueueShutDown)?;
         Ok(Arc::clone(event))
     }
 
@@ -334,9 +332,7 @@ fn execute_command(device: &Arc<Device>, command: Command) {
                 return;
             }
             event.set_status(EventStatus::Running);
-            let result = src
-                .read(src_offset, len)
-                .and_then(|data| dst.write(dst_offset, &data));
+            let result = src.read(src_offset, len).and_then(|data| dst.write(dst_offset, &data));
             match result {
                 Ok(()) => {
                     // A device-internal copy moves data once over the bus.
@@ -389,9 +385,12 @@ mod tests {
     fn setup() -> (Arc<Context>, Arc<Device>, Arc<CommandQueue>) {
         let device = Device::new(DeviceType::Cpu, DeviceProfile::test_device("q"));
         let context = Context::new(vec![Arc::clone(&device)]).unwrap();
-        let queue =
-            CommandQueue::new(Arc::clone(&context), Arc::clone(&device), QueueProperties::default())
-                .unwrap();
+        let queue = CommandQueue::new(
+            Arc::clone(&context),
+            Arc::clone(&device),
+            QueueProperties::default(),
+        )
+        .unwrap();
         (context, device, queue)
     }
 
@@ -466,9 +465,7 @@ mod tests {
         let buffer = Buffer::new(Arc::clone(&context), 4, MemFlags::READ_WRITE, None).unwrap();
         let gate = Event::user();
         gate.set_error(-5);
-        let write = queue
-            .enqueue_write_buffer(&buffer, 0, vec![1, 1, 1, 1], vec![gate])
-            .unwrap();
+        let write = queue.enqueue_write_buffer(&buffer, 0, vec![1, 1, 1, 1], vec![gate]).unwrap();
         assert!(write.wait().is_err());
     }
 
@@ -483,7 +480,13 @@ mod tests {
     #[test]
     fn copy_buffer_moves_data() {
         let (context, _, queue) = setup();
-        let src = Buffer::new(Arc::clone(&context), 8, MemFlags::READ_WRITE, Some(&[1, 2, 3, 4, 5, 6, 7, 8])).unwrap();
+        let src = Buffer::new(
+            Arc::clone(&context),
+            8,
+            MemFlags::READ_WRITE,
+            Some(&[1, 2, 3, 4, 5, 6, 7, 8]),
+        )
+        .unwrap();
         let dst = Buffer::new(Arc::clone(&context), 8, MemFlags::READ_WRITE, None).unwrap();
         let e = queue.enqueue_copy_buffer(&src, &dst, 4, 0, 4, Vec::new()).unwrap();
         e.wait().unwrap();

@@ -10,7 +10,7 @@
 //!   transfer crosses the network *and* the PCI Express bus.
 
 use crate::iperf;
-use dopencl::{Client, LocalCluster};
+use dopencl::{Client, Context, LocalCluster};
 use gcf::simtime::SimClock;
 use gcf::LinkModel;
 use std::time::Duration;
@@ -63,19 +63,18 @@ pub fn dopencl_transfer_with(
     let device = devices
         .first()
         .ok_or_else(|| dopencl::DclError::InvalidArgument("no devices available".into()))?;
-    let context = client.create_context(std::slice::from_ref(device))?;
-    let queue = client.create_command_queue(&context, device)?;
-    let buffer = client.create_buffer(&context, bytes)?;
+    let context = Context::new(client, std::slice::from_ref(device))?;
+    let queue = context.create_command_queue(device)?;
+    let buffer = context.create_buffer(bytes)?;
 
     // Host → device: the upload crosses the network, then the PCIe bus.
     let before = clock.breakdown();
     let payload = vec![0xA5u8; bytes];
-    let write_event = client.enqueue_write_buffer(&queue, &buffer, 0, &payload, &[])?;
-    write_event.wait()?;
+    queue.write_buffer(&buffer, &payload).blocking().submit()?;
     let after_write = clock.breakdown();
 
     // Device → host.
-    let (data, read_event) = client.enqueue_read_buffer(&queue, &buffer, 0, bytes, &[])?;
+    let (data, read_event) = queue.read_buffer(&buffer).submit()?;
     read_event.wait()?;
     assert_eq!(data.len(), bytes);
     let after_read = clock.breakdown();

@@ -189,9 +189,7 @@ pub fn estimated_flops(params: &MandelbrotParams, sample_step: usize) -> f64 {
 
 fn scalar_arg(args: &[KernelArgValue], index: usize) -> Result<f64, String> {
     match args.get(index) {
-        Some(KernelArgValue::Scalar(v)) => {
-            v.as_f64().map_err(|e| format!("argument {index}: {e}"))
-        }
+        Some(KernelArgValue::Scalar(v)) => v.as_f64().map_err(|e| format!("argument {index}: {e}")),
         other => Err(format!("argument {index}: expected a scalar, got {other:?}")),
     }
 }
@@ -286,12 +284,8 @@ mod tests {
 
     #[test]
     fn interpreted_kernel_matches_reference() {
-        let params = MandelbrotParams {
-            width: 32,
-            height: 16,
-            max_iter: 64,
-            ..MandelbrotParams::small()
-        };
+        let params =
+            MandelbrotParams { width: 32, height: 16, max_iter: 64, ..MandelbrotParams::small() };
         let program = Program::build(KERNEL_SOURCE).expect("kernel source builds");
         let kernel = program.kernel("mandelbrot_rows").unwrap();
         let mut out = vec![0u8; params.width * params.height * 4];
@@ -307,14 +301,10 @@ mod tests {
             KernelArgValue::Scalar(oclc::Value::uint(params.max_iter as u64)),
         ];
         let mut bindings = vec![BufferBinding::new(&mut out)];
-        kernel
-            .execute(&NdRange::two_d(params.width, params.height), &args, &mut bindings)
-            .unwrap();
+        kernel.execute(&NdRange::two_d(params.width, params.height), &args, &mut bindings).unwrap();
         let (reference, _) = compute_rows(&params, 0, params.height);
-        let computed: Vec<u32> = out
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let computed: Vec<u32> =
+            out.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect();
         // f32 vs f64 rounding can shift the escape iteration slightly near
         // the set boundary; the bulk of the image must agree exactly.
         let matching = computed.iter().zip(&reference).filter(|(a, b)| a == b).count();
@@ -328,7 +318,8 @@ mod tests {
     #[test]
     fn builtin_kernel_matches_reference_exactly() {
         register_built_in_kernels();
-        let params = MandelbrotParams { width: 64, height: 32, max_iter: 128, ..MandelbrotParams::small() };
+        let params =
+            MandelbrotParams { width: 64, height: 32, max_iter: 128, ..MandelbrotParams::small() };
         let f = vocl::built_in_kernel(BUILTIN_KERNEL).expect("registered");
         let mut out = vec![0u8; params.width * params.height * 4];
         let args = vec![
@@ -347,10 +338,8 @@ mod tests {
             f(&NdRange::two_d(params.width, params.height), &args, &mut bindings).unwrap()
         };
         let (reference, total_iters) = compute_rows(&params, 0, params.height);
-        let computed: Vec<u32> = out
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let computed: Vec<u32> =
+            out.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect();
         assert_eq!(computed, reference);
         assert_eq!(counters.work_items, (params.width * params.height) as u64);
         assert_eq!(counters.ops, (total_iters as f64 * FLOPS_PER_ITERATION) as u64);
@@ -358,7 +347,12 @@ mod tests {
 
     #[test]
     fn iteration_estimate_is_close_to_exact_count() {
-        let params = MandelbrotParams { width: 160, height: 120, max_iter: 200, ..MandelbrotParams::small() };
+        let params = MandelbrotParams {
+            width: 160,
+            height: 120,
+            max_iter: 200,
+            ..MandelbrotParams::small()
+        };
         let (_, exact) = compute_rows(&params, 0, params.height);
         let estimate = estimate_total_iterations(&params, 4);
         let ratio = estimate as f64 / exact as f64;

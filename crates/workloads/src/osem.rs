@@ -138,11 +138,7 @@ fn voxel_for(x: f32, y: f32, z: f32, d: f32, step: usize, num_voxels: usize) -> 
 
 /// Pure-Rust reference of one subset update: returns the correction volume
 /// produced from `events` (a slice of the subset's events) and `image`.
-pub fn reference_subset_update(
-    params: &OsemParams,
-    events: &[f32],
-    image: &[f32],
-) -> Vec<f32> {
+pub fn reference_subset_update(params: &OsemParams, events: &[f32], image: &[f32]) -> Vec<f32> {
     let mut correction = vec![0.0f32; params.num_voxels];
     for event in events.chunks_exact(FLOATS_PER_EVENT) {
         let (x, y, z, d) = (event[0], event[1], event[2], event[3]);
@@ -205,7 +201,8 @@ pub fn register_built_in_kernels() {
                 if base + 3 >= events.len() {
                     break;
                 }
-                let (x, y, z, d) = (events[base], events[base + 1], events[base + 2], events[base + 3]);
+                let (x, y, z, d) =
+                    (events[base], events[base + 1], events[base + 2], events[base + 3]);
                 let mut forward = 0.0f32;
                 for s in 0..ray_steps {
                     forward += image[voxel_for(x, y, z, d, s, num_voxels)];
@@ -320,15 +317,9 @@ mod tests {
             BufferBinding::new(&mut image_bytes),
             BufferBinding::new(&mut correction_bytes),
         ];
-        kernel
-            .execute(&NdRange::linear(params.num_events), &args, &mut bindings)
-            .unwrap();
+        kernel.execute(&NdRange::linear(params.num_events), &args, &mut bindings).unwrap();
         let computed = f32s(&correction_bytes);
-        let close = computed
-            .iter()
-            .zip(&reference)
-            .filter(|(a, b)| (*a - *b).abs() < 1e-3)
-            .count();
+        let close = computed.iter().zip(&reference).filter(|(a, b)| (*a - *b).abs() < 1e-3).count();
         assert!(
             close as f64 / reference.len() as f64 > 0.95,
             "only {close}/{} voxels close",

@@ -10,7 +10,7 @@ use devmgr::{
     connect_via_device_manager, parse_device_request, release_assignment, DeviceManager,
     DeviceManagerServer, ManagedDaemon, SchedulingStrategy,
 };
-use dopencl::{LinkModel, LocalCluster, NdRange, SimClock, Value};
+use dopencl::{Context, LinkModel, LocalCluster, NdRange, SimClock, Value};
 use std::sync::Arc;
 use vocl::Platform;
 use workloads::mandelbrot::{MandelbrotParams, BUILTIN_KERNEL};
@@ -20,27 +20,22 @@ fn run_instance(client: &dopencl::Client, name: &str) -> dopencl::Result<()> {
         MandelbrotParams { width: 96, height: 64, max_iter: 128, ..MandelbrotParams::small() };
     let devices = client.devices();
     println!("[{name}] sees {} device(s): {}", devices.len(), devices[0].name());
-    let context = client.create_context(&devices)?;
-    let queue = client.create_command_queue(&context, &devices[0])?;
-    let buffer = client.create_buffer(&context, params.pixels() * 4)?;
-    let program = client.create_program_with_built_in_kernels(&context, BUILTIN_KERNEL)?;
-    client.build_program(&program)?;
-    let kernel = client.create_kernel(&program, BUILTIN_KERNEL)?;
-    client.set_kernel_arg_buffer(&kernel, 0, &buffer)?;
-    client.set_kernel_arg_scalar(&kernel, 1, Value::uint(params.width as u64))?;
-    client.set_kernel_arg_scalar(&kernel, 2, Value::uint(params.height as u64))?;
-    client.set_kernel_arg_scalar(&kernel, 3, Value::double(params.x_min))?;
-    client.set_kernel_arg_scalar(&kernel, 4, Value::double(params.y_min))?;
-    client.set_kernel_arg_scalar(&kernel, 5, Value::double(params.dx()))?;
-    client.set_kernel_arg_scalar(&kernel, 6, Value::double(params.dy()))?;
-    client.set_kernel_arg_scalar(&kernel, 7, Value::uint(0))?;
-    client.set_kernel_arg_scalar(&kernel, 8, Value::uint(params.max_iter as u64))?;
-    let event = client.enqueue_nd_range_kernel(
-        &queue,
-        &kernel,
-        NdRange::two_d(params.width, params.height),
-        &[],
-    )?;
+    let context = Context::new(client, &devices)?;
+    let queue = context.create_command_queue(&devices[0])?;
+    let buffer = context.create_buffer(params.pixels() * 4)?;
+    let program = context.create_program_with_built_in_kernels(BUILTIN_KERNEL)?;
+    program.build()?;
+    let kernel = program.create_kernel(BUILTIN_KERNEL)?;
+    kernel.set_arg(0, &buffer)?;
+    kernel.set_arg(1, Value::uint(params.width as u64))?;
+    kernel.set_arg(2, Value::uint(params.height as u64))?;
+    kernel.set_arg(3, Value::double(params.x_min))?;
+    kernel.set_arg(4, Value::double(params.y_min))?;
+    kernel.set_arg(5, Value::double(params.dx()))?;
+    kernel.set_arg(6, Value::double(params.dy()))?;
+    kernel.set_arg(7, Value::uint(0))?;
+    kernel.set_arg(8, Value::uint(params.max_iter as u64))?;
+    let event = queue.launch(&kernel, NdRange::two_d(params.width, params.height)).submit()?;
     event.wait()?;
     println!("[{name}] kernel finished, modelled execution time {:?}", event.modeled_duration());
     Ok(())

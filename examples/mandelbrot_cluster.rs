@@ -5,7 +5,7 @@
 //! cargo run -p dopencl-examples --bin mandelbrot_cluster -- [nodes]
 //! ```
 
-use dopencl::{infiniband_cpu_cluster, NdRange, SimClock, Value};
+use dopencl::{infiniband_cpu_cluster, Context, Event, NdRange, SimClock, Value};
 use workloads::mandelbrot::{self, MandelbrotParams, BUILTIN_KERNEL};
 
 fn main() -> dopencl::Result<()> {
@@ -22,9 +22,9 @@ fn main() -> dopencl::Result<()> {
     let clock = SimClock::new();
     let client = cluster.client_with_clock("mandelbrot", clock.clone())?;
     let devices = client.devices();
-    let context = client.create_context(&devices)?;
-    let program = client.create_program_with_built_in_kernels(&context, BUILTIN_KERNEL)?;
-    client.build_program(&program)?;
+    let context = Context::new(&client, &devices)?;
+    let program = context.create_program_with_built_in_kernels(BUILTIN_KERNEL)?;
+    program.build()?;
 
     let rows_per_device = params.height.div_ceil(devices.len());
     let mut image = vec![0u32; params.pixels()];
@@ -36,30 +36,24 @@ fn main() -> dopencl::Result<()> {
         if rows == 0 {
             break;
         }
-        let queue = client.create_command_queue(&context, device)?;
-        let buffer = client.create_buffer(&context, params.width * rows * 4)?;
-        let kernel = client.create_kernel(&program, BUILTIN_KERNEL)?;
-        client.set_kernel_arg_buffer(&kernel, 0, &buffer)?;
-        client.set_kernel_arg_scalar(&kernel, 1, Value::uint(params.width as u64))?;
-        client.set_kernel_arg_scalar(&kernel, 2, Value::uint(rows as u64))?;
-        client.set_kernel_arg_scalar(&kernel, 3, Value::double(params.x_min))?;
-        client.set_kernel_arg_scalar(&kernel, 4, Value::double(params.y_min))?;
-        client.set_kernel_arg_scalar(&kernel, 5, Value::double(params.dx()))?;
-        client.set_kernel_arg_scalar(&kernel, 6, Value::double(params.dy()))?;
-        client.set_kernel_arg_scalar(&kernel, 7, Value::uint(row_offset as u64))?;
-        client.set_kernel_arg_scalar(&kernel, 8, Value::uint(params.max_iter as u64))?;
-        events.push(client.enqueue_nd_range_kernel(
-            &queue,
-            &kernel,
-            NdRange::two_d(params.width, rows),
-            &[],
-        )?);
+        let queue = context.create_command_queue(device)?;
+        let buffer = context.create_buffer(params.width * rows * 4)?;
+        let kernel = program.create_kernel(BUILTIN_KERNEL)?;
+        kernel.set_arg(0, &buffer)?;
+        kernel.set_arg(1, Value::uint(params.width as u64))?;
+        kernel.set_arg(2, Value::uint(rows as u64))?;
+        kernel.set_arg(3, Value::double(params.x_min))?;
+        kernel.set_arg(4, Value::double(params.y_min))?;
+        kernel.set_arg(5, Value::double(params.dx()))?;
+        kernel.set_arg(6, Value::double(params.dy()))?;
+        kernel.set_arg(7, Value::uint(row_offset as u64))?;
+        kernel.set_arg(8, Value::uint(params.max_iter as u64))?;
+        events.push(queue.launch(&kernel, NdRange::two_d(params.width, rows)).submit()?);
         tiles.push((queue, buffer, row_offset, rows));
     }
-    client.wait_for_events(&events)?;
-    for (queue, buffer, row_offset, rows) in &tiles {
-        let (data, _) =
-            client.enqueue_read_buffer(queue, buffer, 0, params.width * rows * 4, &[])?;
+    Event::wait_all(&events)?;
+    for (queue, buffer, row_offset, _rows) in &tiles {
+        let (data, _) = queue.read_buffer(buffer).submit()?;
         for (i, chunk) in data.chunks_exact(4).enumerate() {
             image[row_offset * params.width + i] = u32::from_le_bytes(chunk.try_into().unwrap());
         }
@@ -76,7 +70,13 @@ fn main() -> dopencl::Result<()> {
         let mut line = String::new();
         for x in (0..params.width).step_by((params.width / 76).max(1)) {
             let it = image[y * params.width + x];
-            line.push(if it >= params.max_iter { '#' } else if it > 32 { '+' } else { '.' });
+            line.push(if it >= params.max_iter {
+                '#'
+            } else if it > 32 {
+                '+'
+            } else {
+                '.'
+            });
         }
         println!("{line}");
     }

@@ -6,7 +6,7 @@
 //! cargo run -p dopencl-examples --bin osem_offload
 //! ```
 
-use dopencl::{desktop_and_gpu_server, NdRange, SimClock, Value};
+use dopencl::{desktop_and_gpu_server, Context, DeviceType, NdRange, SimClock, Value};
 use workloads::osem::{self, OsemParams, BUILTIN_KERNEL};
 
 fn main() -> dopencl::Result<()> {
@@ -21,7 +21,7 @@ fn main() -> dopencl::Result<()> {
     let cluster = desktop_and_gpu_server()?;
     let clock = SimClock::new();
     let client = cluster.client_with_clock("desktop-pc", clock.clone())?;
-    let gpus = client.devices_of_type("GPU");
+    let gpus = client.devices_of(DeviceType::Gpu);
     println!("remote GPUs visible through dOpenCL: {}", gpus.len());
 
     let events = osem::generate_events(&params, 2026);
@@ -31,41 +31,33 @@ fn main() -> dopencl::Result<()> {
     // Use one of the remote GPUs (the paper's application uses the server's
     // GPUs one subset at a time).
     let gpu = &gpus[0];
-    let context = client.create_context(std::slice::from_ref(gpu))?;
-    let queue = client.create_command_queue(&context, gpu)?;
-    let events_buf = client.create_buffer(&context, events.len() * 4)?;
-    let image_buf = client.create_buffer(&context, params.num_voxels * 4)?;
-    let corr_buf = client.create_buffer(&context, params.num_voxels * 4)?;
-    client.enqueue_write_buffer(&queue, &events_buf, 0, &to_bytes(&events), &[])?.wait()?;
-    client.enqueue_write_buffer(&queue, &image_buf, 0, &to_bytes(&image), &[])?.wait()?;
+    let context = Context::new(&client, std::slice::from_ref(gpu))?;
+    let queue = context.create_command_queue(gpu)?;
+    let events_buf = context.create_buffer(events.len() * 4)?;
+    let image_buf = context.create_buffer(params.num_voxels * 4)?;
+    let corr_buf = context.create_buffer(params.num_voxels * 4)?;
+    queue.write_buffer(&events_buf, &to_bytes(&events)).blocking().submit()?;
+    queue.write_buffer(&image_buf, &to_bytes(&image)).blocking().submit()?;
 
-    let program = client.create_program_with_built_in_kernels(&context, BUILTIN_KERNEL)?;
-    client.build_program(&program)?;
-    let kernel = client.create_kernel(&program, BUILTIN_KERNEL)?;
-    client.set_kernel_arg_buffer(&kernel, 0, &events_buf)?;
-    client.set_kernel_arg_buffer(&kernel, 1, &image_buf)?;
-    client.set_kernel_arg_buffer(&kernel, 2, &corr_buf)?;
-    client.set_kernel_arg_scalar(&kernel, 3, Value::uint(params.events_per_subset() as u64))?;
-    client.set_kernel_arg_scalar(&kernel, 4, Value::uint(params.ray_steps as u64))?;
-    client.set_kernel_arg_scalar(&kernel, 5, Value::uint(params.num_voxels as u64))?;
+    let program = context.create_program_with_built_in_kernels(BUILTIN_KERNEL)?;
+    program.build()?;
+    let kernel = program.create_kernel(BUILTIN_KERNEL)?;
+    kernel.set_arg(0, &events_buf)?;
+    kernel.set_arg(1, &image_buf)?;
+    kernel.set_arg(2, &corr_buf)?;
+    kernel.set_arg(3, Value::uint(params.events_per_subset() as u64))?;
+    kernel.set_arg(4, Value::uint(params.ray_steps as u64))?;
+    kernel.set_arg(5, Value::uint(params.num_voxels as u64))?;
 
     for subset in 0..params.subsets {
-        let e = client.enqueue_nd_range_kernel(
-            &queue,
-            &kernel,
-            NdRange::linear(params.events_per_subset()),
-            &[],
-        )?;
+        let e = queue.launch(&kernel, NdRange::linear(params.events_per_subset())).submit()?;
         e.wait()?;
         println!("  subset {subset}: modelled kernel time {:?}", e.modeled_duration());
     }
 
-    let (correction, _) =
-        client.enqueue_read_buffer(&queue, &corr_buf, 0, params.num_voxels * 4, &[])?;
-    let total: f32 = correction
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-        .sum();
+    let (correction, _) = queue.read_buffer(&corr_buf).submit()?;
+    let total: f32 =
+        correction.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).sum();
     println!("\nsum of the correction volume: {total:.3}");
 
     let b = clock.breakdown();

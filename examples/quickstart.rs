@@ -1,5 +1,5 @@
 //! Quickstart: run an unmodified OpenCL-style program on a remote device
-//! through dOpenCL.
+//! through dOpenCL, using the handle-based object API.
 //!
 //! ```text
 //! cargo run -p dopencl-examples --bin quickstart
@@ -9,8 +9,27 @@
 //! server), connects a client driver to it via a server configuration file —
 //! exactly the way an existing OpenCL application is pointed at dOpenCL in
 //! the paper — and runs a SAXPY kernel shipped as OpenCL C source.
+//!
+//! # The object model in one glance
+//!
+//! Operations live on the object that owns them, like any native OpenCL
+//! binding — the `Client` only manages servers and lists devices:
+//!
+//! | object | operations |
+//! |---|---|
+//! | `Client` | `connect_server`, `devices`, `devices_of(DeviceType)` |
+//! | `Context` (via `Context::new`) | `create_command_queue`, `create_buffer`, `create_program_with_source` |
+//! | `Program` | `build`, `build_log`, `create_kernel` |
+//! | `Kernel` | `set_arg(i, scalar \| &buffer \| Arg::local(n))` |
+//! | `CommandQueue` | `write_buffer(..).submit()`, `read_buffer(..).submit()`, `launch(..).submit()`, `marker()`, `finish` |
+//! | `Event` | `wait`, `wait_timeout`, `Event::wait_all` |
+//!
+//! Enqueue calls are builders: chain `.at_offset(o)`, `.after(&[event])`,
+//! `.blocking()` before `.submit()`.  If you are migrating code written
+//! against the old `client.enqueue_*` god-object API, the full old→new
+//! table is in the `dopencl::client` module documentation.
 
-use dopencl::{LinkModel, LocalCluster, NdRange, Value};
+use dopencl::{Context, DeviceType, LinkModel, LocalCluster, NdRange, Value};
 use vocl::Platform;
 
 fn main() -> dopencl::Result<()> {
@@ -26,31 +45,25 @@ fn main() -> dopencl::Result<()> {
     let client = cluster.client("quickstart")?;
     println!("platform: {} ({})", client.platform_name(), client.platform_vendor());
     for device in client.devices() {
-        println!(
-            "  device: {} [{}] on server {:?}",
-            device.name(),
-            device.device_type(),
-            device.server()
-        );
+        println!("  device: {} [{}] on server {:?}", device.name(), device.kind(), device.server());
     }
 
     // Standard OpenCL workflow: context → queue → buffers → program → kernel.
-    let gpus = client.devices_of_type("GPU");
-    let context = client.create_context(&gpus[..1])?;
-    let queue = client.create_command_queue(&context, &gpus[0])?;
+    let gpus = client.devices_of(DeviceType::Gpu);
+    let context = Context::new(&client, &gpus[..1])?;
+    let queue = context.create_command_queue(&gpus[0])?;
 
     let n = 1024usize;
     let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
     let y: Vec<f32> = (0..n).map(|i| 2.0 * i as f32).collect();
     let to_bytes = |v: &[f32]| v.iter().flat_map(|f| f.to_le_bytes()).collect::<Vec<u8>>();
 
-    let bx = client.create_buffer(&context, n * 4)?;
-    let by = client.create_buffer(&context, n * 4)?;
-    client.enqueue_write_buffer(&queue, &bx, 0, &to_bytes(&x), &[])?.wait()?;
-    client.enqueue_write_buffer(&queue, &by, 0, &to_bytes(&y), &[])?.wait()?;
+    let bx = context.create_buffer(n * 4)?;
+    let by = context.create_buffer(n * 4)?;
+    queue.write_buffer(&bx, &to_bytes(&x)).blocking().submit()?;
+    queue.write_buffer(&by, &to_bytes(&y)).blocking().submit()?;
 
-    let program = client.create_program_with_source(
-        &context,
+    let program = context.create_program_with_source(
         r#"
         __kernel void saxpy(float a, __global const float* x, __global float* y, uint n) {
             size_t i = get_global_id(0);
@@ -58,17 +71,17 @@ fn main() -> dopencl::Result<()> {
         }
         "#,
     )?;
-    client.build_program(&program)?;
-    let kernel = client.create_kernel(&program, "saxpy")?;
-    client.set_kernel_arg_scalar(&kernel, 0, Value::float(1.5))?;
-    client.set_kernel_arg_buffer(&kernel, 1, &bx)?;
-    client.set_kernel_arg_buffer(&kernel, 2, &by)?;
-    client.set_kernel_arg_scalar(&kernel, 3, Value::uint(n as u64))?;
+    program.build()?;
+    let kernel = program.create_kernel("saxpy")?;
+    kernel.set_arg(0, Value::float(1.5))?;
+    kernel.set_arg(1, &bx)?;
+    kernel.set_arg(2, &by)?;
+    kernel.set_arg(3, Value::uint(n as u64))?;
 
-    let event = client.enqueue_nd_range_kernel(&queue, &kernel, NdRange::linear(n), &[])?;
+    let event = queue.launch(&kernel, NdRange::linear(n)).submit()?;
     event.wait()?;
 
-    let (result, _) = client.enqueue_read_buffer(&queue, &by, 0, n * 4, &[])?;
+    let (result, _) = queue.read_buffer(&by).submit()?;
     let first = f32::from_le_bytes(result[4..8].try_into().unwrap());
     println!("\ny[1] = {first} (expected {})", 1.5 * 1.0 + 2.0);
     assert_eq!(first, 1.5 + 2.0);

@@ -1,0 +1,213 @@
+//! Shim for the subset of `criterion` this workspace's benches use.
+//!
+//! Provides [`Criterion`], [`BenchmarkGroup`], [`Bencher`], [`Throughput`],
+//! [`BatchSize`], [`criterion_group!`] and [`criterion_main!`].  Instead of
+//! criterion's statistical machinery it runs each benchmark for a bounded
+//! number of iterations (adapted so a benchmark takes roughly
+//! [`TARGET_TIME`] of wall clock) and prints a mean time per iteration,
+//! which is enough to compare runs by eye and to keep the benches compiling
+//! and runnable without external dependencies.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per benchmark.
+pub const TARGET_TIME: Duration = Duration::from_millis(500);
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Hint for how expensive `iter_batched` setup values are to keep alive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Passed to the closure given to `bench_function`; drives the iterations.
+pub struct Bencher {
+    measured: Option<MeasuredRun>,
+}
+
+struct MeasuredRun {
+    iterations: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up call sizes the measured batch.
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+        let iterations = (TARGET_TIME.as_nanos() / probe.as_nanos()).clamp(1, 10_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iterations {
+            black_box(routine());
+        }
+        self.measured = Some(MeasuredRun { iterations, total: start.elapsed() });
+    }
+
+    /// Run `routine` on fresh values produced by `setup`; only `routine` is
+    /// timed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let probe_start = Instant::now();
+        black_box(routine(input));
+        let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+        let iterations = (TARGET_TIME.as_nanos() / probe.as_nanos()).clamp(1, 10_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.measured = Some(MeasuredRun { iterations, total });
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let Some(run) = &bencher.measured else {
+        println!("{name:<50} (no measurement)");
+        return;
+    };
+    let per_iter = run.total.as_secs_f64() / run.iterations as f64;
+    let mut line =
+        format!("{name:<50} {:>12.3} µs/iter ({} iters)", per_iter * 1e6, run.iterations);
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let gbps = bytes as f64 / per_iter / 1e9;
+            line.push_str(&format!(", {gbps:.3} GB/s"));
+        }
+        Some(Throughput::Elements(elems)) => {
+            let meps = elems as f64 / per_iter / 1e6;
+            line.push_str(&format!(", {meps:.3} Melem/s"));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// The benchmark driver (see `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { measured: None };
+        f(&mut bencher);
+        report(name, &bencher, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), throughput: None }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput annotation used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes runs by wall clock.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { measured: None };
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, name.as_ref()), &bencher, self.throughput);
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Declare a group function running the given benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("shim/noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Bytes(1024));
+        group.sample_size(10);
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![0u8; 1024], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_runs() {
+        benches();
+    }
+}

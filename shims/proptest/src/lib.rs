@@ -1,0 +1,182 @@
+//! Shim for the subset of `proptest` this workspace's property tests use.
+//!
+//! The real proptest does shrinking and persistence of failing cases; this
+//! stand-in keeps the same surface — [`Strategy`], `any`, `prop_oneof!`,
+//! `proptest!`, `prop_assert*!`, `collection::vec` — but simply runs each
+//! property for a fixed number of deterministic pseudo-random cases
+//! (override with the `PROPTEST_CASES` environment variable).  Failures
+//! report the case number; rerunning reproduces them because the RNG seed is
+//! derived from the test name alone.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+pub mod collection;
+
+/// Deterministic test RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed a generator from a test name.
+    pub fn from_name(name: &str) -> TestRng {
+        // FNV-1a over the name gives a stable, distinct seed per test.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be non-zero).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// Number of cases each property runs (default 48, `PROPTEST_CASES`
+/// overrides).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(48)
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+);
+    };
+}
+
+/// Build a strategy that picks uniformly among the given strategies (all
+/// must produce the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// Define property tests: each function runs its body for [`cases`]
+/// deterministic pseudo-random assignments of its `arg in strategy`
+/// parameters.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                $( let $arg = $strat; )+
+                for case in 0..$crate::cases() {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        $( let $arg = $crate::strategy::Strategy::generate(&$arg, &mut rng); )+
+                        $body
+                    }));
+                    if let Err(panic) = result {
+                        eprintln!(
+                            "proptest shim: property {} failed at case {case}",
+                            stringify!($name)
+                        );
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Addition of small numbers never overflows u32.
+        #[test]
+        fn addition_is_monotone(a in any::<u16>(), b in 0u32..1000) {
+            prop_assert!(a as u32 + b >= b);
+            prop_assert_eq!(a as u32 + b, b + a as u32);
+        }
+
+        #[test]
+        fn vectors_respect_size_bounds(v in crate::collection::vec(any::<u8>(), 2..=4)) {
+            prop_assert!((2..=4).contains(&v.len()), "len {}", v.len());
+        }
+
+        #[test]
+        fn oneof_produces_all_arms(
+            v in prop_oneof![
+                any::<bool>().prop_map(|_| 0usize),
+                any::<bool>().prop_map(|_| 1usize),
+            ],
+            _w in any::<u8>(),
+        ) {
+            prop_assert!(v <= 1);
+        }
+
+        #[test]
+        fn regex_like_strings_stay_printable(s in "[ -~\\n]{0,200}") {
+            prop_assert!(s.len() <= 200);
+            prop_assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn tuples_and_ranges_generate() {
+        let mut rng = crate::TestRng::from_name("tuples");
+        let strat = (0usize..4, 0usize..3);
+        for _ in 0..100 {
+            let (a, b) = Strategy::generate(&strat, &mut rng);
+            assert!(a < 4 && b < 3);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Value-generation strategies (shim counterpart of `proptest::strategy`).
+
+use crate::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Object safe: `generate` is the only required method, so strategies can be
+/// boxed and mixed in a [`Union`] (what `prop_oneof!` builds).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { strategy: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+/// Uniform choice among several boxed strategies (built by `prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Build a union; panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let index = rng.below(self.options.len() as u64) as usize;
+        self.options[index].generate(rng)
+    }
+}
+
+/// The canonical strategy for a type (shim counterpart of
+/// `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Types with a canonical generation recipe.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Mix edge values in so boundary bugs surface quickly.
+                match rng.below(16) {
+                    0 => 0 as $t,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 => 1 as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        // Finite values only: generated floats feed equality round trips,
+        // which NaN would break by design.
+        match rng.below(8) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f32::MAX,
+            3 => f32::MIN_POSITIVE,
+            _ => {
+                let unit = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+                (unit - 0.5) * 2.0e12
+            }
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        match rng.below(8) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f64::MAX,
+            3 => f64::MIN_POSITIVE,
+            _ => {
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                (unit - 0.5) * 2.0e18
+            }
+        }
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (start as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $v:ident),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A / a, B / b)
+    (A / a, B / b, C / c)
+    (A / a, B / b, C / c, D / d)
+}
+
+/// Character classes parsed out of the tiny regex dialect supported for
+/// `&str` strategies: `[<class>]{lo,hi}` where the class lists characters,
+/// `a-z` ranges, and `\n`/`\t`/`\\` escapes.
+#[derive(Debug, Clone)]
+struct CharClass {
+    ranges: Vec<(char, char)>,
+}
+
+impl CharClass {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        let (lo, hi) = self.ranges[rng.below(self.ranges.len() as u64) as usize];
+        let span = hi as u32 - lo as u32 + 1;
+        char::from_u32(lo as u32 + rng.below(span as u64) as u32).unwrap_or(lo)
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Option<(CharClass, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class_part, rest) = rest.split_once(']')?;
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = counts.split_once(',')?;
+    let (lo, hi) = (lo.trim().parse().ok()?, hi.trim().parse().ok()?);
+
+    let mut chars: Vec<char> = Vec::new();
+    let mut iter = class_part.chars().peekable();
+    while let Some(c) = iter.next() {
+        if c == '\\' {
+            match iter.next()? {
+                'n' => chars.push('\n'),
+                't' => chars.push('\t'),
+                'r' => chars.push('\r'),
+                other => chars.push(other),
+            }
+        } else {
+            chars.push(c);
+        }
+    }
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            ranges.push((chars[i], chars[i + 2]));
+            i += 3;
+        } else if i + 2 == chars.len() && chars[i + 1] == '-' {
+            // Trailing '-' is a literal.
+            ranges.push((chars[i], chars[i]));
+            ranges.push(('-', '-'));
+            i += 2;
+        } else {
+            ranges.push((chars[i], chars[i]));
+            i += 1;
+        }
+    }
+    if ranges.is_empty() {
+        return None;
+    }
+    Some((CharClass { ranges }, lo, hi))
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (class, lo, hi) =
+            parse_pattern(self).unwrap_or((CharClass { ranges: vec![(' ', '~')] }, 0, 32));
+        let len = lo as u64 + rng.below((hi - lo + 1) as u64);
+        (0..len).map(|_| class.sample(rng)).collect()
+    }
+}

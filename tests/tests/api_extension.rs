@@ -2,7 +2,7 @@
 //! platform semantics (Section III-C / III-E).
 
 use dopencl::ext::{cl_connect_server_wwu, cl_disconnect_server_wwu, cl_get_server_info_wwu};
-use dopencl::{LinkModel, LocalCluster, SimClock};
+use dopencl::{DeviceType, LinkModel, LocalCluster, SimClock};
 use vocl::Platform;
 
 #[test]
@@ -22,8 +22,8 @@ fn devices_become_available_and_unavailable_at_runtime() {
 
     // The uniform dOpenCL platform merges devices from all servers.
     assert_eq!(client.platform_name(), "dOpenCL");
-    assert_eq!(client.devices_of_type("GPU").len(), 4);
-    assert_eq!(client.devices_of_type("CPU").len(), 2);
+    assert_eq!(client.devices_of(DeviceType::Gpu).len(), 4);
+    assert_eq!(client.devices_of(DeviceType::Cpu).len(), 2);
 
     // clGetServerInfoWWU
     let info0 = cl_get_server_info_wwu(&client, s0).unwrap();

@@ -1,7 +1,9 @@
 //! Integration tests of the configuration files (Listings 2 and 3) and the
 //! device-manager flow, including abnormal client termination.
 
-use devmgr::{DeviceManager, DeviceManagerServer, DeviceRequirement, ManagedDaemon, SchedulingStrategy};
+use devmgr::{
+    DeviceManager, DeviceManagerServer, DeviceRequirement, ManagedDaemon, SchedulingStrategy,
+};
 use dopencl::{LinkModel, LocalCluster, SimClock};
 use std::sync::Arc;
 use vocl::Platform;
@@ -31,7 +33,8 @@ fn four_clients_get_four_distinct_gpus_and_a_fifth_is_rejected() {
     let mut cluster = LocalCluster::new(LinkModel::gigabit_ethernet());
     let transport: Arc<dyn gcf::Transport> = Arc::new(cluster.transport());
     let dm = DeviceManager::new(SchedulingStrategy::FirstFit);
-    let dm_server = DeviceManagerServer::start(Arc::clone(&dm), Arc::clone(&transport), "devmngr").unwrap();
+    let dm_server =
+        DeviceManagerServer::start(Arc::clone(&dm), Arc::clone(&transport), "devmngr").unwrap();
     let platform = Platform::gpu_server();
     let managed = ManagedDaemon::connect(
         Arc::clone(&transport),
@@ -47,11 +50,19 @@ fn four_clients_get_four_distinct_gpus_and_a_fifth_is_rejected() {
         vec![DeviceRequirement { count: 1, attributes: vec![("TYPE".into(), "GPU".into())] }];
     let mut seen_devices = std::collections::HashSet::new();
     let mut assignments = Vec::new();
+    // The clients must stay alive: dropping one closes its connection, the
+    // daemon reports the abnormal disconnect, and the lease's GPU would
+    // return to the free set before the fifth request below.
+    let mut clients = Vec::new();
     for i in 0..4 {
         let client = cluster.detached_client(&format!("client-{i}"), SimClock::new());
-        let assignment =
-            devmgr::request_assignment(&transport, dm_server.address(), &format!("client-{i}"), &gpu_req)
-                .unwrap();
+        let assignment = devmgr::request_assignment(
+            &transport,
+            dm_server.address(),
+            &format!("client-{i}"),
+            &gpu_req,
+        )
+        .unwrap();
         client.set_auth_id(Some(assignment.auth_id.clone()));
         for server in &assignment.servers {
             client.connect_server(server).unwrap();
@@ -64,6 +75,7 @@ fn four_clients_get_four_distinct_gpus_and_a_fifth_is_rejected() {
             devices[0].remote_id()
         );
         assignments.push(assignment);
+        clients.push(client);
     }
     // The server only has four GPUs: a fifth request must fail.
     let err = devmgr::request_assignment(&transport, dm_server.address(), "client-4", &gpu_req);
@@ -80,7 +92,8 @@ fn abnormal_disconnect_returns_devices_to_the_free_set() {
     let mut cluster = LocalCluster::new(LinkModel::gigabit_ethernet());
     let transport: Arc<dyn gcf::Transport> = Arc::new(cluster.transport());
     let dm = DeviceManager::new(SchedulingStrategy::FirstFit);
-    let dm_server = DeviceManagerServer::start(Arc::clone(&dm), Arc::clone(&transport), "devmngr").unwrap();
+    let dm_server =
+        DeviceManagerServer::start(Arc::clone(&dm), Arc::clone(&transport), "devmngr").unwrap();
     let platform = Platform::gpu_server();
     let managed = ManagedDaemon::connect(
         Arc::clone(&transport),

@@ -1,8 +1,9 @@
 //! End-to-end integration tests spanning every crate: client driver, daemon,
 //! virtual OpenCL runtime, kernel interpreter, coherence and event
-//! consistency — over both transports.
+//! consistency — over both transports.  Exercises the handle-based object
+//! API throughout.
 
-use dopencl::{Client, LinkModel, LocalCluster, NdRange, SimClock, Value};
+use dopencl::{Client, Context, LinkModel, LocalCluster, NdRange, SimClock, Value};
 use gcf::transport::tcp::TcpTransport;
 use integration_tests::{as_i32s, test_cluster};
 use std::sync::Arc;
@@ -16,18 +17,18 @@ fn kernel_round_trip_over_inproc_transport() {
     let (_cluster, client, _clock) = test_cluster(1, 2);
     let devices = client.devices();
     assert_eq!(devices.len(), 2);
-    let context = client.create_context(&devices).unwrap();
-    let queue = client.create_command_queue(&context, &devices[0]).unwrap();
-    let buffer = client.create_buffer(&context, 64).unwrap();
-    let program = client.create_program_with_source(&context, INC_KERNEL).unwrap();
-    client.build_program(&program).unwrap();
-    let kernel = client.create_kernel(&program, "inc").unwrap();
-    client.set_kernel_arg_buffer(&kernel, 0, &buffer).unwrap();
+    let context = Context::new(&client, &devices).unwrap();
+    let queue = context.create_command_queue(&devices[0]).unwrap();
+    let buffer = context.create_buffer(64).unwrap();
+    let program = context.create_program_with_source(INC_KERNEL).unwrap();
+    program.build().unwrap();
+    let kernel = program.create_kernel("inc").unwrap();
+    kernel.set_arg(0, &buffer).unwrap();
     for _ in 0..3 {
-        client.enqueue_nd_range_kernel(&queue, &kernel, NdRange::linear(16), &[]).unwrap();
+        queue.launch(&kernel, NdRange::linear(16)).submit().unwrap();
     }
-    client.finish(&queue).unwrap();
-    let (data, _) = client.enqueue_read_buffer(&queue, &buffer, 0, 64, &[]).unwrap();
+    queue.finish().unwrap();
+    let (data, _) = queue.read_buffer(&buffer).submit().unwrap();
     assert!(as_i32s(&data).iter().all(|v| *v == 3));
 }
 
@@ -44,25 +45,22 @@ fn kernel_round_trip_over_tcp_transport() {
         Arc::new(dopencl::OpenAccess),
     )
     .unwrap();
-    let client = Client::new("tcp-client", transport, LinkModel::gigabit_ethernet(), SimClock::new());
+    let client =
+        Client::new("tcp-client", transport, LinkModel::gigabit_ethernet(), SimClock::new());
     client.connect_server(daemon.address()).unwrap();
     let devices = client.devices();
     assert_eq!(devices.len(), 1);
-    let context = client.create_context(&devices).unwrap();
-    let queue = client.create_command_queue(&context, &devices[0]).unwrap();
-    let buffer = client.create_buffer(&context, 4096).unwrap();
+    let context = Context::new(&client, &devices).unwrap();
+    let queue = context.create_command_queue(&devices[0]).unwrap();
+    let buffer = context.create_buffer(4096).unwrap();
     let payload: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
-    client.enqueue_write_buffer(&queue, &buffer, 0, &payload, &[]).unwrap().wait().unwrap();
-    let program = client.create_program_with_source(&context, INC_KERNEL).unwrap();
-    client.build_program(&program).unwrap();
-    let kernel = client.create_kernel(&program, "inc").unwrap();
-    client.set_kernel_arg_buffer(&kernel, 0, &buffer).unwrap();
-    client
-        .enqueue_nd_range_kernel(&queue, &kernel, NdRange::linear(1024), &[])
-        .unwrap()
-        .wait()
-        .unwrap();
-    let (data, _) = client.enqueue_read_buffer(&queue, &buffer, 0, 4096, &[]).unwrap();
+    queue.write_buffer(&buffer, &payload).blocking().submit().unwrap();
+    let program = context.create_program_with_source(INC_KERNEL).unwrap();
+    program.build().unwrap();
+    let kernel = program.create_kernel("inc").unwrap();
+    kernel.set_arg(0, &buffer).unwrap();
+    queue.launch(&kernel, NdRange::linear(1024)).submit().unwrap().wait().unwrap();
+    let (data, _) = queue.read_buffer(&buffer).submit().unwrap();
     let expected_first = i32::from_le_bytes(payload[0..4].try_into().unwrap()) + 1;
     assert_eq!(as_i32s(&data)[0], expected_first);
 }
@@ -71,27 +69,23 @@ fn kernel_round_trip_over_tcp_transport() {
 fn buffer_stays_consistent_across_three_servers() {
     let (_cluster, client, clock) = test_cluster(3, 1);
     let devices = client.devices();
-    let context = client.create_context(&devices).unwrap();
-    let queues: Vec<_> = devices
-        .iter()
-        .map(|d| client.create_command_queue(&context, d).unwrap())
-        .collect();
-    let buffer = client.create_buffer(&context, 16).unwrap();
-    let program = client.create_program_with_source(&context, INC_KERNEL).unwrap();
-    client.build_program(&program).unwrap();
-    let kernel = client.create_kernel(&program, "inc").unwrap();
-    client.set_kernel_arg_buffer(&kernel, 0, &buffer).unwrap();
+    let context = Context::new(&client, &devices).unwrap();
+    let queues: Vec<_> = devices.iter().map(|d| context.create_command_queue(d).unwrap()).collect();
+    let buffer = context.create_buffer(16).unwrap();
+    let program = context.create_program_with_source(INC_KERNEL).unwrap();
+    program.build().unwrap();
+    let kernel = program.create_kernel("inc").unwrap();
+    kernel.set_arg(0, &buffer).unwrap();
 
     // Walk the kernel across all three servers twice; the MSI directory has
     // to migrate the buffer through the client each time.
-    for round in 0..2 {
+    for _round in 0..2 {
         for queue in &queues {
-            let e = client.enqueue_nd_range_kernel(queue, &kernel, NdRange::linear(4), &[]).unwrap();
+            let e = queue.launch(&kernel, NdRange::linear(4)).submit().unwrap();
             e.wait().unwrap();
-            let _ = round;
         }
     }
-    let (data, _) = client.enqueue_read_buffer(&queues[0], &buffer, 0, 16, &[]).unwrap();
+    let (data, _) = queues[0].read_buffer(&buffer).submit().unwrap();
     assert_eq!(as_i32s(&data), vec![6, 6, 6, 6]);
     assert!(clock.breakdown().data_transfer > std::time::Duration::ZERO);
 }
@@ -100,24 +94,26 @@ fn buffer_stays_consistent_across_three_servers() {
 fn events_synchronise_commands_across_servers() {
     let (_cluster, client, _clock) = test_cluster(2, 1);
     let devices = client.devices();
-    let context = client.create_context(&devices).unwrap();
-    let q0 = client.create_command_queue(&context, &devices[0]).unwrap();
-    let q1 = client.create_command_queue(&context, &devices[1]).unwrap();
-    let buffer = client.create_buffer(&context, 16).unwrap();
-    let program = client.create_program_with_source(&context, INC_KERNEL).unwrap();
-    client.build_program(&program).unwrap();
-    let kernel = client.create_kernel(&program, "inc").unwrap();
-    client.set_kernel_arg_buffer(&kernel, 0, &buffer).unwrap();
+    let context = Context::new(&client, &devices).unwrap();
+    let q0 = context.create_command_queue(&devices[0]).unwrap();
+    let q1 = context.create_command_queue(&devices[1]).unwrap();
+    let buffer = context.create_buffer(16).unwrap();
+    let program = context.create_program_with_source(INC_KERNEL).unwrap();
+    program.build().unwrap();
+    let kernel = program.create_kernel("inc").unwrap();
+    kernel.set_arg(0, &buffer).unwrap();
 
     // Launch on server 0, then launch on server 1 *waiting on* the first
     // event: the wait list crosses servers through the user-event protocol.
-    let first = client.enqueue_nd_range_kernel(&q0, &kernel, NdRange::linear(4), &[]).unwrap();
-    let second = client
-        .enqueue_nd_range_kernel(&q1, &kernel, NdRange::linear(4), std::slice::from_ref(&first))
+    let first = q0.launch(&kernel, NdRange::linear(4)).submit().unwrap();
+    let second = q1
+        .launch(&kernel, NdRange::linear(4))
+        .after(std::slice::from_ref(&first))
+        .submit()
         .unwrap();
     second.wait().unwrap();
     assert!(first.is_terminal(), "the dependency must have completed first");
-    let (data, _) = client.enqueue_read_buffer(&q1, &buffer, 0, 16, &[]).unwrap();
+    let (data, _) = q1.read_buffer(&buffer).submit().unwrap();
     assert_eq!(as_i32s(&data), vec![2, 2, 2, 2]);
 }
 
@@ -126,8 +122,8 @@ fn interpreted_and_builtin_kernels_agree_through_the_middleware() {
     workloads::register_all_built_in_kernels();
     let (_cluster, client, _clock) = test_cluster(1, 1);
     let devices = client.devices();
-    let context = client.create_context(&devices).unwrap();
-    let queue = client.create_command_queue(&context, &devices[0]).unwrap();
+    let context = Context::new(&client, &devices).unwrap();
+    let queue = context.create_command_queue(&devices[0]).unwrap();
     let params = workloads::mandelbrot::MandelbrotParams {
         width: 48,
         height: 32,
@@ -136,34 +132,32 @@ fn interpreted_and_builtin_kernels_agree_through_the_middleware() {
     };
 
     let run = |use_builtin: bool| -> Vec<u8> {
-        let buffer = client.create_buffer(&context, params.pixels() * 4).unwrap();
+        let buffer = context.create_buffer(params.pixels() * 4).unwrap();
         let program = if use_builtin {
-            client
-                .create_program_with_built_in_kernels(&context, workloads::mandelbrot::BUILTIN_KERNEL)
+            context
+                .create_program_with_built_in_kernels(workloads::mandelbrot::BUILTIN_KERNEL)
                 .unwrap()
         } else {
-            client
-                .create_program_with_source(&context, workloads::mandelbrot::KERNEL_SOURCE)
-                .unwrap()
+            context.create_program_with_source(workloads::mandelbrot::KERNEL_SOURCE).unwrap()
         };
-        client.build_program(&program).unwrap();
-        let kernel = client.create_kernel(&program, "mandelbrot_rows").unwrap();
-        client.set_kernel_arg_buffer(&kernel, 0, &buffer).unwrap();
-        client.set_kernel_arg_scalar(&kernel, 1, Value::uint(params.width as u64)).unwrap();
-        client.set_kernel_arg_scalar(&kernel, 2, Value::uint(params.height as u64)).unwrap();
-        client.set_kernel_arg_scalar(&kernel, 3, Value::double(params.x_min)).unwrap();
-        client.set_kernel_arg_scalar(&kernel, 4, Value::double(params.y_min)).unwrap();
-        client.set_kernel_arg_scalar(&kernel, 5, Value::double(params.dx())).unwrap();
-        client.set_kernel_arg_scalar(&kernel, 6, Value::double(params.dy())).unwrap();
-        client.set_kernel_arg_scalar(&kernel, 7, Value::uint(0)).unwrap();
-        client.set_kernel_arg_scalar(&kernel, 8, Value::uint(params.max_iter as u64)).unwrap();
-        client
-            .enqueue_nd_range_kernel(&queue, &kernel, NdRange::two_d(params.width, params.height), &[])
+        program.build().unwrap();
+        let kernel = program.create_kernel("mandelbrot_rows").unwrap();
+        kernel.set_arg(0, &buffer).unwrap();
+        kernel.set_arg(1, Value::uint(params.width as u64)).unwrap();
+        kernel.set_arg(2, Value::uint(params.height as u64)).unwrap();
+        kernel.set_arg(3, Value::double(params.x_min)).unwrap();
+        kernel.set_arg(4, Value::double(params.y_min)).unwrap();
+        kernel.set_arg(5, Value::double(params.dx())).unwrap();
+        kernel.set_arg(6, Value::double(params.dy())).unwrap();
+        kernel.set_arg(7, Value::uint(0)).unwrap();
+        kernel.set_arg(8, Value::uint(params.max_iter as u64)).unwrap();
+        queue
+            .launch(&kernel, NdRange::two_d(params.width, params.height))
+            .submit()
             .unwrap()
             .wait()
             .unwrap();
-        let (data, _) =
-            client.enqueue_read_buffer(&queue, &buffer, 0, params.pixels() * 4, &[]).unwrap();
+        let (data, _) = queue.read_buffer(&buffer).submit().unwrap();
         data
     };
 
@@ -171,11 +165,8 @@ fn interpreted_and_builtin_kernels_agree_through_the_middleware() {
     let builtin = run(true);
     // f32 (interpreter) vs f64 (built-in) escape-time rounding may differ on
     // a handful of boundary pixels.
-    let matching = interpreted
-        .chunks_exact(4)
-        .zip(builtin.chunks_exact(4))
-        .filter(|(a, b)| a == b)
-        .count();
+    let matching =
+        interpreted.chunks_exact(4).zip(builtin.chunks_exact(4)).filter(|(a, b)| a == b).count();
     assert!(matching as f64 / params.pixels() as f64 > 0.97);
 }
 
@@ -192,10 +183,10 @@ fn disconnecting_a_server_removes_its_devices_but_others_keep_working() {
     assert_eq!(devices.len(), 1);
 
     // The remaining server still executes work.
-    let context = client.create_context(&devices).unwrap();
-    let queue = client.create_command_queue(&context, &devices[0]).unwrap();
-    let buffer = client.create_buffer(&context, 16).unwrap();
-    client.enqueue_write_buffer(&queue, &buffer, 0, &[7u8; 16], &[]).unwrap().wait().unwrap();
-    let (data, _) = client.enqueue_read_buffer(&queue, &buffer, 0, 16, &[]).unwrap();
+    let context = Context::new(&client, &devices).unwrap();
+    let queue = context.create_command_queue(&devices[0]).unwrap();
+    let buffer = context.create_buffer(16).unwrap();
+    queue.write_buffer(&buffer, &[7u8; 16]).blocking().submit().unwrap();
+    let (data, _) = queue.read_buffer(&buffer).submit().unwrap();
     assert_eq!(data, vec![7u8; 16]);
 }
