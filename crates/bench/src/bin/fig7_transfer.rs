@@ -1,12 +1,36 @@
 //! Regenerates Figure 7: time to transfer 1024 MB to and from a device over
 //! Gigabit Ethernet (through dOpenCL) vs PCI Express (native).
+//!
+//! Usage: `fig7_transfer [--smoke] [--json PATH]`
+//!
+//! `--smoke` shrinks the transfer to 64 MB for CI; `--json PATH` records the
+//! before (unbatched) and after (batched) runs as a `BENCH_fig7.json`
+//! trajectory file.
 
-use dcl_bench::fig7::{run, PAPER_TRANSFER_MB};
-use dcl_bench::report::{print_table, secs};
+use dcl_bench::fig7::{run_mode, Fig7Run, PAPER_TRANSFER_MB};
+use dcl_bench::report::{print_table, secs, write_json, JsonValue};
+
+const SMOKE_TRANSFER_MB: u64 = 64;
+
+fn run_json(run: &Fig7Run) -> JsonValue {
+    JsonValue::obj([
+        ("write_seconds", JsonValue::Num(run.result.gigabit_ethernet.write.as_secs_f64())),
+        ("read_seconds", JsonValue::Num(run.result.gigabit_ethernet.read.as_secs_f64())),
+        ("requests_sent", JsonValue::num(run.requests_sent as f64)),
+        ("notifications_received", JsonValue::num(run.notifications_received as f64)),
+    ])
+}
 
 fn main() {
-    println!("Figure 7 — transfer of {PAPER_TRANSFER_MB} MB to (write) / from (read) a GPU device");
-    let result = run(PAPER_TRANSFER_MB).expect("figure 7 harness");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
+    let megabytes = if smoke { SMOKE_TRANSFER_MB } else { PAPER_TRANSFER_MB };
+
+    println!("Figure 7 — transfer of {megabytes} MB to (write) / from (read) a GPU device");
+    let unbatched = run_mode(megabytes, false).expect("figure 7 harness (unbatched)");
+    let batched = run_mode(megabytes, true).expect("figure 7 harness (batched)");
+    let result = batched.result;
     print_table(
         "Transfer time (seconds)",
         &["direction", "Gigabit Ethernet (dOpenCL)", "PCI Express (native)"],
@@ -28,4 +52,29 @@ fn main() {
         result.write_slowdown(),
         result.read_slowdown()
     );
+    println!(
+        "  wire requests: {} unbatched vs {} batched",
+        unbatched.requests_sent, batched.requests_sent
+    );
+
+    if let Some(path) = json_path {
+        let report = JsonValue::obj([
+            ("figure", JsonValue::str("fig7")),
+            ("megabytes", JsonValue::num(megabytes as f64)),
+            ("smoke", JsonValue::Bool(smoke)),
+            ("unbatched", run_json(&unbatched)),
+            ("batched", run_json(&batched)),
+            (
+                "pci_express",
+                JsonValue::obj([
+                    ("write_seconds", JsonValue::Num(result.pci_express.write.as_secs_f64())),
+                    ("read_seconds", JsonValue::Num(result.pci_express.read.as_secs_f64())),
+                ]),
+            ),
+            ("write_slowdown", JsonValue::Num(result.write_slowdown())),
+            ("read_slowdown", JsonValue::Num(result.read_slowdown())),
+        ]);
+        write_json(&path, &report).expect("write JSON report");
+        println!("  wrote {path}");
+    }
 }

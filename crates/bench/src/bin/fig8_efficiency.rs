@@ -1,12 +1,35 @@
 //! Regenerates Figure 8: efficiency of dOpenCL's data transfer over Gigabit
-//! Ethernet for transfer sizes of 1–1024 MB, with the iperf reference line.
+//! Ethernet for transfer sizes of 1–1024 MB, with the iperf reference line —
+//! plus the command-pipeline profile (wire messages per queue flush with and
+//! without batching).
+//!
+//! Usage: `fig8_efficiency [--smoke] [--json PATH]`
+//!
+//! `--smoke` shrinks the sweep for CI; `--json PATH` records the sweep and
+//! the pipeline profile as a `BENCH_fig8.json` trajectory file.
 
-use dcl_bench::fig8::{paper_sizes, run};
-use dcl_bench::report::print_table;
+use dcl_bench::fig8::{command_pipeline_profile, paper_sizes, run, PipelineRun};
+use dcl_bench::report::{print_table, write_json, JsonValue};
+
+fn pipeline_json(run: &PipelineRun) -> JsonValue {
+    JsonValue::obj([
+        ("requests_sent", JsonValue::num(run.requests_sent as f64)),
+        ("notifications_received", JsonValue::num(run.notifications_received as f64)),
+        ("wire_messages", JsonValue::num(run.wire_messages as f64)),
+        ("messages_per_flush", JsonValue::Num(run.messages_per_flush)),
+        ("simulated_seconds", JsonValue::Num(run.simulated.as_secs_f64())),
+    ])
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
+    let sizes: Vec<u64> = if smoke { vec![1, 4, 16] } else { paper_sizes() };
+    let (commands_per_flush, flushes) = if smoke { (16, 4) } else { (64, 8) };
+
     println!("Figure 8 — data-transfer efficiency over Gigabit Ethernet");
-    let result = run(&paper_sizes()).expect("figure 8 harness");
+    let result = run(&sizes).expect("figure 8 harness");
     let table: Vec<Vec<String>> = result
         .points
         .iter()
@@ -27,4 +50,58 @@ fn main() {
         "\n  iperf reference (effective bandwidth): {:.1}% of theoretical",
         result.iperf_efficiency * 100.0
     );
+
+    let profile =
+        command_pipeline_profile(commands_per_flush, flushes).expect("command pipeline profile");
+    print_table(
+        "Command pipeline: wire messages per queue flush",
+        &["mode", "requests", "msgs/flush", "simulated (s)"],
+        &[
+            vec![
+                "unbatched".to_string(),
+                profile.unbatched.requests_sent.to_string(),
+                format!("{:.1}", profile.unbatched.messages_per_flush),
+                format!("{:.4}", profile.unbatched.simulated.as_secs_f64()),
+            ],
+            vec![
+                "batched".to_string(),
+                profile.batched.requests_sent.to_string(),
+                format!("{:.1}", profile.batched.messages_per_flush),
+                format!("{:.4}", profile.batched.simulated.as_secs_f64()),
+            ],
+        ],
+    );
+    println!("\n  message reduction per flush: {:.1}x", profile.message_reduction());
+
+    if let Some(path) = json_path {
+        let points: Vec<JsonValue> = result
+            .points
+            .iter()
+            .map(|p| {
+                JsonValue::obj([
+                    ("megabytes", JsonValue::num(p.megabytes as f64)),
+                    ("write_efficiency", JsonValue::Num(p.write_efficiency)),
+                    ("read_efficiency", JsonValue::Num(p.read_efficiency)),
+                ])
+            })
+            .collect();
+        let report = JsonValue::obj([
+            ("figure", JsonValue::str("fig8")),
+            ("smoke", JsonValue::Bool(smoke)),
+            ("iperf_efficiency", JsonValue::Num(result.iperf_efficiency)),
+            ("points", JsonValue::Arr(points)),
+            (
+                "pipeline",
+                JsonValue::obj([
+                    ("commands_per_flush", JsonValue::num(profile.commands_per_flush as f64)),
+                    ("flushes", JsonValue::num(profile.flushes as f64)),
+                    ("unbatched", pipeline_json(&profile.unbatched)),
+                    ("batched", pipeline_json(&profile.batched)),
+                    ("message_reduction", JsonValue::Num(profile.message_reduction())),
+                ]),
+            ),
+        ]);
+        write_json(&path, &report).expect("write JSON report");
+        println!("  wrote {path}");
+    }
 }

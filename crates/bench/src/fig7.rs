@@ -3,10 +3,11 @@
 //! PCI Express.
 
 use dopencl::LocalCluster;
+use gcf::simtime::SimClock;
 use gcf::LinkModel;
 use std::time::Duration;
 use vocl::{DeviceProfile, Platform};
-use workloads::bandwidth::{dopencl_transfer, native_transfer, TransferTimes};
+use workloads::bandwidth::{dopencl_transfer_with, native_transfer, TransferTimes};
 
 /// The four bars of Figure 7.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,13 +33,40 @@ impl Fig7Result {
     }
 }
 
-/// Run the Figure 7 experiment for a transfer of `megabytes` MB.
-pub fn run(megabytes: u64) -> dopencl::Result<Fig7Result> {
+/// A Figure 7 measurement together with the wire-traffic counters of the
+/// dOpenCL run (for the recorded `BENCH_fig7.json` trajectory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig7Run {
+    /// The four bars.
+    pub result: Fig7Result,
+    /// Requests the client sent during the transfer.
+    pub requests_sent: u64,
+    /// Completion notifications the daemon pushed back.
+    pub notifications_received: u64,
+}
+
+/// Run the Figure 7 experiment with command batching switched on (`true`,
+/// the production path) or off (the per-command round-trip baseline).
+pub fn run_mode(megabytes: u64, batching: bool) -> dopencl::Result<Fig7Run> {
     let mut cluster = LocalCluster::new(LinkModel::gigabit_ethernet());
     cluster.add_node("gpuserver", &Platform::gpu_server())?;
-    let gigabit_ethernet = dopencl_transfer(&cluster, megabytes)?;
+    let clock = SimClock::new();
+    let client = cluster.client_with_clock("fig7", clock.clone())?;
+    client.set_batching(batching);
+    let before = client.traffic_stats();
+    let gigabit_ethernet = dopencl_transfer_with(&client, &clock, megabytes)?;
+    let traffic = client.traffic_stats().delta(&before);
     let pci_express = native_transfer(&DeviceProfile::gpu_tesla_s1070_unit(), megabytes);
-    Ok(Fig7Result { megabytes, gigabit_ethernet, pci_express })
+    Ok(Fig7Run {
+        result: Fig7Result { megabytes, gigabit_ethernet, pci_express },
+        requests_sent: traffic.requests_sent,
+        notifications_received: traffic.notifications_received,
+    })
+}
+
+/// Run the Figure 7 experiment for a transfer of `megabytes` MB.
+pub fn run(megabytes: u64) -> dopencl::Result<Fig7Result> {
+    Ok(run_mode(megabytes, true)?.result)
 }
 
 /// The transfer size used by the paper's Figure 7.

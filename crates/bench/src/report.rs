@@ -1,4 +1,11 @@
-//! Small fixed-width table printer shared by the figure binaries.
+//! Small fixed-width table printer and JSON report writer shared by the
+//! figure binaries.
+//!
+//! The JSON support is hand-rolled (the workspace deliberately carries no
+//! serde dependency) and only covers what the `BENCH_*.json` trajectory
+//! files need: objects, arrays, strings, numbers, booleans.
+
+use std::path::Path;
 
 /// Print a table with a header row and aligned columns.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
@@ -31,6 +38,117 @@ pub fn secs(d: std::time::Duration) -> String {
     format!("{:.2}", d.as_secs_f64())
 }
 
+/// A minimal JSON value for benchmark reports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number; integers up to 2^53 print without a fractional part.
+    Num(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// A numeric value.
+    pub fn num(value: impl Into<f64>) -> JsonValue {
+        JsonValue::Num(value.into())
+    }
+
+    /// A string value.
+    pub fn str(value: impl Into<String>) -> JsonValue {
+        JsonValue::Str(value.into())
+    }
+
+    /// An object from `(key, value)` pairs, keeping their order.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, JsonValue)>) -> JsonValue {
+        JsonValue::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Pretty-print with two-space indentation and a trailing newline.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_into(&self, out: &mut String, indent: usize) {
+        let pad = |out: &mut String, level: usize| {
+            for _ in 0..level {
+                out.push_str("  ");
+            }
+        };
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            JsonValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, indent + 1);
+                    item.write_into(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            JsonValue::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    pad(out, indent + 1);
+                    JsonValue::Str(key.clone()).write_into(out, indent + 1);
+                    out.push_str(": ");
+                    value.write_into(out, indent + 1);
+                    out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Write a JSON report to `path` (pretty-printed).
+pub fn write_json(path: impl AsRef<Path>, value: &JsonValue) -> std::io::Result<()> {
+    std::fs::write(path, value.to_pretty())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -40,5 +158,35 @@ mod tests {
         assert_eq!(secs(std::time::Duration::from_millis(1500)), "1.50");
         // print_table must not panic on ragged rows.
         print_table("t", &["a", "b"], &[vec!["1".into()], vec!["22".into(), "333".into()]]);
+    }
+
+    #[test]
+    fn json_renders_scalars_and_nesting() {
+        let value = JsonValue::obj([
+            ("figure", JsonValue::str("fig8")),
+            ("count", JsonValue::num(3u32)),
+            ("ratio", JsonValue::Num(0.5)),
+            ("ok", JsonValue::Bool(true)),
+            ("none", JsonValue::Null),
+            ("sizes", JsonValue::Arr(vec![JsonValue::num(1u32), JsonValue::num(2u32)])),
+        ]);
+        let text = value.to_pretty();
+        assert!(text.contains("\"figure\": \"fig8\""));
+        assert!(text.contains("\"count\": 3"), "integers print without fraction: {text}");
+        assert!(text.contains("\"ratio\": 0.5"));
+        assert!(text.contains("\"none\": null"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let text = JsonValue::str("a\"b\\c\nd").to_pretty();
+        assert_eq!(text, "\"a\\\"b\\\\c\\nd\"\n");
+    }
+
+    #[test]
+    fn json_empty_containers_stay_compact() {
+        assert_eq!(JsonValue::Arr(Vec::new()).to_pretty(), "[]\n");
+        assert_eq!(JsonValue::Obj(Vec::new()).to_pretty(), "{}\n");
     }
 }

@@ -40,6 +40,42 @@
 //! last [`Client`] clone is dropped, using a surviving stub fails with
 //! [`DclError::ClientDropped`] instead of panicking or hanging.
 //!
+//! # Batching & flush semantics
+//!
+//! Enqueue operations do **not** cross the network one by one.  Each
+//! [`CommandQueue`] accumulates its commands client-side and ships the whole
+//! run as a single `EnqueueBatch` request — one round trip for N commands
+//! instead of N round trips, which is the dominant cost on a
+//! gigabit-Ethernet link (Section V of the paper measures exactly this
+//! overhead).  Completion comes back asynchronously: the daemon pushes a
+//! one-way notification per command that resolves the client-side
+//! [`Event`].
+//!
+//! A queue's pending batch is flushed by:
+//!
+//! * a **blocking operation** — `write_buffer(..).blocking()`, the blocking
+//!   [`ReadBufferOp::submit`], or [`CommandQueue::finish`];
+//! * **waiting on an event** — [`Event::wait`], [`Event::wait_timeout`],
+//!   [`Event::wait_all`] flush every pending batch of the client first;
+//! * a **marker** — [`CommandQueue::marker`] ships the batch so the marker
+//!   observes everything enqueued before it;
+//! * an explicit [`CommandQueue::flush`] (`clFlush`);
+//! * **dropping** the last clone of the queue (nothing enqueued is ever
+//!   silently discarded);
+//! * coherence traffic that must observe queued commands: validating a
+//!   buffer on another server flushes the source/target servers first, and
+//!   [`Client::disconnect_server`] flushes the server being disconnected.
+//!
+//! Ordering within a batch is preserved, and the daemon chains each entry
+//! on its queue predecessor, so an entry that fails mid-batch fails every
+//! later entry of that queue (wait-list error, status `-14`) while earlier
+//! entries stay completed.  Non-blocking reads are available through
+//! [`ReadBufferOp::submit_async`], which returns a [`PendingRead`] whose
+//! data is collected at [`PendingRead::wait`] time.  [`Client::set_batching`]
+//! disables accumulation (every command ships as a batch of one) for A/B
+//! measurements, and [`Client::traffic_stats`] exposes the wire-message
+//! counters the `fig7`/`fig8` harnesses record.
+//!
 //! # Migration from the retired `Client` god-object
 //!
 //! The pre-0.2 API funnelled all ~30 operations through `Client` methods.
@@ -87,16 +123,17 @@ use crate::coherence::{BufferDirectory, ValidationPlan};
 use crate::config;
 use crate::error::{DclError, Result};
 use crate::protocol::{
-    DeviceDescriptor, Notification, ObjectId, Request, Response, ServerInfo, WireNdRange, WireValue,
+    BatchCommand, BatchEntry, DeviceDescriptor, Notification, ObjectId, Request, Response,
+    ServerInfo, WireNdRange, WireValue,
 };
-use gcf::rpc::{Endpoint, EndpointHandler};
+use gcf::rpc::{Endpoint, EndpointHandler, TrafficStats};
 use gcf::simtime::{Phase, SimClock};
 use gcf::transport::Transport;
 use gcf::wire::{Decode, Encode};
 use gcf::LinkModel;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 use vocl::{NdRange, Value};
@@ -397,6 +434,10 @@ impl Kernel {
 
 /// A command queue stub (simple stub: tied to one device on one server).
 /// Owns the enqueue builders.
+///
+/// Commands accumulate client-side and ship as one batched request; see the
+/// [module docs](self#batching--flush-semantics) for when the batch is
+/// flushed.
 #[derive(Debug, Clone)]
 pub struct CommandQueue {
     client: Weak<ClientInner>,
@@ -404,6 +445,24 @@ pub struct CommandQueue {
     server: usize,
     device: Device,
     context_servers: Vec<usize>,
+    // RAII guard: flushes the pending batch when the last clone drops.
+    _flusher: Arc<QueueFlusher>,
+}
+
+/// Flushes a queue's pending batch when the last clone of the queue stub is
+/// dropped, so nothing enqueued is ever silently discarded.
+#[derive(Debug)]
+struct QueueFlusher {
+    client: Weak<ClientInner>,
+    queue_id: ObjectId,
+}
+
+impl Drop for QueueFlusher {
+    fn drop(&mut self) {
+        if let Some(inner) = self.client.upgrade() {
+            let _ = inner.flush_queue(self.queue_id);
+        }
+    }
 }
 
 impl CommandQueue {
@@ -448,6 +507,17 @@ impl CommandQueue {
     /// `clEnqueueMarkerWithWaitList`: build a marker command.
     pub fn marker(&self) -> MarkerOp<'_> {
         MarkerOp { queue: self, wait: Vec::new() }
+    }
+
+    /// `clFlush`: ship this queue's pending batch to its server without
+    /// waiting for completion.  A no-op if nothing is pending.
+    pub fn flush(&self) -> Result<()> {
+        self.inner()?.flush_queue(self.id)
+    }
+
+    /// Number of commands accumulated client-side and not yet shipped.
+    pub fn pending_commands(&self) -> usize {
+        self.inner().map(|inner| inner.pending_commands(self.id)).unwrap_or(0)
     }
 
     /// `clFinish`: block until every command previously enqueued on this
@@ -506,8 +576,11 @@ impl WriteBufferOp<'_> {
     }
 }
 
-/// Builder for a blocking `clEnqueueReadBuffer` (see
-/// [`CommandQueue::read_buffer`]).
+/// Builder for `clEnqueueReadBuffer` (see [`CommandQueue::read_buffer`]).
+///
+/// [`ReadBufferOp::submit`] mirrors a blocking read (`blocking_read =
+/// CL_TRUE`); [`ReadBufferOp::submit_async`] enqueues without blocking and
+/// returns a [`PendingRead`] resolved at wait time.
 #[must_use = "the read is not enqueued until submit() is called"]
 #[derive(Debug)]
 pub struct ReadBufferOp<'a> {
@@ -539,11 +612,56 @@ impl ReadBufferOp<'_> {
 
     /// Enqueue the read and block for the data; returns it together with
     /// the (already terminal) completion event, mirroring a blocking
-    /// `clEnqueueReadBuffer`.
+    /// `clEnqueueReadBuffer`.  Flushes the queue's pending batch.
     pub fn submit(self) -> Result<(Vec<u8>, Event)> {
+        self.submit_async()?.wait()
+    }
+
+    /// Enqueue the read without blocking (`blocking_read = CL_FALSE`): the
+    /// command joins the queue's pending batch and the returned
+    /// [`PendingRead`] yields the data once awaited.
+    pub fn submit_async(self) -> Result<PendingRead> {
         let inner = self.queue.inner()?;
         let len = self.len.unwrap_or_else(|| self.buffer.size().saturating_sub(self.offset));
-        inner.enqueue_read(self.queue, self.buffer, self.offset, len, &self.wait)
+        inner.enqueue_read_async(self.queue, self.buffer, self.offset, len, &self.wait)
+    }
+}
+
+/// A non-blocking buffer read in flight (see [`ReadBufferOp::submit_async`]).
+///
+/// The daemon streams the data to the client when the command executes;
+/// [`PendingRead::wait`] flushes the owning queue's batch (via the event),
+/// blocks for completion, and collects the stream.
+#[must_use = "the data is not received until wait() is called"]
+#[derive(Debug)]
+pub struct PendingRead {
+    client: Weak<ClientInner>,
+    server: usize,
+    stream_id: u64,
+    offset: usize,
+    len: usize,
+    buffer: Buffer,
+    event: Event,
+}
+
+impl PendingRead {
+    /// The read command's completion event (not yet terminal until the
+    /// batch is flushed and the daemon executes the command).
+    pub fn event(&self) -> &Event {
+        &self.event
+    }
+
+    /// Block until the read completes and return the data together with the
+    /// (now terminal) completion event.
+    pub fn wait(self) -> Result<(Vec<u8>, Event)> {
+        self.event.wait()?;
+        let inner = upgrade(&self.client)?;
+        let conn = inner.server(self.server)?;
+        let data = conn.endpoint.wait_bulk(self.stream_id, Duration::from_secs(300))?;
+        // Stream-based communication back to the client.
+        inner.clock.charge(Phase::DataTransfer, inner.link.transfer_time(self.len as u64));
+        self.buffer.directory.lock().record_host_read(self.server, self.offset, &data);
+        Ok((data, self.event))
     }
 }
 
@@ -586,14 +704,21 @@ impl MarkerOp<'_> {
         self
     }
 
-    /// Enqueue the marker; returns its completion event.
+    /// Enqueue the marker; returns its completion event.  Ships the queue's
+    /// pending batch so the marker observes every command enqueued before
+    /// it.
     pub fn submit(self) -> Result<Event> {
         let inner = self.queue.inner()?;
-        inner.enqueue_marker(self.queue, &self.wait)
+        let event = inner.enqueue_marker(self.queue, &self.wait)?;
+        inner.flush_queue(self.queue.id)?;
+        Ok(event)
     }
 }
 
 struct EventRecord {
+    // Back-reference so that waiting on an event can flush the pending
+    // batches the event's command may still be sitting in.
+    client: Weak<ClientInner>,
     owner: usize,
     user_event_servers: Vec<usize>,
     phase: Phase,
@@ -603,8 +728,14 @@ struct EventRecord {
 }
 
 impl EventRecord {
-    fn new(owner: usize, user_event_servers: Vec<usize>, phase: Phase) -> Arc<Self> {
+    fn new(
+        client: Weak<ClientInner>,
+        owner: usize,
+        user_event_servers: Vec<usize>,
+        phase: Phase,
+    ) -> Arc<Self> {
         Arc::new(EventRecord {
+            client,
             owner,
             user_event_servers,
             phase,
@@ -649,7 +780,12 @@ impl Event {
     }
 
     /// Block until the command completes; errors if the command failed.
+    ///
+    /// Flushes every pending command batch of the client first: the command
+    /// this event belongs to (or one it transitively waits on) may not have
+    /// been shipped yet.
     pub fn wait(&self) -> Result<()> {
+        self.flush_if_pending();
         let mut status = self.record.status.lock();
         while status.is_none() {
             self.record.cond.wait(&mut status);
@@ -662,8 +798,10 @@ impl Event {
         }
     }
 
-    /// Wait with a timeout; `Ok(false)` means it expired.
+    /// Wait with a timeout; `Ok(false)` means it expired.  Flushes pending
+    /// batches like [`Event::wait`].
     pub fn wait_timeout(&self, timeout: Duration) -> Result<bool> {
+        self.flush_if_pending();
         let mut status = self.record.status.lock();
         let deadline = std::time::Instant::now() + timeout;
         while status.is_none() {
@@ -694,6 +832,17 @@ impl Event {
     pub fn modeled_duration(&self) -> Duration {
         *self.record.modeled.lock()
     }
+
+    /// Ship every pending batch if this event is not terminal yet (its
+    /// command, or a dependency, may still be accumulating client-side).
+    /// Transport failures surface through the event status, not here.
+    fn flush_if_pending(&self) {
+        if !self.is_terminal() {
+            if let Some(inner) = self.record.client.upgrade() {
+                inner.flush_all();
+            }
+        }
+    }
 }
 
 fn upgrade(client: &Weak<ClientInner>) -> Result<Arc<ClientInner>> {
@@ -706,14 +855,35 @@ struct ServerConn {
     devices: Vec<DeviceDescriptor>,
 }
 
+/// A queue's accumulated, not-yet-shipped commands.
+struct PendingBatch {
+    server: usize,
+    entries: Vec<BatchEntry>,
+}
+
+/// Client-side command accumulation across all queues.
+///
+/// `event_queue` maps each pending entry's event to the queue holding it, so
+/// a wait list referencing an event of *another* queue can flush that queue
+/// first (the daemon resolves wait lists at enqueue time).
+#[derive(Default)]
+struct BatchState {
+    queues: HashMap<ObjectId, PendingBatch>,
+    event_queue: HashMap<ObjectId, ObjectId>,
+}
+
 struct ClientInner {
     name: String,
+    // Needed to hand batches and event records a weak back-reference.
+    self_weak: Weak<ClientInner>,
     transport: Arc<dyn Transport>,
     link: LinkModel,
     clock: SimClock,
     next_id: AtomicU64,
     servers: Mutex<Vec<Option<Arc<ServerConn>>>>,
     events: Mutex<HashMap<ObjectId, Arc<EventRecord>>>,
+    batches: Mutex<BatchState>,
+    batching: AtomicBool,
     auth_id: Mutex<Option<String>>,
 }
 
@@ -817,6 +987,7 @@ impl ClientInner {
             server: device.server,
             device: device.clone(),
             context_servers: context.servers.clone(),
+            _flusher: Arc::new(QueueFlusher { client: Arc::downgrade(self), queue_id: id }),
         })
     }
 
@@ -1005,6 +1176,162 @@ impl ClientInner {
         Ok(())
     }
 
+    // ----- command batching -------------------------------------------------
+
+    /// Append an entry to its queue's pending batch.
+    ///
+    /// If the entry waits on events whose commands are still pending in
+    /// *other* queues, those queues are flushed first: the daemon resolves
+    /// wait lists at enqueue time, so every dependency must be on its server
+    /// before this entry arrives.  With batching disabled the entry ships
+    /// immediately as a batch of one (the pre-batching wire behaviour).
+    fn push_batch_entry(&self, server: usize, entry: BatchEntry) -> Result<()> {
+        let queue_id = entry.queue_id;
+        let cross_queues: Vec<ObjectId> = {
+            let state = self.batches.lock();
+            entry
+                .wait_events
+                .iter()
+                .filter_map(|event| state.event_queue.get(event).copied())
+                .filter(|q| *q != queue_id)
+                .collect()
+        };
+        for q in cross_queues {
+            self.flush_queue(q)?;
+        }
+        {
+            let mut state = self.batches.lock();
+            state.event_queue.insert(entry.event_id, queue_id);
+            state
+                .queues
+                .entry(queue_id)
+                .or_insert_with(|| PendingBatch { server, entries: Vec::new() })
+                .entries
+                .push(entry);
+        }
+        if !self.batching.load(Ordering::Relaxed) {
+            self.flush_queue(queue_id)?;
+        }
+        Ok(())
+    }
+
+    /// Ship a queue's pending batch as one `EnqueueBatch` request.  A no-op
+    /// if the queue has nothing pending.
+    fn flush_queue(&self, queue_id: ObjectId) -> Result<()> {
+        let batch = {
+            let mut state = self.batches.lock();
+            let Some(batch) = state.queues.remove(&queue_id) else { return Ok(()) };
+            for entry in &batch.entries {
+                state.event_queue.remove(&entry.event_id);
+            }
+            batch
+        };
+        self.ship_batch(batch)
+    }
+
+    /// Ship every pending batch of `server` (used before coherence traffic
+    /// and disconnects that must observe queued commands).
+    fn flush_server(&self, server: usize) -> Result<()> {
+        loop {
+            let queue_id = {
+                let state = self.batches.lock();
+                state.queues.iter().find(|(_, b)| b.server == server).map(|(id, _)| *id)
+            };
+            match queue_id {
+                Some(q) => self.flush_queue(q)?,
+                None => return Ok(()),
+            }
+        }
+    }
+
+    /// Ship every pending batch, best effort: transport failures fail the
+    /// affected events locally and are not propagated.
+    fn flush_all(&self) {
+        loop {
+            let queue_id = { self.batches.lock().queues.keys().next().copied() };
+            match queue_id {
+                Some(q) => {
+                    let _ = self.flush_queue(q);
+                }
+                None => return,
+            }
+        }
+    }
+
+    fn pending_commands(&self, queue_id: ObjectId) -> usize {
+        self.batches.lock().queues.get(&queue_id).map_or(0, |b| b.entries.len())
+    }
+
+    fn ship_batch(&self, batch: PendingBatch) -> Result<()> {
+        if batch.entries.is_empty() {
+            return Ok(());
+        }
+        let event_ids: Vec<ObjectId> = batch.entries.iter().map(|e| e.event_id).collect();
+        let has_transfer = batch.entries.iter().any(|e| {
+            matches!(e.command, BatchCommand::WriteBuffer { .. } | BatchCommand::ReadBuffer { .. })
+        });
+        let phase = if has_transfer { Phase::DataTransfer } else { Phase::Execution };
+        let conn = match self.server(batch.server) {
+            Ok(conn) => conn,
+            Err(e) => {
+                self.fail_events(&event_ids, -14);
+                return Err(e);
+            }
+        };
+        let request = Request::EnqueueBatch { entries: batch.entries };
+        // One round trip for the whole batch — the point of accumulating.
+        self.charge_message(phase, &request);
+        let bytes = match conn.endpoint.call(request.to_bytes()) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                self.fail_events(&event_ids, -14);
+                return Err(DclError::ServerUnavailable(format!("{}: {e}", conn.name)));
+            }
+        };
+        let response =
+            Response::from_bytes(&bytes).map_err(|e| DclError::Protocol(e.to_string()))?;
+        let statuses = match response {
+            Response::BatchEnqueued { statuses } => statuses,
+            Response::Error { code, message } => {
+                self.fail_events(&event_ids, code);
+                return Err(DclError::Protocol(format!("server error {code}: {message}")));
+            }
+            other => {
+                self.fail_events(&event_ids, -14);
+                return Err(DclError::Protocol(format!("unexpected response {other:?}")));
+            }
+        };
+        // The daemon stops at the first entry that fails to *enqueue*; its
+        // status carries the error, entries past it were never attempted and
+        // fail with the wait-list error code.
+        let mut first_error = None;
+        for (index, event_id) in event_ids.iter().enumerate() {
+            match statuses.get(index) {
+                Some(status) if status.code == 0 => {}
+                Some(status) => {
+                    self.complete_event(*event_id, status.code, 0);
+                    if first_error.is_none() {
+                        first_error = Some(DclError::Protocol(format!(
+                            "batch entry {index} failed: {} (code {})",
+                            status.message, status.code
+                        )));
+                    }
+                }
+                None => self.complete_event(*event_id, -14, 0),
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn fail_events(&self, event_ids: &[ObjectId], code: i32) {
+        for &event_id in event_ids {
+            self.complete_event(event_id, code, 0);
+        }
+    }
+
     // ----- command execution -----------------------------------------------
 
     fn enqueue_write(
@@ -1027,34 +1354,41 @@ impl ClientInner {
         let event_id = self.allocate_id();
         let stream_id = conn.endpoint.allocate_id();
 
-        // Stream-based communication: the payload crosses the network.
+        // Stream-based communication: the payload crosses the network now;
+        // FIFO ordering guarantees it reaches the daemon ahead of the
+        // batched request that references it.
         self.clock.charge(Phase::DataTransfer, self.link.transfer_time(data.len() as u64));
         conn.endpoint.send_bulk(stream_id, data)?;
 
-        let request = Request::EnqueueWriteBuffer {
-            queue_id: queue.id,
-            buffer_id: buffer.id,
-            offset: offset as u64,
-            size: data.len() as u64,
-            event_id,
-            stream_id,
-            wait_events: wait.to_vec(),
-        };
         let event =
             self.register_event(event_id, server, &queue.context_servers, Phase::DataTransfer)?;
-        self.call_server_on(&conn, &request, Phase::DataTransfer)?;
+        let entry = BatchEntry {
+            queue_id: queue.id,
+            event_id,
+            wait_events: wait.to_vec(),
+            command: BatchCommand::WriteBuffer {
+                buffer_id: buffer.id,
+                offset: offset as u64,
+                size: data.len() as u64,
+                stream_id,
+            },
+        };
+        if let Err(e) = self.push_batch_entry(server, entry) {
+            self.complete_event(event_id, -14, 0);
+            return Err(e);
+        }
         buffer.directory.lock().record_host_write(server, offset, data);
         Ok(event)
     }
 
-    fn enqueue_read(
+    fn enqueue_read_async(
         &self,
         queue: &CommandQueue,
         buffer: &Buffer,
         offset: usize,
         len: usize,
         wait: &[ObjectId],
-    ) -> Result<(Vec<u8>, Event)> {
+    ) -> Result<PendingRead> {
         if offset.checked_add(len).is_none_or(|end| end > buffer.size) {
             return Err(DclError::InvalidArgument(format!(
                 "read of {len} bytes at offset {offset} exceeds buffer size {}",
@@ -1066,23 +1400,32 @@ impl ClientInner {
         let conn = self.server(server)?;
         let event_id = self.allocate_id();
         let stream_id = conn.endpoint.allocate_id();
-        let request = Request::EnqueueReadBuffer {
-            queue_id: queue.id,
-            buffer_id: buffer.id,
-            offset: offset as u64,
-            size: len as u64,
-            event_id,
-            stream_id,
-            wait_events: wait.to_vec(),
-        };
         let event =
             self.register_event(event_id, server, &queue.context_servers, Phase::DataTransfer)?;
-        self.call_server_on(&conn, &request, Phase::DataTransfer)?;
-        let data = conn.endpoint.wait_bulk(stream_id, Duration::from_secs(300))?;
-        // Stream-based communication back to the client.
-        self.clock.charge(Phase::DataTransfer, self.link.transfer_time(len as u64));
-        buffer.directory.lock().record_host_read(server, offset, &data);
-        Ok((data, event))
+        let entry = BatchEntry {
+            queue_id: queue.id,
+            event_id,
+            wait_events: wait.to_vec(),
+            command: BatchCommand::ReadBuffer {
+                buffer_id: buffer.id,
+                offset: offset as u64,
+                size: len as u64,
+                stream_id,
+            },
+        };
+        if let Err(e) = self.push_batch_entry(server, entry) {
+            self.complete_event(event_id, -14, 0);
+            return Err(e);
+        }
+        Ok(PendingRead {
+            client: self.self_weak.clone(),
+            server,
+            stream_id,
+            offset,
+            len,
+            buffer: buffer.clone(),
+            event,
+        })
     }
 
     fn enqueue_launch(
@@ -1099,18 +1442,19 @@ impl ClientInner {
         for buffer in &buffer_args {
             self.ensure_valid_on(server, buffer)?;
         }
-        let conn = self.server(server)?;
         let event_id = self.allocate_id();
-        let request = Request::EnqueueNdRange {
-            queue_id: queue.id,
-            kernel_id: kernel.id,
-            event_id,
-            range: WireNdRange(range),
-            wait_events: wait.to_vec(),
-        };
         let event =
             self.register_event(event_id, server, &queue.context_servers, Phase::Execution)?;
-        self.call_server_on(&conn, &request, Phase::Execution)?;
+        let entry = BatchEntry {
+            queue_id: queue.id,
+            event_id,
+            wait_events: wait.to_vec(),
+            command: BatchCommand::NdRange { kernel_id: kernel.id, range: WireNdRange(range) },
+        };
+        if let Err(e) = self.push_batch_entry(server, entry) {
+            self.complete_event(event_id, -14, 0);
+            return Err(e);
+        }
         // The kernel may have written any of its buffer arguments.
         for buffer in &buffer_args {
             buffer.directory.lock().record_device_write(server);
@@ -1119,13 +1463,19 @@ impl ClientInner {
     }
 
     fn enqueue_marker(&self, queue: &CommandQueue, wait: &[ObjectId]) -> Result<Event> {
-        let conn = self.server(queue.server)?;
         let event_id = self.allocate_id();
-        let request =
-            Request::EnqueueMarker { queue_id: queue.id, event_id, wait_events: wait.to_vec() };
         let event =
             self.register_event(event_id, queue.server, &queue.context_servers, Phase::Execution)?;
-        self.call_server_on(&conn, &request, Phase::Execution)?;
+        let entry = BatchEntry {
+            queue_id: queue.id,
+            event_id,
+            wait_events: wait.to_vec(),
+            command: BatchCommand::Marker,
+        };
+        if let Err(e) = self.push_batch_entry(queue.server, entry) {
+            self.complete_event(event_id, -14, 0);
+            return Err(e);
+        }
         Ok(event)
     }
 
@@ -1148,24 +1498,32 @@ impl ClientInner {
                 user_event_servers.push(server);
             }
         }
-        let record = EventRecord::new(owner, user_event_servers, phase);
+        let record = EventRecord::new(self.self_weak.clone(), owner, user_event_servers, phase);
         self.events.lock().insert(event_id, Arc::clone(&record));
         Ok(Event { id: event_id, record })
     }
 
     /// Run the MSI validation plan so that `server` holds a valid copy of
     /// `buffer` before a command reads it there.
+    ///
+    /// Coherence traffic bypasses the command queues, so any pending batch
+    /// on a server whose copy participates (the fetch source, the upload
+    /// target) is flushed first — the queued commands logically precede this
+    /// validation and must reach the daemon before it.
     fn ensure_valid_on(&self, server: usize, buffer: &Buffer) -> Result<()> {
         let plan = buffer.directory.lock().plan_validation(server);
         match plan {
             ValidationPlan::AlreadyValid => Ok(()),
             ValidationPlan::UploadFromClient => {
+                self.flush_server(server)?;
                 let data = buffer.directory.lock().client_data();
                 self.upload_buffer_data(server, buffer, &data)?;
                 buffer.directory.lock().record_upload(server);
                 Ok(())
             }
             ValidationPlan::FetchThenUpload { source } => {
+                self.flush_server(source)?;
+                self.flush_server(server)?;
                 let data = self.download_buffer_data(source, buffer)?;
                 buffer.directory.lock().record_client_fetch(source, data.clone());
                 self.upload_buffer_data(server, buffer, &data)?;
@@ -1281,15 +1639,19 @@ impl Client {
         link: LinkModel,
         clock: SimClock,
     ) -> Client {
+        let name = name.into();
         Client {
-            inner: Arc::new(ClientInner {
-                name: name.into(),
+            inner: Arc::new_cyclic(|self_weak| ClientInner {
+                name,
+                self_weak: self_weak.clone(),
                 transport,
                 link,
                 clock,
                 next_id: AtomicU64::new(1),
                 servers: Mutex::new(Vec::new()),
                 events: Mutex::new(HashMap::new()),
+                batches: Mutex::new(BatchState::default()),
+                batching: AtomicBool::new(true),
                 auth_id: Mutex::new(None),
             }),
         }
@@ -1320,6 +1682,29 @@ impl Client {
     /// (presented to every server connected afterwards).
     pub fn set_auth_id(&self, auth_id: Option<String>) {
         *self.inner.auth_id.lock() = auth_id;
+    }
+
+    /// Enable or disable client-side command batching (enabled by default).
+    ///
+    /// With batching off every enqueue ships immediately as a batch of one —
+    /// the per-command round-trip behaviour the figure harnesses use as the
+    /// "before" measurement.  Disabling flushes everything pending.
+    pub fn set_batching(&self, enabled: bool) {
+        self.inner.batching.store(enabled, Ordering::Relaxed);
+        if !enabled {
+            self.inner.flush_all();
+        }
+    }
+
+    /// Aggregated wire-traffic counters over every connected server's
+    /// endpoint (requests, notifications, bulk stream bytes).
+    pub fn traffic_stats(&self) -> TrafficStats {
+        let servers = self.inner.servers.lock();
+        let mut total = TrafficStats::default();
+        for conn in servers.iter().flatten() {
+            total += conn.endpoint.stats();
+        }
+        total
     }
 
     // ----- server management (Listing 1: the WWU API extension) -----------
@@ -1367,8 +1752,10 @@ impl Client {
     }
 
     /// `clDisconnectServerWWU`: disconnect a server; its devices become
-    /// unavailable.
+    /// unavailable.  Pending command batches for the server are flushed
+    /// first.
     pub fn disconnect_server(&self, server: ServerId) -> Result<()> {
+        let _ = self.inner.flush_server(server.0);
         let conn = self.inner.server(server.0)?;
         let request = Request::Disconnect;
         self.inner.charge_message(Phase::Initialization, &request);

@@ -15,7 +15,10 @@
 //! this is abstracted behind the [`AccessPolicy`] trait so that the device
 //! manager crate can plug in without a dependency cycle.
 
-use crate::protocol::{DeviceDescriptor, Notification, ObjectId, Request, Response, ServerInfo};
+use crate::protocol::{
+    BatchCommand, BatchEntryStatus, DeviceDescriptor, Notification, ObjectId, Request, Response,
+    ServerInfo, WireNdRange,
+};
 use crate::Result;
 use gcf::rpc::{Endpoint, EndpointHandler};
 use gcf::transport::{Listener, Transport};
@@ -322,6 +325,161 @@ impl DaemonSession {
         Ok(out)
     }
 
+    /// Resolve queue + wait list for an enqueue; `chain` is the implicit
+    /// extra dependency batch entries carry on their queue's previous entry,
+    /// so that an execution-time failure of entry *k* fails entries
+    /// *k+1..N* of the same queue (wait-list error propagation, code -14).
+    fn resolve_enqueue(
+        &self,
+        queue_id: ObjectId,
+        wait_events: &[ObjectId],
+        chain: Option<&Arc<Event>>,
+    ) -> std::result::Result<(Arc<CommandQueue>, Vec<Arc<Event>>), Response> {
+        let state = self.state.lock();
+        let queue = match state.queues.get(&queue_id) {
+            Some(q) => Arc::clone(q),
+            None => return Err(Self::missing("queue", queue_id)),
+        };
+        let mut wait = Self::resolve_wait_list(&state, wait_events)?;
+        if let Some(prev) = chain {
+            wait.push(Arc::clone(prev));
+        }
+        Ok((queue, wait))
+    }
+
+    fn buffer_by_id(&self, buffer_id: ObjectId) -> std::result::Result<Arc<Buffer>, Response> {
+        match self.state.lock().buffers.get(&buffer_id) {
+            Some(b) => Ok(Arc::clone(b)),
+            None => Err(Self::missing("buffer", buffer_id)),
+        }
+    }
+
+    /// Record a freshly enqueued command's event: push its completion to the
+    /// client and remember it for later wait lists.
+    fn track_event(&self, event_id: ObjectId, event: &Arc<Event>) {
+        self.notify_on_completion(event_id, event);
+        self.state.lock().events.insert(event_id, Arc::clone(event));
+    }
+
+    // ----- per-command enqueue (shared by the legacy arms and EnqueueBatch) --
+
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue_write_entry(
+        &self,
+        queue_id: ObjectId,
+        buffer_id: ObjectId,
+        offset: u64,
+        size: u64,
+        event_id: ObjectId,
+        stream_id: u64,
+        wait_events: &[ObjectId],
+        chain: Option<&Arc<Event>>,
+    ) -> std::result::Result<Arc<Event>, Response> {
+        let Some(endpoint) = self.endpoint() else {
+            return Err(Response::Error { code: -36, message: "no endpoint".into() });
+        };
+        // The client sends the bulk payload before the request, so the
+        // stream has already been reassembled.
+        let data = match endpoint.wait_bulk(stream_id, Duration::from_secs(120)) {
+            Ok(d) => d,
+            Err(e) => {
+                return Err(Response::Error {
+                    code: -30,
+                    message: format!("missing upload stream: {e}"),
+                })
+            }
+        };
+        if data.len() as u64 != size {
+            return Err(Response::Error {
+                code: -30,
+                message: format!("upload size mismatch: expected {size}, got {}", data.len()),
+            });
+        }
+        self.stats.lock().bytes_uploaded += size;
+        let (queue, wait) = self.resolve_enqueue(queue_id, wait_events, chain)?;
+        let buffer = self.buffer_by_id(buffer_id)?;
+        let event = queue
+            .enqueue_write_buffer(&buffer, offset as usize, data, wait)
+            .map_err(|e| Self::cl_error(&e))?;
+        self.track_event(event_id, &event);
+        Ok(event)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue_read_entry(
+        &self,
+        queue_id: ObjectId,
+        buffer_id: ObjectId,
+        offset: u64,
+        size: u64,
+        event_id: ObjectId,
+        stream_id: u64,
+        wait_events: &[ObjectId],
+        chain: Option<&Arc<Event>>,
+    ) -> std::result::Result<Arc<Event>, Response> {
+        let (queue, wait) = self.resolve_enqueue(queue_id, wait_events, chain)?;
+        let buffer = self.buffer_by_id(buffer_id)?;
+        let event = queue
+            .enqueue_read_buffer(&buffer, offset as usize, size as usize, wait)
+            .map_err(|e| Self::cl_error(&e))?;
+        // When the read completes, ship the data to the client as a bulk
+        // stream; the completion notification follows (FIFO), so by the
+        // time the client's event resolves the data is en route.
+        let endpoint = self.endpoint.lock().clone();
+        let weak_event = Arc::downgrade(&event);
+        let stats = Arc::clone(&self.stats);
+        event.on_complete(Box::new(move |status| {
+            let Some(endpoint) = endpoint.as_ref().and_then(Weak::upgrade) else {
+                return;
+            };
+            if status == EventStatus::Complete {
+                if let Some(event) = weak_event.upgrade() {
+                    if let Some(data) = event.take_result() {
+                        stats.lock().bytes_downloaded += data.len() as u64;
+                        let _ = endpoint.send_bulk(stream_id, &data);
+                    }
+                }
+            }
+        }));
+        self.track_event(event_id, &event);
+        Ok(event)
+    }
+
+    fn enqueue_nd_range_entry(
+        &self,
+        queue_id: ObjectId,
+        kernel_id: ObjectId,
+        event_id: ObjectId,
+        range: WireNdRange,
+        wait_events: &[ObjectId],
+        chain: Option<&Arc<Event>>,
+    ) -> std::result::Result<Arc<Event>, Response> {
+        let (queue, wait) = self.resolve_enqueue(queue_id, wait_events, chain)?;
+        let kernel = match self.state.lock().kernels.get(&kernel_id) {
+            Some(k) => Arc::clone(k),
+            None => return Err(Self::missing("kernel", kernel_id)),
+        };
+        self.stats.lock().kernel_launches += 1;
+        let event = queue
+            .enqueue_nd_range_kernel(&kernel, range.0, wait)
+            .map_err(|e| Self::cl_error(&e))?;
+        self.track_event(event_id, &event);
+        Ok(event)
+    }
+
+    fn enqueue_marker_entry(
+        &self,
+        queue_id: ObjectId,
+        event_id: ObjectId,
+        wait_events: &[ObjectId],
+        chain: Option<&Arc<Event>>,
+    ) -> std::result::Result<Arc<Event>, Response> {
+        let (queue, wait) = self.resolve_enqueue(queue_id, wait_events, chain)?;
+        let event = queue.enqueue_marker(wait).map_err(|e| Self::cl_error(&e))?;
+        self.track_event(event_id, &event);
+        Ok(event)
+    }
+
     fn handle(&self, request: Request) -> Response {
         self.stats.lock().requests += 1;
         match request {
@@ -517,53 +675,18 @@ impl DaemonSession {
                 stream_id,
                 wait_events,
             } => {
-                let Some(endpoint) = self.endpoint() else {
-                    return Response::Error { code: -36, message: "no endpoint".into() };
-                };
-                // The client sends the bulk payload before the request, so
-                // the stream has already been reassembled.
-                let data = match endpoint.wait_bulk(stream_id, Duration::from_secs(120)) {
-                    Ok(d) => d,
-                    Err(e) => {
-                        return Response::Error {
-                            code: -30,
-                            message: format!("missing upload stream: {e}"),
-                        }
-                    }
-                };
-                if data.len() as u64 != size {
-                    return Response::Error {
-                        code: -30,
-                        message: format!(
-                            "upload size mismatch: expected {size}, got {}",
-                            data.len()
-                        ),
-                    };
-                }
-                self.stats.lock().bytes_uploaded += size;
-                let (queue, buffer, wait) = {
-                    let state = self.state.lock();
-                    let queue = match state.queues.get(&queue_id) {
-                        Some(q) => Arc::clone(q),
-                        None => return Self::missing("queue", queue_id),
-                    };
-                    let buffer = match state.buffers.get(&buffer_id) {
-                        Some(b) => Arc::clone(b),
-                        None => return Self::missing("buffer", buffer_id),
-                    };
-                    let wait = match Self::resolve_wait_list(&state, &wait_events) {
-                        Ok(w) => w,
-                        Err(resp) => return resp,
-                    };
-                    (queue, buffer, wait)
-                };
-                match queue.enqueue_write_buffer(&buffer, offset as usize, data, wait) {
-                    Ok(event) => {
-                        self.notify_on_completion(event_id, &event);
-                        self.state.lock().events.insert(event_id, event);
-                        Response::Ok
-                    }
-                    Err(e) => Self::cl_error(&e),
+                match self.enqueue_write_entry(
+                    queue_id,
+                    buffer_id,
+                    offset,
+                    size,
+                    event_id,
+                    stream_id,
+                    &wait_events,
+                    None,
+                ) {
+                    Ok(_) => Response::Ok,
+                    Err(resp) => resp,
                 }
             }
             Request::EnqueueReadBuffer {
@@ -575,97 +698,106 @@ impl DaemonSession {
                 stream_id,
                 wait_events,
             } => {
-                let (queue, buffer, wait) = {
-                    let state = self.state.lock();
-                    let queue = match state.queues.get(&queue_id) {
-                        Some(q) => Arc::clone(q),
-                        None => return Self::missing("queue", queue_id),
-                    };
-                    let buffer = match state.buffers.get(&buffer_id) {
-                        Some(b) => Arc::clone(b),
-                        None => return Self::missing("buffer", buffer_id),
-                    };
-                    let wait = match Self::resolve_wait_list(&state, &wait_events) {
-                        Ok(w) => w,
-                        Err(resp) => return resp,
-                    };
-                    (queue, buffer, wait)
-                };
-                match queue.enqueue_read_buffer(&buffer, offset as usize, size as usize, wait) {
-                    Ok(event) => {
-                        // When the read completes, ship the data to the
-                        // client as a bulk stream, then notify.
-                        let endpoint = self.endpoint.lock().clone();
-                        let weak_event = Arc::downgrade(&event);
-                        let stats = Arc::clone(&self.stats);
-                        event.on_complete(Box::new(move |status| {
-                            let Some(endpoint) = endpoint.as_ref().and_then(Weak::upgrade) else {
-                                return;
-                            };
-                            if status == EventStatus::Complete {
-                                if let Some(event) = weak_event.upgrade() {
-                                    if let Some(data) = event.take_result() {
-                                        stats.lock().bytes_downloaded += data.len() as u64;
-                                        let _ = endpoint.send_bulk(stream_id, &data);
-                                    }
-                                }
-                            }
-                        }));
-                        self.notify_on_completion(event_id, &event);
-                        self.state.lock().events.insert(event_id, event);
-                        Response::Ok
-                    }
-                    Err(e) => Self::cl_error(&e),
+                match self.enqueue_read_entry(
+                    queue_id,
+                    buffer_id,
+                    offset,
+                    size,
+                    event_id,
+                    stream_id,
+                    &wait_events,
+                    None,
+                ) {
+                    Ok(_) => Response::Ok,
+                    Err(resp) => resp,
                 }
             }
             Request::EnqueueNdRange { queue_id, kernel_id, event_id, range, wait_events } => {
-                let (queue, kernel, wait) = {
-                    let state = self.state.lock();
-                    let queue = match state.queues.get(&queue_id) {
-                        Some(q) => Arc::clone(q),
-                        None => return Self::missing("queue", queue_id),
-                    };
-                    let kernel = match state.kernels.get(&kernel_id) {
-                        Some(k) => Arc::clone(k),
-                        None => return Self::missing("kernel", kernel_id),
-                    };
-                    let wait = match Self::resolve_wait_list(&state, &wait_events) {
-                        Ok(w) => w,
-                        Err(resp) => return resp,
-                    };
-                    (queue, kernel, wait)
-                };
-                self.stats.lock().kernel_launches += 1;
-                match queue.enqueue_nd_range_kernel(&kernel, range.0, wait) {
-                    Ok(event) => {
-                        self.notify_on_completion(event_id, &event);
-                        self.state.lock().events.insert(event_id, event);
-                        Response::Ok
-                    }
-                    Err(e) => Self::cl_error(&e),
+                match self.enqueue_nd_range_entry(
+                    queue_id,
+                    kernel_id,
+                    event_id,
+                    range,
+                    &wait_events,
+                    None,
+                ) {
+                    Ok(_) => Response::Ok,
+                    Err(resp) => resp,
                 }
             }
             Request::EnqueueMarker { queue_id, event_id, wait_events } => {
-                let (queue, wait) = {
-                    let state = self.state.lock();
-                    let queue = match state.queues.get(&queue_id) {
-                        Some(q) => Arc::clone(q),
-                        None => return Self::missing("queue", queue_id),
-                    };
-                    let wait = match Self::resolve_wait_list(&state, &wait_events) {
-                        Ok(w) => w,
-                        Err(resp) => return resp,
-                    };
-                    (queue, wait)
-                };
-                match queue.enqueue_marker(wait) {
-                    Ok(event) => {
-                        self.notify_on_completion(event_id, &event);
-                        self.state.lock().events.insert(event_id, event);
-                        Response::Ok
-                    }
-                    Err(e) => Self::cl_error(&e),
+                match self.enqueue_marker_entry(queue_id, event_id, &wait_events, None) {
+                    Ok(_) => Response::Ok,
+                    Err(resp) => resp,
                 }
+            }
+            Request::EnqueueBatch { entries } => {
+                // Entries are enqueued strictly in order.  Each entry gains an
+                // implicit dependency on the previous entry of the *same*
+                // queue, so an execution-time failure cascades down the rest
+                // of the batch (wait-list error, -14) while completed entries
+                // stay completed.  Enqueue-time failures stop the batch: the
+                // failing entry's status carries the error and unattempted
+                // entries get no status at all (the client fails their events
+                // locally).
+                let mut statuses = Vec::with_capacity(entries.len());
+                let mut prev: HashMap<ObjectId, Arc<Event>> = HashMap::new();
+                for entry in entries {
+                    let chain = prev.get(&entry.queue_id).cloned();
+                    let result = match entry.command {
+                        BatchCommand::WriteBuffer { buffer_id, offset, size, stream_id } => self
+                            .enqueue_write_entry(
+                                entry.queue_id,
+                                buffer_id,
+                                offset,
+                                size,
+                                entry.event_id,
+                                stream_id,
+                                &entry.wait_events,
+                                chain.as_ref(),
+                            ),
+                        BatchCommand::ReadBuffer { buffer_id, offset, size, stream_id } => self
+                            .enqueue_read_entry(
+                                entry.queue_id,
+                                buffer_id,
+                                offset,
+                                size,
+                                entry.event_id,
+                                stream_id,
+                                &entry.wait_events,
+                                chain.as_ref(),
+                            ),
+                        BatchCommand::NdRange { kernel_id, range } => self.enqueue_nd_range_entry(
+                            entry.queue_id,
+                            kernel_id,
+                            entry.event_id,
+                            range,
+                            &entry.wait_events,
+                            chain.as_ref(),
+                        ),
+                        BatchCommand::Marker => self.enqueue_marker_entry(
+                            entry.queue_id,
+                            entry.event_id,
+                            &entry.wait_events,
+                            chain.as_ref(),
+                        ),
+                    };
+                    match result {
+                        Ok(event) => {
+                            statuses.push(BatchEntryStatus::ok());
+                            prev.insert(entry.queue_id, event);
+                        }
+                        Err(resp) => {
+                            let (code, message) = match resp {
+                                Response::Error { code, message } => (code, message),
+                                other => (-30, format!("unexpected enqueue failure: {other:?}")),
+                            };
+                            statuses.push(BatchEntryStatus { code, message });
+                            break;
+                        }
+                    }
+                }
+                Response::BatchEnqueued { statuses }
             }
             Request::CreateUserEvent { event_id } => {
                 let event = Event::user();

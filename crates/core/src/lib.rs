@@ -72,7 +72,7 @@ pub mod protocol;
 
 pub use client::{
     Arg, Buffer, Client, CommandQueue, Context, Device, DeviceType, Event, Kernel, LaunchOp,
-    MarkerOp, Program, ReadBufferOp, ServerId, WriteBufferOp,
+    MarkerOp, PendingRead, Program, ReadBufferOp, ServerId, WriteBufferOp,
 };
 pub use cluster::{desktop_and_gpu_server, infiniband_cpu_cluster, LocalCluster};
 pub use daemon::{AccessPolicy, Daemon, DaemonStats, OpenAccess};

@@ -472,6 +472,173 @@ pub enum Request {
         /// Bulk stream the daemon sends the data on.
         stream_id: u64,
     },
+    /// A batch of enqueue commands accumulated client-side and shipped in a
+    /// single round trip (the batched command pipeline).  Entries are
+    /// enqueued strictly in order; completion is reported asynchronously per
+    /// entry through [`Notification::EventCompleted`].
+    EnqueueBatch {
+        /// The commands, in submission order.
+        entries: Vec<BatchEntry>,
+    },
+}
+
+/// One command of a [`Request::EnqueueBatch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchEntry {
+    /// Queue the command targets.
+    pub queue_id: ObjectId,
+    /// Client-assigned id for the completion event.
+    pub event_id: ObjectId,
+    /// Events that must complete before the command executes.
+    pub wait_events: Vec<ObjectId>,
+    /// The command itself.
+    pub command: BatchCommand,
+}
+
+/// The command payload of a [`BatchEntry`].
+///
+/// Bulk data still travels as streams: a `WriteBuffer` entry's payload is
+/// sent *before* the batch request (FIFO ordering guarantees it has arrived),
+/// and a `ReadBuffer` entry's data is sent back on `stream_id` when the read
+/// completes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchCommand {
+    /// `clEnqueueWriteBuffer`; payload arrives on bulk stream `stream_id`.
+    WriteBuffer {
+        /// Buffer id.
+        buffer_id: ObjectId,
+        /// Destination offset in bytes.
+        offset: u64,
+        /// Payload size in bytes.
+        size: u64,
+        /// Bulk stream carrying the payload.
+        stream_id: u64,
+    },
+    /// `clEnqueueReadBuffer`; the daemon sends the data on `stream_id` when
+    /// the read completes.
+    ReadBuffer {
+        /// Buffer id.
+        buffer_id: ObjectId,
+        /// Source offset in bytes.
+        offset: u64,
+        /// Size in bytes.
+        size: u64,
+        /// Bulk stream the daemon will send the data on.
+        stream_id: u64,
+    },
+    /// `clEnqueueNDRangeKernel`.
+    NdRange {
+        /// Kernel id.
+        kernel_id: ObjectId,
+        /// The index space.
+        range: WireNdRange,
+    },
+    /// `clEnqueueMarkerWithWaitList`.
+    Marker,
+}
+
+impl Encode for BatchEntry {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.queue_id.encode(buf);
+        self.event_id.encode(buf);
+        self.wait_events.encode(buf);
+        self.command.encode(buf);
+    }
+}
+
+impl Decode for BatchEntry {
+    fn decode(r: &mut Reader<'_>) -> std::result::Result<Self, GcfError> {
+        Ok(BatchEntry {
+            queue_id: ObjectId::decode(r)?,
+            event_id: ObjectId::decode(r)?,
+            wait_events: Vec::decode(r)?,
+            command: BatchCommand::decode(r)?,
+        })
+    }
+}
+
+impl Encode for BatchCommand {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            BatchCommand::WriteBuffer { buffer_id, offset, size, stream_id } => {
+                buf.push(0);
+                buffer_id.encode(buf);
+                offset.encode(buf);
+                size.encode(buf);
+                stream_id.encode(buf);
+            }
+            BatchCommand::ReadBuffer { buffer_id, offset, size, stream_id } => {
+                buf.push(1);
+                buffer_id.encode(buf);
+                offset.encode(buf);
+                size.encode(buf);
+                stream_id.encode(buf);
+            }
+            BatchCommand::NdRange { kernel_id, range } => {
+                buf.push(2);
+                kernel_id.encode(buf);
+                range.encode(buf);
+            }
+            BatchCommand::Marker => buf.push(3),
+        }
+    }
+}
+
+impl Decode for BatchCommand {
+    fn decode(r: &mut Reader<'_>) -> std::result::Result<Self, GcfError> {
+        Ok(match u8::decode(r)? {
+            0 => BatchCommand::WriteBuffer {
+                buffer_id: ObjectId::decode(r)?,
+                offset: u64::decode(r)?,
+                size: u64::decode(r)?,
+                stream_id: u64::decode(r)?,
+            },
+            1 => BatchCommand::ReadBuffer {
+                buffer_id: ObjectId::decode(r)?,
+                offset: u64::decode(r)?,
+                size: u64::decode(r)?,
+                stream_id: u64::decode(r)?,
+            },
+            2 => BatchCommand::NdRange {
+                kernel_id: ObjectId::decode(r)?,
+                range: WireNdRange::decode(r)?,
+            },
+            3 => BatchCommand::Marker,
+            other => return Err(codec_err(format!("invalid batch command tag {other}"))),
+        })
+    }
+}
+
+/// Per-entry enqueue outcome of a [`Request::EnqueueBatch`], reported in
+/// [`Response::BatchEnqueued`].  Code 0 means the entry was enqueued; a
+/// negative code is the OpenCL error that rejected it at enqueue time
+/// (execution-time failures are reported through the entry's event instead).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchEntryStatus {
+    /// 0 on success, a negative OpenCL error code otherwise.
+    pub code: i32,
+    /// Human-readable description (empty on success).
+    pub message: String,
+}
+
+impl BatchEntryStatus {
+    /// The success status.
+    pub fn ok() -> BatchEntryStatus {
+        BatchEntryStatus { code: 0, message: String::new() }
+    }
+}
+
+impl Encode for BatchEntryStatus {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.code.encode(buf);
+        self.message.encode(buf);
+    }
+}
+
+impl Decode for BatchEntryStatus {
+    fn decode(r: &mut Reader<'_>) -> std::result::Result<Self, GcfError> {
+        Ok(BatchEntryStatus { code: i32::decode(r)?, message: String::decode(r)? })
+    }
 }
 
 const REQ_TAGS: &[(&str, u8)] = &[];
@@ -636,6 +803,10 @@ impl Encode for Request {
                 buffer_id.encode(buf);
                 stream_id.encode(buf);
             }
+            Request::EnqueueBatch { entries } => {
+                buf.push(27);
+                entries.encode(buf);
+            }
         }
     }
 }
@@ -740,6 +911,7 @@ impl Decode for Request {
                 buffer_id: ObjectId::decode(r)?,
                 stream_id: u64::decode(r)?,
             },
+            27 => Request::EnqueueBatch { entries: Vec::decode(r)? },
             other => return Err(codec_err(format!("invalid request tag {other}"))),
         })
     }
@@ -814,6 +986,16 @@ pub enum Response {
         /// Modelled duration in nanoseconds.
         modeled_nanos: u64,
     },
+    /// Per-entry enqueue outcome of a [`Request::EnqueueBatch`].
+    ///
+    /// `statuses[k]` is the outcome of entry `k`.  The daemon stops at the
+    /// first entry that fails to *enqueue*, so `statuses` may be shorter
+    /// than the batch; the client fails the remaining entries' events
+    /// locally.
+    BatchEnqueued {
+        /// Outcomes of the attempted entries, in batch order.
+        statuses: Vec<BatchEntryStatus>,
+    },
 }
 
 impl Encode for Response {
@@ -845,6 +1027,10 @@ impl Encode for Response {
                 buf.push(6);
                 modeled_nanos.encode(buf);
             }
+            Response::BatchEnqueued { statuses } => {
+                buf.push(7);
+                statuses.encode(buf);
+            }
         }
     }
 }
@@ -859,6 +1045,7 @@ impl Decode for Response {
             4 => Response::EventStatus { status: i32::decode(r)? },
             5 => Response::ServerInfo(ServerInfo::decode(r)?),
             6 => Response::OkTimed { modeled_nanos: u64::decode(r)? },
+            7 => Response::BatchEnqueued { statuses: Vec::decode(r)? },
             other => return Err(codec_err(format!("invalid response tag {other}"))),
         })
     }
@@ -1053,6 +1240,47 @@ mod tests {
         roundtrip_request(Request::Disconnect);
         roundtrip_request(Request::UploadBufferData { buffer_id: 3, stream_id: 12, size: 64 });
         roundtrip_request(Request::DownloadBufferData { buffer_id: 3, stream_id: 13 });
+        roundtrip_request(Request::EnqueueBatch {
+            entries: vec![
+                BatchEntry {
+                    queue_id: 2,
+                    event_id: 20,
+                    wait_events: vec![6, 7],
+                    command: BatchCommand::WriteBuffer {
+                        buffer_id: 3,
+                        offset: 8,
+                        size: 64,
+                        stream_id: 200,
+                    },
+                },
+                BatchEntry {
+                    queue_id: 2,
+                    event_id: 21,
+                    wait_events: vec![],
+                    command: BatchCommand::ReadBuffer {
+                        buffer_id: 3,
+                        offset: 0,
+                        size: 16,
+                        stream_id: 201,
+                    },
+                },
+                BatchEntry {
+                    queue_id: 2,
+                    event_id: 22,
+                    wait_events: vec![20],
+                    command: BatchCommand::NdRange {
+                        kernel_id: 5,
+                        range: WireNdRange(NdRange::linear(128)),
+                    },
+                },
+                BatchEntry {
+                    queue_id: 2,
+                    event_id: 23,
+                    wait_events: vec![],
+                    command: BatchCommand::Marker,
+                },
+            ],
+        });
     }
 
     #[test]
@@ -1078,6 +1306,12 @@ mod tests {
             managed: true,
         }));
         roundtrip_response(Response::OkTimed { modeled_nanos: 123_456 });
+        roundtrip_response(Response::BatchEnqueued {
+            statuses: vec![
+                BatchEntryStatus::ok(),
+                BatchEntryStatus { code: -34, message: "unknown event id 9".into() },
+            ],
+        });
     }
 
     #[test]

@@ -49,6 +49,21 @@ impl MessageKind {
             other => return Err(GcfError::Codec(format!("invalid message kind {other}"))),
         })
     }
+
+    /// Whether a frame of this kind occupies no reply slot: the sender does
+    /// not wait for an answer (notifications, stream chunks, shutdown).
+    ///
+    /// One-way frames are the backbone of the async command pipeline: event
+    /// completions and bulk data travel without ever blocking a caller.
+    pub fn is_one_way(self) -> bool {
+        matches!(
+            self,
+            MessageKind::Notification
+                | MessageKind::StreamData
+                | MessageKind::Hello
+                | MessageKind::Bye
+        )
+    }
 }
 
 /// A single frame exchanged between two endpoints.
@@ -141,6 +156,16 @@ mod tests {
     fn wire_size_matches_encoding() {
         let env = Envelope::stream(3, vec![0u8; 1000]);
         assert_eq!(env.wire_size(), env.to_bytes().len());
+    }
+
+    #[test]
+    fn one_way_kinds_expect_no_reply() {
+        assert!(!MessageKind::Request.is_one_way());
+        assert!(!MessageKind::Response.is_one_way());
+        assert!(MessageKind::Notification.is_one_way());
+        assert!(MessageKind::StreamData.is_one_way());
+        assert!(MessageKind::Hello.is_one_way());
+        assert!(MessageKind::Bye.is_one_way());
     }
 
     #[test]

@@ -50,18 +50,83 @@ impl EndpointHandler for NullHandler {
 }
 
 /// Traffic counters, useful for tests and for charging link models.
+///
+/// The *sent* counters are bumped by [`Endpoint::call`], [`Endpoint::notify`]
+/// and [`Endpoint::send_bulk`]; the *received* counters by the receiver
+/// thread as frames are dispatched.  Snapshots can be subtracted
+/// ([`TrafficStats::delta`]) to measure a region of interest, and added
+/// (`+` / `+=`) to aggregate several endpoints — this is how the bench
+/// harnesses turn "fewer round trips" into a recorded number.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct TrafficStats {
     /// Number of request frames sent.
     pub requests_sent: u64,
     /// Number of notification frames sent.
     pub notifications_sent: u64,
+    /// Number of request frames received (and dispatched to the handler).
+    pub requests_received: u64,
+    /// Number of notification frames received.
+    pub notifications_received: u64,
+    /// Number of bulk stream chunk frames received.
+    pub stream_chunks_received: u64,
     /// Total message payload bytes sent (requests + notifications + responses).
     pub message_bytes_sent: u64,
     /// Total bulk payload bytes sent.
     pub stream_bytes_sent: u64,
     /// Total bulk payload bytes received.
     pub stream_bytes_received: u64,
+}
+
+impl TrafficStats {
+    /// Total wire messages this endpoint initiated (requests +
+    /// notifications); responses and stream chunks are not counted.
+    pub fn messages_sent(&self) -> u64 {
+        self.requests_sent + self.notifications_sent
+    }
+
+    /// Counter-wise difference against an `earlier` snapshot (saturating, so
+    /// mismatched snapshots never panic).
+    pub fn delta(&self, earlier: &TrafficStats) -> TrafficStats {
+        TrafficStats {
+            requests_sent: self.requests_sent.saturating_sub(earlier.requests_sent),
+            notifications_sent: self.notifications_sent.saturating_sub(earlier.notifications_sent),
+            requests_received: self.requests_received.saturating_sub(earlier.requests_received),
+            notifications_received: self
+                .notifications_received
+                .saturating_sub(earlier.notifications_received),
+            stream_chunks_received: self
+                .stream_chunks_received
+                .saturating_sub(earlier.stream_chunks_received),
+            message_bytes_sent: self.message_bytes_sent.saturating_sub(earlier.message_bytes_sent),
+            stream_bytes_sent: self.stream_bytes_sent.saturating_sub(earlier.stream_bytes_sent),
+            stream_bytes_received: self
+                .stream_bytes_received
+                .saturating_sub(earlier.stream_bytes_received),
+        }
+    }
+}
+
+impl std::ops::Add for TrafficStats {
+    type Output = TrafficStats;
+
+    fn add(self, rhs: TrafficStats) -> TrafficStats {
+        TrafficStats {
+            requests_sent: self.requests_sent + rhs.requests_sent,
+            notifications_sent: self.notifications_sent + rhs.notifications_sent,
+            requests_received: self.requests_received + rhs.requests_received,
+            notifications_received: self.notifications_received + rhs.notifications_received,
+            stream_chunks_received: self.stream_chunks_received + rhs.stream_chunks_received,
+            message_bytes_sent: self.message_bytes_sent + rhs.message_bytes_sent,
+            stream_bytes_sent: self.stream_bytes_sent + rhs.stream_bytes_sent,
+            stream_bytes_received: self.stream_bytes_received + rhs.stream_bytes_received,
+        }
+    }
+}
+
+impl std::ops::AddAssign for TrafficStats {
+    fn add_assign(&mut self, rhs: TrafficStats) {
+        *self = *self + rhs;
+    }
 }
 
 struct BulkBuffers {
@@ -160,14 +225,17 @@ impl Endpoint {
                 }
             }
             MessageKind::Request => {
+                self.stats.lock().requests_received += 1;
                 let response = handler.handle_request(&frame.payload);
                 self.stats.lock().message_bytes_sent += response.len() as u64;
                 let _ = self.conn.send(Envelope::response(frame.id, response));
             }
             MessageKind::Notification => {
+                self.stats.lock().notifications_received += 1;
                 handler.handle_notification(&frame.payload);
             }
             MessageKind::StreamData => {
+                self.stats.lock().stream_chunks_received += 1;
                 self.accept_stream_chunk(frame.id, frame.payload);
             }
             MessageKind::Hello => {
@@ -363,10 +431,28 @@ mod tests {
 
     #[test]
     fn call_gets_matching_response() {
-        let (client, _server) = endpoint_pair(Arc::new(NullHandler), Arc::new(EchoHandler));
+        let (client, server) = endpoint_pair(Arc::new(NullHandler), Arc::new(EchoHandler));
         let resp = client.call(vec![1, 2, 3]).unwrap();
         assert_eq!(resp, vec![3, 2, 1]);
         assert_eq!(client.stats().requests_sent, 1);
+        assert_eq!(client.stats().messages_sent(), 1);
+        assert_eq!(server.stats().requests_received, 1);
+    }
+
+    #[test]
+    fn stats_snapshots_subtract_and_aggregate() {
+        let (client, _server) = endpoint_pair(Arc::new(NullHandler), Arc::new(EchoHandler));
+        let before = client.stats();
+        client.call(vec![1]).unwrap();
+        client.call(vec![2]).unwrap();
+        let delta = client.stats().delta(&before);
+        assert_eq!(delta.requests_sent, 2);
+        assert_eq!((delta + delta).requests_sent, 4);
+        let mut sum = TrafficStats::default();
+        sum += delta;
+        assert_eq!(sum, delta);
+        // Saturating: subtracting a *later* snapshot yields zeros, not a panic.
+        assert_eq!(before.delta(&client.stats()).requests_sent, 0);
     }
 
     #[test]

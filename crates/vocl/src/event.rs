@@ -52,6 +52,12 @@ impl EventStatus {
         matches!(self, EventStatus::Complete | EventStatus::Error(_))
     }
 
+    /// True only for `Error`: the command reached a terminal state by
+    /// failing.
+    pub fn is_error(self) -> bool {
+        matches!(self, EventStatus::Error(_))
+    }
+
     /// The numeric value used by the OpenCL API.
     pub fn code(self) -> i32 {
         match self {
@@ -288,6 +294,14 @@ mod tests {
         e.set_error(-14);
         assert!(e.wait().is_err());
         assert_eq!(e.status(), EventStatus::Error(-14));
+    }
+
+    #[test]
+    fn error_is_the_only_failing_terminal_state() {
+        assert!(EventStatus::Error(-14).is_error());
+        assert!(EventStatus::Error(-14).is_terminal());
+        assert!(!EventStatus::Complete.is_error());
+        assert!(!EventStatus::Running.is_error());
     }
 
     #[test]

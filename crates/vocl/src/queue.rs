@@ -17,7 +17,7 @@ use crate::kernel::Kernel;
 use crossbeam_channel::{unbounded, Sender};
 use oclc::NdRange;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -80,6 +80,7 @@ pub struct CommandQueue {
     context: Arc<Context>,
     properties: QueueProperties,
     tx: Sender<Command>,
+    depth: Arc<AtomicUsize>,
     worker: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -106,14 +107,19 @@ impl CommandQueue {
             )));
         }
         let (tx, rx) = unbounded::<Command>();
+        let depth = Arc::new(AtomicUsize::new(0));
         let worker_device = Arc::clone(&device);
+        let worker_depth = Arc::clone(&depth);
         let worker = std::thread::Builder::new()
             .name(format!("vocl-queue-{}", device.name()))
             .spawn(move || {
                 while let Ok(command) = rx.recv() {
                     match command {
                         Command::Shutdown => break,
-                        other => execute_command(&worker_device, other),
+                        other => {
+                            worker_depth.fetch_sub(1, Ordering::AcqRel);
+                            execute_command(&worker_device, other);
+                        }
                     }
                 }
             })
@@ -124,6 +130,7 @@ impl CommandQueue {
             context,
             properties,
             tx,
+            depth,
             worker: Mutex::new(Some(worker)),
         }))
     }
@@ -150,7 +157,11 @@ impl CommandQueue {
 
     fn submit(&self, command: Command, event: &Arc<Event>) -> Result<Arc<Event>> {
         event.set_status(EventStatus::Submitted);
-        self.tx.send(command).map_err(|_| ClError::QueueShutDown)?;
+        self.depth.fetch_add(1, Ordering::AcqRel);
+        if self.tx.send(command).is_err() {
+            self.depth.fetch_sub(1, Ordering::AcqRel);
+            return Err(ClError::QueueShutDown);
+        }
         Ok(Arc::clone(event))
     }
 
@@ -263,8 +274,20 @@ impl CommandQueue {
     }
 
     /// `clFlush` (a no-op: commands are handed to the worker immediately).
+    ///
+    /// Client-side batching lives a layer above: the dOpenCL client driver
+    /// accumulates commands and ships them as one `EnqueueBatch` request;
+    /// by the time the daemon replays them here they are already "flushed"
+    /// in the OpenCL sense and only queue-depth remains.
     pub fn flush(&self) -> Result<()> {
         Ok(())
+    }
+
+    /// Number of commands handed to the queue but not yet picked up by the
+    /// worker thread (a lower bound on outstanding work: the command the
+    /// worker is currently executing or blocking on is not counted).
+    pub fn pending_commands(&self) -> usize {
+        self.depth.load(Ordering::Acquire)
     }
 
     /// `clFinish`: block until every previously enqueued command completes.
@@ -502,5 +525,22 @@ mod tests {
         }
         queue.finish().unwrap();
         assert_eq!(buffer.read(0, 1).unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn pending_commands_tracks_queue_depth() {
+        let (context, _, queue) = setup();
+        let buffer = Buffer::new(Arc::clone(&context), 4, MemFlags::READ_WRITE, None).unwrap();
+        let gate = Event::user();
+        // The gated write blocks the worker; everything behind it piles up.
+        queue.enqueue_write_buffer(&buffer, 0, vec![1; 4], vec![Arc::clone(&gate)]).unwrap();
+        queue.enqueue_write_buffer(&buffer, 0, vec![2; 4], Vec::new()).unwrap();
+        queue.enqueue_write_buffer(&buffer, 0, vec![3; 4], Vec::new()).unwrap();
+        // The worker may or may not have popped the gated write yet.
+        let depth = queue.pending_commands();
+        assert!((2..=3).contains(&depth), "queue depth {depth}");
+        gate.set_complete();
+        queue.finish().unwrap();
+        assert_eq!(queue.pending_commands(), 0);
     }
 }
