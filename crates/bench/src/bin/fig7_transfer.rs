@@ -1,16 +1,67 @@
 //! Regenerates Figure 7: time to transfer 1024 MB to and from a device over
 //! Gigabit Ethernet (through dOpenCL) vs PCI Express (native).
 //!
-//! Usage: `fig7_transfer [--smoke] [--json PATH]`
+//! Usage: `fig7_transfer [--smoke] [--faulty] [--json PATH]`
 //!
 //! `--smoke` shrinks the transfer to 64 MB for CI; `--json PATH` records the
 //! before (unbatched) and after (batched) runs as a `BENCH_fig7.json`
-//! trajectory file.
+//! trajectory file.  `--faulty` instead runs the transfer under injected
+//! faults (the daemon drops every connection between slices) and records
+//! the recovery counters — `BENCH_fig7_faulty.json` in CI.
 
-use dcl_bench::fig7::{run_mode, Fig7Run, PAPER_TRANSFER_MB};
+use dcl_bench::fig7::{run_faulty, run_mode, Fig7Run, PAPER_TRANSFER_MB};
 use dcl_bench::report::{print_table, secs, write_json, JsonValue};
 
 const SMOKE_TRANSFER_MB: u64 = 64;
+const FAULTY_PARTITIONS: u64 = 3;
+
+fn faulty_main(megabytes: u64, smoke: bool, json_path: Option<String>) {
+    println!(
+        "Figure 7 (faulty) — {megabytes} MB transfer with {FAULTY_PARTITIONS} injected partitions"
+    );
+    let run = run_faulty(megabytes, FAULTY_PARTITIONS).expect("figure 7 faulty harness");
+    print_table(
+        "Transfer time under faults (seconds)",
+        &["direction", "Gigabit Ethernet (dOpenCL)", "PCI Express (native)"],
+        &[
+            vec![
+                "write".to_string(),
+                secs(run.result.gigabit_ethernet.write),
+                secs(run.result.pci_express.write),
+            ],
+            vec![
+                "read".to_string(),
+                secs(run.result.gigabit_ethernet.read),
+                secs(run.result.pci_express.read),
+            ],
+        ],
+    );
+    println!(
+        "\n  partitions: {}   reconnects: {}   recovered requests: {}   failed requests: {}",
+        run.partitions, run.reconnects, run.recovered_requests, run.failed_requests
+    );
+    assert!(
+        run.recovered_requests >= run.partitions,
+        "every request interrupted by a partition must be retried to completion"
+    );
+
+    if let Some(path) = json_path {
+        let report = JsonValue::obj([
+            ("figure", JsonValue::str("fig7_faulty")),
+            ("megabytes", JsonValue::num(run.result.megabytes as f64)),
+            ("smoke", JsonValue::Bool(smoke)),
+            ("partitions", JsonValue::num(run.partitions as f64)),
+            ("reconnects", JsonValue::num(run.reconnects as f64)),
+            ("recovered_requests", JsonValue::num(run.recovered_requests as f64)),
+            ("failed_requests", JsonValue::num(run.failed_requests as f64)),
+            ("requests_sent", JsonValue::num(run.requests_sent as f64)),
+            ("write_seconds", JsonValue::Num(run.result.gigabit_ethernet.write.as_secs_f64())),
+            ("read_seconds", JsonValue::Num(run.result.gigabit_ethernet.read.as_secs_f64())),
+        ]);
+        write_json(&path, &report).expect("write JSON report");
+        println!("  wrote {path}");
+    }
+}
 
 fn run_json(run: &Fig7Run) -> JsonValue {
     JsonValue::obj([
@@ -26,6 +77,11 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
     let megabytes = if smoke { SMOKE_TRANSFER_MB } else { PAPER_TRANSFER_MB };
+
+    if args.iter().any(|a| a == "--faulty") {
+        faulty_main(megabytes, smoke, json_path);
+        return;
+    }
 
     println!("Figure 7 — transfer of {megabytes} MB to (write) / from (read) a GPU device");
     let unbatched = run_mode(megabytes, false).expect("figure 7 harness (unbatched)");

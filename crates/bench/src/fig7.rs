@@ -69,6 +69,67 @@ pub fn run(megabytes: u64) -> dopencl::Result<Fig7Result> {
     Ok(run_mode(megabytes, true)?.result)
 }
 
+/// A Figure 7 run under injected faults: recovery counters recorded
+/// alongside the transfer times (`BENCH_fig7_faulty.json`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig7FaultyRun {
+    /// The four bars, measured across all slices.
+    pub result: Fig7Result,
+    /// Number of partitions injected (connection drops on the daemon).
+    pub partitions: u64,
+    /// Successful re-handshakes performed by the client's supervisor.
+    pub reconnects: u64,
+    /// Requests recovered by retrying them after a reconnect.
+    pub recovered_requests: u64,
+    /// Requests that observed a dead connection at the endpoint level
+    /// before the supervisor recovered it.  Every one of them was retried
+    /// to completion — `run_faulty` errors if a request is lost for good.
+    pub failed_requests: u64,
+    /// Total request frames sent.
+    pub requests_sent: u64,
+}
+
+/// Run the Figure 7 transfer in `partitions + 1` slices, dropping every
+/// client connection on the daemon between slices.  The client's
+/// supervisor must reconnect, resume its session and retry the
+/// interrupted requests; the run fails if any slice does not complete.
+pub fn run_faulty(megabytes: u64, partitions: u64) -> dopencl::Result<Fig7FaultyRun> {
+    let mut cluster = LocalCluster::new(LinkModel::gigabit_ethernet());
+    cluster.add_node("gpuserver", &Platform::gpu_server())?;
+    let clock = SimClock::new();
+    let client = cluster.client_with_clock("fig7-faulty", clock.clone())?;
+    let before = client.traffic_stats();
+
+    let slices = partitions + 1;
+    let per_slice = (megabytes / slices).max(1);
+    let mut write = Duration::ZERO;
+    let mut read = Duration::ZERO;
+    for slice in 0..slices {
+        if slice > 0 {
+            cluster.daemons()[0].drop_connections();
+        }
+        let times = dopencl_transfer_with(&client, &clock, per_slice)?;
+        write += times.write;
+        read += times.read;
+    }
+
+    let traffic = client.traffic_stats().delta(&before);
+    let transferred = per_slice * slices;
+    let pci_express = native_transfer(&DeviceProfile::gpu_tesla_s1070_unit(), transferred);
+    Ok(Fig7FaultyRun {
+        result: Fig7Result {
+            megabytes: transferred,
+            gigabit_ethernet: TransferTimes { write, read },
+            pci_express,
+        },
+        partitions,
+        reconnects: traffic.reconnects,
+        recovered_requests: traffic.retries,
+        failed_requests: traffic.failed_requests,
+        requests_sent: traffic.requests_sent,
+    })
+}
+
 /// The transfer size used by the paper's Figure 7.
 pub const PAPER_TRANSFER_MB: u64 = 1024;
 
@@ -82,6 +143,17 @@ pub fn within_paper_axis(result: &Fig7Result) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn faulty_run_recovers_every_slice() {
+        let run = run_faulty(8, 3).unwrap();
+        assert_eq!(run.partitions, 3);
+        assert_eq!(run.result.megabytes, 8);
+        assert!(run.reconnects >= 1, "each partition forces a reconnect");
+        assert!(run.recovered_requests >= run.partitions, "every interrupted request is retried");
+        assert!(run.result.gigabit_ethernet.write > Duration::ZERO);
+        assert!(run.result.gigabit_ethernet.read > Duration::ZERO);
+    }
 
     #[test]
     fn slowdowns_match_the_papers_ratios() {

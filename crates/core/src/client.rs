@@ -118,14 +118,57 @@
 //! remote PCIe/bus and kernel execution times reported by the daemons) are
 //! charged to the client's [`SimClock`], split into the initialization /
 //! execution / data-transfer phases the paper's figures use.
+//!
+//! # Failure semantics
+//!
+//! A server connection can die at any moment (daemon crash, network
+//! partition, process kill).  The client driver recovers as follows
+//! (Section IV-C of the paper describes the daemon-side half):
+//!
+//! * **Detection** — every endpoint's receiver thread reports its own death
+//!   through a supervisor callback; callers additionally detect death
+//!   through failed calls.  Both paths converge on one single-flight
+//!   recovery routine per server, so concurrent detections reconnect once.
+//! * **Reconnect** — governed by the client's [`FailoverPolicy`]: the
+//!   supervisor redials the server's address with exponential backoff
+//!   ([`gcf::retry_with_backoff`]) and re-handshakes with a bumped *session
+//!   epoch*.  The daemon parks session state by client identity; a `Hello`
+//!   with `epoch > 0` adopts the parked state (`resumed = true`) so every
+//!   remote object — and the command dedup window — survives the
+//!   connection.
+//! * **Re-creation** — when the daemon does *not* resume the session (the
+//!   daemon process itself was restarted), the client replays its recorded
+//!   setup log (context / queue / buffer / program / kernel creation and
+//!   kernel-argument calls) against the fresh daemon, then invalidates the
+//!   server's buffer copies in the MSI directory.  The next command that
+//!   reads a buffer there re-validates it from a surviving copy through the
+//!   normal [`crate::coherence::ValidationPlan`] machinery.
+//! * **Exactly-once replay** — every batch entry carries a client-generated
+//!   `command_id`.  A batch whose response was lost is re-sent verbatim
+//!   after the reconnect; the daemon's bounded dedup window recognises ids
+//!   it already executed, suppresses re-execution, and re-arms the
+//!   completion notification instead.
+//! * **Giving up** — if redialling exhausts the backoff budget and
+//!   [`FailoverPolicy::drop_lost_servers`] is set, the server is dropped
+//!   like an explicit `clDisconnectServerWWU`: its outstanding events fail
+//!   with the wait-list error (`-14`), its pending batches are discarded,
+//!   and the application continues on the surviving servers.  Otherwise the
+//!   failure surfaces as [`DclError::ServerUnavailable`].
+//!
+//! Bulk transfers that were *in flight* across the failure are not
+//! replayed: a write's stream data and a read's reply stream die with the
+//! connection, so the affected events fail (`-14`) and the operation must
+//! be re-issued by the application.  Everything request/response-shaped —
+//! including whole command batches — is retried transparently.
 
 use crate::coherence::{BufferDirectory, ValidationPlan};
 use crate::config;
 use crate::error::{DclError, Result};
 use crate::protocol::{
     BatchCommand, BatchEntry, DeviceDescriptor, Notification, ObjectId, Request, Response,
-    ServerInfo, WireNdRange, WireValue,
+    ServerInfo, SessionInfo, WireNdRange, WireValue,
 };
+use gcf::retry::{retry_with_backoff, Backoff};
 use gcf::rpc::{Endpoint, EndpointHandler, TrafficStats};
 use gcf::simtime::{Phase, SimClock};
 use gcf::transport::Transport;
@@ -849,6 +892,53 @@ fn upgrade(client: &Weak<ClientInner>) -> Result<Arc<ClientInner>> {
     client.upgrade().ok_or(DclError::ClientDropped)
 }
 
+/// How the client reacts to a dead server connection (see the
+/// [module docs](self#failure-semantics)).
+#[derive(Debug, Clone, Copy)]
+pub struct FailoverPolicy {
+    /// Attempt to reconnect at all.  With `false` a dead connection
+    /// immediately surfaces as [`DclError::ServerUnavailable`].
+    pub reconnect: bool,
+    /// Redial schedule (exponential backoff with deterministic jitter).
+    pub backoff: Backoff,
+    /// When redialling gives up, drop the server like an explicit
+    /// disconnect and continue on the survivors instead of erroring every
+    /// subsequent operation.
+    pub drop_lost_servers: bool,
+}
+
+impl Default for FailoverPolicy {
+    fn default() -> Self {
+        FailoverPolicy { reconnect: true, backoff: Backoff::default(), drop_lost_servers: false }
+    }
+}
+
+impl FailoverPolicy {
+    /// No recovery at all: any connection failure is immediately fatal for
+    /// the affected server (the pre-fault-tolerance behaviour).
+    pub fn fail_fast() -> Self {
+        FailoverPolicy { reconnect: false, backoff: Backoff::default(), drop_lost_servers: false }
+    }
+}
+
+/// Per-server recovery bookkeeping (parallel to the `servers` table).
+struct SlotRecovery {
+    /// The address originally dialled, redialled on reconnect.
+    address: String,
+    /// Session epoch of the current connection; bumped on every reconnect
+    /// so the daemon can tell a revival from a fresh client.
+    epoch: u64,
+    /// Initialization-phase requests replayed verbatim when the daemon did
+    /// not park our session (it was restarted): re-creates every remote
+    /// object in original order.
+    setup_log: Vec<Request>,
+    /// A reconnect is in flight; other detections wait on `recovery_cond`.
+    reconnecting: bool,
+    /// The server was dropped permanently (redial gave up under
+    /// [`FailoverPolicy::drop_lost_servers`]).
+    lost: bool,
+}
+
 struct ServerConn {
     name: String,
     endpoint: Arc<Endpoint>,
@@ -885,6 +975,19 @@ struct ClientInner {
     batches: Mutex<BatchState>,
     batching: AtomicBool,
     auth_id: Mutex<Option<String>>,
+    /// Per-server recovery state (same indexing as `servers`).
+    recovery: Mutex<Vec<SlotRecovery>>,
+    /// Signalled when a reconnect attempt (any server) finishes.
+    recovery_cond: Condvar,
+    failover: Mutex<FailoverPolicy>,
+    /// Counters of endpoints that were replaced or closed, plus the
+    /// client-level `reconnects`/`retries` counts; added to the live
+    /// endpoints' stats by `traffic_stats` so totals stay monotonic across
+    /// reconnects.
+    retired: Mutex<TrafficStats>,
+    /// Directories of every live buffer, so a reconnect to a restarted
+    /// daemon can invalidate that server's copies.
+    buffer_dirs: Mutex<Vec<Weak<Mutex<BufferDirectory>>>>,
 }
 
 impl ClientInner {
@@ -1009,14 +1112,12 @@ impl ClientInner {
                 Phase::Initialization,
             )?;
         }
-        Ok(Buffer {
-            id,
-            size,
-            directory: Arc::new(Mutex::new(BufferDirectory::new(
-                context.servers.iter().copied(),
-                size,
-            ))),
-        })
+        let directory =
+            Arc::new(Mutex::new(BufferDirectory::new(context.servers.iter().copied(), size)));
+        // Track the directory so a reconnect to a restarted daemon can
+        // invalidate that server's copies.
+        self.buffer_dirs.lock().push(Arc::downgrade(&directory));
+        Ok(Buffer { id, size, directory })
     }
 
     fn create_program_with_source(
@@ -1278,18 +1379,21 @@ impl ClientInner {
                 return Err(e);
             }
         };
+        drop(conn);
         let request = Request::EnqueueBatch { entries: batch.entries };
         // One round trip for the whole batch — the point of accumulating.
+        // Goes through the recovery path: if the connection dies mid-call
+        // the batch is re-sent verbatim after the reconnect, and the
+        // daemon's dedup window (keyed by the entries' command ids) makes
+        // the replay execute exactly once.
         self.charge_message(phase, &request);
-        let bytes = match conn.endpoint.call(request.to_bytes()) {
-            Ok(bytes) => bytes,
+        let response = match self.call_with_recovery(batch.server, &request) {
+            Ok(response) => response,
             Err(e) => {
                 self.fail_events(&event_ids, -14);
-                return Err(DclError::ServerUnavailable(format!("{}: {e}", conn.name)));
+                return Err(e);
             }
         };
-        let response =
-            Response::from_bytes(&bytes).map_err(|e| DclError::Protocol(e.to_string()))?;
         let statuses = match response {
             Response::BatchEnqueued { statuses } => statuses,
             Response::Error { code, message } => {
@@ -1363,6 +1467,7 @@ impl ClientInner {
         let event =
             self.register_event(event_id, server, &queue.context_servers, Phase::DataTransfer)?;
         let entry = BatchEntry {
+            command_id: self.allocate_id(),
             queue_id: queue.id,
             event_id,
             wait_events: wait.to_vec(),
@@ -1403,6 +1508,7 @@ impl ClientInner {
         let event =
             self.register_event(event_id, server, &queue.context_servers, Phase::DataTransfer)?;
         let entry = BatchEntry {
+            command_id: self.allocate_id(),
             queue_id: queue.id,
             event_id,
             wait_events: wait.to_vec(),
@@ -1446,6 +1552,7 @@ impl ClientInner {
         let event =
             self.register_event(event_id, server, &queue.context_servers, Phase::Execution)?;
         let entry = BatchEntry {
+            command_id: self.allocate_id(),
             queue_id: queue.id,
             event_id,
             wait_events: wait.to_vec(),
@@ -1467,6 +1574,7 @@ impl ClientInner {
         let event =
             self.register_event(event_id, queue.server, &queue.context_servers, Phase::Execution)?;
         let entry = BatchEntry {
+            command_id: self.allocate_id(),
             queue_id: queue.id,
             event_id,
             wait_events: wait.to_vec(),
@@ -1568,8 +1676,256 @@ impl ClientInner {
     }
 
     fn call_server(&self, server: usize, request: Request, phase: Phase) -> Result<Response> {
-        let conn = self.server(server)?;
-        self.call_server_on(&conn, &request, phase)
+        self.charge_message(phase, &request);
+        let response = self.call_with_recovery(server, &request)?.into_result()?;
+        // Record setup requests so a reconnect to a restarted daemon can
+        // re-create the remote objects (see the recovery path).
+        if Self::is_setup_request(&request) {
+            if let Some(slot) = self.recovery.lock().get_mut(server) {
+                slot.setup_log.push(request);
+            }
+        }
+        Ok(response)
+    }
+
+    // ----- connection supervision & failover --------------------------------
+
+    /// Requests replayed on a fresh daemon to rebuild the session: object
+    /// creation and kernel-argument state, in original order.
+    fn is_setup_request(request: &Request) -> bool {
+        matches!(
+            request,
+            Request::CreateContext { .. }
+                | Request::CreateCommandQueue { .. }
+                | Request::CreateBuffer { .. }
+                | Request::CreateProgramWithSource { .. }
+                | Request::CreateProgramWithBuiltInKernels { .. }
+                | Request::BuildProgram { .. }
+                | Request::CreateKernel { .. }
+                | Request::SetKernelArgScalar { .. }
+                | Request::SetKernelArgBuffer { .. }
+                | Request::SetKernelArgLocal { .. }
+        )
+    }
+
+    /// Call `request` on `server`, transparently reconnecting and retrying
+    /// when the connection dies mid-call.  Safe because every request the
+    /// protocol retries this way is idempotent — batches through their
+    /// command ids, creation calls because they overwrite the same object
+    /// id.  (Bulk-transfer requests bypass this path; their stream dies
+    /// with the connection.)
+    fn call_with_recovery(&self, server: usize, request: &Request) -> Result<Response> {
+        let mut recoveries = 0u32;
+        loop {
+            let conn = self.server(server)?;
+            match conn.endpoint.call(request.to_bytes()) {
+                Ok(bytes) => {
+                    return Response::from_bytes(&bytes)
+                        .map_err(|e| DclError::Protocol(e.to_string()))
+                }
+                Err(e) if e.is_retryable() && recoveries < 3 => {
+                    recoveries += 1;
+                    self.retired.lock().retries += 1;
+                    self.recover_server(server)
+                        .map_err(|_| DclError::ServerUnavailable(format!("{}: {e}", conn.name)))?;
+                }
+                Err(e) => return Err(DclError::ServerUnavailable(format!("{}: {e}", conn.name))),
+            }
+        }
+    }
+
+    /// Single-flight reconnect for `server`: the first caller redials, all
+    /// concurrent detections (supervisor callback, failing calls) wait for
+    /// its outcome.  Returns once the slot holds a live connection again.
+    fn recover_server(&self, index: usize) -> Result<()> {
+        if !self.failover.lock().reconnect {
+            return Err(DclError::ServerUnavailable(format!(
+                "server #{index} disconnected (failover disabled)"
+            )));
+        }
+        loop {
+            {
+                let servers = self.servers.lock();
+                match servers.get(index).and_then(|s| s.as_ref()) {
+                    Some(conn) if conn.endpoint.is_open() => return Ok(()),
+                    None => {
+                        return Err(DclError::ServerUnavailable(format!(
+                            "server #{index} was dropped"
+                        )))
+                    }
+                    _ => {}
+                }
+            }
+            let (address, epoch, log) = {
+                let mut recovery = self.recovery.lock();
+                let Some(slot) = recovery.get_mut(index) else {
+                    return Err(DclError::ServerUnavailable(format!("server #{index}")));
+                };
+                if slot.lost {
+                    return Err(DclError::ServerUnavailable(format!(
+                        "server #{index} is permanently lost"
+                    )));
+                }
+                if slot.reconnecting {
+                    self.recovery_cond.wait(&mut recovery);
+                    continue;
+                }
+                slot.reconnecting = true;
+                (slot.address.clone(), slot.epoch + 1, slot.setup_log.clone())
+            };
+            let result = self.reconnect_attempt(index, &address, epoch, &log);
+            {
+                let mut recovery = self.recovery.lock();
+                recovery[index].reconnecting = false;
+                if result.is_ok() {
+                    recovery[index].epoch = epoch;
+                } else if self.failover.lock().drop_lost_servers {
+                    recovery[index].lost = true;
+                }
+            }
+            self.recovery_cond.notify_all();
+            if result.is_err() && self.failover.lock().drop_lost_servers {
+                self.drop_server(index);
+            }
+            return result;
+        }
+    }
+
+    /// One full redial: retire the dead endpoint, reconnect with backoff,
+    /// re-handshake with the bumped epoch, and — if the daemon did not park
+    /// our session — replay the setup log and invalidate the server's
+    /// buffer copies.
+    fn reconnect_attempt(
+        &self,
+        index: usize,
+        address: &str,
+        epoch: u64,
+        log: &[Request],
+    ) -> Result<()> {
+        if let Ok(old) = self.server(index) {
+            let mut retired = self.retired.lock();
+            *retired += old.endpoint.stats();
+            old.endpoint.close();
+        }
+        let backoff = self.failover.lock().backoff;
+        let (endpoint, devices, resumed) = retry_with_backoff(&backoff, |_attempt| {
+            self.handshake(address, epoch).map_err(|e| match e {
+                DclError::Network(g) => g,
+                other => gcf::GcfError::Disconnected(other.to_string()),
+            })
+        })
+        .map_err(DclError::Network)?;
+        self.retired.lock().reconnects += 1;
+        if !resumed {
+            // The daemon lost our session (restart): rebuild every remote
+            // object, then mark this server's buffer copies stale so the
+            // MSI directory re-validates them from a surviving copy.
+            for request in log {
+                self.charge_message(Phase::Initialization, request);
+                let bytes = endpoint.call(request.to_bytes()).map_err(DclError::Network)?;
+                Response::from_bytes(&bytes)
+                    .map_err(|e| DclError::Protocol(e.to_string()))?
+                    .into_result()?;
+            }
+            let mut dirs = self.buffer_dirs.lock();
+            dirs.retain(|d| d.strong_count() > 0);
+            for dir in dirs.iter().filter_map(Weak::upgrade) {
+                dir.lock().invalidate_server(index);
+            }
+        }
+        let conn = Arc::new(ServerConn {
+            name: address.to_string(),
+            endpoint: Arc::clone(&endpoint),
+            devices,
+        });
+        self.servers.lock()[index] = Some(conn);
+        self.install_supervisor(index, &endpoint);
+        Ok(())
+    }
+
+    /// Dial `address`, handshake (`Hello` with `epoch`), fetch the device
+    /// list.  Shared by first connect and reconnect.
+    fn handshake(
+        &self,
+        address: &str,
+        epoch: u64,
+    ) -> Result<(Arc<Endpoint>, Vec<DeviceDescriptor>, bool)> {
+        let conn = self.transport.connect(address)?;
+        let handler = Arc::new(ClientHandler { inner: self.self_weak.clone() });
+        let endpoint = Endpoint::new(conn, handler, format!("client-{}", self.name));
+
+        let hello = Request::Hello {
+            client_name: self.name.clone(),
+            auth_id: self.auth_id.lock().clone(),
+            epoch,
+        };
+        self.charge_message(Phase::Initialization, &hello);
+        let response = Response::from_bytes(&endpoint.call(hello.to_bytes())?)
+            .map_err(|e| DclError::Protocol(e.to_string()))?;
+        let resumed = match response.into_result()? {
+            Response::SessionInfo(info) => info.resumed,
+            _ => false,
+        };
+
+        let list_req = Request::GetDeviceList;
+        self.charge_message(Phase::Initialization, &list_req);
+        let response = Response::from_bytes(&endpoint.call(list_req.to_bytes())?)
+            .map_err(|e| DclError::Protocol(e.to_string()))?;
+        let devices = match response.into_result()? {
+            Response::DeviceList { devices } => devices,
+            other => return Err(DclError::Protocol(format!("unexpected response {other:?}"))),
+        };
+        Ok((endpoint, devices, resumed))
+    }
+
+    /// Wire the endpoint's death notification to the recovery routine.  The
+    /// callback runs on the dying endpoint's receiver thread, so the actual
+    /// redial is pushed to a fresh thread.
+    fn install_supervisor(&self, index: usize, endpoint: &Arc<Endpoint>) {
+        let weak = self.self_weak.clone();
+        endpoint.set_supervisor(Arc::new(move |_reason: &str| {
+            let Some(inner) = weak.upgrade() else { return };
+            std::thread::Builder::new()
+                .name("dcl-reconnect".to_string())
+                .spawn(move || {
+                    let _ = inner.recover_server(index);
+                })
+                .ok();
+        }));
+    }
+
+    /// Permanently drop `server`: retire its endpoint, fail its outstanding
+    /// events and pending batches with the wait-list error, keep going on
+    /// the survivors.
+    fn drop_server(&self, index: usize) {
+        if let Some(conn) = self.servers.lock()[index].take() {
+            *self.retired.lock() += conn.endpoint.stats();
+            conn.endpoint.close();
+        }
+        let doomed: Vec<ObjectId> = {
+            let mut state = self.batches.lock();
+            let queues: Vec<ObjectId> =
+                state.queues.iter().filter(|(_, b)| b.server == index).map(|(id, _)| *id).collect();
+            let mut events = Vec::new();
+            for q in queues {
+                if let Some(batch) = state.queues.remove(&q) {
+                    for entry in batch.entries {
+                        state.event_queue.remove(&entry.event_id);
+                        events.push(entry.event_id);
+                    }
+                }
+            }
+            events
+        };
+        self.fail_events(&doomed, -14);
+        let orphaned: Vec<ObjectId> = self
+            .events
+            .lock()
+            .iter()
+            .filter(|(_, r)| r.owner == index && r.status.lock().is_none())
+            .map(|(id, _)| *id)
+            .collect();
+        self.fail_events(&orphaned, -14);
     }
 
     fn call_server_on(
@@ -1653,6 +2009,11 @@ impl Client {
                 batches: Mutex::new(BatchState::default()),
                 batching: AtomicBool::new(true),
                 auth_id: Mutex::new(None),
+                recovery: Mutex::new(Vec::new()),
+                recovery_cond: Condvar::new(),
+                failover: Mutex::new(FailoverPolicy::default()),
+                retired: Mutex::new(TrafficStats::default()),
+                buffer_dirs: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -1699,12 +2060,36 @@ impl Client {
     /// Aggregated wire-traffic counters over every connected server's
     /// endpoint (requests, notifications, bulk stream bytes).
     pub fn traffic_stats(&self) -> TrafficStats {
+        // Start from the retired counters (replaced endpoints, reconnects,
+        // retries) so totals stay monotonic across connection failures.
+        let mut total = *self.inner.retired.lock();
         let servers = self.inner.servers.lock();
-        let mut total = TrafficStats::default();
         for conn in servers.iter().flatten() {
             total += conn.endpoint.stats();
         }
         total
+    }
+
+    /// Set how this client reacts to dead server connections (see the
+    /// [module docs](self#failure-semantics)).
+    pub fn set_failover_policy(&self, policy: FailoverPolicy) {
+        *self.inner.failover.lock() = policy;
+    }
+
+    /// The current failover policy.
+    pub fn failover_policy(&self) -> FailoverPolicy {
+        *self.inner.failover.lock()
+    }
+
+    /// Query the daemon-side session of `server`: epoch, identity and the
+    /// dedup-window counters (exactly-once bookkeeping).
+    pub fn session_info(&self, server: ServerId) -> Result<SessionInfo> {
+        let response =
+            self.inner.call_server(server.0, Request::GetSessionInfo, Phase::Initialization)?;
+        match response {
+            Response::SessionInfo(info) => Ok(info),
+            other => Err(DclError::Protocol(format!("unexpected response {other:?}"))),
+        }
     }
 
     // ----- server management (Listing 1: the WWU API extension) -----------
@@ -1712,31 +2097,25 @@ impl Client {
     /// `clConnectServerWWU`: connect to the daemon at `address`, adding its
     /// devices to the application's device list.
     pub fn connect_server(&self, address: &str) -> Result<ServerId> {
-        let conn = self.inner.transport.connect(address)?;
-        let handler = Arc::new(ClientHandler { inner: Arc::downgrade(&self.inner) });
-        let endpoint = Endpoint::new(conn, handler, format!("client-{}", self.inner.name));
-
-        let hello = Request::Hello {
-            client_name: self.inner.name.clone(),
-            auth_id: self.inner.auth_id.lock().clone(),
+        let (endpoint, devices, _resumed) = self.inner.handshake(address, 0)?;
+        let index = {
+            let mut servers = self.inner.servers.lock();
+            let index = servers.len();
+            servers.push(Some(Arc::new(ServerConn {
+                name: address.to_string(),
+                endpoint: Arc::clone(&endpoint),
+                devices,
+            })));
+            self.inner.recovery.lock().push(SlotRecovery {
+                address: address.to_string(),
+                epoch: 0,
+                setup_log: Vec::new(),
+                reconnecting: false,
+                lost: false,
+            });
+            index
         };
-        self.inner.charge_message(Phase::Initialization, &hello);
-        let response = Response::from_bytes(&endpoint.call(hello.to_bytes())?)
-            .map_err(|e| DclError::Protocol(e.to_string()))?;
-        response.into_result()?;
-
-        let list_req = Request::GetDeviceList;
-        self.inner.charge_message(Phase::Initialization, &list_req);
-        let response = Response::from_bytes(&endpoint.call(list_req.to_bytes())?)
-            .map_err(|e| DclError::Protocol(e.to_string()))?;
-        let devices = match response.into_result()? {
-            Response::DeviceList { devices } => devices,
-            other => return Err(DclError::Protocol(format!("unexpected response {other:?}"))),
-        };
-
-        let mut servers = self.inner.servers.lock();
-        let index = servers.len();
-        servers.push(Some(Arc::new(ServerConn { name: address.to_string(), endpoint, devices })));
+        self.inner.install_supervisor(index, &endpoint);
         Ok(ServerId(index))
     }
 

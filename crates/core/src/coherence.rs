@@ -197,6 +197,28 @@ impl BufferDirectory {
     pub fn add_server(&mut self, server: usize) {
         self.per_server.entry(server).or_insert(CoherenceState::Invalid);
     }
+
+    /// Mark `server`'s copy invalid — the daemon crashed or its remote
+    /// memory object was re-created empty after a reconnect.  Returns
+    /// `true` if data was lost: the server held the *only* valid copy, so
+    /// the buffer degrades to the client's last cached bytes (or zeroes).
+    ///
+    /// Used by the client's connection supervisor: after re-creating a
+    /// buffer on a fresh daemon, the next command that reads it there plans
+    /// a normal re-validation ([`ValidationPlan::UploadFromClient`] /
+    /// [`ValidationPlan::FetchThenUpload`]) from a surviving copy.
+    pub fn invalidate_server(&mut self, server: usize) -> bool {
+        let was_only_valid = self.server_state(server) != CoherenceState::Invalid
+            && !self.client_valid()
+            && self.valid_servers() == [server];
+        self.per_server.insert(server, CoherenceState::Invalid);
+        if was_only_valid {
+            // Degrade to the stale client copy so the buffer stays usable;
+            // callers that care can surface the loss to the application.
+            self.client_state = CoherenceState::Shared;
+        }
+        was_only_valid
+    }
 }
 
 #[cfg(test)]

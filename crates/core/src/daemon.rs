@@ -17,14 +17,14 @@
 
 use crate::protocol::{
     BatchCommand, BatchEntryStatus, DeviceDescriptor, Notification, ObjectId, Request, Response,
-    ServerInfo, WireNdRange,
+    ServerInfo, SessionInfo, WireNdRange,
 };
 use crate::Result;
 use gcf::rpc::{Endpoint, EndpointHandler};
 use gcf::transport::{Listener, Transport};
 use gcf::wire::{Decode, Encode};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
@@ -89,6 +89,12 @@ pub struct Daemon {
     /// Endpoints of the accepted client sessions.  The daemon keeps them
     /// alive; each endpoint owns its [`DaemonSession`] handler.
     sessions: Arc<Mutex<Vec<Arc<Endpoint>>>>,
+    /// The listener, kept so [`Daemon::kill`] can unblock the accept loop.
+    listener: Mutex<Option<Arc<dyn Listener>>>,
+    /// Parked/live session state keyed by client identity, so a client that
+    /// reconnects after a connection failure finds its remote objects and
+    /// its command dedup window again.
+    registry: Arc<Mutex<SessionRegistry>>,
 }
 
 impl std::fmt::Debug for Daemon {
@@ -111,7 +117,7 @@ impl Daemon {
         policy: Arc<dyn AccessPolicy>,
     ) -> Result<Arc<Daemon>> {
         let name = name.into();
-        let listener = transport.listen(address)?;
+        let listener: Arc<dyn Listener> = Arc::from(transport.listen(address)?);
         let bound = listener.local_addr();
         let daemon = Arc::new(Daemon {
             name: name.clone(),
@@ -121,6 +127,8 @@ impl Daemon {
             stats: Arc::new(Mutex::new(DaemonStats::default())),
             shutdown: Arc::new(AtomicBool::new(false)),
             sessions: Arc::new(Mutex::new(Vec::new())),
+            listener: Mutex::new(Some(Arc::clone(&listener))),
+            registry: Arc::new(Mutex::new(SessionRegistry::default())),
         });
         let accept_daemon = Arc::downgrade(&daemon);
         std::thread::Builder::new()
@@ -132,7 +140,7 @@ impl Daemon {
         Ok(daemon)
     }
 
-    fn accept_loop(daemon: Weak<Daemon>, listener: Box<dyn Listener>) {
+    fn accept_loop(daemon: Weak<Daemon>, listener: Arc<dyn Listener>) {
         loop {
             let Some(strong) = daemon.upgrade() else { break };
             if strong.shutdown.load(Ordering::Acquire) {
@@ -147,6 +155,7 @@ impl Daemon {
                 strong.devices.clone(),
                 Arc::clone(&strong.policy),
                 Arc::clone(&strong.stats),
+                Arc::clone(&strong.registry),
             ));
             let endpoint = Endpoint::new(
                 conn,
@@ -154,7 +163,13 @@ impl Daemon {
                 format!("daemon-{}", strong.name),
             );
             session.set_endpoint(&endpoint);
-            strong.sessions.lock().push(endpoint);
+            let mut sessions = strong.sessions.lock();
+            // Prune endpoints whose connection died; their sessions drop
+            // here, releasing leases for clients that never came back
+            // (Section IV-C) — unless a reconnected session adopted the
+            // state (the drop guard checks the epoch).
+            sessions.retain(|ep| ep.is_open());
+            sessions.push(endpoint);
         }
     }
 
@@ -183,6 +198,131 @@ impl Daemon {
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
     }
+
+    /// Simulate a crash: stop accepting, unblock the accept loop, and sever
+    /// every client connection *without* a goodbye — clients discover the
+    /// death through receive errors, exactly like a killed process.
+    pub fn kill(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(listener) = self.listener.lock().take() {
+            listener.shutdown();
+        }
+        let sessions: Vec<Arc<Endpoint>> = self.sessions.lock().drain(..).collect();
+        for endpoint in sessions {
+            endpoint.abort();
+        }
+    }
+
+    /// Simulate a network partition: sever every client connection without
+    /// a goodbye, but keep accepting new ones.  Clients reconnect and
+    /// resume their parked sessions (the crash-recovery path without the
+    /// daemon restart).
+    pub fn drop_connections(&self) {
+        let sessions: Vec<Arc<Endpoint>> = self.sessions.lock().drain(..).collect();
+        for endpoint in sessions {
+            endpoint.abort();
+        }
+    }
+
+    /// Dedup-window counters of the session for `identity` (client name or
+    /// auth id) — lets tests assert exactly-once execution numerically.
+    pub fn dedup_counters(&self, identity: &str) -> Option<(u64, u64)> {
+        let registry = self.registry.lock();
+        let state = registry.by_identity.get(identity)?;
+        let state = state.lock();
+        Some((state.dedup.admitted, state.dedup.replayed))
+    }
+}
+
+/// Bounded identity → session-state map enabling reconnect revival.
+#[derive(Default)]
+struct SessionRegistry {
+    order: VecDeque<String>,
+    by_identity: HashMap<String, Arc<Mutex<SessionState>>>,
+}
+
+/// How many distinct client identities a daemon parks state for.
+const MAX_PARKED_SESSIONS: usize = 64;
+
+impl SessionRegistry {
+    /// Register `fresh` under `identity`, or — when `epoch > 0` and the
+    /// identity is known — hand back the existing (parked) state instead.
+    fn adopt_or_register(
+        &mut self,
+        identity: &str,
+        epoch: u64,
+        fresh: &Arc<Mutex<SessionState>>,
+    ) -> (Arc<Mutex<SessionState>>, bool) {
+        if epoch > 0 {
+            if let Some(existing) = self.by_identity.get(identity) {
+                return (Arc::clone(existing), true);
+            }
+        }
+        if !self.by_identity.contains_key(identity) {
+            self.order.push_back(identity.to_string());
+            while self.order.len() > MAX_PARKED_SESSIONS {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.by_identity.remove(&evicted);
+                }
+            }
+        }
+        self.by_identity.insert(identity.to_string(), Arc::clone(fresh));
+        (Arc::clone(fresh), false)
+    }
+}
+
+/// Bounded window of recently executed command ids (client-generated,
+/// idempotent): a batch replayed after a reconnect is recognised here and
+/// executes exactly once.
+struct DedupWindow {
+    capacity: usize,
+    order: VecDeque<u64>,
+    /// command id → completion event id of the already-executed command.
+    seen: HashMap<u64, ObjectId>,
+    /// Commands executed for the first time.
+    admitted: u64,
+    /// Replayed commands suppressed by the window.
+    replayed: u64,
+}
+
+impl Default for DedupWindow {
+    fn default() -> Self {
+        DedupWindow {
+            capacity: 4096,
+            order: VecDeque::new(),
+            seen: HashMap::new(),
+            admitted: 0,
+            replayed: 0,
+        }
+    }
+}
+
+impl DedupWindow {
+    /// If `command_id` was executed before, count the replay and return the
+    /// original completion event id.
+    fn replay_hit(&mut self, command_id: u64) -> Option<ObjectId> {
+        if command_id == 0 {
+            return None;
+        }
+        let event_id = self.seen.get(&command_id).copied()?;
+        self.replayed += 1;
+        Some(event_id)
+    }
+
+    /// Record a command executed for the first time.
+    fn admit(&mut self, command_id: u64, event_id: ObjectId) {
+        if command_id == 0 {
+            return;
+        }
+        self.admitted += 1;
+        self.order.push_back(command_id);
+        self.seen.insert(command_id, event_id);
+        while self.order.len() > self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+    }
 }
 
 /// Per-connection session: the id → remote-object tables plus the handler
@@ -193,20 +333,30 @@ pub struct DaemonSession {
     policy: Arc<dyn AccessPolicy>,
     stats: Arc<Mutex<DaemonStats>>,
     endpoint: Mutex<Option<Weak<Endpoint>>>,
-    state: Mutex<SessionState>,
+    /// The session state.  Shared through the daemon's [`SessionRegistry`]
+    /// so a reconnecting client (re-`Hello` with a bumped epoch) finds its
+    /// remote objects and dedup window again; the indirection lets `Hello`
+    /// swap in parked state.
+    state: Mutex<Arc<Mutex<SessionState>>>,
+    /// The epoch this session adopted the state at (from its `Hello`); the
+    /// drop guard skips lease release when a newer session took over.
+    my_epoch: AtomicU64,
     next_stream: AtomicU64,
+    registry: Arc<Mutex<SessionRegistry>>,
 }
 
 #[derive(Default)]
 struct SessionState {
     client_name: String,
     auth_id: Option<String>,
+    epoch: u64,
     contexts: HashMap<ObjectId, Arc<Context>>,
     queues: HashMap<ObjectId, Arc<CommandQueue>>,
     buffers: HashMap<ObjectId, Arc<Buffer>>,
     programs: HashMap<ObjectId, Arc<Program>>,
     kernels: HashMap<ObjectId, Arc<Kernel>>,
     events: HashMap<ObjectId, Arc<Event>>,
+    dedup: DedupWindow,
     disconnected: bool,
 }
 
@@ -216,6 +366,7 @@ impl DaemonSession {
         all_devices: Vec<Arc<Device>>,
         policy: Arc<dyn AccessPolicy>,
         stats: Arc<Mutex<DaemonStats>>,
+        registry: Arc<Mutex<SessionRegistry>>,
     ) -> Self {
         DaemonSession {
             daemon_name,
@@ -223,8 +374,10 @@ impl DaemonSession {
             policy,
             stats,
             endpoint: Mutex::new(None),
-            state: Mutex::new(SessionState::default()),
+            state: Mutex::new(Arc::new(Mutex::new(SessionState::default()))),
+            my_epoch: AtomicU64::new(0),
             next_stream: AtomicU64::new(1 << 32),
+            registry,
         }
     }
 
@@ -232,12 +385,17 @@ impl DaemonSession {
         *self.endpoint.lock() = Some(Arc::downgrade(endpoint));
     }
 
+    /// The (possibly adopted) session state.
+    fn state(&self) -> Arc<Mutex<SessionState>> {
+        Arc::clone(&self.state.lock())
+    }
+
     fn endpoint(&self) -> Option<Arc<Endpoint>> {
         self.endpoint.lock().as_ref().and_then(Weak::upgrade)
     }
 
     fn visible_devices(&self) -> Vec<Arc<Device>> {
-        let auth = self.state.lock().auth_id.clone();
+        let auth = self.state().lock().auth_id.clone();
         self.policy.visible_devices(auth.as_deref(), &self.all_devices)
     }
 
@@ -265,7 +423,8 @@ impl DaemonSession {
     /// own events, so they are ignored here.
     fn quiesce_buffer_queues(&self, buffer: &Buffer) {
         let queues: Vec<Arc<CommandQueue>> = {
-            let state = self.state.lock();
+            let shared = self.state();
+            let state = shared.lock();
             state
                 .queues
                 .values()
@@ -335,7 +494,8 @@ impl DaemonSession {
         wait_events: &[ObjectId],
         chain: Option<&Arc<Event>>,
     ) -> std::result::Result<(Arc<CommandQueue>, Vec<Arc<Event>>), Response> {
-        let state = self.state.lock();
+        let shared = self.state();
+        let state = shared.lock();
         let queue = match state.queues.get(&queue_id) {
             Some(q) => Arc::clone(q),
             None => return Err(Self::missing("queue", queue_id)),
@@ -348,7 +508,7 @@ impl DaemonSession {
     }
 
     fn buffer_by_id(&self, buffer_id: ObjectId) -> std::result::Result<Arc<Buffer>, Response> {
-        match self.state.lock().buffers.get(&buffer_id) {
+        match self.state().lock().buffers.get(&buffer_id) {
             Some(b) => Ok(Arc::clone(b)),
             None => Err(Self::missing("buffer", buffer_id)),
         }
@@ -358,7 +518,7 @@ impl DaemonSession {
     /// client and remember it for later wait lists.
     fn track_event(&self, event_id: ObjectId, event: &Arc<Event>) {
         self.notify_on_completion(event_id, event);
-        self.state.lock().events.insert(event_id, Arc::clone(event));
+        self.state().lock().events.insert(event_id, Arc::clone(event));
     }
 
     // ----- per-command enqueue (shared by the legacy arms and EnqueueBatch) --
@@ -455,7 +615,7 @@ impl DaemonSession {
         chain: Option<&Arc<Event>>,
     ) -> std::result::Result<Arc<Event>, Response> {
         let (queue, wait) = self.resolve_enqueue(queue_id, wait_events, chain)?;
-        let kernel = match self.state.lock().kernels.get(&kernel_id) {
+        let kernel = match self.state().lock().kernels.get(&kernel_id) {
             Some(k) => Arc::clone(k),
             None => return Err(Self::missing("kernel", kernel_id)),
         };
@@ -483,11 +643,42 @@ impl DaemonSession {
     fn handle(&self, request: Request) -> Response {
         self.stats.lock().requests += 1;
         match request {
-            Request::Hello { client_name, auth_id } => {
-                let mut state = self.state.lock();
+            Request::Hello { client_name, auth_id, epoch } => {
+                // A client identifies itself by auth id when it has one (the
+                // device manager hands those out), otherwise by name.  A
+                // reconnecting client re-sends Hello with a bumped epoch and
+                // adopts the state its previous connection parked in the
+                // daemon's registry — remote objects and dedup window
+                // survive the connection, per Section IV-C.
+                let identity = auth_id.clone().unwrap_or_else(|| client_name.clone());
+                let fresh = self.state();
+                let (shared, resumed) =
+                    self.registry.lock().adopt_or_register(&identity, epoch, &fresh);
+                *self.state.lock() = Arc::clone(&shared);
+                self.my_epoch.store(epoch, Ordering::Release);
+                let mut state = shared.lock();
                 state.client_name = client_name;
-                state.auth_id = auth_id;
-                Response::Ok
+                state.auth_id = auth_id.clone();
+                state.epoch = epoch;
+                state.disconnected = false;
+                Response::SessionInfo(SessionInfo {
+                    auth_id,
+                    epoch,
+                    resumed,
+                    dedup_admitted: state.dedup.admitted,
+                    dedup_replayed: state.dedup.replayed,
+                })
+            }
+            Request::GetSessionInfo => {
+                let shared = self.state();
+                let state = shared.lock();
+                Response::SessionInfo(SessionInfo {
+                    auth_id: state.auth_id.clone(),
+                    epoch: state.epoch,
+                    resumed: false,
+                    dedup_admitted: state.dedup.admitted,
+                    dedup_replayed: state.dedup.replayed,
+                })
             }
             Request::GetDeviceList => {
                 let devices = self
@@ -523,18 +714,18 @@ impl DaemonSession {
                 }
                 match Context::new(resolved) {
                     Ok(ctx) => {
-                        self.state.lock().contexts.insert(context_id, ctx);
+                        self.state().lock().contexts.insert(context_id, ctx);
                         Response::Ok
                     }
                     Err(e) => Self::cl_error(&e),
                 }
             }
             Request::ReleaseContext { context_id } => {
-                self.state.lock().contexts.remove(&context_id);
+                self.state().lock().contexts.remove(&context_id);
                 Response::Ok
             }
             Request::CreateCommandQueue { queue_id, context_id, device } => {
-                let context = match self.state.lock().contexts.get(&context_id) {
+                let context = match self.state().lock().contexts.get(&context_id) {
                     Some(c) => Arc::clone(c),
                     None => return Self::missing("context", context_id),
                 };
@@ -548,58 +739,58 @@ impl DaemonSession {
                     QueueProperties { profiling: true, out_of_order: false },
                 ) {
                     Ok(q) => {
-                        self.state.lock().queues.insert(queue_id, q);
+                        self.state().lock().queues.insert(queue_id, q);
                         Response::Ok
                     }
                     Err(e) => Self::cl_error(&e),
                 }
             }
             Request::ReleaseCommandQueue { queue_id } => {
-                self.state.lock().queues.remove(&queue_id);
+                self.state().lock().queues.remove(&queue_id);
                 Response::Ok
             }
             Request::CreateBuffer { buffer_id, context_id, size, readable, writable } => {
-                let context = match self.state.lock().contexts.get(&context_id) {
+                let context = match self.state().lock().contexts.get(&context_id) {
                     Some(c) => Arc::clone(c),
                     None => return Self::missing("context", context_id),
                 };
                 let flags = MemFlags { readable, writable };
                 match Buffer::new(context, size as usize, flags, None) {
                     Ok(b) => {
-                        self.state.lock().buffers.insert(buffer_id, b);
+                        self.state().lock().buffers.insert(buffer_id, b);
                         Response::Ok
                     }
                     Err(e) => Self::cl_error(&e),
                 }
             }
             Request::ReleaseBuffer { buffer_id } => {
-                self.state.lock().buffers.remove(&buffer_id);
+                self.state().lock().buffers.remove(&buffer_id);
                 Response::Ok
             }
             Request::CreateProgramWithSource { program_id, context_id, source } => {
-                let context = match self.state.lock().contexts.get(&context_id) {
+                let context = match self.state().lock().contexts.get(&context_id) {
                     Some(c) => Arc::clone(c),
                     None => return Self::missing("context", context_id),
                 };
                 let program = Program::with_source(context, source);
-                self.state.lock().programs.insert(program_id, program);
+                self.state().lock().programs.insert(program_id, program);
                 Response::Ok
             }
             Request::CreateProgramWithBuiltInKernels { program_id, context_id, names } => {
-                let context = match self.state.lock().contexts.get(&context_id) {
+                let context = match self.state().lock().contexts.get(&context_id) {
                     Some(c) => Arc::clone(c),
                     None => return Self::missing("context", context_id),
                 };
                 match Program::with_built_in_kernels(context, &names) {
                     Ok(program) => {
-                        self.state.lock().programs.insert(program_id, program);
+                        self.state().lock().programs.insert(program_id, program);
                         Response::Ok
                     }
                     Err(e) => Self::cl_error(&e),
                 }
             }
             Request::BuildProgram { program_id } => {
-                let program = match self.state.lock().programs.get(&program_id) {
+                let program = match self.state().lock().programs.get(&program_id) {
                     Some(p) => Arc::clone(p),
                     None => return Self::missing("program", program_id),
                 };
@@ -609,27 +800,27 @@ impl DaemonSession {
                 }
             }
             Request::GetBuildLog { program_id } => {
-                let program = match self.state.lock().programs.get(&program_id) {
+                let program = match self.state().lock().programs.get(&program_id) {
                     Some(p) => Arc::clone(p),
                     None => return Self::missing("program", program_id),
                 };
                 Response::BuildLog { log: program.build_log() }
             }
             Request::CreateKernel { kernel_id, program_id, name } => {
-                let program = match self.state.lock().programs.get(&program_id) {
+                let program = match self.state().lock().programs.get(&program_id) {
                     Some(p) => Arc::clone(p),
                     None => return Self::missing("program", program_id),
                 };
                 match program.create_kernel(&name) {
                     Ok(k) => {
-                        self.state.lock().kernels.insert(kernel_id, k);
+                        self.state().lock().kernels.insert(kernel_id, k);
                         Response::Ok
                     }
                     Err(e) => Self::cl_error(&e),
                 }
             }
             Request::SetKernelArgScalar { kernel_id, index, value } => {
-                let kernel = match self.state.lock().kernels.get(&kernel_id) {
+                let kernel = match self.state().lock().kernels.get(&kernel_id) {
                     Some(k) => Arc::clone(k),
                     None => return Self::missing("kernel", kernel_id),
                 };
@@ -640,7 +831,8 @@ impl DaemonSession {
             }
             Request::SetKernelArgBuffer { kernel_id, index, buffer_id } => {
                 let (kernel, buffer) = {
-                    let state = self.state.lock();
+                    let shared = self.state();
+                    let state = shared.lock();
                     let kernel = match state.kernels.get(&kernel_id) {
                         Some(k) => Arc::clone(k),
                         None => return Self::missing("kernel", kernel_id),
@@ -657,7 +849,7 @@ impl DaemonSession {
                 }
             }
             Request::SetKernelArgLocal { kernel_id, index, bytes } => {
-                let kernel = match self.state.lock().kernels.get(&kernel_id) {
+                let kernel = match self.state().lock().kernels.get(&kernel_id) {
                     Some(k) => Arc::clone(k),
                     None => return Self::missing("kernel", kernel_id),
                 };
@@ -743,6 +935,29 @@ impl DaemonSession {
                 let mut statuses = Vec::with_capacity(entries.len());
                 let mut prev: HashMap<ObjectId, Arc<Event>> = HashMap::new();
                 for entry in entries {
+                    // Idempotent replay (client-generated command ids): a
+                    // command already executed under this session state is
+                    // recognised by the dedup window and NOT re-enqueued.
+                    // The completion notification is re-armed instead, so a
+                    // client that missed it across a reconnect hears it
+                    // again (`on_complete` fires immediately on terminal
+                    // events).
+                    let hit = {
+                        let shared = self.state();
+                        let mut state = shared.lock();
+                        state
+                            .dedup
+                            .replay_hit(entry.command_id)
+                            .map(|orig| (orig, state.events.get(&orig).cloned()))
+                    };
+                    if let Some((orig_event, event)) = hit {
+                        statuses.push(BatchEntryStatus::ok());
+                        if let Some(event) = event {
+                            self.notify_on_completion(orig_event, &event);
+                            prev.insert(entry.queue_id, event);
+                        }
+                        continue;
+                    }
                     let chain = prev.get(&entry.queue_id).cloned();
                     let result = match entry.command {
                         BatchCommand::WriteBuffer { buffer_id, offset, size, stream_id } => self
@@ -785,6 +1000,7 @@ impl DaemonSession {
                     match result {
                         Ok(event) => {
                             statuses.push(BatchEntryStatus::ok());
+                            self.state().lock().dedup.admit(entry.command_id, entry.event_id);
                             prev.insert(entry.queue_id, event);
                         }
                         Err(resp) => {
@@ -801,11 +1017,11 @@ impl DaemonSession {
             }
             Request::CreateUserEvent { event_id } => {
                 let event = Event::user();
-                self.state.lock().events.insert(event_id, event);
+                self.state().lock().events.insert(event_id, event);
                 Response::Ok
             }
             Request::SetUserEventComplete { event_id } => {
-                let event = match self.state.lock().events.get(&event_id) {
+                let event = match self.state().lock().events.get(&event_id) {
                     Some(e) => Arc::clone(e),
                     None => return Self::missing("event", event_id),
                 };
@@ -813,7 +1029,7 @@ impl DaemonSession {
                 Response::Ok
             }
             Request::GetEventStatus { event_id } => {
-                let event = match self.state.lock().events.get(&event_id) {
+                let event = match self.state().lock().events.get(&event_id) {
                     Some(e) => Arc::clone(e),
                     None => return Self::missing("event", event_id),
                 };
@@ -838,7 +1054,7 @@ impl DaemonSession {
                         message: "coherence upload size mismatch".into(),
                     };
                 }
-                let buffer = match self.state.lock().buffers.get(&buffer_id) {
+                let buffer = match self.state().lock().buffers.get(&buffer_id) {
                     Some(b) => Arc::clone(b),
                     None => return Self::missing("buffer", buffer_id),
                 };
@@ -861,7 +1077,7 @@ impl DaemonSession {
                 let Some(endpoint) = self.endpoint() else {
                     return Response::Error { code: -36, message: "no endpoint".into() };
                 };
-                let buffer = match self.state.lock().buffers.get(&buffer_id) {
+                let buffer = match self.state().lock().buffers.get(&buffer_id) {
                     Some(b) => Arc::clone(b),
                     None => return Self::missing("buffer", buffer_id),
                 };
@@ -882,7 +1098,8 @@ impl DaemonSession {
             }
             Request::Disconnect => {
                 let auth = {
-                    let mut state = self.state.lock();
+                    let shared = self.state();
+                    let mut state = shared.lock();
                     state.disconnected = true;
                     state.auth_id.clone()
                 };
@@ -915,10 +1132,14 @@ impl EndpointHandler for DaemonSession {
 
 impl Drop for DaemonSession {
     fn drop(&mut self) {
-        let state = self.state.get_mut();
-        if !state.disconnected {
-            // Abnormal termination: report the invalidated authentication id
-            // so the device manager can reclaim the lease (Section IV-C).
+        let shared = Arc::clone(self.state.get_mut());
+        let state = shared.lock();
+        // Abnormal termination releases the lease (Section IV-C) — but only
+        // when no newer session has adopted this state.  A reconnected
+        // client bumps the epoch in its Hello; the stale session of the dead
+        // connection then drops silently and the lease stays held.
+        let my_epoch = *self.my_epoch.get_mut();
+        if !state.disconnected && state.epoch == my_epoch {
             self.policy.client_disconnected(state.auth_id.as_deref());
         }
     }
@@ -954,7 +1175,7 @@ mod tests {
     #[test]
     fn device_list_and_server_info() {
         let (_daemon, endpoint, _t) = start_test_daemon();
-        call(&endpoint, Request::Hello { client_name: "test".into(), auth_id: None });
+        call(&endpoint, Request::Hello { client_name: "test".into(), auth_id: None, epoch: 0 });
         let Response::DeviceList { devices } = call(&endpoint, Request::GetDeviceList) else {
             panic!("expected device list")
         };
@@ -970,7 +1191,7 @@ mod tests {
     #[test]
     fn full_remote_kernel_round_trip() {
         let (daemon, endpoint, _t) = start_test_daemon();
-        call(&endpoint, Request::Hello { client_name: "test".into(), auth_id: None });
+        call(&endpoint, Request::Hello { client_name: "test".into(), auth_id: None, epoch: 0 });
         let Response::DeviceList { devices } = call(&endpoint, Request::GetDeviceList) else {
             panic!()
         };
@@ -1062,7 +1283,7 @@ mod tests {
     #[test]
     fn upload_stream_then_request_roundtrip() {
         let (_daemon, endpoint, _t) = start_test_daemon();
-        call(&endpoint, Request::Hello { client_name: "c".into(), auth_id: None });
+        call(&endpoint, Request::Hello { client_name: "c".into(), auth_id: None, epoch: 0 });
         let Response::DeviceList { devices } = call(&endpoint, Request::GetDeviceList) else {
             panic!()
         };
@@ -1116,7 +1337,7 @@ mod tests {
     #[test]
     fn user_events_gate_execution() {
         let (_daemon, endpoint, _t) = start_test_daemon();
-        call(&endpoint, Request::Hello { client_name: "c".into(), auth_id: None });
+        call(&endpoint, Request::Hello { client_name: "c".into(), auth_id: None, epoch: 0 });
         let Response::DeviceList { devices } = call(&endpoint, Request::GetDeviceList) else {
             panic!()
         };
@@ -1224,16 +1445,178 @@ mod tests {
         let conn = transport.connect(daemon.address()).unwrap();
         let endpoint = Endpoint::new(conn, Arc::new(NullHandler), "client");
         // Without the right auth id: no devices.
-        call(&endpoint, Request::Hello { client_name: "c".into(), auth_id: None });
+        call(&endpoint, Request::Hello { client_name: "c".into(), auth_id: None, epoch: 0 });
         let Response::DeviceList { devices } = call(&endpoint, Request::GetDeviceList) else {
             panic!()
         };
         assert!(devices.is_empty());
         // With it: one device.
-        call(&endpoint, Request::Hello { client_name: "c".into(), auth_id: Some("lease".into()) });
+        call(
+            &endpoint,
+            Request::Hello { client_name: "c".into(), auth_id: Some("lease".into()), epoch: 0 },
+        );
         let Response::DeviceList { devices } = call(&endpoint, Request::GetDeviceList) else {
             panic!()
         };
         assert_eq!(devices.len(), 1);
+    }
+
+    /// Build the session up to a runnable `fill` kernel: context 1,
+    /// queue 2, buffer 3 (64 bytes), program 4, kernel 5 with the buffer
+    /// and the value 7 bound.
+    fn build_fill_session(endpoint: &Arc<Endpoint>) {
+        let Response::DeviceList { devices } = call(endpoint, Request::GetDeviceList) else {
+            panic!("expected device list")
+        };
+        let dev = devices[0].remote_id;
+        call(endpoint, Request::CreateContext { context_id: 1, devices: vec![dev] });
+        call(endpoint, Request::CreateCommandQueue { queue_id: 2, context_id: 1, device: dev });
+        call(
+            endpoint,
+            Request::CreateBuffer {
+                buffer_id: 3,
+                context_id: 1,
+                size: 64,
+                readable: true,
+                writable: true,
+            },
+        );
+        call(
+            endpoint,
+            Request::CreateProgramWithSource {
+                program_id: 4,
+                context_id: 1,
+                source:
+                    "__kernel void fill(__global int* out, int v) { out[get_global_id(0)] = v; }"
+                        .into(),
+            },
+        );
+        call(endpoint, Request::BuildProgram { program_id: 4 });
+        call(endpoint, Request::CreateKernel { kernel_id: 5, program_id: 4, name: "fill".into() });
+        call(endpoint, Request::SetKernelArgBuffer { kernel_id: 5, index: 0, buffer_id: 3 });
+        call(
+            endpoint,
+            Request::SetKernelArgScalar {
+                kernel_id: 5,
+                index: 1,
+                value: crate::protocol::WireValue(vocl::Value::int(7)),
+            },
+        );
+    }
+
+    fn fill_batch(command_id: u64, event_id: ObjectId) -> Request {
+        Request::EnqueueBatch {
+            entries: vec![crate::protocol::BatchEntry {
+                command_id,
+                queue_id: 2,
+                event_id,
+                wait_events: vec![],
+                command: BatchCommand::NdRange {
+                    kernel_id: 5,
+                    range: WireNdRange(vocl::NdRange::linear(16)),
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn hello_returns_session_info_and_reconnect_resumes_state() {
+        let (daemon, endpoint, transport) = start_test_daemon();
+        let Response::SessionInfo(info) =
+            call(&endpoint, Request::Hello { client_name: "app".into(), auth_id: None, epoch: 0 })
+        else {
+            panic!("expected session info")
+        };
+        assert!(!info.resumed);
+        assert_eq!(info.epoch, 0);
+        build_fill_session(&endpoint);
+
+        // Simulate a connection failure: the client redials and re-Hellos
+        // with a bumped epoch; the daemon hands back the parked state.
+        endpoint.abort();
+        let conn = transport.connect(daemon.address()).unwrap();
+        let endpoint2 = Endpoint::new(conn, Arc::new(NullHandler), "test-client-2");
+        let Response::SessionInfo(info) =
+            call(&endpoint2, Request::Hello { client_name: "app".into(), auth_id: None, epoch: 1 })
+        else {
+            panic!("expected session info")
+        };
+        assert!(info.resumed, "epoch > 0 with a known identity must adopt the parked session");
+        assert_eq!(info.epoch, 1);
+        // The remote objects survived: the kernel enqueues without any
+        // re-creation.
+        let Response::BatchEnqueued { statuses } = call(&endpoint2, fill_batch(500, 90)) else {
+            panic!("expected batch response")
+        };
+        assert_eq!(statuses.len(), 1);
+        assert_eq!(statuses[0].code, 0);
+        let Response::SessionInfo(info) = call(&endpoint2, Request::GetSessionInfo) else {
+            panic!("expected session info")
+        };
+        assert_eq!(info.epoch, 1);
+        assert_eq!(info.dedup_admitted, 1);
+    }
+
+    #[test]
+    fn fresh_epoch_zero_hello_does_not_resume() {
+        let (daemon, endpoint, transport) = start_test_daemon();
+        call(&endpoint, Request::Hello { client_name: "app".into(), auth_id: None, epoch: 0 });
+        let conn = transport.connect(daemon.address()).unwrap();
+        let endpoint2 = Endpoint::new(conn, Arc::new(NullHandler), "test-client-2");
+        let Response::SessionInfo(info) =
+            call(&endpoint2, Request::Hello { client_name: "app".into(), auth_id: None, epoch: 0 })
+        else {
+            panic!("expected session info")
+        };
+        assert!(!info.resumed, "epoch 0 always starts a fresh session");
+    }
+
+    #[test]
+    fn replayed_batch_executes_exactly_once() {
+        let (daemon, endpoint, _t) = start_test_daemon();
+        call(&endpoint, Request::Hello { client_name: "app".into(), auth_id: None, epoch: 0 });
+        build_fill_session(&endpoint);
+
+        let Response::BatchEnqueued { statuses } = call(&endpoint, fill_batch(77, 10)) else {
+            panic!("expected batch response")
+        };
+        assert_eq!(statuses[0].code, 0);
+        let launches_after_first = daemon.stats().kernel_launches;
+        assert_eq!(launches_after_first, 1);
+
+        // The client lost the response and replays the identical batch:
+        // the dedup window recognises command id 77 and does NOT launch
+        // the kernel again.
+        let Response::BatchEnqueued { statuses } = call(&endpoint, fill_batch(77, 10)) else {
+            panic!("expected batch response")
+        };
+        assert_eq!(statuses[0].code, 0, "a replayed entry still reports success");
+        assert_eq!(daemon.stats().kernel_launches, 1, "replay must not re-execute");
+        assert_eq!(daemon.dedup_counters("app"), Some((1, 1)));
+
+        // Command id 0 opts out of deduplication (legacy clients).
+        for _ in 0..2 {
+            let Response::BatchEnqueued { statuses } = call(&endpoint, fill_batch(0, 11)) else {
+                panic!("expected batch response")
+            };
+            assert_eq!(statuses[0].code, 0);
+        }
+        assert_eq!(daemon.stats().kernel_launches, 3, "id 0 executes every time");
+        assert_eq!(daemon.dedup_counters("app"), Some((1, 1)));
+    }
+
+    #[test]
+    fn kill_severs_sessions_without_goodbye() {
+        let (daemon, endpoint, transport) = start_test_daemon();
+        call(&endpoint, Request::Hello { client_name: "app".into(), auth_id: None, epoch: 0 });
+        daemon.kill();
+        // Wait for the abort to propagate to this endpoint.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while endpoint.is_open() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(endpoint.call(Request::GetServerInfo.to_bytes()).is_err());
+        // New connections are refused (the listener is shut down).
+        assert!(transport.connect(daemon.address()).is_err());
     }
 }

@@ -71,13 +71,13 @@ pub mod ext;
 pub mod protocol;
 
 pub use client::{
-    Arg, Buffer, Client, CommandQueue, Context, Device, DeviceType, Event, Kernel, LaunchOp,
-    MarkerOp, PendingRead, Program, ReadBufferOp, ServerId, WriteBufferOp,
+    Arg, Buffer, Client, CommandQueue, Context, Device, DeviceType, Event, FailoverPolicy, Kernel,
+    LaunchOp, MarkerOp, PendingRead, Program, ReadBufferOp, ServerId, WriteBufferOp,
 };
 pub use cluster::{desktop_and_gpu_server, infiniband_cpu_cluster, LocalCluster};
 pub use daemon::{AccessPolicy, Daemon, DaemonStats, OpenAccess};
 pub use error::{DclError, Result};
-pub use protocol::{DeviceDescriptor, ObjectId, ServerInfo};
+pub use protocol::{DeviceDescriptor, ObjectId, ServerInfo, SessionInfo};
 
 // Re-export the types that appear in the public API so that applications
 // only need this crate plus `vocl` for device-side values.

@@ -250,12 +250,21 @@ impl Decode for DeviceDescriptor {
 pub enum Request {
     /// Handshake: announce the client and (in managed mode) the lease
     /// authentication id obtained from the device manager.
+    ///
+    /// The daemon answers with [`Response::SessionInfo`].  A client that
+    /// reconnects after a connection failure re-handshakes with the same
+    /// identity and a bumped `epoch`; the daemon then revives the parked
+    /// session state (including the command dedup window) so replayed
+    /// batches execute exactly once.
     Hello {
         /// Client host name.
         client_name: String,
         /// Lease authentication id, if the client got its devices from the
         /// device manager.
         auth_id: Option<String>,
+        /// Session epoch: 0 on first connect, incremented by the client on
+        /// every reconnect to the same daemon.
+        epoch: u64,
     },
     /// List the devices this daemon exposes (filtered by lease in managed
     /// mode).
@@ -480,11 +489,19 @@ pub enum Request {
         /// The commands, in submission order.
         entries: Vec<BatchEntry>,
     },
+    /// Query the daemon's view of this session (used by the fault-tolerance
+    /// tests and the client supervisor after a reconnect).
+    GetSessionInfo,
 }
 
 /// One command of a [`Request::EnqueueBatch`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchEntry {
+    /// Client-generated idempotency id, unique per command for the lifetime
+    /// of the session.  The daemon keeps a bounded window of recently seen
+    /// ids so a batch replayed after a reconnect executes each command
+    /// exactly once.
+    pub command_id: u64,
     /// Queue the command targets.
     pub queue_id: ObjectId,
     /// Client-assigned id for the completion event.
@@ -539,6 +556,7 @@ pub enum BatchCommand {
 
 impl Encode for BatchEntry {
     fn encode(&self, buf: &mut Vec<u8>) {
+        self.command_id.encode(buf);
         self.queue_id.encode(buf);
         self.event_id.encode(buf);
         self.wait_events.encode(buf);
@@ -549,6 +567,7 @@ impl Encode for BatchEntry {
 impl Decode for BatchEntry {
     fn decode(r: &mut Reader<'_>) -> std::result::Result<Self, GcfError> {
         Ok(BatchEntry {
+            command_id: u64::decode(r)?,
             queue_id: ObjectId::decode(r)?,
             event_id: ObjectId::decode(r)?,
             wait_events: Vec::decode(r)?,
@@ -647,10 +666,11 @@ impl Encode for Request {
     fn encode(&self, buf: &mut Vec<u8>) {
         let _ = REQ_TAGS;
         match self {
-            Request::Hello { client_name, auth_id } => {
+            Request::Hello { client_name, auth_id, epoch } => {
                 buf.push(0);
                 client_name.encode(buf);
                 auth_id.encode(buf);
+                epoch.encode(buf);
             }
             Request::GetDeviceList => buf.push(1),
             Request::CreateContext { context_id, devices } => {
@@ -807,6 +827,7 @@ impl Encode for Request {
                 buf.push(27);
                 entries.encode(buf);
             }
+            Request::GetSessionInfo => buf.push(28),
         }
     }
 }
@@ -814,7 +835,11 @@ impl Encode for Request {
 impl Decode for Request {
     fn decode(r: &mut Reader<'_>) -> std::result::Result<Self, GcfError> {
         Ok(match u8::decode(r)? {
-            0 => Request::Hello { client_name: String::decode(r)?, auth_id: Option::decode(r)? },
+            0 => Request::Hello {
+                client_name: String::decode(r)?,
+                auth_id: Option::decode(r)?,
+                epoch: u64::decode(r)?,
+            },
             1 => Request::GetDeviceList,
             2 => Request::CreateContext {
                 context_id: ObjectId::decode(r)?,
@@ -912,6 +937,7 @@ impl Decode for Request {
                 stream_id: u64::decode(r)?,
             },
             27 => Request::EnqueueBatch { entries: Vec::decode(r)? },
+            28 => Request::GetSessionInfo,
             other => return Err(codec_err(format!("invalid request tag {other}"))),
         })
     }
@@ -947,6 +973,45 @@ impl Decode for ServerInfo {
             name: String::decode(r)?,
             device_count: u32::decode(r)?,
             managed: bool::decode(r)?,
+        })
+    }
+}
+
+/// The daemon's view of a client session, returned as the answer to
+/// [`Request::Hello`] and [`Request::GetSessionInfo`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// Lease authentication id the session presented, if any.
+    pub auth_id: Option<String>,
+    /// The session epoch from the most recent `Hello`.
+    pub epoch: u64,
+    /// Whether this session was revived from parked state after a reconnect
+    /// (its remote objects and dedup window survived).
+    pub resumed: bool,
+    /// Commands admitted (executed for the first time) by the dedup window.
+    pub dedup_admitted: u64,
+    /// Replayed commands the dedup window suppressed.
+    pub dedup_replayed: u64,
+}
+
+impl Encode for SessionInfo {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.auth_id.encode(buf);
+        self.epoch.encode(buf);
+        self.resumed.encode(buf);
+        self.dedup_admitted.encode(buf);
+        self.dedup_replayed.encode(buf);
+    }
+}
+
+impl Decode for SessionInfo {
+    fn decode(r: &mut Reader<'_>) -> std::result::Result<Self, GcfError> {
+        Ok(SessionInfo {
+            auth_id: Option::decode(r)?,
+            epoch: u64::decode(r)?,
+            resumed: bool::decode(r)?,
+            dedup_admitted: u64::decode(r)?,
+            dedup_replayed: u64::decode(r)?,
         })
     }
 }
@@ -996,6 +1061,8 @@ pub enum Response {
         /// Outcomes of the attempted entries, in batch order.
         statuses: Vec<BatchEntryStatus>,
     },
+    /// Session state for [`Request::Hello`] / [`Request::GetSessionInfo`].
+    SessionInfo(SessionInfo),
 }
 
 impl Encode for Response {
@@ -1031,6 +1098,10 @@ impl Encode for Response {
                 buf.push(7);
                 statuses.encode(buf);
             }
+            Response::SessionInfo(info) => {
+                buf.push(8);
+                info.encode(buf);
+            }
         }
     }
 }
@@ -1046,6 +1117,7 @@ impl Decode for Response {
             5 => Response::ServerInfo(ServerInfo::decode(r)?),
             6 => Response::OkTimed { modeled_nanos: u64::decode(r)? },
             7 => Response::BatchEnqueued { statuses: Vec::decode(r)? },
+            8 => Response::SessionInfo(SessionInfo::decode(r)?),
             other => return Err(codec_err(format!("invalid response tag {other}"))),
         })
     }
@@ -1169,6 +1241,7 @@ mod tests {
         roundtrip_request(Request::Hello {
             client_name: "pc".into(),
             auth_id: Some("lease-1".into()),
+            epoch: 3,
         });
         roundtrip_request(Request::GetDeviceList);
         roundtrip_request(Request::CreateContext { context_id: 1, devices: vec![10, 11] });
@@ -1243,6 +1316,7 @@ mod tests {
         roundtrip_request(Request::EnqueueBatch {
             entries: vec![
                 BatchEntry {
+                    command_id: 900,
                     queue_id: 2,
                     event_id: 20,
                     wait_events: vec![6, 7],
@@ -1254,6 +1328,7 @@ mod tests {
                     },
                 },
                 BatchEntry {
+                    command_id: 901,
                     queue_id: 2,
                     event_id: 21,
                     wait_events: vec![],
@@ -1265,6 +1340,7 @@ mod tests {
                     },
                 },
                 BatchEntry {
+                    command_id: 902,
                     queue_id: 2,
                     event_id: 22,
                     wait_events: vec![20],
@@ -1274,6 +1350,7 @@ mod tests {
                     },
                 },
                 BatchEntry {
+                    command_id: 903,
                     queue_id: 2,
                     event_id: 23,
                     wait_events: vec![],
@@ -1281,6 +1358,7 @@ mod tests {
                 },
             ],
         });
+        roundtrip_request(Request::GetSessionInfo);
     }
 
     #[test]
@@ -1312,6 +1390,13 @@ mod tests {
                 BatchEntryStatus { code: -34, message: "unknown event id 9".into() },
             ],
         });
+        roundtrip_response(Response::SessionInfo(SessionInfo {
+            auth_id: Some("lease-1".into()),
+            epoch: 2,
+            resumed: true,
+            dedup_admitted: 17,
+            dedup_replayed: 3,
+        }));
     }
 
     #[test]

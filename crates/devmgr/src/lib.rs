@@ -33,5 +33,5 @@ pub use client::{connect_via_device_manager, release_assignment, request_assignm
 pub use config::{parse_device_request, DeviceRequestConfig, DeviceRequirement};
 pub use error::{DevMgrError, Result};
 pub use managed::ManagedDaemon;
-pub use manager::{DeviceManager, DeviceManagerServer, Lease, SchedulingStrategy};
+pub use manager::{DeviceManager, DeviceManagerServer, Lease, LeaseFailover, SchedulingStrategy};
 pub use protocol::{DmDevice, DmRequirement};

@@ -90,6 +90,7 @@ pub struct ManagedDaemon {
 struct ManagedPolicyShared {
     table: Arc<Mutex<LeaseTable>>,
     endpoint: Arc<Endpoint>,
+    server_name: String,
 }
 
 impl AccessPolicy for ManagedPolicyShared {
@@ -145,12 +146,33 @@ impl ManagedDaemon {
                 return Err(crate::DevMgrError::Protocol(format!("unexpected response {other:?}")))
             }
         }
-        Ok(ManagedDaemon { policy: Arc::new(ManagedPolicyShared { table, endpoint }) })
+        Ok(ManagedDaemon {
+            policy: Arc::new(ManagedPolicyShared {
+                table,
+                endpoint,
+                server_name: server_name.to_string(),
+            }),
+        })
     }
 
     /// The access policy to pass to [`dopencl::Daemon::start`].
     pub fn policy(&self) -> Arc<dyn AccessPolicy> {
         Arc::clone(&self.policy) as Arc<dyn AccessPolicy>
+    }
+
+    /// Send one liveness beacon to the device manager (Section IV-C).  The
+    /// manager marks this server down — and fails its leases over — after
+    /// too many missed beats; tests and daemon main loops call this on
+    /// their own cadence.
+    pub fn send_heartbeat(&self) -> Result<()> {
+        let request = DmRequest::Heartbeat { server_name: self.policy.server_name.clone() };
+        let response = DmResponse::from_bytes(&self.policy.endpoint.call(request.to_bytes())?)
+            .map_err(|e| crate::DevMgrError::Protocol(e.to_string()))?;
+        match response {
+            DmResponse::Ok => Ok(()),
+            DmResponse::Error { message } => Err(crate::DevMgrError::Protocol(message)),
+            other => Err(crate::DevMgrError::Protocol(format!("unexpected response {other:?}"))),
+        }
     }
 }
 

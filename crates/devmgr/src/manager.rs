@@ -45,6 +45,10 @@ struct RegisteredServer {
     address: String,
     devices: Vec<DmDevice>,
     endpoint: Option<Weak<Endpoint>>,
+    /// Logical tick of the last heartbeat received from this server.
+    last_beat: u64,
+    /// The server missed too many beats and was marked down.
+    down: bool,
 }
 
 #[derive(Default)]
@@ -56,11 +60,29 @@ struct ManagerState {
     round_robin_cursor: usize,
 }
 
+/// Outcome of failing one lease over after its server was marked down
+/// (Section IV-C: the manager reclaims devices of crashed daemons).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseFailover {
+    /// The affected lease.
+    pub auth_id: String,
+    /// Replacement devices assigned on healthy servers, as
+    /// (server index, device id).
+    pub moved: Vec<(usize, u64)>,
+    /// The lease lost devices that could not be replaced (no free device of
+    /// the same type on a healthy server); it continues on its survivors —
+    /// or was released entirely if none remain.
+    pub degraded: bool,
+}
+
 /// The device manager's registry and assignment logic (transport-agnostic).
 pub struct DeviceManager {
     strategy: SchedulingStrategy,
     state: Mutex<ManagerState>,
     next_lease: AtomicU64,
+    /// Logical health clock: heartbeats stamp it, [`DeviceManager::tick`]
+    /// advances it.  Deterministic by design — tests drive time explicitly.
+    health_tick: AtomicU64,
 }
 
 impl DeviceManager {
@@ -70,6 +92,7 @@ impl DeviceManager {
             strategy,
             state: Mutex::new(ManagerState::default()),
             next_lease: AtomicU64::new(1),
+            health_tick: AtomicU64::new(0),
         })
     }
 
@@ -82,11 +105,28 @@ impl DeviceManager {
         devices: Vec<DmDevice>,
         endpoint: Option<Weak<Endpoint>>,
     ) -> usize {
+        let now = self.health_tick.load(Ordering::Relaxed);
         let mut state = self.state.lock();
         if let Some(index) = state.servers.iter().position(|s| s.name == name) {
-            // Re-registration replaces the endpoint but keeps assignments.
+            // Re-registration replaces the endpoint but keeps assignments;
+            // a restarted daemon comes back up with a fresh beat, and its
+            // unassigned devices rejoin the free set.
+            let was_down = state.servers[index].down;
             state.servers[index].endpoint = endpoint;
             state.servers[index].address = address.to_string();
+            state.servers[index].last_beat = now;
+            state.servers[index].down = false;
+            if was_down {
+                let leased: Vec<(usize, u64)> =
+                    state.leases.values().flat_map(|l| l.devices.iter().copied()).collect();
+                let revived: Vec<(usize, u64)> = state.servers[index]
+                    .devices
+                    .iter()
+                    .map(|d| (index, d.remote_id))
+                    .filter(|d| !leased.contains(d) && !state.free.contains(d))
+                    .collect();
+                state.free.extend(revived);
+            }
             return index;
         }
         let index = state.servers.len();
@@ -96,9 +136,144 @@ impl DeviceManager {
             address: address.to_string(),
             devices,
             endpoint,
+            last_beat: now,
+            down: false,
         });
         state.free.extend(ids);
         index
+    }
+
+    /// Record a liveness beacon from `server_name`.  Returns `false` for an
+    /// unknown server.  A beat from a server previously marked down brings
+    /// it back up (its unassigned devices rejoin the free set).
+    pub fn heartbeat(&self, server_name: &str) -> bool {
+        let now = self.health_tick.load(Ordering::Relaxed);
+        let mut state = self.state.lock();
+        let Some(index) = state.servers.iter().position(|s| s.name == server_name) else {
+            return false;
+        };
+        state.servers[index].last_beat = now;
+        if state.servers[index].down {
+            state.servers[index].down = false;
+            let leased: Vec<(usize, u64)> =
+                state.leases.values().flat_map(|l| l.devices.iter().copied()).collect();
+            let revived: Vec<(usize, u64)> = state.servers[index]
+                .devices
+                .iter()
+                .map(|d| (index, d.remote_id))
+                .filter(|d| !leased.contains(d) && !state.free.contains(d))
+                .collect();
+            state.free.extend(revived);
+        }
+        true
+    }
+
+    /// Advance the logical health clock by one tick and return the new
+    /// value.  Callers pair this with [`DeviceManager::check_health`].
+    pub fn tick(&self) -> u64 {
+        self.health_tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Health of every registered server as (name, up).
+    pub fn server_health(&self) -> Vec<(String, bool)> {
+        self.state.lock().servers.iter().map(|s| (s.name.clone(), !s.down)).collect()
+    }
+
+    /// Mark every server that missed more than `max_missed` ticks since its
+    /// last heartbeat as down, remove its devices from the free set, and
+    /// fail its leases over: each lost device is replaced by a free device
+    /// of the same type on a healthy server (Section IV-C).  Leases that
+    /// cannot be made whole continue degraded on their surviving devices,
+    /// or are released when nothing survives.
+    pub fn check_health(&self, max_missed: u64) -> Vec<LeaseFailover> {
+        let now = self.health_tick.load(Ordering::Relaxed);
+        let mut events = Vec::new();
+        let mut state = self.state.lock();
+        let newly_down: Vec<usize> = state
+            .servers
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.down && now.saturating_sub(s.last_beat) > max_missed)
+            .map(|(i, _)| i)
+            .collect();
+        if newly_down.is_empty() {
+            return events;
+        }
+        for &i in &newly_down {
+            state.servers[i].down = true;
+        }
+        state.free.retain(|(s, _)| !newly_down.contains(s));
+
+        let lease_ids: Vec<String> = state.leases.keys().cloned().collect();
+        let mut pushes: Vec<(Arc<Endpoint>, DmNotification)> = Vec::new();
+        for auth_id in lease_ids {
+            let lease = state.leases.get(&auth_id).cloned().expect("lease id just listed");
+            let mut survivors: Vec<(usize, u64)> = Vec::new();
+            let mut lost: Vec<(usize, u64)> = Vec::new();
+            for dev in lease.devices {
+                if newly_down.contains(&dev.0) {
+                    lost.push(dev);
+                } else {
+                    survivors.push(dev);
+                }
+            }
+            if lost.is_empty() {
+                continue;
+            }
+            // Replace each lost device with a free one of the same type on
+            // a healthy server.
+            let mut moved: Vec<(usize, u64)> = Vec::new();
+            let mut degraded = false;
+            for (server, device) in &lost {
+                let wanted_type = state.servers[*server]
+                    .devices
+                    .iter()
+                    .find(|d| d.remote_id == *device)
+                    .map(|d| d.device_type.clone());
+                let candidate = state.free.iter().copied().find(|(fs, fd)| {
+                    !moved.contains(&(*fs, *fd))
+                        && match &wanted_type {
+                            Some(t) => state.servers[*fs]
+                                .devices
+                                .iter()
+                                .any(|d| d.remote_id == *fd && &d.device_type == t),
+                            None => true,
+                        }
+                });
+                match candidate {
+                    Some(replacement) => moved.push(replacement),
+                    None => degraded = true,
+                }
+            }
+            state.free.retain(|d| !moved.contains(d));
+            survivors.extend(moved.iter().copied());
+            if survivors.is_empty() {
+                state.leases.remove(&auth_id);
+            } else {
+                state.leases.get_mut(&auth_id).expect("lease present").devices = survivors.clone();
+            }
+            // Tell the servers receiving moved devices about the lease.
+            let mut per_server: HashMap<usize, Vec<u64>> = HashMap::new();
+            for (server, device) in &moved {
+                per_server.entry(*server).or_default().push(*device);
+            }
+            for (server_index, device_ids) in per_server {
+                if let Some(endpoint) =
+                    state.servers[server_index].endpoint.as_ref().and_then(Weak::upgrade)
+                {
+                    pushes.push((
+                        endpoint,
+                        DmNotification::AssignDevices { auth_id: auth_id.clone(), device_ids },
+                    ));
+                }
+            }
+            events.push(LeaseFailover { auth_id, moved, degraded });
+        }
+        drop(state);
+        for (endpoint, note) in pushes {
+            let _ = endpoint.call(note.to_bytes());
+        }
+        events
     }
 
     /// Number of devices not assigned to any lease.
@@ -224,6 +399,9 @@ impl DeviceManager {
                 return false;
             }
             let server = &state.servers[entry.0];
+            if server.down {
+                return false;
+            }
             match server.devices.iter().find(|d| d.remote_id == entry.1) {
                 Some(device) => attributes.iter().all(|(k, v)| device.satisfies(k, v)),
                 None => false,
@@ -380,6 +558,13 @@ impl DmSession {
             DmRequest::GetStatus => {
                 let (free_devices, assigned_devices, leases) = self.manager.status();
                 DmResponse::Status { free_devices, assigned_devices, leases }
+            }
+            DmRequest::Heartbeat { server_name } => {
+                if self.manager.heartbeat(&server_name) {
+                    DmResponse::Ok
+                } else {
+                    DmResponse::Error { message: format!("unknown server '{server_name}'") }
+                }
             }
         }
     }

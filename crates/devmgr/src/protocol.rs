@@ -139,6 +139,12 @@ pub enum DmRequest {
     },
     /// Diagnostics: free/assigned device counts.
     GetStatus,
+    /// A daemon's liveness beacon (Section IV-C): the manager marks servers
+    /// down — and fails their leases over — after too many missed beats.
+    Heartbeat {
+        /// The reporting daemon's node name.
+        server_name: String,
+    },
 }
 
 impl Encode for DmRequest {
@@ -164,6 +170,10 @@ impl Encode for DmRequest {
                 auth_id.encode(buf);
             }
             DmRequest::GetStatus => buf.push(4),
+            DmRequest::Heartbeat { server_name } => {
+                buf.push(5);
+                server_name.encode(buf);
+            }
         }
     }
 }
@@ -183,6 +193,7 @@ impl Decode for DmRequest {
             2 => DmRequest::ReleaseLease { auth_id: String::decode(r)? },
             3 => DmRequest::ReportDisconnect { auth_id: String::decode(r)? },
             4 => DmRequest::GetStatus,
+            5 => DmRequest::Heartbeat { server_name: String::decode(r)? },
             other => return Err(codec_err(format!("invalid device-manager request tag {other}"))),
         })
     }
@@ -336,6 +347,7 @@ mod tests {
             DmRequest::ReleaseLease { auth_id: "lease-1".into() },
             DmRequest::ReportDisconnect { auth_id: "lease-1".into() },
             DmRequest::GetStatus,
+            DmRequest::Heartbeat { server_name: "gpuserver".into() },
         ] {
             assert_eq!(DmRequest::from_bytes(&req.to_bytes()).unwrap(), req);
         }

@@ -24,6 +24,22 @@ pub enum GcfError {
     Protocol(String),
 }
 
+impl GcfError {
+    /// Whether the error is transient: retrying the operation (possibly
+    /// after reconnecting) may succeed.  Codec and protocol errors are
+    /// deterministic and never retried; an address in use will not free
+    /// itself by retrying either.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            GcfError::Disconnected(_)
+                | GcfError::AddressNotFound(_)
+                | GcfError::Io(_)
+                | GcfError::Timeout(_)
+        )
+    }
+}
+
 impl fmt::Display for GcfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -21,6 +21,9 @@
 //!   a real TCP implementation (length-prefixed frames over sockets),
 //! * [`rpc`] — an [`rpc::Endpoint`] providing synchronous calls, asynchronous
 //!   notifications and bulk streams on top of a connection,
+//! * [`retry`] — exponential backoff with deterministic jitter
+//!   ([`retry::retry_with_backoff`]) used by the client driver's connection
+//!   supervisor to reconnect after a daemon crash,
 //! * [`linkmodel`] — parameterised bandwidth/latency models (Gigabit
 //!   Ethernet, Infiniband, PCI Express, ideal) used to account *modelled*
 //!   transfer time, and
@@ -38,6 +41,7 @@ pub mod error;
 pub mod linkmodel;
 pub mod message;
 pub mod process;
+pub mod retry;
 pub mod rpc;
 pub mod simtime;
 pub mod transport;
@@ -46,6 +50,7 @@ pub mod wire;
 pub use error::{GcfError, Result};
 pub use linkmodel::LinkModel;
 pub use message::{Envelope, MessageKind};
+pub use retry::{retry_with_backoff, Backoff};
 pub use rpc::Endpoint;
 pub use simtime::{PhaseBreakdown, SimClock};
 pub use transport::{Connection, Listener, Transport};

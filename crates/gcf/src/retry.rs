@@ -1,0 +1,166 @@
+//! Retry with exponential backoff and deterministic jitter.
+//!
+//! The client driver's connection supervisor uses [`retry_with_backoff`] to
+//! reconnect to a crashed daemon: transient errors ([`GcfError::is_retryable`])
+//! are retried with exponentially growing, jittered delays; permanent errors
+//! abort immediately.
+//!
+//! Jitter is derived from a splitmix64 hash of the policy seed and the
+//! attempt number, so a given policy always produces the same delay sequence
+//! — tests can assert exact bounds without a random number generator (the
+//! workspace deliberately carries no `rand` dependency in `gcf`).
+
+use crate::error::{GcfError, Result};
+use std::time::Duration;
+
+/// Exponential backoff policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Backoff {
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Upper bound for the (pre-jitter) delay.
+    pub max_delay: Duration,
+    /// Growth factor per attempt.
+    pub multiplier: f64,
+    /// Jitter fraction: the delay is scaled by a factor in
+    /// `[1, 1 + jitter)`, deterministically derived from `seed`.
+    pub jitter: f64,
+    /// Give up after this many attempts (total, including the first).
+    pub max_attempts: u32,
+    /// Seed for the deterministic jitter sequence.
+    pub seed: u64,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            base: Duration::from_millis(10),
+            max_delay: Duration::from_secs(2),
+            multiplier: 2.0,
+            jitter: 0.25,
+            max_attempts: 5,
+            seed: 0x5eed_dc1f,
+        }
+    }
+}
+
+impl Backoff {
+    /// A fast policy for tests: millisecond-scale delays.
+    pub fn fast() -> Self {
+        Backoff {
+            base: Duration::from_millis(1),
+            max_delay: Duration::from_millis(20),
+            ..Backoff::default()
+        }
+    }
+
+    /// The delay to sleep before retry number `attempt` (0-based: the delay
+    /// after the first failure is `delay_for(0)`).  Deterministic for a given
+    /// policy.
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        let exp = self.multiplier.max(1.0).powi(attempt.min(63) as i32);
+        let raw = self.base.as_secs_f64() * exp;
+        let capped = raw.min(self.max_delay.as_secs_f64());
+        let unit = splitmix64(self.seed ^ u64::from(attempt)) as f64 / u64::MAX as f64;
+        let jittered = capped * (1.0 + self.jitter.max(0.0) * unit);
+        Duration::from_secs_f64(jittered)
+    }
+}
+
+/// splitmix64: a tiny, high-quality mixing function (public domain
+/// constants from Steele et al.), enough to decorrelate jitter between
+/// attempts without a PRNG dependency.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Run `op` until it succeeds, a non-retryable error occurs, or the policy's
+/// attempt budget is exhausted.  `op` receives the 0-based attempt number.
+/// Sleeps [`Backoff::delay_for`] between attempts.
+pub fn retry_with_backoff<T>(policy: &Backoff, mut op: impl FnMut(u32) -> Result<T>) -> Result<T> {
+    let attempts = policy.max_attempts.max(1);
+    let mut last = GcfError::Protocol("retry with zero attempts".to_string());
+    for attempt in 0..attempts {
+        match op(attempt) {
+            Ok(value) => return Ok(value),
+            Err(e) if e.is_retryable() && attempt + 1 < attempts => {
+                std::thread::sleep(policy.delay_for(attempt));
+                last = e;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn delays_grow_exponentially_within_jitter_bounds() {
+        let policy = Backoff {
+            base: Duration::from_millis(10),
+            max_delay: Duration::from_secs(1),
+            multiplier: 2.0,
+            jitter: 0.5,
+            max_attempts: 8,
+            seed: 42,
+        };
+        for attempt in 0..6 {
+            let nominal = 10.0e-3 * 2.0f64.powi(attempt as i32);
+            let d = policy.delay_for(attempt).as_secs_f64();
+            assert!(d >= nominal, "attempt {attempt}: {d} < {nominal}");
+            assert!(d < nominal * 1.5, "attempt {attempt}: {d} >= {}", nominal * 1.5);
+        }
+        // Capped at max_delay (pre-jitter).
+        let d = policy.delay_for(20).as_secs_f64();
+        assert!((1.0..1.5).contains(&d));
+    }
+
+    #[test]
+    fn delays_are_deterministic() {
+        let policy = Backoff::default();
+        assert_eq!(policy.delay_for(3), policy.delay_for(3));
+    }
+
+    #[test]
+    fn retries_until_success() {
+        let calls = AtomicU32::new(0);
+        let result = retry_with_backoff(&Backoff::fast(), |_| {
+            if calls.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err(GcfError::Disconnected("flaky".to_string()))
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(result.unwrap(), 7);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let calls = AtomicU32::new(0);
+        let result: Result<()> = retry_with_backoff(&Backoff::fast(), |_| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(GcfError::Timeout("always".to_string()))
+        });
+        assert!(matches!(result.unwrap_err(), GcfError::Timeout(_)));
+        assert_eq!(calls.load(Ordering::SeqCst), Backoff::fast().max_attempts);
+    }
+
+    #[test]
+    fn non_retryable_errors_abort_immediately() {
+        let calls = AtomicU32::new(0);
+        let result: Result<()> = retry_with_backoff(&Backoff::fast(), |_| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(GcfError::Codec("bad frame".to_string()))
+        });
+        assert!(matches!(result.unwrap_err(), GcfError::Codec(_)));
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+}

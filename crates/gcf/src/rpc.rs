@@ -75,6 +75,16 @@ pub struct TrafficStats {
     pub stream_bytes_sent: u64,
     /// Total bulk payload bytes received.
     pub stream_bytes_received: u64,
+    /// Number of times a connection was re-established after a failure
+    /// (bumped by connection supervisors, not by the endpoint itself).
+    pub reconnects: u64,
+    /// Number of request retries after a transient failure (bumped by
+    /// retrying callers, not by the endpoint itself).
+    pub retries: u64,
+    /// Number of in-flight requests that failed without a response: calls
+    /// whose send failed or timed out, plus calls pending when the
+    /// connection died.
+    pub failed_requests: u64,
 }
 
 impl TrafficStats {
@@ -102,6 +112,9 @@ impl TrafficStats {
             stream_bytes_received: self
                 .stream_bytes_received
                 .saturating_sub(earlier.stream_bytes_received),
+            reconnects: self.reconnects.saturating_sub(earlier.reconnects),
+            retries: self.retries.saturating_sub(earlier.retries),
+            failed_requests: self.failed_requests.saturating_sub(earlier.failed_requests),
         }
     }
 }
@@ -119,6 +132,9 @@ impl std::ops::Add for TrafficStats {
             message_bytes_sent: self.message_bytes_sent + rhs.message_bytes_sent,
             stream_bytes_sent: self.stream_bytes_sent + rhs.stream_bytes_sent,
             stream_bytes_received: self.stream_bytes_received + rhs.stream_bytes_received,
+            reconnects: self.reconnects + rhs.reconnects,
+            retries: self.retries + rhs.retries,
+            failed_requests: self.failed_requests + rhs.failed_requests,
         }
     }
 }
@@ -136,6 +152,10 @@ struct BulkBuffers {
     complete: HashMap<u64, Vec<u8>>,
 }
 
+/// Callback invoked (once per connection loss) when the endpoint dies, so a
+/// supervisor can schedule a reconnect.
+pub type SupervisorCallback = Arc<dyn Fn(&str) + Send + Sync>;
+
 /// Bidirectional RPC endpoint over a connection.
 pub struct Endpoint {
     conn: Arc<dyn Connection>,
@@ -147,6 +167,8 @@ pub struct Endpoint {
     call_timeout: Mutex<Duration>,
     closed: AtomicBool,
     name: String,
+    supervisor: Mutex<Option<SupervisorCallback>>,
+    supervisor_fired: AtomicBool,
 }
 
 impl Endpoint {
@@ -167,6 +189,8 @@ impl Endpoint {
             call_timeout: Mutex::new(DEFAULT_CALL_TIMEOUT),
             closed: AtomicBool::new(false),
             name: name.into(),
+            supervisor: Mutex::new(None),
+            supervisor_fired: AtomicBool::new(false),
         });
         let weak = Arc::downgrade(&endpoint);
         let thread_name = format!("gcf-endpoint-{}", endpoint.name);
@@ -180,8 +204,13 @@ impl Endpoint {
                 let frame = match ep.conn.recv_timeout(Duration::from_millis(200)) {
                     Ok(frame) => frame,
                     Err(GcfError::Timeout(_)) => continue,
-                    Err(_) => {
+                    Err(e) => {
+                        // The connection died under us: mark the endpoint
+                        // closed so callers fail fast, wake every waiter,
+                        // and tell the supervisor (if any) about the death.
+                        ep.closed.store(true, Ordering::Release);
                         ep.fail_all_pending();
+                        ep.fire_supervisor(&e.to_string());
                         break;
                     }
                 };
@@ -244,6 +273,7 @@ impl Endpoint {
             MessageKind::Bye => {
                 self.closed.store(true, Ordering::Release);
                 self.fail_all_pending();
+                self.fire_supervisor("peer sent Bye");
             }
         }
     }
@@ -266,9 +296,39 @@ impl Endpoint {
     }
 
     fn fail_all_pending(&self) {
-        let mut pending = self.pending.lock();
-        pending.clear();
-        // Dropping the senders wakes every waiter with a RecvError.
+        let abandoned = {
+            let mut pending = self.pending.lock();
+            let n = pending.len() as u64;
+            pending.clear();
+            // Dropping the senders wakes every caller with a RecvError.
+            n
+        };
+        if abandoned > 0 {
+            self.stats.lock().failed_requests += abandoned;
+        }
+        // Wake bulk waiters too, so they observe the closed endpoint instead
+        // of sleeping out their full timeout.
+        let _bulk = self.bulk.lock();
+        self.bulk_cond.notify_all();
+    }
+
+    /// Install a callback fired (at most once) when the connection dies
+    /// under the endpoint: the receiver thread hits a non-timeout error, or
+    /// the peer says Bye.  A local [`Endpoint::close`] does not fire it.
+    /// The callback receives a short reason string and runs on the receiver
+    /// thread — it must not block on calls through this same endpoint.
+    pub fn set_supervisor(&self, callback: Arc<dyn Fn(&str) + Send + Sync>) {
+        *self.supervisor.lock() = Some(callback);
+    }
+
+    fn fire_supervisor(&self, reason: &str) {
+        if self.supervisor_fired.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let callback = self.supervisor.lock().clone();
+        if let Some(cb) = callback {
+            cb(reason);
+        }
     }
 
     /// Allocate a fresh correlation / stream id.
@@ -279,6 +339,7 @@ impl Endpoint {
     /// Send a request and block for its response payload.
     pub fn call(&self, payload: Vec<u8>) -> Result<Vec<u8>> {
         if !self.is_open() {
+            self.stats.lock().failed_requests += 1;
             return Err(GcfError::Disconnected(self.conn.peer()));
         }
         let id = self.allocate_id();
@@ -291,6 +352,7 @@ impl Endpoint {
         }
         if let Err(e) = self.conn.send(Envelope::request(id, payload)) {
             self.pending.lock().remove(&id);
+            self.stats.lock().failed_requests += 1;
             return Err(e);
         }
         let timeout = *self.call_timeout.lock();
@@ -298,6 +360,7 @@ impl Endpoint {
             Ok(response) => Ok(response),
             Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
                 self.pending.lock().remove(&id);
+                self.stats.lock().failed_requests += 1;
                 Err(GcfError::Timeout(format!("call to {}", self.conn.peer())))
             }
             Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
@@ -367,6 +430,18 @@ impl Endpoint {
     /// Non-blocking check whether a bulk transfer has completed.
     pub fn try_take_bulk(&self, stream_id: u64) -> Option<Vec<u8>> {
         self.bulk.lock().complete.remove(&stream_id)
+    }
+
+    /// Abruptly sever the connection *without* telling the peer (no Bye
+    /// frame).  The peer's receiver thread discovers the death through a
+    /// receive error, exactly as if this process had crashed — used by the
+    /// chaos harness to simulate daemon crashes.
+    pub fn abort(&self) {
+        if self.closed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.conn.close();
+        self.fail_all_pending();
     }
 
     /// Close the endpoint: notify the peer and shut the connection down.
@@ -519,6 +594,61 @@ mod tests {
         let (client, _server) = endpoint_pair(Arc::new(NullHandler), Arc::new(EchoHandler));
         client.close();
         assert!(client.call(vec![1]).is_err());
+    }
+
+    #[test]
+    fn supervisor_fires_once_on_peer_death() {
+        let (client, server) = endpoint_pair(Arc::new(NullHandler), Arc::new(EchoHandler));
+        let fired = Arc::new(Mutex::new(Vec::<String>::new()));
+        let sink = Arc::clone(&fired);
+        client.set_supervisor(Arc::new(move |reason: &str| {
+            sink.lock().push(reason.to_string());
+        }));
+        server.close();
+        for _ in 0..100 {
+            if !fired.lock().is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(fired.lock().len(), 1);
+        assert!(!client.is_open());
+    }
+
+    #[test]
+    fn local_close_does_not_fire_supervisor() {
+        let (client, _server) = endpoint_pair(Arc::new(NullHandler), Arc::new(EchoHandler));
+        let fired = Arc::new(Mutex::new(0u32));
+        let sink = Arc::clone(&fired);
+        client.set_supervisor(Arc::new(move |_| *sink.lock() += 1));
+        client.close();
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(*fired.lock(), 0);
+    }
+
+    #[test]
+    fn wait_bulk_fails_fast_when_peer_dies() {
+        let (client, server) = endpoint_pair(Arc::new(NullHandler), Arc::new(NullHandler));
+        let waiter = std::thread::spawn(move || {
+            let start = std::time::Instant::now();
+            let result = client.wait_bulk(5, Duration::from_secs(30));
+            (result, start.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        server.close();
+        let (result, elapsed) = waiter.join().unwrap();
+        assert!(matches!(result.unwrap_err(), GcfError::Disconnected(_)));
+        assert!(elapsed < Duration::from_secs(5), "waiter should not sleep out its timeout");
+    }
+
+    #[test]
+    fn dead_connection_counts_failed_requests() {
+        let (client, server) = endpoint_pair(Arc::new(NullHandler), Arc::new(EchoHandler));
+        server.close();
+        std::thread::sleep(Duration::from_millis(50));
+        client.set_call_timeout(Duration::from_millis(100));
+        assert!(client.call(vec![1]).is_err());
+        assert!(client.stats().failed_requests >= 1);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub trait Connection: Send + Sync {
 }
 
 /// A listening endpoint accepting incoming connections.
-pub trait Listener: Send {
+pub trait Listener: Send + Sync {
     /// Block until the next incoming connection arrives.
     fn accept(&self) -> Result<Arc<dyn Connection>>;
 

@@ -1,0 +1,413 @@
+//! Fault-tolerance integration tests: retry/backoff bounds, idempotent
+//! replay against the daemon's dedup window, transparent client reconnects,
+//! device-manager lease failover after missed heartbeats, and the headline
+//! chaos scenarios — an OSEM reconstruction that survives a daemon
+//! partition (exactly-once replay) and a daemon crash (failover to the
+//! surviving server, bit-correct result).
+
+use dopencl::protocol::{BatchCommand, BatchEntry, Request, Response, WireNdRange};
+use dopencl::{Context, FailoverPolicy, LinkModel, LocalCluster, NdRange, SimClock, Value};
+use gcf::retry::Backoff;
+use gcf::rpc::{Endpoint, NullHandler};
+use gcf::transport::Transport;
+use gcf::wire::{Decode, Encode};
+use integration_tests::as_f32s;
+use std::sync::Arc;
+use std::time::Duration;
+use vocl::Platform;
+use workloads::osem::{self, OsemParams, BUILTIN_KERNEL, FLOATS_PER_EVENT};
+
+// ---------------------------------------------------------------------------
+// Retry / backoff
+// ---------------------------------------------------------------------------
+
+/// The supervisor's redial schedule grows exponentially and its jitter is
+/// bounded: every delay lies in `[nominal, nominal * (1 + jitter))`, and the
+/// sequence is deterministic for a given seed (no flaky sleeps in CI).
+#[test]
+fn backoff_delays_stay_within_jitter_bounds() {
+    let policy = Backoff {
+        base: Duration::from_millis(5),
+        max_delay: Duration::from_secs(1),
+        multiplier: 2.0,
+        jitter: 0.25,
+        max_attempts: 8,
+        seed: 0xfa_11,
+    };
+    for attempt in 0..6u32 {
+        let nominal = 5.0e-3 * 2.0f64.powi(attempt as i32);
+        let d = policy.delay_for(attempt).as_secs_f64();
+        assert!(d >= nominal, "attempt {attempt}: {d} below nominal {nominal}");
+        assert!(d < nominal * 1.25, "attempt {attempt}: {d} above jitter bound");
+        assert_eq!(policy.delay_for(attempt), policy.delay_for(attempt), "must be deterministic");
+    }
+    // Far attempts are capped at max_delay (pre-jitter).
+    assert!(policy.delay_for(30).as_secs_f64() < 1.0 * 1.25);
+}
+
+// ---------------------------------------------------------------------------
+// Idempotent replay at the protocol level
+// ---------------------------------------------------------------------------
+
+fn raw_call(endpoint: &Arc<Endpoint>, request: Request) -> Response {
+    let bytes = endpoint.call(request.to_bytes()).unwrap();
+    Response::from_bytes(&bytes).unwrap()
+}
+
+/// A client that loses the *response* to an `EnqueueBatch` reconnects and
+/// replays the identical batch over a brand-new connection.  The daemon's
+/// per-session dedup window recognises the command id and reports success
+/// without executing the kernel a second time — exactly-once semantics
+/// across connections.
+#[test]
+fn dedup_window_rejects_replayed_ids_across_reconnect() {
+    let mut cluster = LocalCluster::new(LinkModel::gigabit_ethernet());
+    let daemon = cluster.add_node("node0", &Platform::test_platform(1)).unwrap();
+    let transport = cluster.transport();
+
+    let connect = |epoch: u64| -> (Arc<Endpoint>, bool) {
+        let conn = transport.connect(daemon.address()).unwrap();
+        let endpoint = Endpoint::new(conn, Arc::new(NullHandler), "raw-client");
+        let Response::SessionInfo(info) = raw_call(
+            &endpoint,
+            Request::Hello { client_name: "replayer".into(), auth_id: None, epoch },
+        ) else {
+            panic!("expected session info")
+        };
+        (endpoint, info.resumed)
+    };
+    let (endpoint, resumed) = connect(0);
+    assert!(!resumed);
+
+    let Response::DeviceList { devices } = raw_call(&endpoint, Request::GetDeviceList) else {
+        panic!("expected device list")
+    };
+    let dev = devices[0].remote_id;
+    raw_call(&endpoint, Request::CreateContext { context_id: 1, devices: vec![dev] });
+    raw_call(&endpoint, Request::CreateCommandQueue { queue_id: 2, context_id: 1, device: dev });
+    raw_call(
+        &endpoint,
+        Request::CreateProgramWithSource {
+            program_id: 3,
+            context_id: 1,
+            source: "__kernel void noop() { }".into(),
+        },
+    );
+    raw_call(&endpoint, Request::BuildProgram { program_id: 3 });
+    raw_call(&endpoint, Request::CreateKernel { kernel_id: 4, program_id: 3, name: "noop".into() });
+
+    let batch = || Request::EnqueueBatch {
+        entries: vec![BatchEntry {
+            command_id: 42,
+            queue_id: 2,
+            event_id: 10,
+            wait_events: vec![],
+            command: BatchCommand::NdRange { kernel_id: 4, range: WireNdRange(NdRange::linear(8)) },
+        }],
+    };
+    let Response::BatchEnqueued { statuses } = raw_call(&endpoint, batch()) else {
+        panic!("expected batch response")
+    };
+    assert_eq!(statuses[0].code, 0);
+    assert_eq!(daemon.stats().kernel_launches, 1);
+
+    // The response was "lost": redial, resume the session, replay verbatim.
+    endpoint.abort();
+    let (endpoint2, resumed) = connect(1);
+    assert!(resumed, "the daemon must hand back the parked session");
+    let Response::BatchEnqueued { statuses } = raw_call(&endpoint2, batch()) else {
+        panic!("expected batch response")
+    };
+    assert_eq!(statuses[0].code, 0, "a replayed entry still reports success");
+    assert_eq!(daemon.stats().kernel_launches, 1, "replay must not re-execute");
+    assert_eq!(daemon.dedup_counters("replayer"), Some((1, 1)));
+}
+
+// ---------------------------------------------------------------------------
+// Client reconnect / re-handshake
+// ---------------------------------------------------------------------------
+
+/// When the daemon drops every connection (network partition), the client's
+/// connection supervisor re-dials, re-handshakes with a bumped session epoch
+/// and the same authentication id, and in-progress work continues without
+/// the application noticing.
+#[test]
+fn reconnect_rehandshake_restores_auth_id_and_bumps_epoch() {
+    let mut cluster = LocalCluster::new(LinkModel::gigabit_ethernet());
+    let daemon = cluster.add_node("node0", &Platform::test_platform(1)).unwrap();
+    let client = cluster.detached_client("rejoiner", SimClock::new());
+    client.set_auth_id(Some("lease-77".into()));
+    let server = client.connect_server(daemon.address()).unwrap();
+
+    let info = client.session_info(server).unwrap();
+    assert_eq!(info.auth_id.as_deref(), Some("lease-77"));
+    assert_eq!(info.epoch, 0);
+
+    let devices = client.devices();
+    let context = Context::new(&client, &devices).unwrap();
+    let queue = context.create_command_queue(&devices[0]).unwrap();
+    let buffer = context.create_buffer(64).unwrap();
+    queue.write_buffer(&buffer, &[7u8; 64]).blocking().submit().unwrap();
+
+    daemon.drop_connections();
+
+    // The next operations ride through the supervisor's reconnect; the
+    // remote objects survived inside the daemon's parked session.
+    let (data, _) = queue.read_buffer(&buffer).submit().unwrap();
+    assert_eq!(data, vec![7u8; 64]);
+
+    let info = client.session_info(server).unwrap();
+    assert_eq!(info.auth_id.as_deref(), Some("lease-77"), "auth id survives the re-handshake");
+    assert!(info.epoch >= 1, "reconnecting must bump the session epoch");
+    assert!(client.traffic_stats().reconnects >= 1);
+}
+
+// ---------------------------------------------------------------------------
+// Device-manager heartbeats and lease failover
+// ---------------------------------------------------------------------------
+
+/// A managed server that stops sending heartbeats is marked down and its
+/// leased devices fail over to same-type devices on a healthy server
+/// (Section IV-C); a later heartbeat revives the server and its unassigned
+/// devices rejoin the free set.
+#[test]
+fn devmgr_reclaims_leases_after_missed_heartbeats() {
+    use devmgr::{DeviceManager, DeviceManagerServer, DeviceRequirement, ManagedDaemon};
+
+    let transport: Arc<dyn Transport> = Arc::new(gcf::transport::inproc::InprocTransport::new());
+    let dm = DeviceManager::new(devmgr::SchedulingStrategy::FirstFit);
+    let dm_server =
+        DeviceManagerServer::start(Arc::clone(&dm), Arc::clone(&transport), "devmngr").unwrap();
+    let platform_a = Platform::gpu_server();
+    let platform_b = Platform::gpu_server();
+    let _managed_a = ManagedDaemon::connect(
+        Arc::clone(&transport),
+        dm_server.address(),
+        "gpu-a",
+        "gpu-a",
+        platform_a.devices(),
+    )
+    .unwrap();
+    let managed_b = ManagedDaemon::connect(
+        Arc::clone(&transport),
+        dm_server.address(),
+        "gpu-b",
+        "gpu-b",
+        platform_b.devices(),
+    )
+    .unwrap();
+
+    let gpu_req =
+        vec![DeviceRequirement { count: 1, attributes: vec![("TYPE".into(), "GPU".into())] }];
+    let assignment =
+        devmgr::request_assignment(&transport, dm_server.address(), "patient", &gpu_req).unwrap();
+    // FirstFit lands the lease on server 0 (gpu-a); each gpu_server
+    // platform registers 4 GPUs + 1 CPU, so 9 of the 10 devices stay free.
+    assert_eq!(dm.leases()[0].devices[0].0, 0);
+    assert_eq!(dm.free_device_count(), 9);
+
+    // gpu-b keeps beating, gpu-a goes silent for three ticks.
+    for _ in 0..3 {
+        dm.tick();
+        managed_b.send_heartbeat().unwrap();
+    }
+    let events = dm.check_health(1);
+    assert_eq!(events.len(), 1, "exactly one lease fails over");
+    assert_eq!(events[0].auth_id, assignment.auth_id);
+    assert!(!events[0].degraded, "gpu-b has a free GPU of the same type");
+    assert_eq!(events[0].moved, vec![(1, events[0].moved[0].1)]);
+    assert_eq!(dm.server_health(), vec![("gpu-a".to_string(), false), ("gpu-b".to_string(), true)]);
+    // The lease now lives entirely on gpu-b; gpu-a's devices left the free
+    // set with it.
+    let leases = dm.leases();
+    assert_eq!(leases.len(), 1);
+    assert!(leases[0].devices.iter().all(|(server, _)| *server == 1));
+    assert_eq!(dm.free_device_count(), 4);
+
+    // A second sweep is idempotent: nothing newly down, nothing moves.
+    assert!(dm.check_health(1).is_empty());
+
+    // gpu-a comes back: its (now unleased) devices rejoin the free set.
+    assert!(dm.heartbeat("gpu-a"));
+    assert_eq!(dm.server_health(), vec![("gpu-a".to_string(), true), ("gpu-b".to_string(), true)]);
+    assert_eq!(dm.free_device_count(), 9);
+}
+
+// ---------------------------------------------------------------------------
+// Bulk transfers fail fast
+// ---------------------------------------------------------------------------
+
+/// `wait_bulk` must not sit out its full timeout when the peer dies: the
+/// receiver notices the closed connection and fails every waiter promptly.
+#[test]
+fn wait_bulk_fails_fast_when_the_peer_dies() {
+    let transport = gcf::transport::inproc::InprocTransport::new();
+    let listener = transport.listen("bulk-peer").unwrap();
+    let accept = std::thread::spawn(move || listener.accept().unwrap());
+    let conn = transport.connect("bulk-peer").unwrap();
+    let server_conn = accept.join().unwrap();
+    let endpoint = Endpoint::new(conn, Arc::new(NullHandler), "bulk-client");
+
+    let waiter = {
+        let endpoint = Arc::clone(&endpoint);
+        std::thread::spawn(move || {
+            let started = std::time::Instant::now();
+            let result = endpoint.wait_bulk(99, Duration::from_secs(30));
+            (result, started.elapsed())
+        })
+    };
+    // Give the waiter a moment to block, then kill the peer.
+    std::thread::sleep(Duration::from_millis(50));
+    server_conn.close();
+    let (result, elapsed) = waiter.join().unwrap();
+    assert!(result.is_err(), "the waiter must observe the dead peer");
+    assert!(elapsed < Duration::from_secs(10), "failed after {elapsed:?}, not fast");
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: OSEM under daemon failures
+// ---------------------------------------------------------------------------
+
+fn f32_bytes(values: &[f32]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Run one OSEM subset on `device`, self-contained (own context, buffers and
+/// queue), returning the correction volume bytes.
+fn run_subset(
+    client: &dopencl::Client,
+    device: &dopencl::Device,
+    params: &OsemParams,
+    chunk: &[f32],
+    image: &[f32],
+) -> dopencl::Result<Vec<u8>> {
+    let per_subset = chunk.len() / FLOATS_PER_EVENT;
+    let context = Context::new(client, std::slice::from_ref(device))?;
+    let queue = context.create_command_queue(device)?;
+    let events_buf = context.create_buffer(chunk.len() * 4)?;
+    let image_buf = context.create_buffer(image.len() * 4)?;
+    let corr_buf = context.create_buffer(params.num_voxels * 4)?;
+    let program = context.create_program_with_built_in_kernels(BUILTIN_KERNEL)?;
+    program.build()?;
+    let kernel = program.create_kernel(BUILTIN_KERNEL)?;
+    queue.write_buffer(&events_buf, &f32_bytes(chunk)).blocking().submit()?;
+    queue.write_buffer(&image_buf, &f32_bytes(image)).blocking().submit()?;
+    kernel.set_arg(0, &events_buf)?;
+    kernel.set_arg(1, &image_buf)?;
+    kernel.set_arg(2, &corr_buf)?;
+    kernel.set_arg(3, Value::uint(per_subset as u64))?;
+    kernel.set_arg(4, Value::uint(params.ray_steps as u64))?;
+    kernel.set_arg(5, Value::uint(params.num_voxels as u64))?;
+    queue.launch(&kernel, NdRange::linear(per_subset)).submit()?.wait()?;
+    let (data, _) = queue.read_buffer(&corr_buf).submit()?;
+    Ok(data)
+}
+
+fn osem_fixture() -> (OsemParams, Vec<f32>, Vec<f32>, Vec<Vec<f32>>) {
+    workloads::register_all_built_in_kernels();
+    let params = OsemParams::small();
+    let events = osem::generate_events(&params, 11);
+    let image = vec![0.5f32; params.num_voxels];
+    let chunk_len = params.events_per_subset() * FLOATS_PER_EVENT;
+    let references: Vec<Vec<f32>> = events
+        .chunks_exact(chunk_len)
+        .map(|chunk| osem::reference_subset_update(&params, chunk, &image))
+        .collect();
+    (params, events, image, references)
+}
+
+/// Headline chaos scenario (a): a daemon drops every connection in the
+/// middle of an OSEM iteration.  The client reconnects, resumes its session
+/// (all remote objects intact), replays idempotently, and the iteration
+/// finishes **bit-correct** with every kernel launched **exactly once**.
+#[test]
+fn osem_iteration_survives_daemon_partition_with_exactly_once_replay() {
+    let (params, events, image, references) = osem_fixture();
+    let mut cluster = LocalCluster::new(LinkModel::gigabit_ethernet());
+    cluster.add_node("node0", &Platform::test_platform(1)).unwrap();
+    cluster.add_node("node1", &Platform::test_platform(1)).unwrap();
+    let client = cluster.client_with_clock("osem-partition", SimClock::new()).unwrap();
+    let devices = client.devices();
+    assert_eq!(devices.len(), 2);
+
+    let chunk_len = params.events_per_subset() * FLOATS_PER_EVENT;
+    let chunks: Vec<&[f32]> = events.chunks_exact(chunk_len).collect();
+    let mut corrections = Vec::new();
+    for (i, chunk) in chunks.iter().enumerate() {
+        if i == params.subsets / 2 {
+            // Partition node0 between subsets: every connection drops, the
+            // daemon itself stays up and keeps accepting.
+            cluster.daemons()[0].drop_connections();
+        }
+        let device = &devices[i % devices.len()];
+        corrections.push(run_subset(&client, device, &params, chunk, &image).unwrap());
+    }
+
+    for (i, (computed, reference)) in corrections.iter().zip(&references).enumerate() {
+        assert_eq!(as_f32s(computed), *reference, "subset {i} must be bit-correct");
+    }
+
+    // Exactly-once: one launch per subset across the whole cluster, no
+    // double execution despite the replayed traffic.
+    let launches: u64 = cluster.daemons().iter().map(|d| d.stats().kernel_launches).sum();
+    assert_eq!(launches, params.subsets as u64);
+    let (admitted, replayed) = cluster.daemons()[0].dedup_counters("osem-partition").unwrap();
+    assert!(admitted > 0, "node0 executed commands after the partition");
+    assert_eq!(
+        launches, params.subsets as u64,
+        "dedup window (admitted {admitted}, replayed {replayed}) kept execution exactly-once"
+    );
+    let info = client.session_info(client.servers()[0]).unwrap();
+    assert!(info.epoch >= 1, "the client re-handshook with node0");
+    assert!(client.traffic_stats().reconnects >= 1);
+}
+
+/// Headline chaos scenario (b): a daemon is killed outright mid-iteration.
+/// With `drop_lost_servers` the client gives the dead server up after the
+/// redial budget, fails its work fast, and the application re-runs the lost
+/// subsets on the survivor — final result still bit-correct.
+#[test]
+fn osem_iteration_fails_over_to_survivor_after_daemon_crash() {
+    let (params, events, image, references) = osem_fixture();
+    let mut cluster = LocalCluster::new(LinkModel::gigabit_ethernet());
+    cluster.add_node("node0", &Platform::test_platform(1)).unwrap();
+    cluster.add_node("node1", &Platform::test_platform(1)).unwrap();
+    let client = cluster.client_with_clock("osem-crash", SimClock::new()).unwrap();
+    client.set_failover_policy(FailoverPolicy {
+        reconnect: true,
+        backoff: Backoff::fast(),
+        drop_lost_servers: true,
+    });
+    let devices = client.devices();
+    let survivor = devices[1].clone();
+
+    let chunk_len = params.events_per_subset() * FLOATS_PER_EVENT;
+    let chunks: Vec<&[f32]> = events.chunks_exact(chunk_len).collect();
+    let mut corrections: Vec<Option<Vec<u8>>> = vec![None; chunks.len()];
+    let mut lost = Vec::new();
+    for (i, chunk) in chunks.iter().enumerate() {
+        if i == params.subsets / 2 {
+            cluster.daemons()[0].kill();
+        }
+        let device = &devices[i % devices.len()];
+        match run_subset(&client, device, &params, chunk, &image) {
+            Ok(data) => corrections[i] = Some(data),
+            Err(_) => lost.push(i),
+        }
+    }
+    assert!(!lost.is_empty(), "killing node0 must cost at least one subset");
+
+    // The dead server was dropped from the roster; re-run the lost subsets
+    // on the survivor.
+    assert_eq!(client.servers().len(), 1);
+    for i in lost {
+        corrections[i] = Some(run_subset(&client, &survivor, &params, chunks[i], &image).unwrap());
+    }
+
+    for (i, (computed, reference)) in corrections.iter().zip(&references).enumerate() {
+        let computed = computed.as_ref().expect("every subset completed");
+        assert_eq!(as_f32s(computed), *reference, "subset {i} must be bit-correct");
+    }
+    let stats = client.traffic_stats();
+    assert!(stats.failed_requests >= 1 || stats.retries >= 1);
+}
