@@ -30,14 +30,32 @@ fn kernel_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernels/mandelbrot_64x64");
     group.throughput(Throughput::Elements(pixels));
 
-    group.bench_function("interpreted_oclc", |b| {
+    group.bench_function("tree_walker", |b| {
         let program = oclc::Program::build(KERNEL_SOURCE).unwrap();
         let kernel = program.kernel("mandelbrot_rows").unwrap();
         let mut out = vec![0u8; params.pixels() * 4];
         b.iter(|| {
             let mut bindings = vec![BufferBinding::new(&mut out)];
             let counters = kernel
-                .execute(&NdRange::two_d(params.width, params.height), &args, &mut bindings)
+                .execute_tree(&NdRange::two_d(params.width, params.height), &args, &mut bindings)
+                .unwrap();
+            std::hint::black_box(counters.work_items);
+        });
+    });
+
+    group.bench_function("bytecode_vm", |b| {
+        let program = oclc::Program::build(KERNEL_SOURCE).unwrap();
+        let kernel = program.kernel("mandelbrot_rows").unwrap();
+        let mut out = vec![0u8; params.pixels() * 4];
+        b.iter(|| {
+            let mut bindings = vec![BufferBinding::new(&mut out)];
+            let counters = kernel
+                .execute_vm_with_threads(
+                    &NdRange::two_d(params.width, params.height),
+                    &args,
+                    &mut bindings,
+                    1,
+                )
                 .unwrap();
             std::hint::black_box(counters.work_items);
         });

@@ -1,0 +1,120 @@
+//! Kernel-throughput regression benchmark: bytecode VM vs tree-walking
+//! interpreter, real wall-clock time.
+//!
+//! Usage: `kernels_throughput [--smoke] [--json PATH]`
+//!
+//! `--smoke` shrinks the workloads for CI; `--json PATH` writes the
+//! `BENCH_kernels.json` trajectory file.  The full (non-smoke) run asserts
+//! the tentpole acceptance bar: the VM renders Mandelbrot at least 10×
+//! faster than the interpreter baseline.
+
+use dcl_bench::kernels::{run_mandelbrot, run_reduction};
+use dcl_bench::report::{print_table, write_json, JsonValue};
+use workloads::mandelbrot::MandelbrotParams;
+
+const FULL_SPEEDUP_BAR: f64 = 10.0;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
+
+    let (params, mandel_repeats, reduce_elements, reduce_repeats) = if smoke {
+        (
+            MandelbrotParams { width: 64, height: 48, max_iter: 96, ..MandelbrotParams::small() },
+            2,
+            16 * 1024,
+            4,
+        )
+    } else {
+        (
+            MandelbrotParams {
+                width: 192,
+                height: 128,
+                max_iter: 256,
+                ..MandelbrotParams::small()
+            },
+            3,
+            256 * 1024,
+            8,
+        )
+    };
+
+    println!(
+        "Kernel throughput — mandelbrot {}x{} (max_iter {}) ×{}, reduction {} elements ×{}",
+        params.width,
+        params.height,
+        params.max_iter,
+        mandel_repeats,
+        reduce_elements,
+        reduce_repeats
+    );
+
+    let mandel = run_mandelbrot(&params, mandel_repeats);
+    let reduce = run_reduction(reduce_elements, 256, reduce_repeats);
+
+    print_table(
+        "Throughput (work units / second)",
+        &["benchmark", "tree walker", "bytecode VM", "speedup"],
+        &[
+            vec![
+                "mandelbrot (pixels/s)".to_string(),
+                format!("{:.0}", mandel.tree.per_sec),
+                format!("{:.0}", mandel.vm.per_sec),
+                format!("{:.1}x", mandel.speedup()),
+            ],
+            vec![
+                "reduction (elements/s)".to_string(),
+                "rejected".to_string(),
+                format!("{:.0}", reduce.vm.per_sec),
+                "-".to_string(),
+            ],
+        ],
+    );
+    println!("\n  tree walker on the reduction: {}", reduce.tree_rejection);
+
+    if let Some(path) = json_path {
+        let report = JsonValue::obj([
+            ("benchmark", JsonValue::str("kernels")),
+            ("smoke", JsonValue::Bool(smoke)),
+            (
+                "mandelbrot",
+                JsonValue::obj([
+                    ("pixels", JsonValue::num(mandel.pixels as f64)),
+                    ("max_iter", JsonValue::num(params.max_iter as f64)),
+                    ("repeats", JsonValue::num(mandel.repeats as f64)),
+                    ("tree_pixels_per_sec", JsonValue::Num(mandel.tree.per_sec)),
+                    ("vm_pixels_per_sec", JsonValue::Num(mandel.vm.per_sec)),
+                    ("speedup", JsonValue::Num(mandel.speedup())),
+                ]),
+            ),
+            (
+                "reduction",
+                JsonValue::obj([
+                    ("elements", JsonValue::num(reduce.elements as f64)),
+                    ("repeats", JsonValue::num(reduce.repeats as f64)),
+                    ("vm_elements_per_sec", JsonValue::Num(reduce.vm.per_sec)),
+                    ("tree_walker", JsonValue::str(reduce.tree_rejection.clone())),
+                ]),
+            ),
+        ]);
+        write_json(&path, &report).expect("write JSON report");
+        println!("  wrote {path}");
+    }
+
+    // Regression bars.  Smoke runs in CI on debug-ish machines only check
+    // that the VM does not lose; the full release run enforces the 10× bar.
+    if smoke {
+        assert!(
+            mandel.speedup() > 1.0,
+            "bytecode VM slower than the tree walker ({:.2}x)",
+            mandel.speedup()
+        );
+    } else {
+        assert!(
+            mandel.speedup() >= FULL_SPEEDUP_BAR,
+            "bytecode VM speedup {:.2}x is below the {FULL_SPEEDUP_BAR}x bar",
+            mandel.speedup()
+        );
+    }
+}

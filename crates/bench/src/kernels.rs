@@ -1,0 +1,198 @@
+//! Kernel-throughput harness: the bytecode VM vs the legacy tree-walking
+//! interpreter on the paper's two compute kernels.
+//!
+//! Unlike the figure harnesses (which reproduce modelled, paper-scale
+//! results), this benchmark measures *real* wall-clock throughput of the two
+//! in-process executors — it is the regression guard for the
+//! compile-and-execute pipeline.  Results are written to
+//! `BENCH_kernels.json` by the `kernels_throughput` binary.
+
+use oclc::{BufferBinding, KernelArgValue, NdRange, Value};
+use std::time::{Duration, Instant};
+use workloads::mandelbrot::{MandelbrotParams, KERNEL_SOURCE};
+
+/// One executor's measured throughput.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorRun {
+    /// Total wall-clock time across all repetitions.
+    pub elapsed: Duration,
+    /// Work units (pixels or reduced elements) processed per second.
+    pub per_sec: f64,
+}
+
+/// Mandelbrot pixels/second: tree-walking interpreter vs bytecode VM.
+#[derive(Debug, Clone, Copy)]
+pub struct MandelbrotThroughput {
+    /// Pixels rendered per repetition.
+    pub pixels: u64,
+    /// Repetitions per executor.
+    pub repeats: u32,
+    /// The legacy tree-walking interpreter.
+    pub tree: ExecutorRun,
+    /// The bytecode VM (single worker thread — the honest apples-to-apples
+    /// comparison; group parallelism comes on top of this).
+    pub vm: ExecutorRun,
+}
+
+impl MandelbrotThroughput {
+    /// VM speedup over the interpreter baseline.
+    pub fn speedup(&self) -> f64 {
+        self.vm.per_sec / self.tree.per_sec
+    }
+}
+
+/// Barrier-reduction elements/second on the VM.  The tree walker *rejects*
+/// this kernel (barrier + `__local` writes), which the result records — the
+/// VM is not just faster here, it is the only correct executor.
+#[derive(Debug, Clone)]
+pub struct ReductionThroughput {
+    /// Elements reduced per repetition.
+    pub elements: u64,
+    /// Repetitions.
+    pub repeats: u32,
+    /// The bytecode VM, single worker thread.
+    pub vm: ExecutorRun,
+    /// The tree walker's rejection message.
+    pub tree_rejection: String,
+}
+
+fn mandelbrot_args(params: &MandelbrotParams) -> Vec<KernelArgValue> {
+    vec![
+        KernelArgValue::Buffer(0),
+        KernelArgValue::Scalar(Value::uint(params.width as u64)),
+        KernelArgValue::Scalar(Value::uint(params.height as u64)),
+        KernelArgValue::Scalar(Value::float(params.x_min as f32)),
+        KernelArgValue::Scalar(Value::float(params.y_min as f32)),
+        KernelArgValue::Scalar(Value::float(params.dx() as f32)),
+        KernelArgValue::Scalar(Value::float(params.dy() as f32)),
+        KernelArgValue::Scalar(Value::uint(0)),
+        KernelArgValue::Scalar(Value::uint(params.max_iter as u64)),
+    ]
+}
+
+/// Measure Mandelbrot pixels/second on both executors.  The program is
+/// built once; only execution is timed.
+pub fn run_mandelbrot(params: &MandelbrotParams, repeats: u32) -> MandelbrotThroughput {
+    let program = oclc::Program::build(KERNEL_SOURCE).expect("mandelbrot kernel builds");
+    let kernel = program.kernel("mandelbrot_rows").expect("kernel exists");
+    let args = mandelbrot_args(params);
+    let range = NdRange::two_d(params.width, params.height);
+    let pixels = params.pixels() as u64;
+    let mut out = vec![0u8; params.pixels() * 4];
+
+    let mut time_executor = |tree: bool| -> ExecutorRun {
+        let start = Instant::now();
+        for _ in 0..repeats {
+            let mut bindings = vec![BufferBinding::new(&mut out)];
+            let counters = if tree {
+                kernel.execute_tree(&range, &args, &mut bindings)
+            } else {
+                kernel.execute_vm_with_threads(&range, &args, &mut bindings, 1)
+            }
+            .expect("mandelbrot executes");
+            assert_eq!(counters.work_items, pixels);
+        }
+        let elapsed = start.elapsed();
+        ExecutorRun {
+            elapsed,
+            per_sec: (pixels * repeats as u64) as f64 / elapsed.as_secs_f64().max(1e-9),
+        }
+    };
+
+    let tree = time_executor(true);
+    let vm = time_executor(false);
+    MandelbrotThroughput { pixels, repeats, tree, vm }
+}
+
+const REDUCTION_KERNEL: &str = r#"
+    __kernel void reduce(__global const int* in,
+                         __global int* partial,
+                         __local int* scratch) {
+        size_t lid = get_local_id(0);
+        size_t n = get_local_size(0);
+        scratch[lid] = in[get_global_id(0)];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        for (size_t stride = n / 2; stride > 0; stride /= 2) {
+            if (lid < stride) {
+                scratch[lid] += scratch[lid + stride];
+            }
+            barrier(CLK_LOCAL_MEM_FENCE);
+        }
+        if (lid == 0) {
+            partial[get_group_id(0)] = scratch[0];
+        }
+    }
+"#;
+
+/// Measure barrier-reduction elements/second on the VM and record the tree
+/// walker's rejection.  Results are verified against a host-side sum every
+/// repetition, so the timing cannot drift away from correctness.
+pub fn run_reduction(elements: usize, group_size: usize, repeats: u32) -> ReductionThroughput {
+    assert!(elements.is_multiple_of(group_size), "elements must be a multiple of the group size");
+    let groups = elements / group_size;
+    let program = oclc::Program::build(REDUCTION_KERNEL).expect("reduction kernel builds");
+    let kernel = program.kernel("reduce").expect("kernel exists");
+    let input: Vec<i32> = (0..elements as i32).map(|i| i % 97 - 48).collect();
+    let input_bytes: Vec<u8> = input.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let expected: Vec<i32> = input.chunks_exact(group_size).map(|c| c.iter().sum()).collect();
+    let range = NdRange::linear(elements).with_local([group_size, 1, 1]);
+    let args = [
+        KernelArgValue::Buffer(0),
+        KernelArgValue::Buffer(1),
+        KernelArgValue::Local(group_size * 4),
+    ];
+
+    let mut in_buf = input_bytes.clone();
+    let mut partial = vec![0u8; groups * 4];
+    let start = Instant::now();
+    for _ in 0..repeats {
+        partial.fill(0);
+        {
+            let mut bindings =
+                vec![BufferBinding::new(&mut in_buf), BufferBinding::new(&mut partial)];
+            kernel.execute_vm_with_threads(&range, &args, &mut bindings, 1).expect("reduce");
+        }
+        let got: Vec<i32> =
+            partial.chunks_exact(4).map(|c| i32::from_le_bytes(c.try_into().unwrap())).collect();
+        assert_eq!(got, expected, "reduction produced wrong partial sums");
+    }
+    let elapsed = start.elapsed();
+    let vm = ExecutorRun {
+        elapsed,
+        per_sec: (elements as u64 * repeats as u64) as f64 / elapsed.as_secs_f64().max(1e-9),
+    };
+
+    let mut in_buf = input_bytes;
+    let mut partial = vec![0u8; groups * 4];
+    let mut bindings = vec![BufferBinding::new(&mut in_buf), BufferBinding::new(&mut partial)];
+    let tree_rejection = kernel
+        .execute_tree(&range, &args, &mut bindings)
+        .expect_err("tree walker must reject barrier + __local writes")
+        .message;
+
+    ReductionThroughput { elements: elements as u64, repeats, vm, tree_rejection }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mandelbrot_throughput_runs_and_vm_wins() {
+        let params =
+            MandelbrotParams { width: 24, height: 16, max_iter: 32, ..MandelbrotParams::small() };
+        let result = run_mandelbrot(&params, 1);
+        assert_eq!(result.pixels, 24 * 16);
+        assert!(result.tree.per_sec > 0.0);
+        assert!(result.vm.per_sec > 0.0);
+        // Debug builds shrink the gap; even there the VM must not lose.
+        assert!(result.speedup() > 1.0, "vm slower than the tree walker: {result:?}");
+    }
+
+    #[test]
+    fn reduction_throughput_runs_and_tree_is_rejected() {
+        let result = run_reduction(256, 64, 1);
+        assert!(result.vm.per_sec > 0.0);
+        assert!(result.tree_rejection.contains("barrier"));
+    }
+}

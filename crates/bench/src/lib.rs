@@ -10,6 +10,11 @@
 //! | [`fig7`] | Fig. 7 — 1024 MB transfer, Gigabit Ethernet vs PCI Express | `cargo run -p dcl-bench --release --bin fig7_transfer` |
 //! | [`fig8`] | Fig. 8 — transfer efficiency vs size, with the iperf line | `cargo run -p dcl-bench --release --bin fig8_efficiency` |
 //!
+//! [`kernels`] is not a paper figure but the regression guard for the kernel
+//! compile-and-execute pipeline: real wall-clock throughput of the bytecode
+//! VM vs the tree-walking interpreter
+//! (`cargo run -p dcl-bench --release --bin kernels_throughput`).
+//!
 //! ## Functional scale vs modelled scale
 //!
 //! The harnesses really run the applications through the middleware (kernels
@@ -30,6 +35,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod kernels;
 pub mod report;
 
 pub use report::print_table;

@@ -32,6 +32,8 @@ pub mod protocol;
 pub use client::{connect_via_device_manager, release_assignment, request_assignment, Assignment};
 pub use config::{parse_device_request, DeviceRequestConfig, DeviceRequirement};
 pub use error::{DevMgrError, Result};
-pub use managed::ManagedDaemon;
-pub use manager::{DeviceManager, DeviceManagerServer, Lease, LeaseFailover, SchedulingStrategy};
+pub use managed::{HeartbeatTimer, ManagedDaemon};
+pub use manager::{
+    DeviceManager, DeviceManagerServer, HealthMonitor, Lease, LeaseFailover, SchedulingStrategy,
+};
 pub use protocol::{DmDevice, DmRequirement};

@@ -162,16 +162,64 @@ impl ManagedDaemon {
 
     /// Send one liveness beacon to the device manager (Section IV-C).  The
     /// manager marks this server down — and fails its leases over — after
-    /// too many missed beats; tests and daemon main loops call this on
-    /// their own cadence.
+    /// too many missed beats.  Most callers want the periodic
+    /// [`ManagedDaemon::start_heartbeat`] timer instead; this single-shot
+    /// form remains for tests that drive the health clock by hand.
     pub fn send_heartbeat(&self) -> Result<()> {
-        let request = DmRequest::Heartbeat { server_name: self.policy.server_name.clone() };
-        let response = DmResponse::from_bytes(&self.policy.endpoint.call(request.to_bytes())?)
-            .map_err(|e| crate::DevMgrError::Protocol(e.to_string()))?;
-        match response {
-            DmResponse::Ok => Ok(()),
-            DmResponse::Error { message } => Err(crate::DevMgrError::Protocol(message)),
-            other => Err(crate::DevMgrError::Protocol(format!("unexpected response {other:?}"))),
+        beat(&self.policy)
+    }
+
+    /// Start a background timer that sends a heartbeat every `interval`
+    /// until the returned [`HeartbeatTimer`] is dropped.
+    ///
+    /// This is what a daemon main loop installs right after
+    /// [`ManagedDaemon::connect`]: with the timer running, the device
+    /// manager's [`crate::DeviceManager::check_health`] sweeps never mark a
+    /// live daemon down, without anyone hand-feeding `send_heartbeat`.
+    /// Send failures are ignored — a device manager that restarts sees the
+    /// next beat after this server re-registers.
+    pub fn start_heartbeat(&self, interval: std::time::Duration) -> HeartbeatTimer {
+        let policy = Arc::clone(&self.policy);
+        let (stop_tx, stop_rx) = std::sync::mpsc::channel::<()>();
+        let handle = std::thread::Builder::new()
+            .name(format!("heartbeat-{}", self.policy.server_name))
+            .spawn(move || loop {
+                match stop_rx.recv_timeout(interval) {
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                        let _ = beat(&policy);
+                    }
+                    _ => return,
+                }
+            })
+            .expect("spawn heartbeat thread");
+        HeartbeatTimer { stop: stop_tx, handle: Some(handle) }
+    }
+}
+
+fn beat(policy: &ManagedPolicyShared) -> Result<()> {
+    let request = DmRequest::Heartbeat { server_name: policy.server_name.clone() };
+    let response = DmResponse::from_bytes(&policy.endpoint.call(request.to_bytes())?)
+        .map_err(|e| crate::DevMgrError::Protocol(e.to_string()))?;
+    match response {
+        DmResponse::Ok => Ok(()),
+        DmResponse::Error { message } => Err(crate::DevMgrError::Protocol(message)),
+        other => Err(crate::DevMgrError::Protocol(format!("unexpected response {other:?}"))),
+    }
+}
+
+/// Guard for a running heartbeat timer; dropping it stops the beats
+/// promptly (the background thread is woken and joined).
+#[derive(Debug)]
+pub struct HeartbeatTimer {
+    stop: std::sync::mpsc::Sender<()>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for HeartbeatTimer {
+    fn drop(&mut self) {
+        let _ = self.stop.send(());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
         }
     }
 }
@@ -227,6 +275,56 @@ mod tests {
         policy.client_disconnected(Some(&lease.auth_id));
         assert_eq!(dm.free_device_count(), 5);
         assert!(policy.visible_devices(Some(&lease.auth_id), platform.devices()).is_empty());
+    }
+
+    /// With the periodic heartbeat timer installed, a live daemon survives
+    /// the device manager's background health sweeps indefinitely; once the
+    /// timer is dropped, the sweeps mark the silent server down.  No test
+    /// code feeds `send_heartbeat` or `tick` by hand.
+    #[test]
+    fn heartbeat_timer_keeps_a_live_daemon_healthy() {
+        use std::time::Duration;
+
+        let transport = InprocTransport::new();
+        let dm = DeviceManager::new(SchedulingStrategy::FirstFit);
+        let dm_server =
+            DeviceManagerServer::start(Arc::clone(&dm), Arc::new(transport.clone()), "devmngr")
+                .unwrap();
+        let platform = Platform::gpu_server();
+        let managed = ManagedDaemon::connect(
+            Arc::new(transport.clone()),
+            dm_server.address(),
+            "gpuserver",
+            "gpuserver",
+            platform.devices(),
+        )
+        .unwrap();
+
+        // Beats come much faster than sweeps, with a generous miss budget,
+        // so scheduling jitter cannot produce a false "down".
+        let beats = managed.start_heartbeat(Duration::from_millis(2));
+        let _monitor = dm.start_health_monitor(Duration::from_millis(10), 20);
+
+        // A live daemon is never marked down: poll health across many sweep
+        // intervals.
+        for _ in 0..20 {
+            std::thread::sleep(Duration::from_millis(10));
+            assert_eq!(dm.server_health(), vec![("gpuserver".to_string(), true)]);
+        }
+
+        // Silence the daemon; the monitor must eventually mark it down.
+        drop(beats);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            if dm.server_health() == vec![("gpuserver".to_string(), false)] {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server was never marked down after its heartbeat timer stopped"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
     }
 
     #[test]

@@ -75,6 +75,24 @@ pub struct LeaseFailover {
     pub degraded: bool,
 }
 
+/// Guard for a running background health sweep
+/// ([`DeviceManager::start_health_monitor`]); dropping it stops the sweep
+/// promptly (the background thread is woken and joined).
+#[derive(Debug)]
+pub struct HealthMonitor {
+    stop: std::sync::mpsc::Sender<()>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for HealthMonitor {
+    fn drop(&mut self) {
+        let _ = self.stop.send(());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
 /// The device manager's registry and assignment logic (transport-agnostic).
 pub struct DeviceManager {
     strategy: SchedulingStrategy,
@@ -172,6 +190,40 @@ impl DeviceManager {
     /// value.  Callers pair this with [`DeviceManager::check_health`].
     pub fn tick(&self) -> u64 {
         self.health_tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Start a background sweep that advances the health clock and runs
+    /// [`DeviceManager::check_health`] every `interval` until the returned
+    /// [`HealthMonitor`] is dropped.
+    ///
+    /// A server whose heartbeat timer beats faster than `interval` is never
+    /// marked down; one that goes silent is failed over after roughly
+    /// `max_missed + 1` intervals.  Tests that need determinism keep driving
+    /// [`DeviceManager::tick`] / [`DeviceManager::check_health`] by hand
+    /// instead of starting a monitor.
+    pub fn start_health_monitor(
+        self: &Arc<Self>,
+        interval: std::time::Duration,
+        max_missed: u64,
+    ) -> HealthMonitor {
+        let manager = Arc::clone(self);
+        let (stop_tx, stop_rx) = std::sync::mpsc::channel::<()>();
+        let handle = std::thread::Builder::new()
+            .name("devmgr-health".into())
+            .spawn(move || loop {
+                match stop_rx.recv_timeout(interval) {
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                        manager.tick();
+                        // Failover side effects (lease pushes) happen inside
+                        // check_health; the event list is for callers that
+                        // sweep manually.
+                        let _ = manager.check_health(max_missed);
+                    }
+                    _ => return,
+                }
+            })
+            .expect("spawn health monitor thread");
+        HealthMonitor { stop: stop_tx, handle: Some(handle) }
     }
 
     /// Health of every registered server as (name, up).

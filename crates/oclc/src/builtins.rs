@@ -3,16 +3,20 @@
 //! Three families are distinguished:
 //!
 //! * **work-item functions** (`get_global_id`, ...) — evaluated by the
-//!   interpreter against the current work-item context,
-//! * **atomic functions** (`atomic_add`, ...) — evaluated by the interpreter
+//!   executors against the current work-item context,
+//! * **atomic functions** (`atomic_add`, ...) — evaluated by the executors
 //!   because they need access to buffer memory,
 //! * **math / common functions** (`sqrt`, `clamp`, `dot`, ...) — pure, and
 //!   evaluated here.
 //!
-//! `barrier()`, `mem_fence()` and friends are accepted and are no-ops: the
-//! interpreter executes the work-items of a work-group sequentially, so
-//! work-group barriers are trivially satisfied for kernels whose work-items
-//! only synchronise within a work-group iteration boundary.
+//! Synchronisation built-ins split by executor: the bytecode VM
+//! (`crate::vm`) lowers `barrier()` to a real suspension point and resumes
+//! the work-group in phases, so barrier-separated `__local` traffic is
+//! coherent; `mem_fence()` and friends are no-ops there (each phase runs to
+//! completion, so ordering is already program order).  The legacy
+//! tree-walking interpreter runs work-items sequentially and treats
+//! `barrier()` as a no-op, which is why it rejects kernels combining
+//! barriers with `__local`-memory writes.
 
 use crate::error::CompileError;
 use crate::types::ScalarType;

@@ -1,13 +1,17 @@
 //! Tree-walking interpreter executing kernels over an NDRange.
 //!
-//! The interpreter executes work-items sequentially, one at a time, inside
-//! the calling thread.  The `vocl` runtime decides how NDRanges are split
-//! across device worker threads (it splits along the outermost dimension and
-//! gives every worker its own buffer copy only when buffers are disjoint; in
-//! the common case it simply runs the whole range on one worker and charges
-//! modelled parallel time).  Work-group barriers are accepted as no-ops —
-//! sufficient for kernels that do not communicate through local memory
-//! across barriers, which covers the paper's workloads.
+//! This is the *legacy* executor, kept as the differential-testing oracle
+//! for the bytecode VM (`crate::vm`) and reachable at runtime via the
+//! `DCL_INTERP=tree` escape hatch.  It executes work-items sequentially, one
+//! at a time, inside the calling thread.
+//!
+//! Because work-items run strictly one after another, work-group barriers
+//! cannot be given their real semantics here: each `barrier()` call is a
+//! no-op.  That is sound only for kernels that never communicate through
+//! `__local` memory across a barrier, so [`execute_kernel`] *rejects*
+//! kernels that combine `barrier()` with `__local`-memory writes (a clear
+//! error instead of silently wrong results).  The VM executes such kernels
+//! correctly by suspending and resuming the group's work-items in phases.
 
 use crate::ast::*;
 use crate::builtins::{self, BuiltinKind};
@@ -196,6 +200,19 @@ pub fn execute_kernel(
         )));
     }
 
+    // The serial tree walker treats barriers as no-ops, which silently
+    // miscomputes kernels that synchronise `__local`-memory writes across a
+    // barrier.  Reject those up front; the bytecode VM runs them correctly.
+    let barrier_use = crate::compile::analyze_kernel(unit, index);
+    if barrier_use.has_barrier && barrier_use.writes_local {
+        return Err(CompileError::new(format!(
+            "kernel '{}' uses barrier() together with __local memory writes, which the \
+             tree-walking interpreter cannot execute correctly; use the bytecode VM \
+             (unset DCL_INTERP)",
+            function.name
+        )));
+    }
+
     let mut interp = Interp {
         unit,
         bufs: buffers,
@@ -268,7 +285,12 @@ impl<'u, 'b, 'd> Interp<'u, 'b, 'd> {
                 let pointee = pointee.element_scalar().ok_or_else(|| {
                     CompileError::new("only pointers to scalar element types are supported")
                 })?;
-                Ok(Value::Ptr(Pointer { buffer: *idx, byte_offset: 0, pointee, space: *space }))
+                Ok(Value::Ptr(Pointer {
+                    buffer: *idx as u32,
+                    byte_offset: 0,
+                    pointee,
+                    space: *space,
+                }))
             }
             (KernelArgValue::Local(bytes), Type::Pointer { pointee, .. }) => {
                 let pointee = pointee.element_scalar().ok_or_else(|| {
@@ -276,7 +298,7 @@ impl<'u, 'b, 'd> Interp<'u, 'b, 'd> {
                 })?;
                 self.locals.push(vec![0u8; *bytes]);
                 Ok(Value::Ptr(Pointer {
-                    buffer: self.bufs.len() + self.locals.len() - 1,
+                    buffer: (self.bufs.len() + self.locals.len() - 1) as u32,
                     byte_offset: 0,
                     pointee,
                     space: AddressSpace::Local,
@@ -499,7 +521,11 @@ impl<'u, 'b, 'd> Interp<'u, 'b, 'd> {
                         if offset < 0 {
                             return Err(CompileError::at(expr.location, "negative pointer offset"));
                         }
-                        Ok(Place::Mem { buffer: p.buffer, offset: offset as usize, ty: p.pointee })
+                        Ok(Place::Mem {
+                            buffer: p.buffer as usize,
+                            offset: offset as usize,
+                            ty: p.pointee,
+                        })
                     }
                     other => Err(CompileError::at(
                         expr.location,
@@ -515,7 +541,7 @@ impl<'u, 'b, 'd> Interp<'u, 'b, 'd> {
                             return Err(CompileError::at(expr.location, "negative pointer offset"));
                         }
                         Ok(Place::Mem {
-                            buffer: p.buffer,
+                            buffer: p.buffer as usize,
                             offset: p.byte_offset as usize,
                             ty: p.pointee,
                         })
@@ -888,7 +914,7 @@ fn unary_deref(expr: &Expr) -> Expr {
     Expr::new(ExprKind::Unary { op: UnOp::Deref, expr: Box::new(expr.clone()) }, expr.location)
 }
 
-fn default_value(ty: &Type) -> Result<Value, CompileError> {
+pub(crate) fn default_value(ty: &Type) -> Result<Value, CompileError> {
     Ok(match ty {
         Type::Scalar(t) => {
             if t.is_float() {
@@ -912,7 +938,7 @@ fn default_value(ty: &Type) -> Result<Value, CompileError> {
     })
 }
 
-fn component_index(name: &str) -> Option<usize> {
+pub(crate) fn component_index(name: &str) -> Option<usize> {
     let indices = swizzle_indices(name)?;
     if indices.len() == 1 {
         Some(indices[0])
@@ -921,7 +947,7 @@ fn component_index(name: &str) -> Option<usize> {
     }
 }
 
-fn swizzle_indices(name: &str) -> Option<Vec<usize>> {
+pub(crate) fn swizzle_indices(name: &str) -> Option<Vec<usize>> {
     if let Some(rest) = name.strip_prefix('s').or_else(|| name.strip_prefix('S')) {
         if !rest.is_empty() && rest.chars().all(|c| c.is_ascii_hexdigit()) {
             return rest
@@ -971,6 +997,144 @@ fn promote(a: ScalarType, b: ScalarType) -> ScalarType {
     hi
 }
 
+/// Pointer ± integer arithmetic, scaled by the pointee size.  Shared by the
+/// tree walker and the VM's inline fast path so the two executors cannot
+/// drift apart.
+#[inline]
+pub(crate) fn eval_binary_ptr(op: BinOp, p: &Pointer, s: Scalar) -> Result<Pointer, CompileError> {
+    match op {
+        BinOp::Add => {
+            Ok(Pointer { byte_offset: p.byte_offset + s.as_i64() * p.pointee.size() as i64, ..*p })
+        }
+        BinOp::Sub => {
+            Ok(Pointer { byte_offset: p.byte_offset - s.as_i64() * p.pointee.size() as i64, ..*p })
+        }
+        _ => Err(CompileError::new("unsupported pointer operation")),
+    }
+}
+
+/// Scalar ∘ scalar core of [`eval_binary`]: promotion, the operation itself
+/// and the result conversion.  Kept `#[inline]` because the VM calls it
+/// straight from its instruction loop — this *is* the hot ALU.
+#[inline]
+pub(crate) fn eval_binary_scalars(
+    op: BinOp,
+    lt: ScalarType,
+    ls: Scalar,
+    rt: ScalarType,
+    rs: Scalar,
+) -> Result<(ScalarType, Scalar), CompileError> {
+    let result_type = promote(lt, rt);
+
+    // Comparisons produce int 0/1.
+    let cmp = |ordering: std::cmp::Ordering, op: BinOp| -> bool {
+        use std::cmp::Ordering::*;
+        match op {
+            BinOp::Eq => ordering == Equal,
+            BinOp::Ne => ordering != Equal,
+            BinOp::Lt => ordering == Less,
+            BinOp::Le => ordering != Greater,
+            BinOp::Gt => ordering == Greater,
+            BinOp::Ge => ordering != Less,
+            _ => unreachable!(),
+        }
+    };
+
+    match op {
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let ordering = if result_type.is_float() {
+                ls.as_f64().partial_cmp(&rs.as_f64()).unwrap_or(std::cmp::Ordering::Greater)
+            } else if result_type.is_signed() {
+                ls.as_i64().cmp(&rs.as_i64())
+            } else if lt.is_signed() && ls.as_i64() < 0 {
+                // Signed negative compared against unsigned: keep the
+                // mathematical ordering instead of C's wrapping surprise —
+                // kernels in the wild rely on `i < n` with `int i`/`uint n`.
+                std::cmp::Ordering::Less
+            } else {
+                ls.as_u64().cmp(&rs.as_u64())
+            };
+            Ok((ScalarType::Int, Scalar::I(i64::from(cmp(ordering, op)))))
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
+            if result_type.is_float() {
+                let a = ls.as_f64();
+                let b = rs.as_f64();
+                let v = match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b,
+                    BinOp::Rem => a % b,
+                    _ => unreachable!(),
+                };
+                Ok((result_type, convert_scalar(Scalar::F(v), result_type)))
+            } else if result_type.is_signed() {
+                let a = ls.as_i64();
+                let b = rs.as_i64();
+                if matches!(op, BinOp::Div | BinOp::Rem) && b == 0 {
+                    return Err(CompileError::new("integer division by zero"));
+                }
+                let v = match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => a.wrapping_div(b),
+                    BinOp::Rem => a.wrapping_rem(b),
+                    _ => unreachable!(),
+                };
+                Ok((result_type, convert_scalar(Scalar::I(v), result_type)))
+            } else {
+                let a = ls.as_u64();
+                let b = rs.as_u64();
+                if matches!(op, BinOp::Div | BinOp::Rem) && b == 0 {
+                    return Err(CompileError::new("integer division by zero"));
+                }
+                let v = match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => a / b,
+                    BinOp::Rem => a % b,
+                    _ => unreachable!(),
+                };
+                Ok((result_type, convert_scalar(Scalar::U(v), result_type)))
+            }
+        }
+        BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Shr => {
+            if result_type.is_float() {
+                return Err(CompileError::new("bitwise operation on floating-point operands"));
+            }
+            let a = ls.as_u64();
+            let b = rs.as_u64();
+            let v = match op {
+                BinOp::BitAnd => a & b,
+                BinOp::BitOr => a | b,
+                BinOp::BitXor => a ^ b,
+                BinOp::Shl => a.wrapping_shl(b as u32),
+                BinOp::Shr => {
+                    if result_type.is_signed() {
+                        (ls.as_i64().wrapping_shr(b as u32)) as u64
+                    } else {
+                        a.wrapping_shr(b as u32)
+                    }
+                }
+                _ => unreachable!(),
+            };
+            let scalar = if result_type.is_signed() { Scalar::I(v as i64) } else { Scalar::U(v) };
+            Ok((result_type, convert_scalar(scalar, result_type)))
+        }
+        BinOp::LogicalAnd | BinOp::LogicalOr => {
+            // Handled with short-circuiting by the caller; provide a
+            // non-short-circuit fallback for completeness.
+            let a = ls.as_bool();
+            let b = rs.as_bool();
+            let v = if op == BinOp::LogicalAnd { a && b } else { a || b };
+            Ok((ScalarType::Int, Scalar::I(i64::from(v))))
+        }
+    }
+}
+
 /// Evaluate a binary operation on two values (public for reuse in tests).
 pub(crate) fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value, CompileError> {
     // Vector handling: componentwise with scalar broadcast.
@@ -1003,17 +1167,7 @@ pub(crate) fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value, Comp
 
     // Pointer arithmetic.
     if let (Value::Ptr(p), Value::Scalar(_, s)) = (l, r) {
-        return match op {
-            BinOp::Add => Ok(Value::Ptr(Pointer {
-                byte_offset: p.byte_offset + s.as_i64() * p.pointee.size() as i64,
-                ..*p
-            })),
-            BinOp::Sub => Ok(Value::Ptr(Pointer {
-                byte_offset: p.byte_offset - s.as_i64() * p.pointee.size() as i64,
-                ..*p
-            })),
-            _ => Err(CompileError::new("unsupported pointer operation")),
-        };
+        return Ok(Value::Ptr(eval_binary_ptr(op, p, *s)?));
     }
 
     let (lt, ls) = match l {
@@ -1024,118 +1178,11 @@ pub(crate) fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value, Comp
         Value::Scalar(t, s) => (*t, *s),
         other => return Err(CompileError::new(format!("invalid operand of type {}", other.ty()))),
     };
-    let result_type = promote(lt, rt);
-
-    // Comparisons produce int 0/1.
-    let cmp = |ordering: std::cmp::Ordering, op: BinOp| -> bool {
-        use std::cmp::Ordering::*;
-        match op {
-            BinOp::Eq => ordering == Equal,
-            BinOp::Ne => ordering != Equal,
-            BinOp::Lt => ordering == Less,
-            BinOp::Le => ordering != Greater,
-            BinOp::Gt => ordering == Greater,
-            BinOp::Ge => ordering != Less,
-            _ => unreachable!(),
-        }
-    };
-
-    match op {
-        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-            let ordering = if result_type.is_float() {
-                ls.as_f64().partial_cmp(&rs.as_f64()).unwrap_or(std::cmp::Ordering::Greater)
-            } else if result_type.is_signed() {
-                ls.as_i64().cmp(&rs.as_i64())
-            } else if lt.is_signed() && ls.as_i64() < 0 {
-                // Signed negative compared against unsigned: keep the
-                // mathematical ordering instead of C's wrapping surprise —
-                // kernels in the wild rely on `i < n` with `int i`/`uint n`.
-                std::cmp::Ordering::Less
-            } else {
-                ls.as_u64().cmp(&rs.as_u64())
-            };
-            Ok(Value::int(i64::from(cmp(ordering, op))))
-        }
-        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
-            if result_type.is_float() {
-                let a = ls.as_f64();
-                let b = rs.as_f64();
-                let v = match op {
-                    BinOp::Add => a + b,
-                    BinOp::Sub => a - b,
-                    BinOp::Mul => a * b,
-                    BinOp::Div => a / b,
-                    BinOp::Rem => a % b,
-                    _ => unreachable!(),
-                };
-                Ok(Value::Scalar(result_type, convert_scalar(Scalar::F(v), result_type)))
-            } else if result_type.is_signed() {
-                let a = ls.as_i64();
-                let b = rs.as_i64();
-                if matches!(op, BinOp::Div | BinOp::Rem) && b == 0 {
-                    return Err(CompileError::new("integer division by zero"));
-                }
-                let v = match op {
-                    BinOp::Add => a.wrapping_add(b),
-                    BinOp::Sub => a.wrapping_sub(b),
-                    BinOp::Mul => a.wrapping_mul(b),
-                    BinOp::Div => a.wrapping_div(b),
-                    BinOp::Rem => a.wrapping_rem(b),
-                    _ => unreachable!(),
-                };
-                Ok(Value::Scalar(result_type, convert_scalar(Scalar::I(v), result_type)))
-            } else {
-                let a = ls.as_u64();
-                let b = rs.as_u64();
-                if matches!(op, BinOp::Div | BinOp::Rem) && b == 0 {
-                    return Err(CompileError::new("integer division by zero"));
-                }
-                let v = match op {
-                    BinOp::Add => a.wrapping_add(b),
-                    BinOp::Sub => a.wrapping_sub(b),
-                    BinOp::Mul => a.wrapping_mul(b),
-                    BinOp::Div => a / b,
-                    BinOp::Rem => a % b,
-                    _ => unreachable!(),
-                };
-                Ok(Value::Scalar(result_type, convert_scalar(Scalar::U(v), result_type)))
-            }
-        }
-        BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Shr => {
-            if result_type.is_float() {
-                return Err(CompileError::new("bitwise operation on floating-point operands"));
-            }
-            let a = ls.as_u64();
-            let b = rs.as_u64();
-            let v = match op {
-                BinOp::BitAnd => a & b,
-                BinOp::BitOr => a | b,
-                BinOp::BitXor => a ^ b,
-                BinOp::Shl => a.wrapping_shl(b as u32),
-                BinOp::Shr => {
-                    if result_type.is_signed() {
-                        (ls.as_i64().wrapping_shr(b as u32)) as u64
-                    } else {
-                        a.wrapping_shr(b as u32)
-                    }
-                }
-                _ => unreachable!(),
-            };
-            let scalar = if result_type.is_signed() { Scalar::I(v as i64) } else { Scalar::U(v) };
-            Ok(Value::Scalar(result_type, convert_scalar(scalar, result_type)))
-        }
-        BinOp::LogicalAnd | BinOp::LogicalOr => {
-            // Handled with short-circuiting by the caller; provide a
-            // non-short-circuit fallback for completeness.
-            let a = ls.as_bool();
-            let b = rs.as_bool();
-            let v = if op == BinOp::LogicalAnd { a && b } else { a || b };
-            Ok(Value::int(i64::from(v)))
-        }
-    }
+    let (t, s) = eval_binary_scalars(op, lt, ls, rt, rs)?;
+    Ok(Value::Scalar(t, s))
 }
 
-fn eval_unary(op: UnOp, v: &Value) -> Result<Value, CompileError> {
+pub(crate) fn eval_unary(op: UnOp, v: &Value) -> Result<Value, CompileError> {
     match op {
         UnOp::Plus => Ok(v.clone()),
         UnOp::Neg => match v {
@@ -1380,13 +1427,17 @@ mod tests {
     }
 
     #[test]
-    fn local_memory_argument() {
+    fn local_memory_argument_with_barrier() {
+        // Every item publishes into `__local` scratch, the barrier makes
+        // those writes visible group-wide, then each item reads its
+        // neighbour's slot — only correct with real barrier semantics.
         let src = r#"
             __kernel void uses_local(__global int* out, __local int* scratch) {
-                size_t gid = get_global_id(0);
-                scratch[0] = (int)gid;
+                size_t lid = get_local_id(0);
+                size_t n = get_local_size(0);
+                scratch[lid] = (int)(lid * 10);
                 barrier(CLK_LOCAL_MEM_FENCE);
-                out[gid] = scratch[0];
+                out[get_global_id(0)] = scratch[(lid + 1) % n];
             }
         "#;
         let (buffers, _) = run_kernel(
@@ -1396,7 +1447,58 @@ mod tests {
             vec![KernelArgValue::Buffer(0), KernelArgValue::Local(64)],
             vec![vec![0u8; 16]],
         );
-        assert_eq!(u32s(&buffers[0]), vec![0, 1, 2, 3]);
+        assert_eq!(u32s(&buffers[0]), vec![10, 20, 30, 0]);
+    }
+
+    #[test]
+    fn tree_walker_rejects_barrier_with_local_writes() {
+        // The serial tree walker cannot execute barrier-synchronised
+        // `__local` traffic; it must fail loudly, not return wrong data.
+        let src = r#"
+            __kernel void uses_local(__global int* out, __local int* scratch) {
+                size_t lid = get_local_id(0);
+                scratch[lid] = (int)lid;
+                barrier(CLK_LOCAL_MEM_FENCE);
+                out[lid] = scratch[lid];
+            }
+        "#;
+        let program = Program::build(src).unwrap();
+        let k = program.kernel("uses_local").unwrap();
+        let mut buffer = vec![0u8; 16];
+        let mut bindings = vec![BufferBinding::new(&mut buffer)];
+        let err = k
+            .execute_tree(
+                &NdRange::linear(4),
+                &[KernelArgValue::Buffer(0), KernelArgValue::Local(64)],
+                &mut bindings,
+            )
+            .unwrap_err();
+        assert!(err.message.contains("barrier"));
+        assert!(err.message.contains("__local"));
+    }
+
+    #[test]
+    fn tree_walker_still_runs_barrier_free_local_writes() {
+        // No barrier: per-item local scratch without synchronisation stays
+        // on the legacy path.
+        let src = r#"
+            __kernel void scratchpad(__global int* out, __local int* scratch) {
+                size_t gid = get_global_id(0);
+                scratch[gid] = (int)(gid * 2);
+                out[gid] = scratch[gid] + 1;
+            }
+        "#;
+        let program = Program::build(src).unwrap();
+        let k = program.kernel("scratchpad").unwrap();
+        let mut buffer = vec![0u8; 16];
+        let mut bindings = vec![BufferBinding::new(&mut buffer)];
+        k.execute_tree(
+            &NdRange::linear(4),
+            &[KernelArgValue::Buffer(0), KernelArgValue::Local(64)],
+            &mut bindings,
+        )
+        .expect("barrier-free local use works on the tree walker");
+        assert_eq!(u32s(&buffer), vec![1, 3, 5, 7]);
     }
 
     #[test]

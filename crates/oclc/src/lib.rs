@@ -1,4 +1,4 @@
-//! # oclc — an OpenCL C subset front end and interpreter
+//! # oclc — an OpenCL C subset compiler and work-group-parallel VM
 //!
 //! OpenCL programs ship their device code as *source strings* which the
 //! runtime compiles per device (`clCreateProgramWithSource` +
@@ -19,21 +19,50 @@
 //!   `get_global_size`, `get_local_size`, `get_work_dim`) and a set of math
 //!   built-ins (`sqrt`, `exp`, `log`, `fabs`, `pow`, `min`, `max`, `clamp`,
 //!   `floor`, `ceil`, `sin`, `cos`, `native_*` aliases, ...),
-//! * helper (non-kernel) functions callable from kernels.
+//! * helper (non-kernel) functions callable from kernels,
+//! * work-group `barrier(CLK_LOCAL_MEM_FENCE)` with coherent `__local`
+//!   memory (see below).
 //!
-//! The pipeline is classic: [`lexer`] → [`parser`] → [`sema`] → [`interp`].
-//! [`Program::build`] corresponds to `clBuildProgram` and produces either a
-//! list of kernels or a build log with diagnostics.
+//! ## Compile pipeline
 //!
-//! The interpreter executes one work-item at a time over an NDRange; the
-//! `vocl` runtime decides how NDRanges are scheduled onto device threads and
-//! what *modelled* execution time to charge.
+//! [`Program::build`] corresponds to `clBuildProgram` and runs the full
+//! pipeline **once**: [`lexer`] → [`parser`] → [`sema`] → lowering to a flat
+//! register-style bytecode.  The bytecode is cached inside the [`Program`]
+//! (and shared by every [`KernelHandle`] via `Arc`), so launching a kernel
+//! never re-parses or re-lowers source — `execute` only runs the VM.
+//!
+//! ## Execution model and the barrier guarantee
+//!
+//! The VM executes one *work-group* at a time: a work-stealing driver fans
+//! groups out across host threads, global buffers are shared, and each group
+//! gets its own zeroed `__local` arenas.  Within a group, work-items run
+//! batched in a tight bytecode loop; `barrier()` suspends each work-item
+//! (its frame stack is parked) and the group resumes all items in phases.
+//! This makes the classic barrier-separated local-memory reduction
+//! bit-correct — all local-memory writes that precede the barrier are
+//! visible to every work-item of the group after it.  Work-items of the same
+//! group that reach *different* barriers (or only some of them reach one)
+//! are reported as a "barrier divergence" error rather than hanging.
+//!
+//! ## `DCL_INTERP` escape hatch
+//!
+//! Setting `DCL_INTERP=tree` routes [`KernelHandle::execute`] through the
+//! legacy tree-walking interpreter ([`interp`]), which remains the
+//! differential-testing oracle (see [`KernelHandle::execute_tree`] /
+//! [`KernelHandle::execute_vm`] for explicit selection).  The tree walker
+//! runs work-items strictly one after another, so it *cannot* implement
+//! barrier semantics; kernels that combine `barrier()` with `__local`-memory
+//! writes are rejected with a clear error instead of silently producing
+//! wrong results.  `DCL_VM_THREADS` caps the VM's worker threads (default:
+//! available parallelism).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;
 pub mod builtins;
+mod bytecode;
+mod compile;
 pub mod error;
 pub mod interp;
 pub mod lexer;
@@ -42,6 +71,7 @@ pub mod sema;
 pub mod token;
 pub mod types;
 pub mod value;
+mod vm;
 
 pub use error::{BuildLog, CompileError};
 pub use interp::{BufferBinding, KernelArgValue, NdRange, WorkItemCounters};
@@ -49,32 +79,87 @@ pub use types::{AddressSpace, ScalarType, Type};
 pub use value::{Scalar, Value};
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// A successfully built program: the analysed AST plus its kernel index.
+/// Counts every successful [`Program::build`] in this process.  Lets the
+/// runtime (and its tests) verify that launches reuse cached artifacts
+/// instead of re-compiling kernel source per launch.
+static BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of successful [`Program::build`] calls so far in this process.
+pub fn total_builds() -> u64 {
+    BUILDS.load(Ordering::Relaxed)
+}
+
+/// Which executor [`KernelHandle::execute`] dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// The bytecode VM with work-group parallelism (the default).
+    Vm,
+    /// The legacy tree-walking interpreter (`DCL_INTERP=tree`).
+    Tree,
+}
+
+impl ExecMode {
+    /// Parse a `DCL_INTERP` value; anything other than `"tree"` (case
+    /// insensitive) selects the VM.
+    pub fn parse(value: Option<&str>) -> ExecMode {
+        match value {
+            Some(v) if v.eq_ignore_ascii_case("tree") => ExecMode::Tree,
+            _ => ExecMode::Vm,
+        }
+    }
+
+    /// Read the mode from the `DCL_INTERP` environment variable.
+    pub fn from_env() -> ExecMode {
+        ExecMode::parse(std::env::var("DCL_INTERP").ok().as_deref())
+    }
+}
+
+/// Worker-thread count for the VM: `DCL_VM_THREADS` if set (minimum 1),
+/// otherwise the host's available parallelism.
+fn default_threads() -> usize {
+    match std::env::var("DCL_VM_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+/// A successfully built program: the analysed AST, its kernel index, and the
+/// lowered bytecode (compiled once, executed per launch).
 #[derive(Debug, Clone)]
 pub struct Program {
     source: String,
     unit: Arc<ast::TranslationUnit>,
+    compiled: Arc<bytecode::CompiledUnit>,
     kernels: BTreeMap<String, ast::FunctionIndex>,
 }
 
 impl Program {
-    /// Build (lex, parse, analyse) OpenCL C `source`.
+    /// Build (lex, parse, analyse, lower) OpenCL C `source`.
     ///
     /// Mirrors `clBuildProgram`: on failure the returned [`BuildLog`]
-    /// contains every diagnostic collected.
+    /// contains every diagnostic collected.  The bytecode produced here is
+    /// cached; kernel launches only execute it.
     pub fn build(source: &str) -> Result<Program, BuildLog> {
         let tokens = lexer::lex(source).map_err(BuildLog::from_single)?;
         let unit = parser::parse(&tokens).map_err(BuildLog::from_single)?;
         sema::check(&unit).map_err(BuildLog::from_errors)?;
+        let compiled = compile::lower_unit(&unit).map_err(BuildLog::from_single)?;
         let mut kernels = BTreeMap::new();
         for (idx, f) in unit.functions.iter().enumerate() {
             if f.is_kernel {
                 kernels.insert(f.name.clone(), ast::FunctionIndex(idx));
             }
         }
-        Ok(Program { source: source.to_string(), unit: Arc::new(unit), kernels })
+        BUILDS.fetch_add(1, Ordering::Relaxed);
+        Ok(Program {
+            source: source.to_string(),
+            unit: Arc::new(unit),
+            compiled: Arc::new(compiled),
+            kernels,
+        })
     }
 
     /// The original source string.
@@ -91,6 +176,7 @@ impl Program {
     pub fn kernel(&self, name: &str) -> Option<KernelHandle> {
         self.kernels.get(name).map(|idx| KernelHandle {
             unit: Arc::clone(&self.unit),
+            compiled: Arc::clone(&self.compiled),
             index: *idx,
             name: name.to_string(),
         })
@@ -102,10 +188,13 @@ impl Program {
     }
 }
 
-/// A kernel extracted from a built [`Program`] (`clCreateKernel`).
+/// A kernel extracted from a built [`Program`] (`clCreateKernel`).  Carries
+/// shared references to both the AST (for the tree-walking oracle) and the
+/// cached bytecode, so cloning a handle never recompiles anything.
 #[derive(Debug, Clone)]
 pub struct KernelHandle {
     unit: Arc<ast::TranslationUnit>,
+    compiled: Arc<bytecode::CompiledUnit>,
     index: ast::FunctionIndex,
     name: String,
 }
@@ -129,15 +218,55 @@ impl KernelHandle {
     /// Execute the kernel over `range`, reading and writing the supplied
     /// argument values and buffer bindings.
     ///
-    /// Returns per-work-item operation counters which the device model uses
-    /// to derive modelled execution time.
+    /// Dispatches to the bytecode VM unless `DCL_INTERP=tree` selects the
+    /// legacy tree-walking interpreter.  Returns per-work-item operation
+    /// counters which the device model uses to derive modelled execution
+    /// time.
     pub fn execute(
         &self,
         range: &NdRange,
         args: &[KernelArgValue],
         buffers: &mut [BufferBinding<'_>],
     ) -> Result<WorkItemCounters, CompileError> {
+        match ExecMode::from_env() {
+            ExecMode::Vm => self.execute_vm(range, args, buffers),
+            ExecMode::Tree => self.execute_tree(range, args, buffers),
+        }
+    }
+
+    /// Execute on the legacy tree-walking interpreter (the differential
+    /// oracle).  Rejects kernels that combine `barrier()` with
+    /// `__local`-memory writes, which the serial walker would miscompute.
+    pub fn execute_tree(
+        &self,
+        range: &NdRange,
+        args: &[KernelArgValue],
+        buffers: &mut [BufferBinding<'_>],
+    ) -> Result<WorkItemCounters, CompileError> {
         interp::execute_kernel(&self.unit, self.index, range, args, buffers)
+    }
+
+    /// Execute on the bytecode VM with the default worker-thread count
+    /// (`DCL_VM_THREADS` or the host's available parallelism).
+    pub fn execute_vm(
+        &self,
+        range: &NdRange,
+        args: &[KernelArgValue],
+        buffers: &mut [BufferBinding<'_>],
+    ) -> Result<WorkItemCounters, CompileError> {
+        self.execute_vm_with_threads(range, args, buffers, default_threads())
+    }
+
+    /// Execute on the bytecode VM fanning work-groups across up to
+    /// `threads` host threads.
+    pub fn execute_vm_with_threads(
+        &self,
+        range: &NdRange,
+        args: &[KernelArgValue],
+        buffers: &mut [BufferBinding<'_>],
+        threads: usize,
+    ) -> Result<WorkItemCounters, CompileError> {
+        vm::execute_kernel(&self.compiled, self.index.0, range, args, buffers, threads)
     }
 }
 
@@ -174,7 +303,33 @@ mod tests {
     }
 
     #[test]
-    fn vec_add_executes() {
+    fn build_increments_build_counter() {
+        let before = total_builds();
+        let program = Program::build(VEC_ADD).unwrap();
+        assert_eq!(total_builds(), before + 1);
+        // Handle creation and cloning never recompile.
+        let k1 = program.kernel("vec_add").unwrap();
+        let _k2 = k1.clone();
+        assert_eq!(total_builds(), before + 1);
+    }
+
+    #[test]
+    fn exec_mode_parsing() {
+        assert_eq!(ExecMode::parse(None), ExecMode::Vm);
+        assert_eq!(ExecMode::parse(Some("vm")), ExecMode::Vm);
+        assert_eq!(ExecMode::parse(Some("anything")), ExecMode::Vm);
+        assert_eq!(ExecMode::parse(Some("tree")), ExecMode::Tree);
+        assert_eq!(ExecMode::parse(Some("TREE")), ExecMode::Tree);
+    }
+
+    fn run_vec_add(
+        run: impl Fn(
+            &KernelHandle,
+            &NdRange,
+            &[KernelArgValue],
+            &mut [BufferBinding<'_>],
+        ) -> Result<WorkItemCounters, CompileError>,
+    ) {
         let program = Program::build(VEC_ADD).unwrap();
         let kernel = program.kernel("vec_add").unwrap();
         let n = 128usize;
@@ -195,11 +350,26 @@ mod tests {
             BufferBinding::new(&mut b_bytes),
             BufferBinding::new(&mut out_bytes),
         ];
-        let counters = kernel.execute(&range, &args, &mut bindings).expect("execute");
+        let counters = run(&kernel, &range, &args, &mut bindings).expect("execute");
         assert_eq!(counters.work_items, n as u64);
         for i in 0..n {
             let v = f32::from_le_bytes(out_bytes[i * 4..i * 4 + 4].try_into().unwrap());
             assert_eq!(v, (i + 2 * i) as f32);
         }
+    }
+
+    #[test]
+    fn vec_add_executes() {
+        run_vec_add(|k, r, a, b| k.execute(r, a, b));
+    }
+
+    #[test]
+    fn vec_add_executes_on_tree_walker() {
+        run_vec_add(|k, r, a, b| k.execute_tree(r, a, b));
+    }
+
+    #[test]
+    fn vec_add_executes_on_parallel_vm() {
+        run_vec_add(|k, r, a, b| k.execute_vm_with_threads(r, a, b, 4));
     }
 }

@@ -57,8 +57,10 @@ impl Scalar {
 /// A pointer into one of the kernel's buffer bindings.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Pointer {
-    /// Index of the buffer binding this pointer refers to.
-    pub buffer: usize,
+    /// Index of the buffer binding this pointer refers to.  `u32` keeps
+    /// [`Pointer`] at 16 bytes so the VM's `Copy` register slots stay 24
+    /// bytes; launches never bind anywhere near 2^32 buffers.
+    pub buffer: u32,
     /// Byte offset from the start of the buffer.
     pub byte_offset: i64,
     /// Element type pointed at.

@@ -26,6 +26,10 @@ pub struct Kernel {
     id: u64,
     program: Arc<Program>,
     name: String,
+    /// Compiled handle resolved once at `clCreateKernel` time (source
+    /// programs only).  Launches execute through this cached handle, so they
+    /// never re-parse, re-sema, or re-lower the program source.
+    handle: Option<oclc::KernelHandle>,
     declared_args: Option<usize>,
     args: Mutex<Vec<Option<KernelArg>>>,
 }
@@ -40,12 +44,14 @@ impl Kernel {
     pub(crate) fn new(
         program: Arc<Program>,
         name: &str,
-        declared_args: Option<usize>,
+        handle: Option<oclc::KernelHandle>,
     ) -> Arc<Kernel> {
+        let declared_args = handle.as_ref().map(|h| h.num_args());
         Arc::new(Kernel {
             id: NEXT_KERNEL_ID.fetch_add(1, Ordering::Relaxed),
             program,
             name: name.to_string(),
+            handle,
             declared_args,
             args: Mutex::new(match declared_args {
                 Some(n) => vec![None; n],
@@ -147,13 +153,10 @@ impl Kernel {
                 f(range, &arg_values, &mut bindings).map_err(ClError::ExecutionFailure)?;
             Ok((counters, false))
         } else {
-            let compiled = self
-                .program
-                .compiled()
+            let handle = self
+                .handle
+                .as_ref()
                 .ok_or_else(|| ClError::InvalidOperation("program is not built".into()))?;
-            let handle = compiled.kernel(&self.name).ok_or_else(|| {
-                ClError::InvalidKernelName(format!("kernel '{}' not found", self.name))
-            })?;
             let counters = handle
                 .execute(range, &arg_values, &mut bindings)
                 .map_err(|e| ClError::ExecutionFailure(e.to_string()))?;

@@ -52,7 +52,7 @@ pub fn built_in_kernel_names() -> Vec<String> {
 }
 
 enum ProgramKind {
-    Source { source: String, built: Mutex<Option<std::result::Result<oclc::Program, String>>> },
+    Source { source: String, built: Mutex<Option<std::result::Result<Arc<oclc::Program>, String>>> },
     BuiltIn { names: Vec<String> },
 }
 
@@ -134,7 +134,7 @@ impl Program {
                 }
                 match oclc::Program::build(source) {
                     Ok(p) => {
-                        *slot = Some(Ok(p));
+                        *slot = Some(Ok(Arc::new(p)));
                         Ok(())
                     }
                     Err(log) => {
@@ -177,17 +177,6 @@ impl Program {
         }
     }
 
-    /// The compiled front-end program, if built from source.
-    pub(crate) fn compiled(&self) -> Option<oclc::Program> {
-        match &self.kind {
-            ProgramKind::Source { built, .. } => match built.lock().as_ref() {
-                Some(Ok(p)) => Some(p.clone()),
-                _ => None,
-            },
-            ProgramKind::BuiltIn { .. } => None,
-        }
-    }
-
     /// True if this program exposes built-in (native) kernels.
     pub fn is_built_in(&self) -> bool {
         matches!(self.kind, ProgramKind::BuiltIn { .. })
@@ -216,9 +205,11 @@ impl Program {
                         "no kernel named '{name}' in program"
                     )));
                 };
-                let num_args = handle.num_args();
                 drop(guard);
-                Ok(Kernel::new(Arc::clone(self), name, Some(num_args)))
+                // Cache the compiled handle on the kernel object so that
+                // every enqueue executes the already-lowered bytecode instead
+                // of re-resolving (or worse, re-building) the program.
+                Ok(Kernel::new(Arc::clone(self), name, Some(handle)))
             }
         }
     }

@@ -58,6 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         platform.devices(),
     )?;
     cluster.add_node_with_policy("gpuserver", &platform, managed.policy())?;
+    // Liveness: the daemon beats on a timer, the manager sweeps on one;
+    // a daemon that dies is failed over without anyone polling by hand.
+    let _heartbeats = managed.start_heartbeat(std::time::Duration::from_millis(50));
+    let _health = dm.start_health_monitor(std::time::Duration::from_millis(200), 5);
     println!(
         "device manager at '{}', {} devices free",
         dm_server.address(),

@@ -133,9 +133,39 @@ proptest! {
     }
 
     /// The OpenCL C front end never panics on arbitrary printable input —
-    /// it either builds or reports diagnostics.
+    /// it either builds (which now includes lowering to bytecode) or reports
+    /// diagnostics.
     #[test]
     fn compiler_never_panics_on_arbitrary_source(source in "[ -~\\n]{0,200}") {
+        let _ = oclc::Program::build(&source);
+    }
+
+    /// The lexer never panics on arbitrary input — including non-ASCII
+    /// characters and unterminated constructs — and whatever token stream it
+    /// does produce never panics the parser.
+    #[test]
+    fn lexer_and_parser_never_panic(source in "[ -~\\n\\tα-ω°-¿]{0,300}") {
+        if let Ok(tokens) = oclc::lexer::lex(&source) {
+            let _ = oclc::parser::parse(&tokens);
+        }
+    }
+
+    /// Token-soup fuzz: gluing together valid OpenCL C fragments reaches far
+    /// deeper into the parser and semantic checker than character noise
+    /// does.  No combination may panic; the ones that build must also lower
+    /// to bytecode without panicking (lowering runs inside `build`).
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        indices in proptest::collection::vec(0usize..39, 0..60)
+    ) {
+        const PIECES: [&str; 39] = [
+            "__kernel", "void", "float", "int", "uint", "__global", "__local", "*", "(", ")",
+            "{", "}", ";", ",", "=", "+", "k", "x", "1", "2.0f", "if", "else", "for", "while",
+            "return", "break", "continue", "barrier", "get_global_id", "float4", ".", "xy",
+            "[", "]", "<", "?", ":", "++", "&&",
+        ];
+        let words: Vec<&str> = indices.iter().map(|&i| PIECES[i]).collect();
+        let source = words.join(" ");
         let _ = oclc::Program::build(&source);
     }
 
