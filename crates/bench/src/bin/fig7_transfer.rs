@@ -9,11 +9,26 @@
 //! faults (the daemon drops every connection between slices) and records
 //! the recovery counters — `BENCH_fig7_faulty.json` in CI.
 
-use dcl_bench::fig7::{run_faulty, run_mode, Fig7Run, PAPER_TRANSFER_MB};
+use dcl_bench::fig7::{
+    run_faulty, run_mode, run_sparse_update, Fig7Run, SparseCoherenceRun, PAPER_TRANSFER_MB,
+};
 use dcl_bench::report::{print_table, secs, write_json, JsonValue};
 
 const SMOKE_TRANSFER_MB: u64 = 64;
 const FAULTY_PARTITIONS: u64 = 3;
+
+// Sparse-update companion experiment: a shared buffer with ~1.2 % dirtied
+// per round, read back through the second daemon.  The patch count stays
+// below the directory's fragmentation cap (32) — beyond it the delta plan
+// deliberately collapses to a whole-buffer transfer.
+const SPARSE_BUFFER_BYTES: usize = 4 * 1024 * 1024;
+const SPARSE_PATCHES: usize = 24;
+const SPARSE_PATCH_LEN: usize = 2048;
+const SPARSE_ROUNDS: u64 = 4;
+const SMOKE_SPARSE_BUFFER_BYTES: usize = 256 * 1024;
+const SMOKE_SPARSE_PATCHES: usize = 16;
+const SMOKE_SPARSE_PATCH_LEN: usize = 512;
+const SMOKE_SPARSE_ROUNDS: u64 = 2;
 
 fn faulty_main(megabytes: u64, smoke: bool, json_path: Option<String>) {
     println!(
@@ -72,6 +87,64 @@ fn run_json(run: &Fig7Run) -> JsonValue {
     ])
 }
 
+fn sparse_main(smoke: bool) -> SparseCoherenceRun {
+    let (bytes, patches, patch_len, rounds) = if smoke {
+        (
+            SMOKE_SPARSE_BUFFER_BYTES,
+            SMOKE_SPARSE_PATCHES,
+            SMOKE_SPARSE_PATCH_LEN,
+            SMOKE_SPARSE_ROUNDS,
+        )
+    } else {
+        (SPARSE_BUFFER_BYTES, SPARSE_PATCHES, SPARSE_PATCH_LEN, SPARSE_ROUNDS)
+    };
+    let run = run_sparse_update(bytes, patches, patch_len, rounds).expect("sparse-update harness");
+    println!(
+        "\nSparse updates — {} KB buffer, {} KB dirtied/round, {} rounds, read through node1",
+        run.buffer_bytes / 1024,
+        run.dirty_bytes_per_round / 1024,
+        run.rounds
+    );
+    print_table(
+        "Client upload traffic (bytes)",
+        &["coherence", "stream bytes sent", "requests"],
+        &[
+            vec![
+                "range deltas".to_string(),
+                run.range.stream_bytes_sent.to_string(),
+                run.range.requests_sent.to_string(),
+            ],
+            vec![
+                "whole buffer".to_string(),
+                run.whole.stream_bytes_sent.to_string(),
+                run.whole.requests_sent.to_string(),
+            ],
+        ],
+    );
+    println!(
+        "  upload reduction: {:.1}x (bit-identical reads in both modes)",
+        run.upload_reduction()
+    );
+    assert!(
+        run.upload_reduction() >= 5.0,
+        "range coherence must move at least 5x fewer bytes on this workload"
+    );
+    run
+}
+
+fn sparse_json(run: &SparseCoherenceRun) -> JsonValue {
+    JsonValue::obj([
+        ("buffer_bytes", JsonValue::num(run.buffer_bytes as f64)),
+        ("dirty_bytes_per_round", JsonValue::num(run.dirty_bytes_per_round as f64)),
+        ("rounds", JsonValue::num(run.rounds as f64)),
+        ("range_stream_bytes_sent", JsonValue::num(run.range.stream_bytes_sent as f64)),
+        ("whole_stream_bytes_sent", JsonValue::num(run.whole.stream_bytes_sent as f64)),
+        ("range_requests_sent", JsonValue::num(run.range.requests_sent as f64)),
+        ("whole_requests_sent", JsonValue::num(run.whole.requests_sent as f64)),
+        ("upload_reduction", JsonValue::Num(run.upload_reduction())),
+    ])
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -113,6 +186,8 @@ fn main() {
         unbatched.requests_sent, batched.requests_sent
     );
 
+    let sparse = sparse_main(smoke);
+
     if let Some(path) = json_path {
         let report = JsonValue::obj([
             ("figure", JsonValue::str("fig7")),
@@ -129,6 +204,7 @@ fn main() {
             ),
             ("write_slowdown", JsonValue::Num(result.write_slowdown())),
             ("read_slowdown", JsonValue::Num(result.read_slowdown())),
+            ("sparse_update", sparse_json(&sparse)),
         ]);
         write_json(&path, &report).expect("write JSON report");
         println!("  wrote {path}");

@@ -114,6 +114,31 @@
 //!   protocol (the daemon notifies the client on completion, the client
 //!   completes the user events it created on the other servers).
 //!
+//! ## Range coherence
+//!
+//! The buffer directory tracks validity per **byte range** (an interval map
+//! of `range → per-server state`; see the [`crate::coherence`] module docs
+//! for the full semantics).  Before a command reads a buffer on a server,
+//! the driver asks the directory for a [`crate::coherence::DeltaPlan`] and
+//! moves *only the stale ranges*: it downloads the ranges its own copy
+//! lacks from their current owners (`DownloadBufferRange`), then uploads
+//! the server's stale ranges (`UploadBufferRange`).  Host writes dirty
+//! exactly the written range; kernel launches dirty the whole buffer unless
+//! the launch declares its access slice with [`LaunchOp::writes_slice`]
+//! (or opts out of dirtying entirely with [`LaunchOp::reads_only`]) — which
+//! is what lets a buffer be partitioned across daemons, each device owning
+//! the slice its launches touch.  When a plan would fragment into more wire
+//! operations than the directory's fragmentation cap, it collapses to a
+//! whole-buffer transfer.
+//!
+//! Setting `DCL_COHERENCE=whole` (or [`Client::set_coherence_mode`])
+//! restores the pre-range whole-buffer protocol — full-copy transfers on
+//! every ownership change — which serves as the differential-testing oracle
+//! for the range directory, mirroring the `DCL_INTERP=tree` interpreter
+//! oracle.  After a failover to a restarted daemon, the supervisor
+//! invalidates only that server's ranges, so re-validation traffic is
+//! limited to the ranges that were actually lost.
+//!
 //! All modelled costs (network transfer times from the [`LinkModel`],
 //! remote PCIe/bus and kernel execution times reported by the daemons) are
 //! charged to the client's [`SimClock`], split into the initialization /
@@ -142,7 +167,8 @@
 //!   kernel-argument calls) against the fresh daemon, then invalidates the
 //!   server's buffer copies in the MSI directory.  The next command that
 //!   reads a buffer there re-validates it from a surviving copy through the
-//!   normal [`crate::coherence::ValidationPlan`] machinery.
+//!   normal [`crate::coherence::DeltaPlan`] machinery — in range mode
+//!   re-uploading only the ranges that are stale there.
 //! * **Exactly-once replay** — every batch entry carries a client-generated
 //!   `command_id`.  A batch whose response was lost is re-sent verbatim
 //!   after the reconnect; the daemon's bounded dedup window recognises ids
@@ -161,7 +187,7 @@
 //! be re-issued by the application.  Everything request/response-shaped —
 //! including whole command batches — is retried transparently.
 
-use crate::coherence::{BufferDirectory, ValidationPlan};
+use crate::coherence::{BufferDirectory, ByteRange, CoherenceMode};
 use crate::config;
 use crate::error::{DclError, Result};
 use crate::protocol::{
@@ -368,9 +394,28 @@ impl Buffer {
     }
 
     /// Current coherence state of the copy on `server` (for tests and
-    /// diagnostics).
+    /// diagnostics).  In range mode this is the whole-buffer summary: the
+    /// uniform state if every range agrees, `Invalid` otherwise.
     pub fn coherence_state(&self, server: ServerId) -> crate::coherence::CoherenceState {
         self.directory.lock().server_state(server.0)
+    }
+
+    /// Coalesced byte ranges of this buffer that are valid on `server` (for
+    /// tests and diagnostics).
+    pub fn valid_ranges(&self, server: ServerId) -> Vec<ByteRange> {
+        self.directory.lock().valid_ranges(server.0)
+    }
+
+    /// Coalesced byte ranges of this buffer that are stale on `server` (for
+    /// tests and diagnostics).
+    pub fn stale_ranges(&self, server: ServerId) -> Vec<ByteRange> {
+        self.directory.lock().stale_ranges(server.0)
+    }
+
+    /// Number of interval-map segments in the coherence directory (1 in
+    /// whole mode) — a fragmentation diagnostic.
+    pub fn segment_count(&self) -> usize {
+        self.directory.lock().segment_count()
     }
 }
 
@@ -544,7 +589,7 @@ impl CommandQueue {
     ///
     /// Defaults: empty wait list.  Finish with [`LaunchOp::submit`].
     pub fn launch<'a>(&'a self, kernel: &'a Kernel, range: NdRange) -> LaunchOp<'a> {
-        LaunchOp { queue: self, kernel, range, wait: Vec::new() }
+        LaunchOp { queue: self, kernel, range, wait: Vec::new(), access: Vec::new() }
     }
 
     /// `clEnqueueMarkerWithWaitList`: build a marker command.
@@ -716,6 +761,17 @@ pub struct LaunchOp<'a> {
     kernel: &'a Kernel,
     range: NdRange,
     wait: Vec<ObjectId>,
+    access: Vec<(ObjectId, AccessHint)>,
+}
+
+/// A launch's declared access to one buffer argument (see
+/// [`LaunchOp::writes_slice`] / [`LaunchOp::reads_only`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AccessHint {
+    /// The kernel reads and writes only this byte range of the buffer.
+    Touches(ByteRange),
+    /// The kernel only reads the buffer; it dirties nothing.
+    ReadsOnly,
 }
 
 impl LaunchOp<'_> {
@@ -725,10 +781,35 @@ impl LaunchOp<'_> {
         self
     }
 
+    /// Declare that this launch accesses (reads *and* writes) only
+    /// `[offset, offset + len)` of `buffer` — typically the output slice
+    /// implied by the NDRange, e.g. the rows a `mandelbrot_rows` launch
+    /// renders.  The coherence protocol then validates and dirties only
+    /// that range, so a buffer partitioned across daemons stays put: each
+    /// device remains the owner of its own slice and no full-buffer round
+    /// trips occur.
+    ///
+    /// The declaration is a contract: bytes the kernel touches outside the
+    /// slice are silently stale.  Without a declaration the launch falls
+    /// back to the conservative whole-buffer treatment.
+    pub fn writes_slice(mut self, buffer: &Buffer, offset: usize, len: usize) -> Self {
+        let range = ByteRange::new(offset, offset.saturating_add(len)).clamp_to(buffer.size());
+        self.access.push((buffer.id, AccessHint::Touches(range)));
+        self
+    }
+
+    /// Declare that this launch only *reads* `buffer`: the whole buffer is
+    /// still validated on the target server, but nothing is marked dirty
+    /// afterwards, so other copies stay valid.
+    pub fn reads_only(mut self, buffer: &Buffer) -> Self {
+        self.access.push((buffer.id, AccessHint::ReadsOnly));
+        self
+    }
+
     /// Enqueue the kernel launch; returns its completion event.
     pub fn submit(self) -> Result<Event> {
         let inner = self.queue.inner()?;
-        inner.enqueue_launch(self.queue, self.kernel, self.range, &self.wait)
+        inner.enqueue_launch(self.queue, self.kernel, self.range, &self.wait, &self.access)
     }
 }
 
@@ -988,6 +1069,10 @@ struct ClientInner {
     /// Directories of every live buffer, so a reconnect to a restarted
     /// daemon can invalidate that server's copies.
     buffer_dirs: Mutex<Vec<Weak<Mutex<BufferDirectory>>>>,
+    /// Coherence tracking granularity for buffers created from now on
+    /// (initialised from `DCL_COHERENCE`; see
+    /// [`crate::coherence::CoherenceMode`]).
+    coherence_mode: Mutex<CoherenceMode>,
 }
 
 impl ClientInner {
@@ -1112,8 +1197,11 @@ impl ClientInner {
                 Phase::Initialization,
             )?;
         }
-        let directory =
-            Arc::new(Mutex::new(BufferDirectory::new(context.servers.iter().copied(), size)));
+        let directory = Arc::new(Mutex::new(BufferDirectory::new_with_mode(
+            context.servers.iter().copied(),
+            size,
+            *self.coherence_mode.lock(),
+        )));
         // Track the directory so a reconnect to a restarted daemon can
         // invalidate that server's copies.
         self.buffer_dirs.lock().push(Arc::downgrade(&directory));
@@ -1454,6 +1542,14 @@ impl ClientInner {
             )));
         }
         let server = queue.server;
+        // A partial write leaves the rest of the server's copy untouched,
+        // but the whole-buffer directory marks the target fully valid
+        // afterwards — bring the remainder up to date first.  The range
+        // directory tracks the unwritten bytes precisely and never asks
+        // for this.
+        if buffer.directory.lock().needs_write_validation(server, offset, data.len()) {
+            self.ensure_valid_on(server, buffer)?;
+        }
         let conn = self.server(server)?;
         let event_id = self.allocate_id();
         let stream_id = conn.endpoint.allocate_id();
@@ -1540,13 +1636,21 @@ impl ClientInner {
         kernel: &Kernel,
         range: NdRange,
         wait: &[ObjectId],
+        access: &[(ObjectId, AccessHint)],
     ) -> Result<Event> {
         let server = queue.server;
+        let hint_for = |id: ObjectId| access.iter().rev().find(|(b, _)| *b == id).map(|(_, h)| *h);
         // Memory consistency: the target server needs a valid copy of every
-        // memory object the kernel may read.
+        // memory object the kernel may read — only the declared slice for
+        // launches carrying an access hint.
         let buffer_args: Vec<Buffer> = kernel.buffer_args.lock().values().cloned().collect();
         for buffer in &buffer_args {
-            self.ensure_valid_on(server, buffer)?;
+            match hint_for(buffer.id) {
+                Some(AccessHint::Touches(slice)) => {
+                    self.ensure_valid_range_on(server, buffer, Some(slice))?
+                }
+                _ => self.ensure_valid_range_on(server, buffer, None)?,
+            }
         }
         let event_id = self.allocate_id();
         let event =
@@ -1562,9 +1666,17 @@ impl ClientInner {
             self.complete_event(event_id, -14, 0);
             return Err(e);
         }
-        // The kernel may have written any of its buffer arguments.
+        // The kernel may have written any of its buffer arguments — only
+        // the declared slice when the launch carried an access hint, and
+        // nothing at all for read-only arguments.
         for buffer in &buffer_args {
-            buffer.directory.lock().record_device_write(server);
+            match hint_for(buffer.id) {
+                Some(AccessHint::ReadsOnly) => {}
+                Some(AccessHint::Touches(slice)) => {
+                    buffer.directory.lock().record_device_write_range(server, slice)
+                }
+                None => buffer.directory.lock().record_device_write(server),
+            }
         }
         Ok(event)
     }
@@ -1598,12 +1710,22 @@ impl ClientInner {
     ) -> Result<Event> {
         // Event consistency (Section III-D): create user events as
         // replacements for the original event on every other server of the
-        // context.
+        // context.  A permanently lost server needs no replacement events —
+        // skipping it keeps a context shared across daemons usable after a
+        // crash (the survivors re-validate buffers from the remaining
+        // copies).
         let mut user_event_servers = Vec::new();
         for &server in context_servers {
             if server != owner {
-                self.call_server(server, Request::CreateUserEvent { event_id }, Phase::Execution)?;
-                user_event_servers.push(server);
+                match self.call_server(
+                    server,
+                    Request::CreateUserEvent { event_id },
+                    Phase::Execution,
+                ) {
+                    Ok(_) => user_event_servers.push(server),
+                    Err(_) if self.server_lost(server) => {}
+                    Err(e) => return Err(e),
+                }
             }
         }
         let record = EventRecord::new(self.self_weak.clone(), owner, user_event_servers, phase);
@@ -1611,43 +1733,85 @@ impl ClientInner {
         Ok(Event { id: event_id, record })
     }
 
-    /// Run the MSI validation plan so that `server` holds a valid copy of
+    /// Run the coherence delta plan so that `server` holds a valid copy of
     /// `buffer` before a command reads it there.
-    ///
-    /// Coherence traffic bypasses the command queues, so any pending batch
-    /// on a server whose copy participates (the fetch source, the upload
-    /// target) is flushed first — the queued commands logically precede this
-    /// validation and must reach the daemon before it.
     fn ensure_valid_on(&self, server: usize, buffer: &Buffer) -> Result<()> {
-        let plan = buffer.directory.lock().plan_validation(server);
-        match plan {
-            ValidationPlan::AlreadyValid => Ok(()),
-            ValidationPlan::UploadFromClient => {
-                self.flush_server(server)?;
-                let data = buffer.directory.lock().client_data();
-                self.upload_buffer_data(server, buffer, &data)?;
-                buffer.directory.lock().record_upload(server);
-                Ok(())
-            }
-            ValidationPlan::FetchThenUpload { source } => {
-                self.flush_server(source)?;
-                self.flush_server(server)?;
-                let data = self.download_buffer_data(source, buffer)?;
-                buffer.directory.lock().record_client_fetch(source, data.clone());
-                self.upload_buffer_data(server, buffer, &data)?;
-                buffer.directory.lock().record_upload(server);
-                Ok(())
-            }
-        }
+        self.ensure_valid_range_on(server, buffer, None)
     }
 
-    fn upload_buffer_data(&self, server: usize, buffer: &Buffer, data: &[u8]) -> Result<()> {
+    /// Run the coherence delta plan so that `server` holds a valid copy of
+    /// `range` of `buffer` (`None` = the whole buffer): download the ranges
+    /// the client copy lacks from their owners, then upload exactly the
+    /// server's stale ranges.
+    ///
+    /// Coherence traffic bypasses the command queues, so any pending batch
+    /// on a server whose copy participates (the fetch sources, the upload
+    /// target) is flushed first — the queued commands logically precede this
+    /// validation and must reach the daemon before it.
+    fn ensure_valid_range_on(
+        &self,
+        server: usize,
+        buffer: &Buffer,
+        range: Option<ByteRange>,
+    ) -> Result<()> {
+        let plan = {
+            let dir = buffer.directory.lock();
+            match range {
+                Some(r) => dir.plan_delta_range(server, r),
+                None => dir.plan_delta(server),
+            }
+        };
+        if plan.is_noop() {
+            return Ok(());
+        }
+        self.flush_server(server)?;
+        for fetch in &plan.fetches {
+            if fetch.source != server {
+                self.flush_server(fetch.source)?;
+            }
+        }
+        for fetch in &plan.fetches {
+            let data = self.download_buffer_range(fetch.source, buffer, fetch.span)?;
+            buffer.directory.lock().record_client_fetch_ranges(
+                fetch.source,
+                fetch.span,
+                &fetch.apply,
+                &data,
+            );
+        }
+        for upload in &plan.uploads {
+            let data = buffer.directory.lock().client_data_range(*upload);
+            self.upload_buffer_range(server, buffer, *upload, &data)?;
+            buffer.directory.lock().record_upload_range(server, *upload);
+        }
+        Ok(())
+    }
+
+    /// Upload `range` of `buffer` to `server`.  Whole-buffer ranges use the
+    /// original `UploadBufferData` message, partial ranges the range
+    /// variant — so the `DCL_COHERENCE=whole` oracle exercises exactly the
+    /// pre-range wire protocol.
+    fn upload_buffer_range(
+        &self,
+        server: usize,
+        buffer: &Buffer,
+        range: ByteRange,
+        data: &[u8],
+    ) -> Result<()> {
         let conn = self.server(server)?;
         let stream_id = conn.endpoint.allocate_id();
         self.clock.charge(Phase::DataTransfer, self.link.transfer_time(data.len() as u64));
         conn.endpoint.send_bulk(stream_id, data)?;
-        let request =
-            Request::UploadBufferData { buffer_id: buffer.id, stream_id, size: data.len() as u64 };
+        let request = if range.start == 0 && range.end == buffer.size {
+            Request::UploadBufferData { buffer_id: buffer.id, stream_id, size: data.len() as u64 }
+        } else {
+            Request::UploadBufferRange {
+                buffer_id: buffer.id,
+                offset: range.start as u64,
+                size: data.len() as u64,
+                stream_id,
+            }
+        };
         match self.call_server_on(&conn, &request, Phase::DataTransfer)? {
             Response::OkTimed { modeled_nanos } => {
                 self.clock.charge(Phase::DataTransfer, Duration::from_nanos(modeled_nanos));
@@ -1657,13 +1821,33 @@ impl ClientInner {
         }
     }
 
-    fn download_buffer_data(&self, server: usize, buffer: &Buffer) -> Result<Vec<u8>> {
+    /// Download `range` of `buffer` from `server`.  Whole-buffer ranges use
+    /// the original `DownloadBufferData` message, partial ranges the range
+    /// variant.
+    fn download_buffer_range(
+        &self,
+        server: usize,
+        buffer: &Buffer,
+        range: ByteRange,
+    ) -> Result<Vec<u8>> {
         let conn = self.server(server)?;
         let stream_id = conn.endpoint.allocate_id();
-        let request = Request::DownloadBufferData { buffer_id: buffer.id, stream_id };
+        let request = if range.start == 0 && range.end == buffer.size {
+            Request::DownloadBufferData { buffer_id: buffer.id, stream_id }
+        } else {
+            Request::DownloadBufferRange {
+                buffer_id: buffer.id,
+                offset: range.start as u64,
+                size: range.len() as u64,
+                stream_id,
+            }
+        };
         let response = self.call_server_on(&conn, &request, Phase::DataTransfer)?;
-        if let Response::OkTimed { modeled_nanos } = response {
-            self.clock.charge(Phase::DataTransfer, Duration::from_nanos(modeled_nanos));
+        match response {
+            Response::OkTimed { modeled_nanos } | Response::BufferRange { modeled_nanos, .. } => {
+                self.clock.charge(Phase::DataTransfer, Duration::from_nanos(modeled_nanos));
+            }
+            _ => {}
         }
         let data = conn.endpoint.wait_bulk(stream_id, Duration::from_secs(300))?;
         self.clock.charge(Phase::DataTransfer, self.link.transfer_time(data.len() as u64));
@@ -1706,6 +1890,14 @@ impl ClientInner {
                 | Request::SetKernelArgBuffer { .. }
                 | Request::SetKernelArgLocal { .. }
         )
+    }
+
+    /// Whether `server` is permanently gone: its recovery slot gave up (the
+    /// redial budget ran out under `drop_lost_servers`) or its connection
+    /// entry was dropped.
+    fn server_lost(&self, index: usize) -> bool {
+        self.recovery.lock().get(index).is_some_and(|slot| slot.lost)
+            || self.servers.lock().get(index).is_none_or(|conn| conn.is_none())
     }
 
     /// Call `request` on `server`, transparently reconnecting and retrying
@@ -1783,10 +1975,13 @@ impl ClientInner {
                     recovery[index].lost = true;
                 }
             }
-            self.recovery_cond.notify_all();
+            // Drop the lost server *before* waking waiters: a caller that
+            // blocked on this recovery must observe the updated roster (and
+            // invalidated directory entries) when its call returns.
             if result.is_err() && self.failover.lock().drop_lost_servers {
                 self.drop_server(index);
             }
+            self.recovery_cond.notify_all();
             return result;
         }
     }
@@ -1802,9 +1997,11 @@ impl ClientInner {
         epoch: u64,
         log: &[Request],
     ) -> Result<()> {
+        // Close the dead endpoint but leave it in the roster: its traffic
+        // counters are retired exactly once, at the point the slot is
+        // actually vacated (replaced below on success, or by `drop_server`
+        // on permanent loss) — retiring here too would double-count.
         if let Ok(old) = self.server(index) {
-            let mut retired = self.retired.lock();
-            *retired += old.endpoint.stats();
             old.endpoint.close();
         }
         let backoff = self.failover.lock().backoff;
@@ -1838,7 +2035,9 @@ impl ClientInner {
             endpoint: Arc::clone(&endpoint),
             devices,
         });
-        self.servers.lock()[index] = Some(conn);
+        if let Some(old) = self.servers.lock()[index].replace(conn) {
+            *self.retired.lock() += old.endpoint.stats();
+        }
         self.install_supervisor(index, &endpoint);
         Ok(())
     }
@@ -1926,6 +2125,14 @@ impl ClientInner {
             .map(|(id, _)| *id)
             .collect();
         self.fail_events(&orphaned, -14);
+        // The dead server's buffer copies are gone with it: mark them
+        // invalid so delta plans re-validate from the surviving copies —
+        // in range mode moving only the ranges that actually lived there.
+        let mut dirs = self.buffer_dirs.lock();
+        dirs.retain(|d| d.strong_count() > 0);
+        for dir in dirs.iter().filter_map(Weak::upgrade) {
+            dir.lock().invalidate_server(index);
+        }
     }
 
     fn call_server_on(
@@ -2014,6 +2221,7 @@ impl Client {
                 failover: Mutex::new(FailoverPolicy::default()),
                 retired: Mutex::new(TrafficStats::default()),
                 buffer_dirs: Mutex::new(Vec::new()),
+                coherence_mode: Mutex::new(CoherenceMode::from_env()),
             }),
         }
     }
@@ -2055,6 +2263,20 @@ impl Client {
         if !enabled {
             self.inner.flush_all();
         }
+    }
+
+    /// Coherence tracking granularity for buffers created from now on:
+    /// range-granular delta transfers ([`CoherenceMode::Range`], the
+    /// default) or the whole-buffer oracle ([`CoherenceMode::Whole`],
+    /// also selectable with `DCL_COHERENCE=whole`).  Existing buffers keep
+    /// the mode they were created with.
+    pub fn set_coherence_mode(&self, mode: CoherenceMode) {
+        *self.inner.coherence_mode.lock() = mode;
+    }
+
+    /// The coherence mode buffers are currently created with.
+    pub fn coherence_mode(&self) -> CoherenceMode {
+        *self.inner.coherence_mode.lock()
     }
 
     /// Aggregated wire-traffic counters over every connected server's

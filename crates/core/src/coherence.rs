@@ -15,8 +15,52 @@
 //! The [`BufferDirectory`] only records state and answers "what do I have to
 //! transfer?"; the actual uploads and downloads are performed by the client
 //! driver, which charges their modelled cost to the data-transfer phase.
+//!
+//! # Range coherence semantics
+//!
+//! The directory tracks state at **byte-range granularity**: internally it
+//! keeps a sorted, non-overlapping segment list covering `[0, size)`, each
+//! segment carrying a per-server [`CoherenceState`] plus the client's own
+//! state for that range.  Every recording operation (host write, device
+//! write, fetch, upload, invalidation) first splits segments at the range
+//! boundaries, updates the covered segments, then re-coalesces adjacent
+//! segments whose states became equal — so the segment list stays minimal.
+//!
+//! **Device writes** are scoped: a kernel launch that declares the slice it
+//! accesses (see `LaunchOp::writes_slice` in the client) dirties only that
+//! range; an undeclared launch conservatively dirties the whole buffer, the
+//! same fallback the whole-buffer protocol always used.  This is what lets a
+//! buffer be *partitioned* across daemons: when each device's launches only
+//! ever touch its own slice, each daemon remains the Modified owner of its
+//! slice and no full-frame round trips occur.
+//!
+//! **Delta planning**: [`BufferDirectory::plan_delta`] computes the minimal
+//! transfer set that makes a server's copy valid, as a [`DeltaPlan`] of
+//! range *fetches* (pull ranges the client lacks from their current owners)
+//! followed by range *uploads* (push exactly the server's stale ranges).
+//! Only stale bytes move; adjacent stale ranges are coalesced into single
+//! transfers.
+//!
+//! **Fragmentation cap**: a pathological write pattern (e.g. alternating
+//! dirty bytes) can degenerate the interval map into thousands of tiny
+//! ranges whose per-message overhead would dwarf the payload.  When a plan
+//! would need more than [`BufferDirectory::set_fragmentation_cap`] wire
+//! operations (default [`DEFAULT_FRAGMENTATION_CAP`]), it *collapses*: the
+//! client fetches each source's ranges as one spanning read (applying only
+//! the valid sub-ranges), completes its copy over the whole buffer, and
+//! ships a single whole-buffer upload — at most one fetch per source plus
+//! one upload, exactly the old whole-buffer cost.
+//!
+//! **Differential oracle**: the pre-range whole-buffer implementation
+//! survives verbatim behind [`CoherenceMode::Whole`], selected by the
+//! `DCL_COHERENCE=whole` environment variable (mirroring the
+//! `DCL_INTERP=tree` oracle of the kernel VM).  Both implementations answer
+//! the same [`DeltaPlan`] interface — the whole-buffer one always plans
+//! full-buffer transfers — so the client driver has a single code path and
+//! the differential suite in `tests/tests/coherence.rs` can drive random
+//! operation interleavings through both and assert byte-identical reads.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Coherence state of one cached copy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,8 +73,133 @@ pub enum CoherenceState {
     Invalid,
 }
 
+/// How a [`BufferDirectory`] tracks validity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoherenceMode {
+    /// Range-granular directory with delta transfers (the default).
+    Range,
+    /// Whole-buffer validity, full-copy transfers — the pre-range protocol,
+    /// kept as the differential-testing oracle (`DCL_COHERENCE=whole`).
+    Whole,
+}
+
+impl CoherenceMode {
+    /// Parse a `DCL_COHERENCE` value: `"whole"` (case-insensitive) selects
+    /// the whole-buffer oracle, anything else the range directory.
+    pub fn parse(value: Option<&str>) -> CoherenceMode {
+        match value {
+            Some(v) if v.eq_ignore_ascii_case("whole") => CoherenceMode::Whole,
+            _ => CoherenceMode::Range,
+        }
+    }
+
+    /// Read the mode from the `DCL_COHERENCE` environment variable.
+    pub fn from_env() -> CoherenceMode {
+        CoherenceMode::parse(std::env::var("DCL_COHERENCE").ok().as_deref())
+    }
+}
+
+/// Maximum number of wire operations (fetches + uploads) a [`DeltaPlan`] may
+/// schedule before it collapses to whole-buffer transfer.
+pub const DEFAULT_FRAGMENTATION_CAP: usize = 32;
+
+/// A half-open `[start, end)` byte range within a buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ByteRange {
+    /// First byte of the range.
+    pub start: usize,
+    /// One past the last byte of the range.
+    pub end: usize,
+}
+
+impl ByteRange {
+    /// `[start, end)`; an inverted pair collapses to the empty range at
+    /// `start`.
+    pub fn new(start: usize, end: usize) -> ByteRange {
+        ByteRange { start, end: end.max(start) }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the range covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// The overlap of two ranges, if any bytes overlap.
+    pub fn intersect(&self, other: ByteRange) -> Option<ByteRange> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start < end).then_some(ByteRange { start, end })
+    }
+
+    /// The range clamped to `[0, max)`.
+    pub fn clamp_to(&self, max: usize) -> ByteRange {
+        ByteRange::new(self.start.min(max), self.end.min(max))
+    }
+}
+
+/// One fetch of a [`DeltaPlan`]: download `span` from `source` and merge the
+/// `apply` sub-ranges of it into the client's copy.
+///
+/// In an uncollapsed plan `apply` is exactly `[span]`.  In a collapsed plan
+/// `span` is the hull of all ranges needed from `source` and `apply` lists
+/// the sub-ranges that are actually valid there — the gap bytes of the
+/// spanning read are discarded, because `source` may hold stale data in the
+/// gaps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeFetch {
+    /// Server to download from.
+    pub source: usize,
+    /// The contiguous range to download.
+    pub span: ByteRange,
+    /// Sub-ranges of `span` to merge into the client copy.
+    pub apply: Vec<ByteRange>,
+}
+
+/// The transfers the client must perform so that a server holds a valid
+/// copy: `fetches` complete the client's own copy, then `uploads` push the
+/// server's stale ranges.  Computed by [`BufferDirectory::plan_delta`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DeltaPlan {
+    /// Ranges the client must download first (it holds no valid copy of
+    /// them), each from a server that does.
+    pub fetches: Vec<RangeFetch>,
+    /// Ranges to upload to the target server afterwards.
+    pub uploads: Vec<ByteRange>,
+    /// Whether the fragmentation cap collapsed this plan to a whole-buffer
+    /// transfer.
+    pub collapsed: bool,
+}
+
+impl DeltaPlan {
+    /// A plan that moves nothing — the server is already valid.
+    pub fn noop() -> DeltaPlan {
+        DeltaPlan::default()
+    }
+
+    /// Whether the plan schedules no transfers at all.
+    pub fn is_noop(&self) -> bool {
+        self.fetches.is_empty() && self.uploads.is_empty()
+    }
+
+    /// Total bytes the plan downloads from servers.
+    pub fn fetch_bytes(&self) -> usize {
+        self.fetches.iter().map(|f| f.span.len()).sum()
+    }
+
+    /// Total bytes the plan uploads to the target.
+    pub fn upload_bytes(&self) -> usize {
+        self.uploads.iter().map(|r| r.len()).sum()
+    }
+}
+
 /// The transfers the client must perform so that a given server holds a
-/// valid copy.
+/// valid copy (the whole-buffer protocol's plan; kept for the oracle and
+/// for API compatibility — new code should use [`DeltaPlan`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ValidationPlan {
     /// The server already holds a valid copy; nothing to do.
@@ -45,9 +214,20 @@ pub enum ValidationPlan {
     },
 }
 
-/// Per-buffer directory tracking the state of every copy.
+// ---------------------------------------------------------------------------
+// Whole-buffer directory (the DCL_COHERENCE=whole differential oracle)
+// ---------------------------------------------------------------------------
+
+/// The pre-range whole-buffer directory, preserved as the differential
+/// oracle.  Semantics are unchanged except for two soundness fixes the
+/// differential suite depends on: zero-length host writes are now no-ops
+/// (previously they could promote a stale client copy to Shared without
+/// moving any bytes), and a partial host write no longer promotes a stale
+/// client copy to Shared (the untouched remainder would have been served
+/// from stale cached bytes).  The matching driver-side fix is
+/// [`BufferDirectory::needs_write_validation`].
 #[derive(Debug, Clone)]
-pub struct BufferDirectory {
+struct WholeDirectory {
     /// Coherence state of each server's remote memory object.
     per_server: HashMap<usize, CoherenceState>,
     /// Coherence state of the client's own (host-memory) copy.
@@ -59,12 +239,9 @@ pub struct BufferDirectory {
     size: usize,
 }
 
-impl BufferDirectory {
-    /// A fresh directory: every remote copy is invalid, the client's
-    /// (conceptual, all-zero) copy is shared — exactly the initial state the
-    /// paper describes.
-    pub fn new(servers: impl IntoIterator<Item = usize>, size: usize) -> Self {
-        BufferDirectory {
+impl WholeDirectory {
+    fn new(servers: impl IntoIterator<Item = usize>, size: usize) -> Self {
+        WholeDirectory {
             per_server: servers.into_iter().map(|s| (s, CoherenceState::Invalid)).collect(),
             client_state: CoherenceState::Shared,
             client_copy: None,
@@ -72,23 +249,11 @@ impl BufferDirectory {
         }
     }
 
-    /// Buffer size in bytes.
-    pub fn size(&self) -> usize {
-        self.size
-    }
-
-    /// State of the copy on `server`.
-    pub fn server_state(&self, server: usize) -> CoherenceState {
+    fn server_state(&self, server: usize) -> CoherenceState {
         self.per_server.get(&server).copied().unwrap_or(CoherenceState::Invalid)
     }
 
-    /// State of the client's copy.
-    pub fn client_state(&self) -> CoherenceState {
-        self.client_state
-    }
-
-    /// Servers that currently hold a valid (shared or modified) copy.
-    pub fn valid_servers(&self) -> Vec<usize> {
+    fn valid_servers(&self) -> Vec<usize> {
         let mut v: Vec<usize> = self
             .per_server
             .iter()
@@ -99,18 +264,15 @@ impl BufferDirectory {
         v
     }
 
-    /// The client's cached bytes, materialising the all-zero default.
-    pub fn client_data(&self) -> Vec<u8> {
+    fn client_data(&self) -> Vec<u8> {
         self.client_copy.clone().unwrap_or_else(|| vec![0u8; self.size])
     }
 
-    /// Whether the client currently holds a valid copy.
-    pub fn client_valid(&self) -> bool {
+    fn client_valid(&self) -> bool {
         self.client_state != CoherenceState::Invalid
     }
 
-    /// Compute what must be transferred for `server` to hold a valid copy.
-    pub fn plan_validation(&self, server: usize) -> ValidationPlan {
+    fn plan_validation(&self, server: usize) -> ValidationPlan {
         if self.server_state(server) != CoherenceState::Invalid {
             return ValidationPlan::AlreadyValid;
         }
@@ -125,9 +287,7 @@ impl BufferDirectory {
         }
     }
 
-    /// Record that the client downloaded a valid copy from a server: both
-    /// the source copy and the client copy are now shared.
-    pub fn record_client_fetch(&mut self, source: usize, data: Vec<u8>) {
+    fn record_client_fetch(&mut self, source: usize, data: Vec<u8>) {
         self.client_copy = Some(data);
         self.client_state = CoherenceState::Shared;
         if let Some(s) = self.per_server.get_mut(&source) {
@@ -135,34 +295,36 @@ impl BufferDirectory {
         }
     }
 
-    /// Record that the client uploaded its valid copy to `server`.
-    pub fn record_upload(&mut self, server: usize) {
+    fn record_upload(&mut self, server: usize) {
         self.per_server.insert(server, CoherenceState::Shared);
         if self.client_state == CoherenceState::Invalid {
             self.client_state = CoherenceState::Shared;
         }
     }
 
-    /// Record a host-initiated write (`clEnqueueWriteBuffer` to `server`):
-    /// the written range updates the client copy, the target becomes shared,
-    /// and every other copy is invalidated.
-    pub fn record_host_write(&mut self, server: usize, offset: usize, data: &[u8]) {
+    fn record_host_write(&mut self, server: usize, offset: usize, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        let client_was_valid = self.client_valid();
         let mut copy = self.client_data();
         let end = (offset + data.len()).min(copy.len());
         if offset < copy.len() {
             copy[offset..end].copy_from_slice(&data[..end - offset]);
         }
         self.client_copy = Some(copy);
-        self.client_state = CoherenceState::Shared;
+        // A full-buffer write makes the client copy valid outright; a partial
+        // write only keeps it valid — patching a stale copy must not promote
+        // the untouched remainder.
+        if client_was_valid || (offset == 0 && data.len() >= self.size) {
+            self.client_state = CoherenceState::Shared;
+        }
         for (s, state) in self.per_server.iter_mut() {
             *state = if *s == server { CoherenceState::Shared } else { CoherenceState::Invalid };
         }
     }
 
-    /// Record that a device on `server` (potentially) wrote the buffer: that
-    /// copy becomes modified, every other copy — including the client's —
-    /// becomes invalid.
-    pub fn record_device_write(&mut self, server: usize) {
+    fn record_device_write(&mut self, server: usize) {
         for (s, state) in self.per_server.iter_mut() {
             *state = if *s == server { CoherenceState::Modified } else { CoherenceState::Invalid };
         }
@@ -170,11 +332,7 @@ impl BufferDirectory {
         self.client_copy = None;
     }
 
-    /// Record that the client read the buffer back from `server`
-    /// (`clEnqueueReadBuffer`): the owner's copy and the client's copy are
-    /// now shared; the client caches the full-buffer data when the read
-    /// covered the whole buffer.
-    pub fn record_host_read(&mut self, server: usize, offset: usize, data: &[u8]) {
+    fn record_host_read(&mut self, server: usize, offset: usize, data: &[u8]) {
         // A read from a server that holds no valid copy cannot make the
         // client's copy valid (the client driver always validates the server
         // first, so this is purely defensive).
@@ -192,22 +350,11 @@ impl BufferDirectory {
         }
     }
 
-    /// Register a server that joined the directory after creation (e.g. a
-    /// dynamically connected server, Section III-C).
-    pub fn add_server(&mut self, server: usize) {
+    fn add_server(&mut self, server: usize) {
         self.per_server.entry(server).or_insert(CoherenceState::Invalid);
     }
 
-    /// Mark `server`'s copy invalid — the daemon crashed or its remote
-    /// memory object was re-created empty after a reconnect.  Returns
-    /// `true` if data was lost: the server held the *only* valid copy, so
-    /// the buffer degrades to the client's last cached bytes (or zeroes).
-    ///
-    /// Used by the client's connection supervisor: after re-creating a
-    /// buffer on a fresh daemon, the next command that reads it there plans
-    /// a normal re-validation ([`ValidationPlan::UploadFromClient`] /
-    /// [`ValidationPlan::FetchThenUpload`]) from a surviving copy.
-    pub fn invalidate_server(&mut self, server: usize) -> bool {
+    fn invalidate_server(&mut self, server: usize) -> bool {
         let was_only_valid = self.server_state(server) != CoherenceState::Invalid
             && !self.client_valid()
             && self.valid_servers() == [server];
@@ -219,81 +366,1112 @@ impl BufferDirectory {
         }
         was_only_valid
     }
+
+    fn plan_delta(&self, server: usize) -> DeltaPlan {
+        let full = ByteRange::new(0, self.size);
+        match self.plan_validation(server) {
+            ValidationPlan::AlreadyValid => DeltaPlan::noop(),
+            ValidationPlan::UploadFromClient => {
+                DeltaPlan { fetches: Vec::new(), uploads: vec![full], collapsed: false }
+            }
+            ValidationPlan::FetchThenUpload { source } => DeltaPlan {
+                fetches: vec![RangeFetch { source, span: full, apply: vec![full] }],
+                uploads: vec![full],
+                collapsed: false,
+            },
+        }
+    }
+
+    fn check_invariants(&self) -> std::result::Result<(), String> {
+        let modified: Vec<usize> = self
+            .per_server
+            .iter()
+            .filter(|(_, s)| **s == CoherenceState::Modified)
+            .map(|(k, _)| *k)
+            .collect();
+        if modified.len() > 1 {
+            return Err(format!("multiple Modified owners: {modified:?}"));
+        }
+        if modified.len() == 1 && self.client_valid() {
+            return Err("client valid while a server copy is Modified".into());
+        }
+        if !self.client_valid() && self.valid_servers().is_empty() {
+            return Err("no valid copy anywhere".into());
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range-granular directory
+// ---------------------------------------------------------------------------
+
+/// Per-segment coherence state: the client's state plus each server's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SegState {
+    client: CoherenceState,
+    servers: BTreeMap<usize, CoherenceState>,
+}
+
+impl SegState {
+    fn server(&self, server: usize) -> CoherenceState {
+        self.servers.get(&server).copied().unwrap_or(CoherenceState::Invalid)
+    }
+
+    /// Lowest-indexed server holding a valid copy of this segment (matches
+    /// the whole-buffer protocol's "first valid server" source choice).
+    fn first_valid_server(&self) -> Option<usize> {
+        self.servers.iter().find(|(_, s)| **s != CoherenceState::Invalid).map(|(k, _)| *k)
+    }
+}
+
+/// One segment of the interval map: state for bytes `[start, end)`.
+#[derive(Debug, Clone)]
+struct Segment {
+    start: usize,
+    end: usize,
+    state: SegState,
+}
+
+/// The range-granular directory: a sorted, non-overlapping segment list
+/// covering `[0, size)`.
+#[derive(Debug, Clone)]
+struct RangeDirectory {
+    segments: Vec<Segment>,
+    /// The client's cached bytes; validity is tracked per segment, so the
+    /// vector may hold stale bytes in client-Invalid ranges.  `None` means
+    /// "all zeroes" (fresh buffer).
+    client_copy: Option<Vec<u8>>,
+    size: usize,
+    frag_cap: usize,
+}
+
+impl RangeDirectory {
+    fn new(servers: impl IntoIterator<Item = usize>, size: usize) -> Self {
+        let state = SegState {
+            client: CoherenceState::Shared,
+            servers: servers.into_iter().map(|s| (s, CoherenceState::Invalid)).collect(),
+        };
+        let segments =
+            if size == 0 { Vec::new() } else { vec![Segment { start: 0, end: size, state }] };
+        RangeDirectory { segments, client_copy: None, size, frag_cap: DEFAULT_FRAGMENTATION_CAP }
+    }
+
+    /// Ensure a segment boundary exists at `pos` (splitting the segment that
+    /// straddles it).  `pos` outside `(0, size)` is a no-op.
+    fn split_at(&mut self, pos: usize) {
+        if pos == 0 || pos >= self.size {
+            return;
+        }
+        if let Some(i) = self.segments.iter().position(|s| s.start < pos && pos < s.end) {
+            let right = Segment { start: pos, ..self.segments[i].clone() };
+            self.segments[i].end = pos;
+            self.segments.insert(i + 1, right);
+        }
+    }
+
+    /// Apply `f` to every segment fully inside `range` (after splitting at
+    /// its boundaries), then re-coalesce.
+    fn update_range(&mut self, range: ByteRange, mut f: impl FnMut(&mut SegState)) {
+        let range = range.clamp_to(self.size);
+        if range.is_empty() {
+            return;
+        }
+        self.split_at(range.start);
+        self.split_at(range.end);
+        for seg in &mut self.segments {
+            if seg.start >= range.start && seg.end <= range.end {
+                f(&mut seg.state);
+            }
+        }
+        self.coalesce();
+    }
+
+    /// Merge adjacent segments with equal states.
+    fn coalesce(&mut self) {
+        let mut merged: Vec<Segment> = Vec::with_capacity(self.segments.len());
+        for seg in self.segments.drain(..) {
+            match merged.last_mut() {
+                Some(last) if last.end == seg.start && last.state == seg.state => {
+                    last.end = seg.end;
+                }
+                _ => merged.push(seg),
+            }
+        }
+        self.segments = merged;
+    }
+
+    /// Coalesced ranges within `bound` whose state satisfies `pred`.
+    fn ranges_where(&self, bound: ByteRange, pred: impl Fn(&SegState) -> bool) -> Vec<ByteRange> {
+        let bound = bound.clamp_to(self.size);
+        let mut out: Vec<ByteRange> = Vec::new();
+        for seg in &self.segments {
+            let Some(part) = ByteRange::new(seg.start, seg.end).intersect(bound) else { continue };
+            if !pred(&seg.state) {
+                continue;
+            }
+            match out.last_mut() {
+                Some(last) if last.end == part.start => last.end = part.end,
+                _ => out.push(part),
+            }
+        }
+        out
+    }
+
+    fn client_data_mut(&mut self) -> &mut Vec<u8> {
+        let size = self.size;
+        self.client_copy.get_or_insert_with(|| vec![0u8; size])
+    }
+
+    fn client_data_range(&self, range: ByteRange) -> Vec<u8> {
+        let range = range.clamp_to(self.size);
+        match &self.client_copy {
+            Some(copy) => copy[range.start..range.end].to_vec(),
+            None => vec![0u8; range.len()],
+        }
+    }
+
+    // ----- summaries (whole-buffer-compatible accessors) -------------------
+
+    /// Whole-buffer summary of a copy's state: the uniform state when every
+    /// segment agrees, `Invalid` otherwise (a partially valid copy cannot be
+    /// used as-is).
+    fn summarise(&self, get: impl Fn(&SegState) -> CoherenceState) -> CoherenceState {
+        let mut iter = self.segments.iter().map(|s| get(&s.state));
+        let Some(first) = iter.next() else { return CoherenceState::Shared };
+        if iter.all(|s| s == first) {
+            first
+        } else {
+            CoherenceState::Invalid
+        }
+    }
+
+    fn server_state(&self, server: usize) -> CoherenceState {
+        self.summarise(|st| st.server(server))
+    }
+
+    fn client_state(&self) -> CoherenceState {
+        self.summarise(|st| st.client)
+    }
+
+    fn client_valid(&self) -> bool {
+        self.segments.iter().all(|s| s.state.client != CoherenceState::Invalid)
+    }
+
+    fn valid_servers(&self) -> Vec<usize> {
+        let Some(first) = self.segments.first() else { return Vec::new() };
+        first
+            .state
+            .servers
+            .keys()
+            .copied()
+            .filter(|&srv| {
+                self.segments.iter().all(|s| s.state.server(srv) != CoherenceState::Invalid)
+            })
+            .collect()
+    }
+
+    fn valid_ranges(&self, server: usize) -> Vec<ByteRange> {
+        self.ranges_where(ByteRange::new(0, self.size), |st| {
+            st.server(server) != CoherenceState::Invalid
+        })
+    }
+
+    fn stale_ranges(&self, server: usize) -> Vec<ByteRange> {
+        self.ranges_where(ByteRange::new(0, self.size), |st| {
+            st.server(server) == CoherenceState::Invalid
+        })
+    }
+
+    // ----- recording operations --------------------------------------------
+
+    fn record_host_write(&mut self, server: usize, offset: usize, data: &[u8]) {
+        if data.is_empty() || offset >= self.size {
+            return;
+        }
+        let range = ByteRange::new(offset, offset + data.len()).clamp_to(self.size);
+        self.client_data_mut()[range.start..range.end].copy_from_slice(&data[..range.len()]);
+        self.update_range(range, |st| {
+            st.client = CoherenceState::Shared;
+            for (s, state) in st.servers.iter_mut() {
+                *state =
+                    if *s == server { CoherenceState::Shared } else { CoherenceState::Invalid };
+            }
+        });
+    }
+
+    fn record_device_write(&mut self, server: usize, range: ByteRange) {
+        self.update_range(range, |st| {
+            st.client = CoherenceState::Invalid;
+            for (s, state) in st.servers.iter_mut() {
+                *state =
+                    if *s == server { CoherenceState::Modified } else { CoherenceState::Invalid };
+            }
+        });
+    }
+
+    fn record_host_read(&mut self, server: usize, offset: usize, data: &[u8]) {
+        if offset >= self.size {
+            return;
+        }
+        let range = ByteRange::new(offset, offset + data.len()).clamp_to(self.size);
+        // Only ranges where the server actually holds a valid copy can
+        // refresh the client copy (defensive, mirroring the whole-buffer
+        // protocol: the driver validates the server before reading).
+        let fresh = self.ranges_where(range, |st| st.server(server) != CoherenceState::Invalid);
+        for r in &fresh {
+            let src = &data[r.start - offset..r.end - offset];
+            self.client_data_mut()[r.start..r.end].copy_from_slice(src);
+        }
+        for r in fresh {
+            self.update_range(r, |st| {
+                st.client = CoherenceState::Shared;
+                if let Some(s) = st.servers.get_mut(&server) {
+                    if *s == CoherenceState::Modified {
+                        *s = CoherenceState::Shared;
+                    }
+                }
+            });
+        }
+    }
+
+    fn record_client_fetch(
+        &mut self,
+        source: usize,
+        span: ByteRange,
+        apply: &[ByteRange],
+        data: &[u8],
+    ) {
+        let span = span.clamp_to(self.size);
+        for r in apply {
+            let Some(r) = r.intersect(span) else { continue };
+            let src = &data[r.start - span.start..r.end - span.start];
+            self.client_data_mut()[r.start..r.end].copy_from_slice(src);
+            self.update_range(r, |st| {
+                st.client = CoherenceState::Shared;
+                if let Some(s) = st.servers.get_mut(&source) {
+                    if *s == CoherenceState::Modified {
+                        *s = CoherenceState::Shared;
+                    }
+                }
+            });
+        }
+    }
+
+    fn record_upload(&mut self, server: usize, range: ByteRange) {
+        self.update_range(range, |st| {
+            st.servers.insert(server, CoherenceState::Shared);
+            // Mirror the whole-buffer protocol's "nobody valid" fallback:
+            // uploading (zero/stale) client bytes leaves client and server
+            // in agreement.
+            if st.client == CoherenceState::Invalid {
+                st.client = CoherenceState::Shared;
+            }
+        });
+    }
+
+    fn add_server(&mut self, server: usize) {
+        for seg in &mut self.segments {
+            seg.state.servers.entry(server).or_insert(CoherenceState::Invalid);
+        }
+        self.coalesce();
+    }
+
+    fn invalidate_server(&mut self, server: usize) -> bool {
+        let mut lost = false;
+        for seg in &mut self.segments {
+            if seg.state.server(server) == CoherenceState::Invalid {
+                continue;
+            }
+            seg.state.servers.insert(server, CoherenceState::Invalid);
+            let any_valid = seg.state.client != CoherenceState::Invalid
+                || seg.state.first_valid_server().is_some();
+            if !any_valid {
+                // Data loss on this range: degrade to the stale client copy
+                // so the buffer stays usable.
+                seg.state.client = CoherenceState::Shared;
+                lost = true;
+            }
+        }
+        self.coalesce();
+        lost
+    }
+
+    // ----- delta planning --------------------------------------------------
+
+    fn plan_delta(&self, server: usize, bound: ByteRange) -> DeltaPlan {
+        let bound = bound.clamp_to(self.size);
+        let stale = self.ranges_where(bound, |st| st.server(server) == CoherenceState::Invalid);
+        if stale.is_empty() {
+            return DeltaPlan::noop();
+        }
+        // Fetch ranges the client itself lacks, each from the first server
+        // holding a valid copy of that segment.
+        let mut needs: Vec<(usize, ByteRange)> = Vec::new();
+        for seg in &self.segments {
+            if seg.state.client != CoherenceState::Invalid {
+                continue;
+            }
+            let seg_range = ByteRange::new(seg.start, seg.end);
+            for r in &stale {
+                let Some(part) = seg_range.intersect(*r) else { continue };
+                // No valid server copy either: fall back to uploading the
+                // (zero/stale) client bytes, as the whole protocol does.
+                let Some(src) = seg.state.first_valid_server() else { continue };
+                match needs.last_mut() {
+                    Some((last_src, last)) if *last_src == src && last.end == part.start => {
+                        last.end = part.end;
+                    }
+                    _ => needs.push((src, part)),
+                }
+            }
+        }
+        let fetches = needs
+            .into_iter()
+            .map(|(source, r)| RangeFetch { source, span: r, apply: vec![r] })
+            .collect::<Vec<_>>();
+        let plan = DeltaPlan { fetches, uploads: stale, collapsed: false };
+        if plan.fetches.len() + plan.uploads.len() > self.frag_cap {
+            return self.collapsed_plan();
+        }
+        plan
+    }
+
+    /// The fragmentation-cap fallback: complete the client's copy over the
+    /// *whole* buffer (one spanning fetch per source, applying only the
+    /// sub-ranges that are valid there), then one whole-buffer upload.
+    fn collapsed_plan(&self) -> DeltaPlan {
+        let mut by_source: BTreeMap<usize, Vec<ByteRange>> = BTreeMap::new();
+        for seg in &self.segments {
+            if seg.state.client != CoherenceState::Invalid {
+                continue;
+            }
+            let Some(src) = seg.state.first_valid_server() else { continue };
+            let ranges = by_source.entry(src).or_default();
+            match ranges.last_mut() {
+                Some(last) if last.end == seg.start => last.end = seg.end,
+                _ => ranges.push(ByteRange::new(seg.start, seg.end)),
+            }
+        }
+        let fetches = by_source
+            .into_iter()
+            .map(|(source, apply)| RangeFetch {
+                source,
+                span: ByteRange::new(
+                    apply.first().map(|r| r.start).unwrap_or(0),
+                    apply.last().map(|r| r.end).unwrap_or(0),
+                ),
+                apply,
+            })
+            .collect();
+        DeltaPlan { fetches, uploads: vec![ByteRange::new(0, self.size)], collapsed: true }
+    }
+
+    fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    fn check_invariants(&self) -> std::result::Result<(), String> {
+        if self.size == 0 {
+            return if self.segments.is_empty() {
+                Ok(())
+            } else {
+                Err("zero-size buffer with segments".into())
+            };
+        }
+        let mut pos = 0;
+        for (i, seg) in self.segments.iter().enumerate() {
+            if seg.start != pos {
+                return Err(format!("segment {i} starts at {} (expected {pos})", seg.start));
+            }
+            if seg.end <= seg.start {
+                return Err(format!("segment {i} is empty ({}..{})", seg.start, seg.end));
+            }
+            pos = seg.end;
+            if i > 0 && self.segments[i - 1].state == seg.state {
+                return Err(format!("segments {} and {i} are not coalesced", i - 1));
+            }
+            let modified: Vec<usize> = seg
+                .state
+                .servers
+                .iter()
+                .filter(|(_, s)| **s == CoherenceState::Modified)
+                .map(|(k, _)| *k)
+                .collect();
+            if modified.len() > 1 {
+                return Err(format!(
+                    "bytes {}..{} Modified on multiple servers: {modified:?}",
+                    seg.start, seg.end
+                ));
+            }
+            let any_valid = seg.state.client != CoherenceState::Invalid
+                || seg.state.first_valid_server().is_some();
+            if !any_valid {
+                return Err(format!("bytes {}..{} have no valid copy", seg.start, seg.end));
+            }
+        }
+        if pos != self.size {
+            return Err(format!("segments cover up to {pos}, buffer size is {}", self.size));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public directory: mode dispatch
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Inner {
+    Whole(WholeDirectory),
+    Range(RangeDirectory),
+}
+
+/// Per-buffer directory tracking the state of every copy.
+///
+/// See the [module docs](self) for the range-coherence semantics; the
+/// whole-buffer methods ([`BufferDirectory::record_device_write`],
+/// [`BufferDirectory::plan_validation`], ...) remain and operate on the full
+/// range.
+#[derive(Debug, Clone)]
+pub struct BufferDirectory {
+    inner: Inner,
+}
+
+impl BufferDirectory {
+    /// A fresh directory in the mode selected by `DCL_COHERENCE` (range
+    /// granular unless `DCL_COHERENCE=whole`): every remote copy is invalid,
+    /// the client's (conceptual, all-zero) copy is shared — exactly the
+    /// initial state the paper describes.
+    pub fn new(servers: impl IntoIterator<Item = usize>, size: usize) -> Self {
+        Self::new_with_mode(servers, size, CoherenceMode::from_env())
+    }
+
+    /// A fresh directory with an explicit [`CoherenceMode`].
+    pub fn new_with_mode(
+        servers: impl IntoIterator<Item = usize>,
+        size: usize,
+        mode: CoherenceMode,
+    ) -> Self {
+        let inner = match mode {
+            CoherenceMode::Whole => Inner::Whole(WholeDirectory::new(servers, size)),
+            CoherenceMode::Range => Inner::Range(RangeDirectory::new(servers, size)),
+        };
+        BufferDirectory { inner }
+    }
+
+    /// The directory's tracking mode.
+    pub fn mode(&self) -> CoherenceMode {
+        match &self.inner {
+            Inner::Whole(_) => CoherenceMode::Whole,
+            Inner::Range(_) => CoherenceMode::Range,
+        }
+    }
+
+    /// Buffer size in bytes.
+    pub fn size(&self) -> usize {
+        match &self.inner {
+            Inner::Whole(d) => d.size,
+            Inner::Range(d) => d.size,
+        }
+    }
+
+    /// The whole buffer as a [`ByteRange`].
+    pub fn full_range(&self) -> ByteRange {
+        ByteRange::new(0, self.size())
+    }
+
+    /// Cap on the number of wire operations a [`DeltaPlan`] may schedule
+    /// before collapsing to whole-buffer transfer (range mode only).
+    pub fn set_fragmentation_cap(&mut self, cap: usize) {
+        if let Inner::Range(d) = &mut self.inner {
+            d.frag_cap = cap.max(1);
+        }
+    }
+
+    /// State of the copy on `server`.  In range mode this is the
+    /// whole-buffer summary: the uniform state if every range agrees,
+    /// `Invalid` otherwise.
+    pub fn server_state(&self, server: usize) -> CoherenceState {
+        match &self.inner {
+            Inner::Whole(d) => d.server_state(server),
+            Inner::Range(d) => d.server_state(server),
+        }
+    }
+
+    /// State of the client's copy (whole-buffer summary in range mode).
+    pub fn client_state(&self) -> CoherenceState {
+        match &self.inner {
+            Inner::Whole(d) => d.client_state,
+            Inner::Range(d) => d.client_state(),
+        }
+    }
+
+    /// Servers that currently hold a valid (shared or modified) copy of the
+    /// *entire* buffer.
+    pub fn valid_servers(&self) -> Vec<usize> {
+        match &self.inner {
+            Inner::Whole(d) => d.valid_servers(),
+            Inner::Range(d) => d.valid_servers(),
+        }
+    }
+
+    /// Coalesced ranges of the buffer that are valid on `server`.
+    pub fn valid_ranges(&self, server: usize) -> Vec<ByteRange> {
+        match &self.inner {
+            Inner::Whole(d) => {
+                if d.server_state(server) != CoherenceState::Invalid && d.size > 0 {
+                    vec![ByteRange::new(0, d.size)]
+                } else {
+                    Vec::new()
+                }
+            }
+            Inner::Range(d) => d.valid_ranges(server),
+        }
+    }
+
+    /// Coalesced ranges of the buffer that are stale on `server`.
+    pub fn stale_ranges(&self, server: usize) -> Vec<ByteRange> {
+        match &self.inner {
+            Inner::Whole(d) => {
+                if d.server_state(server) == CoherenceState::Invalid && d.size > 0 {
+                    vec![ByteRange::new(0, d.size)]
+                } else {
+                    Vec::new()
+                }
+            }
+            Inner::Range(d) => d.stale_ranges(server),
+        }
+    }
+
+    /// The client's cached bytes, materialising the all-zero default.
+    pub fn client_data(&self) -> Vec<u8> {
+        match &self.inner {
+            Inner::Whole(d) => d.client_data(),
+            Inner::Range(d) => d.client_data_range(ByteRange::new(0, d.size)),
+        }
+    }
+
+    /// The client's cached bytes over `range` (clamped to the buffer).
+    pub fn client_data_range(&self, range: ByteRange) -> Vec<u8> {
+        match &self.inner {
+            Inner::Whole(d) => {
+                let range = range.clamp_to(d.size);
+                d.client_data()[range.start..range.end].to_vec()
+            }
+            Inner::Range(d) => d.client_data_range(range),
+        }
+    }
+
+    /// Whether the client currently holds a valid copy of the whole buffer.
+    pub fn client_valid(&self) -> bool {
+        match &self.inner {
+            Inner::Whole(d) => d.client_valid(),
+            Inner::Range(d) => d.client_valid(),
+        }
+    }
+
+    /// Number of interval-map segments (1 in whole mode) — a fragmentation
+    /// diagnostic for tests and benches.
+    pub fn segment_count(&self) -> usize {
+        match &self.inner {
+            Inner::Whole(_) => 1,
+            Inner::Range(d) => d.segment_count(),
+        }
+    }
+
+    /// Compute what must be transferred for `server` to hold a valid copy,
+    /// as the whole-buffer protocol's [`ValidationPlan`] (kept for
+    /// compatibility; [`BufferDirectory::plan_delta`] is the range-aware
+    /// interface).
+    pub fn plan_validation(&self, server: usize) -> ValidationPlan {
+        match &self.inner {
+            Inner::Whole(d) => d.plan_validation(server),
+            Inner::Range(_) => {
+                let plan = self.plan_delta(server);
+                if plan.is_noop() {
+                    ValidationPlan::AlreadyValid
+                } else {
+                    match plan.fetches.first() {
+                        Some(f) => ValidationPlan::FetchThenUpload { source: f.source },
+                        None => ValidationPlan::UploadFromClient,
+                    }
+                }
+            }
+        }
+    }
+
+    /// The minimal delta set that makes `server`'s whole copy valid.
+    pub fn plan_delta(&self, server: usize) -> DeltaPlan {
+        self.plan_delta_range(server, self.full_range())
+    }
+
+    /// The minimal delta set that makes `server` valid over `range` (whole
+    /// mode ignores `range` and plans a full-buffer transfer unless the
+    /// server is already valid).
+    pub fn plan_delta_range(&self, server: usize, range: ByteRange) -> DeltaPlan {
+        match &self.inner {
+            Inner::Whole(d) => {
+                if range.clamp_to(d.size).is_empty() && d.size > 0 {
+                    DeltaPlan::noop()
+                } else {
+                    d.plan_delta(server)
+                }
+            }
+            Inner::Range(d) => d.plan_delta(server, range),
+        }
+    }
+
+    /// Whether a host write of `len` bytes at `offset` must validate the
+    /// target server *before* the write reaches it.  The whole-buffer
+    /// oracle marks the target fully valid after any write, so a partial
+    /// write to a stale copy has to bring the untouched remainder up to
+    /// date first; the range directory tracks the remainder precisely and
+    /// never asks for a pre-validation.
+    pub fn needs_write_validation(&self, server: usize, offset: usize, len: usize) -> bool {
+        match &self.inner {
+            Inner::Whole(d) => {
+                len > 0
+                    && !(offset == 0 && len >= d.size)
+                    && d.server_state(server) == CoherenceState::Invalid
+            }
+            Inner::Range(_) => false,
+        }
+    }
+
+    /// Record that the client downloaded a full valid copy from a server:
+    /// both the source copy and the client copy are now shared.
+    pub fn record_client_fetch(&mut self, source: usize, data: Vec<u8>) {
+        match &mut self.inner {
+            Inner::Whole(d) => d.record_client_fetch(source, data),
+            Inner::Range(d) => {
+                let full = ByteRange::new(0, d.size);
+                d.record_client_fetch(source, full, &[full], &data);
+            }
+        }
+    }
+
+    /// Record a [`RangeFetch`]: `data` holds `span` downloaded from
+    /// `source`; the `apply` sub-ranges of it are merged into the client's
+    /// copy and become shared with the source.
+    pub fn record_client_fetch_ranges(
+        &mut self,
+        source: usize,
+        span: ByteRange,
+        apply: &[ByteRange],
+        data: &[u8],
+    ) {
+        match &mut self.inner {
+            Inner::Whole(d) => {
+                // The whole-mode planner only emits full-span fetches.
+                if span.start == 0 && span.end == d.size {
+                    d.record_client_fetch(source, data.to_vec());
+                }
+            }
+            Inner::Range(d) => d.record_client_fetch(source, span, apply, data),
+        }
+    }
+
+    /// Record that the client uploaded its valid copy to `server`.
+    pub fn record_upload(&mut self, server: usize) {
+        match &mut self.inner {
+            Inner::Whole(d) => d.record_upload(server),
+            Inner::Range(d) => {
+                let full = ByteRange::new(0, d.size);
+                d.record_upload(server, full);
+            }
+        }
+    }
+
+    /// Record that the client uploaded `range` of its copy to `server`.
+    pub fn record_upload_range(&mut self, server: usize, range: ByteRange) {
+        match &mut self.inner {
+            Inner::Whole(d) => d.record_upload(server),
+            Inner::Range(d) => d.record_upload(server, range),
+        }
+    }
+
+    /// Record a host-initiated write (`clEnqueueWriteBuffer` to `server`):
+    /// the written range updates the client copy and becomes shared between
+    /// client and target; every other copy of *that range* is invalidated
+    /// (the whole buffer in whole mode).  Zero-length writes are no-ops.
+    pub fn record_host_write(&mut self, server: usize, offset: usize, data: &[u8]) {
+        match &mut self.inner {
+            Inner::Whole(d) => d.record_host_write(server, offset, data),
+            Inner::Range(d) => d.record_host_write(server, offset, data),
+        }
+    }
+
+    /// Record that a device on `server` (potentially) wrote the whole
+    /// buffer: that copy becomes modified, every other copy — including the
+    /// client's — becomes invalid.
+    pub fn record_device_write(&mut self, server: usize) {
+        match &mut self.inner {
+            Inner::Whole(d) => d.record_device_write(server),
+            Inner::Range(d) => {
+                let full = ByteRange::new(0, d.size);
+                d.record_device_write(server, full);
+            }
+        }
+    }
+
+    /// Record that a device on `server` wrote only `range` (a kernel launch
+    /// with a declared access slice).  Whole mode conservatively widens this
+    /// to the full buffer.  An empty slice dirties nothing in either mode —
+    /// widening it would mark a copy Modified that was never validated.
+    pub fn record_device_write_range(&mut self, server: usize, range: ByteRange) {
+        match &mut self.inner {
+            Inner::Whole(d) => {
+                if !range.clamp_to(d.size).is_empty() {
+                    d.record_device_write(server);
+                }
+            }
+            Inner::Range(d) => d.record_device_write(server, range),
+        }
+    }
+
+    /// Record that the client read the buffer back from `server`
+    /// (`clEnqueueReadBuffer`): the read bytes refresh the client's copy
+    /// over the ranges the server validly owns, and a Modified owner is
+    /// demoted to Shared there.  (Whole mode only caches full-buffer
+    /// reads.)
+    pub fn record_host_read(&mut self, server: usize, offset: usize, data: &[u8]) {
+        match &mut self.inner {
+            Inner::Whole(d) => d.record_host_read(server, offset, data),
+            Inner::Range(d) => d.record_host_read(server, offset, data),
+        }
+    }
+
+    /// Register a server that joined the directory after creation (e.g. a
+    /// dynamically connected server, Section III-C).
+    pub fn add_server(&mut self, server: usize) {
+        match &mut self.inner {
+            Inner::Whole(d) => d.add_server(server),
+            Inner::Range(d) => d.add_server(server),
+        }
+    }
+
+    /// Mark `server`'s copy invalid — the daemon crashed or its remote
+    /// memory object was re-created empty after a reconnect.  Returns
+    /// `true` if data was lost: the server held the *only* valid copy of
+    /// some range, which degrades to the client's last cached bytes (or
+    /// zeroes).
+    ///
+    /// Used by the client's connection supervisor: after re-creating a
+    /// buffer on a fresh daemon, the next command that reads it there plans
+    /// a normal re-validation from the surviving copies — in range mode
+    /// moving only the ranges that are actually stale there.
+    pub fn invalidate_server(&mut self, server: usize) -> bool {
+        match &mut self.inner {
+            Inner::Whole(d) => d.invalidate_server(server),
+            Inner::Range(d) => d.invalidate_server(server),
+        }
+    }
+
+    /// Check the directory's structural invariants (used by the property
+    /// suite): segments sorted, contiguous, covering the buffer and
+    /// coalesced; no byte Modified on more than one server; no byte
+    /// Modified on a server while the client is valid (whole mode); every
+    /// byte has at least one valid copy.
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        match &self.inner {
+            Inner::Whole(d) => d.check_invariants(),
+            Inner::Range(d) => d.check_invariants(),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    // ----- whole-buffer semantics (both modes must satisfy these) ----------
+
+    fn both_modes(f: impl Fn(CoherenceMode)) {
+        f(CoherenceMode::Range);
+        f(CoherenceMode::Whole);
+    }
+
     #[test]
     fn fresh_directory_uploads_zeroes_from_client() {
-        let dir = BufferDirectory::new([0, 1], 16);
-        assert_eq!(dir.server_state(0), CoherenceState::Invalid);
-        assert_eq!(dir.client_state(), CoherenceState::Shared);
-        assert_eq!(dir.plan_validation(0), ValidationPlan::UploadFromClient);
-        assert_eq!(dir.client_data(), vec![0u8; 16]);
-        assert!(dir.valid_servers().is_empty());
+        both_modes(|mode| {
+            let dir = BufferDirectory::new_with_mode([0, 1], 16, mode);
+            assert_eq!(dir.server_state(0), CoherenceState::Invalid);
+            assert_eq!(dir.client_state(), CoherenceState::Shared);
+            assert_eq!(dir.plan_validation(0), ValidationPlan::UploadFromClient);
+            assert_eq!(dir.client_data(), vec![0u8; 16]);
+            assert!(dir.valid_servers().is_empty());
+            dir.check_invariants().unwrap();
+        });
     }
 
     #[test]
     fn host_write_invalidates_other_servers() {
-        let mut dir = BufferDirectory::new([0, 1], 4);
-        dir.record_host_write(0, 0, &[1, 2, 3, 4]);
-        assert_eq!(dir.server_state(0), CoherenceState::Shared);
-        assert_eq!(dir.server_state(1), CoherenceState::Invalid);
-        assert_eq!(dir.client_data(), vec![1, 2, 3, 4]);
-        assert_eq!(dir.plan_validation(0), ValidationPlan::AlreadyValid);
-        assert_eq!(dir.plan_validation(1), ValidationPlan::UploadFromClient);
+        both_modes(|mode| {
+            let mut dir = BufferDirectory::new_with_mode([0, 1], 4, mode);
+            dir.record_host_write(0, 0, &[1, 2, 3, 4]);
+            assert_eq!(dir.server_state(0), CoherenceState::Shared);
+            assert_eq!(dir.server_state(1), CoherenceState::Invalid);
+            assert_eq!(dir.client_data(), vec![1, 2, 3, 4]);
+            assert_eq!(dir.plan_validation(0), ValidationPlan::AlreadyValid);
+            assert_eq!(dir.plan_validation(1), ValidationPlan::UploadFromClient);
+            dir.check_invariants().unwrap();
+        });
     }
 
     #[test]
     fn partial_host_write_merges_into_client_copy() {
-        let mut dir = BufferDirectory::new([0], 8);
-        dir.record_host_write(0, 0, &[1, 1, 1, 1, 1, 1, 1, 1]);
-        dir.record_host_write(0, 4, &[2, 2, 2, 2]);
-        assert_eq!(dir.client_data(), vec![1, 1, 1, 1, 2, 2, 2, 2]);
+        both_modes(|mode| {
+            let mut dir = BufferDirectory::new_with_mode([0], 8, mode);
+            dir.record_host_write(0, 0, &[1, 1, 1, 1, 1, 1, 1, 1]);
+            dir.record_host_write(0, 4, &[2, 2, 2, 2]);
+            assert_eq!(dir.client_data(), vec![1, 1, 1, 1, 2, 2, 2, 2]);
+        });
     }
 
     #[test]
     fn device_write_requires_fetch_for_other_servers() {
-        let mut dir = BufferDirectory::new([0, 1], 8);
-        dir.record_host_write(0, 0, &[7; 8]);
-        dir.record_device_write(0);
-        assert_eq!(dir.server_state(0), CoherenceState::Modified);
-        assert_eq!(dir.client_state(), CoherenceState::Invalid);
-        assert_eq!(dir.plan_validation(1), ValidationPlan::FetchThenUpload { source: 0 });
-        // After the fetch + upload, both servers and the client share.
-        dir.record_client_fetch(0, vec![9; 8]);
-        dir.record_upload(1);
-        assert_eq!(dir.server_state(0), CoherenceState::Shared);
-        assert_eq!(dir.server_state(1), CoherenceState::Shared);
-        assert_eq!(dir.client_state(), CoherenceState::Shared);
-        assert_eq!(dir.client_data(), vec![9; 8]);
-        assert_eq!(dir.valid_servers(), vec![0, 1]);
+        both_modes(|mode| {
+            let mut dir = BufferDirectory::new_with_mode([0, 1], 8, mode);
+            dir.record_host_write(0, 0, &[7; 8]);
+            dir.record_device_write(0);
+            assert_eq!(dir.server_state(0), CoherenceState::Modified);
+            assert_eq!(dir.client_state(), CoherenceState::Invalid);
+            assert_eq!(dir.plan_validation(1), ValidationPlan::FetchThenUpload { source: 0 });
+            // After the fetch + upload, both servers and the client share.
+            dir.record_client_fetch(0, vec![9; 8]);
+            dir.record_upload(1);
+            assert_eq!(dir.server_state(0), CoherenceState::Shared);
+            assert_eq!(dir.server_state(1), CoherenceState::Shared);
+            assert_eq!(dir.client_state(), CoherenceState::Shared);
+            assert_eq!(dir.client_data(), vec![9; 8]);
+            assert_eq!(dir.valid_servers(), vec![0, 1]);
+            dir.check_invariants().unwrap();
+        });
     }
 
     #[test]
     fn host_read_demotes_modified_to_shared() {
-        let mut dir = BufferDirectory::new([0, 1], 4);
-        dir.record_device_write(1);
-        dir.record_host_read(1, 0, &[5, 6, 7, 8]);
-        assert_eq!(dir.server_state(1), CoherenceState::Shared);
-        assert_eq!(dir.client_state(), CoherenceState::Shared);
-        assert_eq!(dir.client_data(), vec![5, 6, 7, 8]);
+        both_modes(|mode| {
+            let mut dir = BufferDirectory::new_with_mode([0, 1], 4, mode);
+            dir.record_device_write(1);
+            dir.record_host_read(1, 0, &[5, 6, 7, 8]);
+            assert_eq!(dir.server_state(1), CoherenceState::Shared);
+            assert_eq!(dir.client_state(), CoherenceState::Shared);
+            assert_eq!(dir.client_data(), vec![5, 6, 7, 8]);
+        });
     }
 
     #[test]
-    fn partial_read_does_not_mark_client_valid() {
-        let mut dir = BufferDirectory::new([0], 8);
-        dir.record_device_write(0);
-        dir.record_host_read(0, 0, &[1, 2]);
-        assert_eq!(dir.client_state(), CoherenceState::Invalid);
+    fn partial_read_does_not_mark_whole_client_valid() {
+        both_modes(|mode| {
+            let mut dir = BufferDirectory::new_with_mode([0], 8, mode);
+            dir.record_device_write(0);
+            dir.record_host_read(0, 0, &[1, 2]);
+            assert_eq!(dir.client_state(), CoherenceState::Invalid);
+        });
     }
 
     #[test]
     fn add_server_starts_invalid() {
-        let mut dir = BufferDirectory::new([0], 4);
-        dir.add_server(3);
-        assert_eq!(dir.server_state(3), CoherenceState::Invalid);
+        both_modes(|mode| {
+            let mut dir = BufferDirectory::new_with_mode([0], 4, mode);
+            dir.add_server(3);
+            assert_eq!(dir.server_state(3), CoherenceState::Invalid);
+        });
+    }
+
+    // ----- interval-map edge cases -----------------------------------------
+
+    #[test]
+    fn zero_length_writes_are_noops() {
+        both_modes(|mode| {
+            let mut dir = BufferDirectory::new_with_mode([0, 1], 8, mode);
+            dir.record_host_write(0, 0, &[5; 8]);
+            let before = dir.clone();
+            dir.record_host_write(1, 4, &[]);
+            assert_eq!(dir.server_state(0), before.server_state(0));
+            assert_eq!(dir.server_state(1), before.server_state(1));
+            assert_eq!(dir.client_data(), before.client_data());
+            assert_eq!(dir.segment_count(), before.segment_count());
+            dir.record_device_write_range(0, ByteRange::new(4, 4));
+            if mode == CoherenceMode::Range {
+                assert_eq!(dir.client_state(), CoherenceState::Shared);
+            }
+            dir.check_invariants().unwrap();
+        });
+    }
+
+    #[test]
+    fn adjacent_dirty_ranges_coalesce() {
+        let mut dir = BufferDirectory::new_with_mode([0, 1], 64, CoherenceMode::Range);
+        dir.record_host_write(0, 0, &[1; 16]);
+        dir.record_host_write(0, 16, &[2; 16]);
+        dir.record_host_write(0, 32, &[3; 32]);
+        // Three adjacent writes with identical state outcomes: one segment.
+        assert_eq!(dir.segment_count(), 1);
+        assert_eq!(dir.stale_ranges(1), vec![ByteRange::new(0, 64)]);
+        let plan = dir.plan_delta(1);
+        assert_eq!(plan.uploads, vec![ByteRange::new(0, 64)]);
+        assert!(plan.fetches.is_empty());
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn overlapping_writes_merge_and_coalesce() {
+        let mut dir = BufferDirectory::new_with_mode([0, 1], 32, CoherenceMode::Range);
+        dir.record_host_write(0, 4, &[1; 12]); // [4, 16)
+        dir.record_host_write(0, 8, &[2; 16]); // [8, 24) overlaps
+        assert_eq!(dir.stale_ranges(1), vec![ByteRange::new(0, 32)]);
+        // Server 0 is valid exactly where writes landed, stale outside.
+        assert_eq!(dir.valid_ranges(0), vec![ByteRange::new(4, 24)]);
+        let mut expect = vec![0u8; 32];
+        expect[4..16].fill(1);
+        expect[8..24].fill(2);
+        assert_eq!(dir.client_data(), expect);
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn device_write_spanning_partition_boundary() {
+        // Two servers each own half; a declared device write then spans the
+        // boundary.
+        let mut dir = BufferDirectory::new_with_mode([0, 1], 32, CoherenceMode::Range);
+        dir.record_host_write(0, 0, &[1; 32]);
+        dir.record_upload(1);
+        dir.record_device_write_range(0, ByteRange::new(0, 16));
+        dir.record_device_write_range(1, ByteRange::new(16, 32));
+        assert_eq!(dir.valid_ranges(0), vec![ByteRange::new(0, 16)]);
+        assert_eq!(dir.valid_ranges(1), vec![ByteRange::new(16, 32)]);
+        dir.check_invariants().unwrap();
+        // Now server 1 writes across the boundary: [12, 20).
+        dir.record_device_write_range(1, ByteRange::new(12, 20));
+        assert_eq!(dir.valid_ranges(0), vec![ByteRange::new(0, 12)]);
+        assert_eq!(dir.valid_ranges(1), vec![ByteRange::new(12, 32)]);
+        dir.check_invariants().unwrap();
+        // Validating server 0 moves only the 20 stale bytes, fetched from
+        // their Modified owner.
+        let plan = dir.plan_delta(0);
+        assert_eq!(plan.uploads, vec![ByteRange::new(12, 32)]);
+        assert_eq!(plan.fetches.len(), 1);
+        assert_eq!(plan.fetches[0].source, 1);
+        assert_eq!(plan.fetches[0].span, ByteRange::new(12, 32));
+        assert_eq!(plan.upload_bytes(), 20);
+    }
+
+    #[test]
+    fn delta_plan_moves_only_stale_ranges() {
+        let mut dir = BufferDirectory::new_with_mode([0, 1], 100, CoherenceMode::Range);
+        dir.record_host_write(0, 0, &[1; 100]);
+        dir.record_upload(1); // both servers fully valid
+        dir.record_host_write(0, 40, &[9; 10]); // dirty 10% towards server 0
+        let plan = dir.plan_delta(1);
+        assert!(plan.fetches.is_empty(), "client is valid, no fetch needed");
+        assert_eq!(plan.uploads, vec![ByteRange::new(40, 50)]);
+        assert_eq!(plan.upload_bytes(), 10);
+        assert!(!plan.collapsed);
+    }
+
+    #[test]
+    fn fragmentation_cap_collapses_to_whole_buffer() {
+        let mut dir = BufferDirectory::new_with_mode([0, 1], 256, CoherenceMode::Range);
+        dir.record_host_write(0, 0, &[1; 256]);
+        dir.record_upload(1);
+        dir.set_fragmentation_cap(4);
+        // Dirty every other 2-byte chunk: 64 fragments towards server 1.
+        for i in 0..64 {
+            dir.record_host_write(0, i * 4, &[9, 9]);
+        }
+        assert!(dir.segment_count() > 4);
+        let plan = dir.plan_delta(1);
+        assert!(plan.collapsed);
+        assert_eq!(plan.uploads, vec![ByteRange::new(0, 256)]);
+        assert!(plan.fetches.is_empty(), "client holds the whole buffer");
+        // Executing the collapsed plan validates the server in one go.
+        dir.record_upload_range(1, ByteRange::new(0, 256));
+        assert!(dir.plan_delta(1).is_noop());
+        assert_eq!(dir.segment_count(), 1);
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn collapsed_plan_fetches_spans_but_applies_only_valid_subranges() {
+        // Device writes fragment server 0's ownership; the collapsed plan
+        // must fetch a span from server 0 yet apply only the sub-ranges
+        // server 0 validly owns, and still upload the whole buffer.
+        let mut dir = BufferDirectory::new_with_mode([0, 1], 64, CoherenceMode::Range);
+        dir.record_host_write(0, 0, &[1; 64]);
+        dir.record_upload(1);
+        dir.set_fragmentation_cap(2);
+        for i in 0..8 {
+            dir.record_device_write_range(0, ByteRange::new(i * 8, i * 8 + 4));
+        }
+        let plan = dir.plan_delta(1);
+        assert!(plan.collapsed);
+        assert_eq!(plan.uploads, vec![ByteRange::new(0, 64)]);
+        assert_eq!(plan.fetches.len(), 1);
+        let fetch = &plan.fetches[0];
+        assert_eq!(fetch.source, 0);
+        assert_eq!(fetch.span, ByteRange::new(0, 60));
+        assert_eq!(fetch.apply.len(), 8);
+        for (i, r) in fetch.apply.iter().enumerate() {
+            assert_eq!(*r, ByteRange::new(i * 8, i * 8 + 4));
+        }
+    }
+
+    #[test]
+    fn partitioned_buffer_keeps_owners_valid_without_transfers() {
+        // Each server repeatedly writes its own slice: no plan ever moves
+        // bytes for the owner's own launches.
+        let mut dir = BufferDirectory::new_with_mode([0, 1], 128, CoherenceMode::Range);
+        dir.record_host_write(0, 0, &[0; 128]);
+        dir.record_upload(1);
+        for _ in 0..10 {
+            assert!(dir.plan_delta_range(0, ByteRange::new(0, 64)).is_noop());
+            dir.record_device_write_range(0, ByteRange::new(0, 64));
+            assert!(dir.plan_delta_range(1, ByteRange::new(64, 128)).is_noop());
+            dir.record_device_write_range(1, ByteRange::new(64, 128));
+            dir.check_invariants().unwrap();
+        }
+        assert_eq!(dir.valid_ranges(0), vec![ByteRange::new(0, 64)]);
+        assert_eq!(dir.valid_ranges(1), vec![ByteRange::new(64, 128)]);
+    }
+
+    #[test]
+    fn invalidate_server_degrades_only_lost_ranges() {
+        let mut dir = BufferDirectory::new_with_mode([0, 1], 32, CoherenceMode::Range);
+        dir.record_host_write(0, 0, &[3; 32]);
+        dir.record_upload(1);
+        // Server 0 exclusively owns [0, 16) after a device write.
+        dir.record_device_write_range(0, ByteRange::new(0, 16));
+        assert!(dir.invalidate_server(0), "its half is lost");
+        // The surviving half is still valid on server 1; the lost half
+        // degraded to the stale client copy.
+        assert_eq!(dir.valid_ranges(1), vec![ByteRange::new(16, 32)]);
+        dir.check_invariants().unwrap();
+        let plan = dir.plan_delta(1);
+        assert_eq!(plan.uploads, vec![ByteRange::new(0, 16)]);
+        assert!(plan.fetches.is_empty());
+    }
+
+    #[test]
+    fn coherence_mode_parses_like_the_interp_env() {
+        assert_eq!(CoherenceMode::parse(None), CoherenceMode::Range);
+        assert_eq!(CoherenceMode::parse(Some("whole")), CoherenceMode::Whole);
+        assert_eq!(CoherenceMode::parse(Some("WHOLE")), CoherenceMode::Whole);
+        assert_eq!(CoherenceMode::parse(Some("range")), CoherenceMode::Range);
+        assert_eq!(CoherenceMode::parse(Some("garbage")), CoherenceMode::Range);
+    }
+
+    #[test]
+    fn range_math_handles_degenerate_inputs() {
+        assert!(ByteRange::new(5, 3).is_empty());
+        assert_eq!(ByteRange::new(5, 3).len(), 0);
+        assert_eq!(ByteRange::new(0, 10).intersect(ByteRange::new(10, 20)), None);
+        assert_eq!(
+            ByteRange::new(0, 10).intersect(ByteRange::new(5, 20)),
+            Some(ByteRange::new(5, 10))
+        );
+        assert_eq!(ByteRange::new(4, 99).clamp_to(8), ByteRange::new(4, 8));
     }
 }

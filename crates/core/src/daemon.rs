@@ -1096,6 +1096,83 @@ impl DaemonSession {
                 let _ = endpoint.send_bulk(stream_id, &data);
                 Response::OkTimed { modeled_nanos: bus_time.as_nanos() as u64 }
             }
+            Request::UploadBufferRange { buffer_id, offset, size, stream_id } => {
+                let Some(endpoint) = self.endpoint() else {
+                    return Response::Error { code: -36, message: "no endpoint".into() };
+                };
+                let data = match endpoint.wait_bulk(stream_id, Duration::from_secs(120)) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        return Response::Error {
+                            code: -30,
+                            message: format!("missing upload stream: {e}"),
+                        }
+                    }
+                };
+                if data.len() as u64 != size {
+                    return Response::Error {
+                        code: -30,
+                        message: "coherence range upload size mismatch".into(),
+                    };
+                }
+                let buffer = match self.state().lock().buffers.get(&buffer_id) {
+                    Some(b) => Arc::clone(b),
+                    None => return Self::missing("buffer", buffer_id),
+                };
+                if offset.saturating_add(size) > buffer.size() as u64 {
+                    return Response::Error {
+                        code: -30,
+                        message: format!(
+                            "range upload {offset}+{size} exceeds buffer size {}",
+                            buffer.size()
+                        ),
+                    };
+                }
+                self.quiesce_buffer_queues(&buffer);
+                self.stats.lock().bytes_uploaded += size;
+                let bus_time = buffer
+                    .context()
+                    .devices()
+                    .first()
+                    .map(|d| d.profile().bus.write_time(size))
+                    .unwrap_or_default();
+                match buffer.write(offset as usize, &data) {
+                    Ok(()) => Response::OkTimed { modeled_nanos: bus_time.as_nanos() as u64 },
+                    Err(e) => Self::cl_error(&e),
+                }
+            }
+            Request::DownloadBufferRange { buffer_id, offset, size, stream_id } => {
+                let Some(endpoint) = self.endpoint() else {
+                    return Response::Error { code: -36, message: "no endpoint".into() };
+                };
+                let buffer = match self.state().lock().buffers.get(&buffer_id) {
+                    Some(b) => Arc::clone(b),
+                    None => return Self::missing("buffer", buffer_id),
+                };
+                if offset.saturating_add(size) > buffer.size() as u64 {
+                    return Response::Error {
+                        code: -30,
+                        message: format!(
+                            "range download {offset}+{size} exceeds buffer size {}",
+                            buffer.size()
+                        ),
+                    };
+                }
+                self.quiesce_buffer_queues(&buffer);
+                let data = match buffer.read(offset as usize, size as usize) {
+                    Ok(d) => d,
+                    Err(e) => return Self::cl_error(&e),
+                };
+                self.stats.lock().bytes_downloaded += data.len() as u64;
+                let bus_time = buffer
+                    .context()
+                    .devices()
+                    .first()
+                    .map(|d| d.profile().bus.read_time(data.len() as u64))
+                    .unwrap_or_default();
+                let _ = endpoint.send_bulk(stream_id, &data);
+                Response::BufferRange { offset, size, modeled_nanos: bus_time.as_nanos() as u64 }
+            }
             Request::Disconnect => {
                 let auth = {
                     let shared = self.state();

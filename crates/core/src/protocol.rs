@@ -492,6 +492,36 @@ pub enum Request {
     /// Query the daemon's view of this session (used by the fault-tolerance
     /// tests and the client supervisor after a reconnect).
     GetSessionInfo,
+    /// Coherence delta traffic: overwrite `[offset, offset + size)` of the
+    /// remote buffer with the data arriving on bulk stream `stream_id`
+    /// (sent before this request).
+    ///
+    /// Used by the range-granular directory when only some byte ranges of a
+    /// server's copy are stale; the whole-buffer variant remains
+    /// [`Request::UploadBufferData`].
+    UploadBufferRange {
+        /// Buffer id.
+        buffer_id: ObjectId,
+        /// First byte to overwrite.
+        offset: u64,
+        /// Payload size in bytes.
+        size: u64,
+        /// Bulk stream carrying the payload.
+        stream_id: u64,
+    },
+    /// Coherence delta traffic: send `[offset, offset + size)` of the
+    /// remote buffer to the client on bulk stream `stream_id`.  The daemon
+    /// answers with [`Response::BufferRange`].
+    DownloadBufferRange {
+        /// Buffer id.
+        buffer_id: ObjectId,
+        /// First byte to send.
+        offset: u64,
+        /// Number of bytes to send.
+        size: u64,
+        /// Bulk stream the daemon sends the data on.
+        stream_id: u64,
+    },
 }
 
 /// One command of a [`Request::EnqueueBatch`].
@@ -828,6 +858,20 @@ impl Encode for Request {
                 entries.encode(buf);
             }
             Request::GetSessionInfo => buf.push(28),
+            Request::UploadBufferRange { buffer_id, offset, size, stream_id } => {
+                buf.push(29);
+                buffer_id.encode(buf);
+                offset.encode(buf);
+                size.encode(buf);
+                stream_id.encode(buf);
+            }
+            Request::DownloadBufferRange { buffer_id, offset, size, stream_id } => {
+                buf.push(30);
+                buffer_id.encode(buf);
+                offset.encode(buf);
+                size.encode(buf);
+                stream_id.encode(buf);
+            }
         }
     }
 }
@@ -938,6 +982,18 @@ impl Decode for Request {
             },
             27 => Request::EnqueueBatch { entries: Vec::decode(r)? },
             28 => Request::GetSessionInfo,
+            29 => Request::UploadBufferRange {
+                buffer_id: ObjectId::decode(r)?,
+                offset: u64::decode(r)?,
+                size: u64::decode(r)?,
+                stream_id: u64::decode(r)?,
+            },
+            30 => Request::DownloadBufferRange {
+                buffer_id: ObjectId::decode(r)?,
+                offset: u64::decode(r)?,
+                size: u64::decode(r)?,
+                stream_id: u64::decode(r)?,
+            },
             other => return Err(codec_err(format!("invalid request tag {other}"))),
         })
     }
@@ -1063,6 +1119,17 @@ pub enum Response {
     },
     /// Session state for [`Request::Hello`] / [`Request::GetSessionInfo`].
     SessionInfo(SessionInfo),
+    /// Acknowledgement of a [`Request::DownloadBufferRange`], echoing the
+    /// byte range actually shipped on the bulk stream plus the modelled
+    /// transfer duration.
+    BufferRange {
+        /// First byte shipped.
+        offset: u64,
+        /// Number of bytes shipped.
+        size: u64,
+        /// Modelled duration in nanoseconds.
+        modeled_nanos: u64,
+    },
 }
 
 impl Encode for Response {
@@ -1102,6 +1169,12 @@ impl Encode for Response {
                 buf.push(8);
                 info.encode(buf);
             }
+            Response::BufferRange { offset, size, modeled_nanos } => {
+                buf.push(9);
+                offset.encode(buf);
+                size.encode(buf);
+                modeled_nanos.encode(buf);
+            }
         }
     }
 }
@@ -1118,6 +1191,11 @@ impl Decode for Response {
             6 => Response::OkTimed { modeled_nanos: u64::decode(r)? },
             7 => Response::BatchEnqueued { statuses: Vec::decode(r)? },
             8 => Response::SessionInfo(SessionInfo::decode(r)?),
+            9 => Response::BufferRange {
+                offset: u64::decode(r)?,
+                size: u64::decode(r)?,
+                modeled_nanos: u64::decode(r)?,
+            },
             other => return Err(codec_err(format!("invalid response tag {other}"))),
         })
     }
@@ -1359,6 +1437,18 @@ mod tests {
             ],
         });
         roundtrip_request(Request::GetSessionInfo);
+        roundtrip_request(Request::UploadBufferRange {
+            buffer_id: 3,
+            offset: 4096,
+            size: 512,
+            stream_id: 14,
+        });
+        roundtrip_request(Request::DownloadBufferRange {
+            buffer_id: 3,
+            offset: 128,
+            size: 64,
+            stream_id: 15,
+        });
     }
 
     #[test]
@@ -1397,6 +1487,7 @@ mod tests {
             dedup_admitted: 17,
             dedup_replayed: 3,
         }));
+        roundtrip_response(Response::BufferRange { offset: 4096, size: 512, modeled_nanos: 987 });
     }
 
     #[test]

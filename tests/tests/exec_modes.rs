@@ -1,7 +1,7 @@
 //! Executor selection via environment variables.  These tests mutate
-//! process-global state (`DCL_INTERP`, `DCL_VM_THREADS`), so they live in
-//! their own integration-test binary and serialise on a local mutex instead
-//! of sharing a process with the differential suite.
+//! process-global state (`DCL_INTERP`, `DCL_VM_THREADS`, `DCL_COHERENCE`),
+//! so they live in their own integration-test binary and serialise on a
+//! local mutex instead of sharing a process with the differential suite.
 
 use oclc::{BufferBinding, KernelArgValue, NdRange, Program, Value};
 use std::sync::Mutex;
@@ -102,4 +102,21 @@ fn scalar_kernels_produce_identical_bytes_in_both_modes() {
     let tree = run(Some("tree"));
     std::env::remove_var("DCL_INTERP");
     assert_eq!(vm, tree);
+}
+
+#[test]
+fn dcl_coherence_env_selects_the_directory_mode() {
+    use dopencl::coherence::CoherenceMode;
+    let _guard = ENV_LOCK.lock().unwrap();
+    std::env::remove_var("DCL_COHERENCE");
+    assert_eq!(CoherenceMode::from_env(), CoherenceMode::Range, "range is the default");
+    std::env::set_var("DCL_COHERENCE", "whole");
+    assert_eq!(CoherenceMode::from_env(), CoherenceMode::Whole);
+    std::env::set_var("DCL_COHERENCE", "WHOLE");
+    assert_eq!(CoherenceMode::from_env(), CoherenceMode::Whole, "case-insensitive");
+    std::env::set_var("DCL_COHERENCE", "range");
+    assert_eq!(CoherenceMode::from_env(), CoherenceMode::Range);
+    std::env::set_var("DCL_COHERENCE", "gibberish");
+    assert_eq!(CoherenceMode::from_env(), CoherenceMode::Range, "unknown values fall back");
+    std::env::remove_var("DCL_COHERENCE");
 }

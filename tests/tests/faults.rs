@@ -5,6 +5,7 @@
 //! partition (exactly-once replay) and a daemon crash (failover to the
 //! surviving server, bit-correct result).
 
+use dopencl::coherence::CoherenceMode;
 use dopencl::protocol::{BatchCommand, BatchEntry, Request, Response, WireNdRange};
 use dopencl::{Context, FailoverPolicy, LinkModel, LocalCluster, NdRange, SimClock, Value};
 use gcf::retry::Backoff;
@@ -410,4 +411,99 @@ fn osem_iteration_fails_over_to_survivor_after_daemon_crash() {
     }
     let stats = client.traffic_stats();
     assert!(stats.failed_requests >= 1 || stats.retries >= 1);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: daemon crash in the middle of a delta-coherence exchange
+// ---------------------------------------------------------------------------
+
+/// Headline chaos scenario (c), range coherence under failover: a buffer is
+/// shared across two daemons, node1 has received *one* delta upload (the
+/// slice a hinted kernel then overwrote) when node0 is killed.  The
+/// remaining ranges are still pending — the survivor must be re-validated
+/// from the client's copy, moving **only the stale ranges**, and the final
+/// read is bit-correct.  Losing node0 afterwards drops it from the roster
+/// and invalidates exactly its directory entries.
+#[test]
+fn crash_between_delta_uploads_revalidates_only_stale_ranges_on_survivor() {
+    const SIZE: usize = 4096; // 1024 uints
+    const SLICE_OFFSET: usize = 1024; // uints [256, 512)
+    const SLICE_LEN: usize = 1024;
+    const STAMP: &str = r#"
+        __kernel void stamp(__global uint* out, uint base) {
+            size_t i = get_global_id(0);
+            out[base + i] = ((uint)i + base) * 97u + 5u;
+        }
+    "#;
+
+    let mut cluster = LocalCluster::new(LinkModel::gigabit_ethernet());
+    cluster.add_node("node0", &Platform::test_platform(1)).unwrap();
+    cluster.add_node("node1", &Platform::test_platform(1)).unwrap();
+    let client = cluster.client_with_clock("delta-crash", SimClock::new()).unwrap();
+    client.set_coherence_mode(CoherenceMode::Range);
+    client.set_failover_policy(FailoverPolicy {
+        reconnect: true,
+        backoff: Backoff::fast(),
+        drop_lost_servers: true,
+    });
+    let devices = client.devices();
+    let context = Context::new(&client, &devices).unwrap();
+    let q0 = context.create_command_queue(&devices[0]).unwrap();
+    let q1 = context.create_command_queue(&devices[1]).unwrap();
+    let buffer = context.create_buffer(SIZE).unwrap();
+
+    // Base image lives on node0 (and in the client's cache).
+    let base: Vec<u8> = (0..SIZE).map(|i| (i % 241) as u8).collect();
+    q0.write_buffer(&buffer, &base).blocking().submit().unwrap();
+
+    // A hinted kernel on node1 declares it writes only `[1024, 2048)`: the
+    // delta plan uploads exactly that slice to node1 before the launch.
+    let program = context.create_program_with_source(STAMP).unwrap();
+    program.build().unwrap();
+    let kernel = program.create_kernel("stamp").unwrap();
+    kernel.set_arg(0, &buffer).unwrap();
+    kernel.set_arg(1, Value::uint((SLICE_OFFSET / 4) as u64)).unwrap();
+    q1.launch(&kernel, NdRange::linear(SLICE_LEN / 4))
+        .writes_slice(&buffer, SLICE_OFFSET, SLICE_LEN)
+        .submit()
+        .unwrap()
+        .wait()
+        .unwrap();
+
+    // Crash node0 before the remaining ranges ever reached node1.
+    cluster.daemons()[0].kill();
+
+    let mut expected = base.clone();
+    for i in 0..SLICE_LEN / 4 {
+        let value = ((i + SLICE_OFFSET / 4) * 97 + 5) as u32;
+        let at = SLICE_OFFSET + i * 4;
+        expected[at..at + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    // Reading through the survivor re-validates only the stale ranges —
+    // the client uploads the 3072 bytes node1 never saw, not the whole
+    // buffer, and never needs the dead node.
+    let uploaded_before = cluster.daemons()[1].stats().bytes_uploaded;
+    let before = client.traffic_stats();
+    let (data, _) = q1.read_buffer(&buffer).submit().unwrap();
+    assert_eq!(data, expected, "survivor read must be bit-correct after the crash");
+    let stale_bytes = (SIZE - SLICE_LEN) as u64;
+    assert_eq!(
+        cluster.daemons()[1].stats().bytes_uploaded - uploaded_before,
+        stale_bytes,
+        "only the stale ranges are re-uploaded to the survivor"
+    );
+    assert_eq!(client.traffic_stats().delta(&before).stream_bytes_sent, stale_bytes);
+
+    // The dead node is dropped from the roster and its directory entries
+    // invalidated; work routed at it fails fast, the survivor keeps
+    // serving the (already fully valid) buffer without further transfers.
+    assert!(q0.read_buffer(&buffer).submit().is_err(), "the dead node's queue must fail");
+    assert_eq!(client.servers().len(), 1);
+    assert!(buffer.valid_ranges(devices[0].server()).is_empty());
+    assert_eq!(buffer.stale_ranges(devices[1].server()), vec![]);
+    let uploaded_before = cluster.daemons()[1].stats().bytes_uploaded;
+    let (data, _) = q1.read_buffer(&buffer).submit().unwrap();
+    assert_eq!(data, expected);
+    assert_eq!(cluster.daemons()[1].stats().bytes_uploaded, uploaded_before);
 }
