@@ -38,6 +38,48 @@ pub fn secs(d: std::time::Duration) -> String {
     format!("{:.2}", d.as_secs_f64())
 }
 
+/// Percentile of a **sorted** slice using linear interpolation between the
+/// two nearest ranks (the same definition numpy's default uses).  `p` is in
+/// `[0, 100]`.  An empty slice yields 0.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// The latency summary the benchmark reports carry: median and the two tail
+/// percentiles the paper's service-quality discussion cares about.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile tail latency.
+    pub p99: f64,
+}
+
+impl Percentiles {
+    /// Summarise a sample set (sorts a copy; the input order is arbitrary).
+    pub fn of(values: &[f64]) -> Percentiles {
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Percentiles {
+            p50: percentile(&sorted, 50.0),
+            p95: percentile(&sorted, 95.0),
+            p99: percentile(&sorted, 99.0),
+        }
+    }
+}
+
 /// A minimal JSON value for benchmark reports.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
@@ -158,6 +200,21 @@ mod tests {
         assert_eq!(secs(std::time::Duration::from_millis(1500)), "1.50");
         // print_table must not panic on ragged rows.
         print_table("t", &["a", "b"], &[vec!["1".into()], vec!["22".into(), "333".into()]]);
+    }
+
+    #[test]
+    fn percentiles_interpolate_between_ranks() {
+        let sorted: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 100.0), 100.0);
+        assert!((percentile(&sorted, 50.0) - 50.5).abs() < 1e-9);
+        assert!((percentile(&sorted, 99.0) - 99.01).abs() < 1e-9);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+
+        let summary = Percentiles::of(&[3.0, 1.0, 2.0, 4.0]);
+        assert!((summary.p50 - 2.5).abs() < 1e-9);
+        assert!(summary.p95 <= summary.p99 && summary.p99 <= 4.0);
     }
 
     #[test]

@@ -426,6 +426,11 @@ pub struct Program {
     id: ObjectId,
     servers: Vec<usize>,
     source_len: usize,
+    /// Parse-only kernel-argument access analysis of the program source
+    /// (empty for built-in kernels or unparsable sources).  Kernels created
+    /// from this program use it to *derive* coherence launch hints when the
+    /// caller gives none.
+    access: Arc<Vec<oclc::access::KernelAccess>>,
 }
 
 impl Program {
@@ -500,6 +505,23 @@ pub struct Kernel {
     name: String,
     servers: Vec<usize>,
     buffer_args: Arc<Mutex<HashMap<u32, Buffer>>>,
+    /// Per-argument access derived from the program source (declaration
+    /// order = `clSetKernelArg` indices); empty when nothing was derivable.
+    derived_access: Arc<Vec<oclc::access::ArgAccess>>,
+}
+
+impl Kernel {
+    /// The statically derived access classification of argument `index`
+    /// (diagnostics; [`ArgAccess::WrittenWhole`] when unknown is the
+    /// conservative answer launches fall back to).
+    ///
+    /// [`ArgAccess::WrittenWhole`]: oclc::access::ArgAccess::WrittenWhole
+    pub fn derived_access(&self, index: u32) -> oclc::access::ArgAccess {
+        self.derived_access
+            .get(index as usize)
+            .copied()
+            .unwrap_or(oclc::access::ArgAccess::WrittenWhole)
+    }
 }
 
 impl Kernel {
@@ -1232,6 +1254,10 @@ impl ClientInner {
             id,
             servers: context.servers.clone(),
             source_len: source.len(),
+            // Parse-only (never bumps the build counter); a source the
+            // parser rejects simply derives no hints — the build on the
+            // daemon reports the real error.
+            access: Arc::new(oclc::access::analyze(source).unwrap_or_default()),
         })
     }
 
@@ -1257,6 +1283,7 @@ impl ClientInner {
             id,
             servers: context.servers.clone(),
             source_len: 0,
+            access: Arc::new(Vec::new()),
         })
     }
 
@@ -1308,12 +1335,19 @@ impl ClientInner {
                 Phase::Initialization,
             )?;
         }
+        let derived_access = program
+            .access
+            .iter()
+            .find(|k| k.name == name)
+            .map(|k| Arc::new(k.args.clone()))
+            .unwrap_or_default();
         Ok(Kernel {
             client: Arc::downgrade(self),
             id,
             name: name.to_string(),
             servers: program.servers.clone(),
             buffer_args: Arc::new(Mutex::new(HashMap::new())),
+            derived_access,
         })
     }
 
@@ -1639,13 +1673,33 @@ impl ClientInner {
         access: &[(ObjectId, AccessHint)],
     ) -> Result<Event> {
         let server = queue.server;
-        let hint_for = |id: ObjectId| access.iter().rev().find(|(b, _)| *b == id).map(|(_, h)| *h);
+        let explicit = |id: ObjectId| access.iter().rev().find(|(b, _)| *b == id).map(|(_, h)| *h);
+        // Derived hints: where the caller gave no explicit hint, fall back
+        // to the parse-time access analysis of the kernel source.  A
+        // provably read-only argument skips dirtying; an argument whose
+        // every access is indexed by the linear global id touches exactly
+        // the byte slice a 1-D launch implies.
+        let (work_dim, offset0, global0) = (range.work_dim, range.offset[0], range.global[0]);
+        let derived = move |index: u32, buffer: &Buffer| -> Option<AccessHint> {
+            match kernel.derived_access.get(index as usize)? {
+                oclc::access::ArgAccess::ReadOnly => Some(AccessHint::ReadsOnly),
+                oclc::access::ArgAccess::WrittenLinear { elem_bytes } if work_dim == 1 => {
+                    let start = offset0.saturating_mul(*elem_bytes);
+                    let end = offset0.saturating_add(global0).saturating_mul(*elem_bytes);
+                    Some(AccessHint::Touches(ByteRange::new(start, end).clamp_to(buffer.size)))
+                }
+                _ => None,
+            }
+        };
+        let hint_for =
+            |index: u32, buffer: &Buffer| explicit(buffer.id).or_else(|| derived(index, buffer));
         // Memory consistency: the target server needs a valid copy of every
         // memory object the kernel may read — only the declared slice for
         // launches carrying an access hint.
-        let buffer_args: Vec<Buffer> = kernel.buffer_args.lock().values().cloned().collect();
-        for buffer in &buffer_args {
-            match hint_for(buffer.id) {
+        let buffer_args: Vec<(u32, Buffer)> =
+            kernel.buffer_args.lock().iter().map(|(i, b)| (*i, b.clone())).collect();
+        for (index, buffer) in &buffer_args {
+            match hint_for(*index, buffer) {
                 Some(AccessHint::Touches(slice)) => {
                     self.ensure_valid_range_on(server, buffer, Some(slice))?
                 }
@@ -1667,10 +1721,10 @@ impl ClientInner {
             return Err(e);
         }
         // The kernel may have written any of its buffer arguments — only
-        // the declared slice when the launch carried an access hint, and
-        // nothing at all for read-only arguments.
-        for buffer in &buffer_args {
-            match hint_for(buffer.id) {
+        // the declared (or derived) slice when the launch carries an access
+        // hint, and nothing at all for read-only arguments.
+        for (index, buffer) in &buffer_args {
+            match hint_for(*index, buffer) {
                 Some(AccessHint::ReadsOnly) => {}
                 Some(AccessHint::Touches(slice)) => {
                     buffer.directory.lock().record_device_write_range(server, slice)
@@ -2385,6 +2439,41 @@ impl Client {
             .enumerate()
             .filter_map(|(i, s)| s.as_ref().map(|_| ServerId(i)))
             .collect()
+    }
+
+    /// The id of the connected server at `address`, if any.
+    pub fn server_by_address(&self, address: &str) -> Option<ServerId> {
+        self.inner
+            .servers
+            .lock()
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.as_ref().map(|s| s.name == address).unwrap_or(false))
+            .map(|(i, _)| ServerId(i))
+    }
+
+    /// Reconcile the connected-server set with a lease's current server
+    /// list — the client half of a resource-manager `LeaseChanged` notice
+    /// (migration, preemption, failover).  Servers in `addresses` that are
+    /// not yet connected are connected; connected servers *not* in the list
+    /// are disconnected (their buffer copies are already invalid — the
+    /// coherence directory re-validates from the survivors on next use).
+    /// Returns the ids now backing the lease, in `addresses` order.
+    pub fn sync_servers(&self, addresses: &[String]) -> Result<Vec<ServerId>> {
+        let mut ids = Vec::new();
+        for address in addresses {
+            match self.server_by_address(address) {
+                Some(id) => ids.push(id),
+                None => ids.push(self.connect_server(address)?),
+            }
+        }
+        for id in self.servers() {
+            let name = self.inner.server(id.0)?.name.clone();
+            if !addresses.contains(&name) {
+                let _ = self.disconnect_server(id);
+            }
+        }
+        Ok(ids)
     }
 
     /// All devices of all connected servers, merged into the single device

@@ -157,12 +157,15 @@ impl Daemon {
                 Arc::clone(&strong.stats),
                 Arc::clone(&strong.registry),
             ));
-            let endpoint = Endpoint::new(
+            // The session must learn its endpoint before the receiver
+            // thread dispatches the first request — a bulk download handled
+            // earlier would find no endpoint to stream on.
+            let endpoint = Endpoint::new_init(
                 conn,
                 Arc::clone(&session) as Arc<dyn EndpointHandler>,
                 format!("daemon-{}", strong.name),
+                |ep| session.set_endpoint(ep),
             );
-            session.set_endpoint(&endpoint);
             let mut sessions = strong.sessions.lock();
             // Prune endpoints whose connection died; their sessions drop
             // here, releasing leases for clients that never came back

@@ -3,9 +3,12 @@
 
 use crate::config::{DeviceRequestConfig, DeviceRequirement};
 use crate::error::{DevMgrError, Result};
-use crate::protocol::{DmRequest, DmRequirement, DmResponse};
+use crate::protocol::{
+    DmGrant, DmNotification, DmRequest, DmRequirement, DmResponse, DmShareRequest,
+    LeaseChangeReason,
+};
 use dopencl::Client;
-use gcf::rpc::{Endpoint, NullHandler};
+use gcf::rpc::{Endpoint, EndpointHandler, NullHandler};
 use gcf::transport::Transport;
 use gcf::wire::{Decode, Encode};
 use std::sync::Arc;
@@ -39,6 +42,21 @@ fn dm_call(endpoint: &Arc<Endpoint>, request: DmRequest) -> Result<DmResponse> {
     DmResponse::from_bytes(&bytes).map_err(|e| DevMgrError::Protocol(e.to_string()))
 }
 
+/// Reconstruct the typed error a remote device manager reported (the wire
+/// carries only a message; the [`DevMgrError`] Display prefixes
+/// disambiguate).
+fn remote_error(message: String) -> DevMgrError {
+    if let Some(m) = message.strip_prefix("cluster saturated: ") {
+        DevMgrError::Saturated(m.to_string())
+    } else if let Some(m) = message.strip_prefix("unknown lease: ") {
+        DevMgrError::UnknownLease(m.to_string())
+    } else if let Some(m) = message.strip_prefix("no matching devices: ") {
+        DevMgrError::NoMatchingDevices(m.to_string())
+    } else {
+        DevMgrError::NoMatchingDevices(message)
+    }
+}
+
 /// Step 1 + 3a of Figure 2: send an assignment request and return the lease.
 pub fn request_assignment(
     transport: &Arc<dyn Transport>,
@@ -59,7 +77,165 @@ pub fn request_assignment(
         DmResponse::Assignment { auth_id, servers } => {
             Ok(Assignment { auth_id, servers, device_manager: dm_address.to_string() })
         }
-        DmResponse::Error { message } => Err(DevMgrError::NoMatchingDevices(message)),
+        DmResponse::Error { message } => Err(remote_error(message)),
+        other => Err(DevMgrError::Protocol(format!("unexpected response {other:?}"))),
+    }
+}
+
+/// Request *fractional* shares from the resource manager: each
+/// [`DmShareRequest`] names attribute constraints plus a compute share in
+/// millis (with a floor) and a memory quota.  `priority` orders leases
+/// under [`crate::Strategy::Priority`] and weights them under
+/// [`crate::Strategy::Fair`].
+pub fn request_shares(
+    transport: &Arc<dyn Transport>,
+    dm_address: &str,
+    client_name: &str,
+    priority: u32,
+    shares: &[DmShareRequest],
+) -> Result<Assignment> {
+    let endpoint = dm_endpoint(transport, dm_address)?;
+    let response = dm_call(
+        &endpoint,
+        DmRequest::RequestShares {
+            client_name: client_name.to_string(),
+            priority,
+            shares: shares.to_vec(),
+        },
+    )?;
+    endpoint.close();
+    match response {
+        DmResponse::Assignment { auth_id, servers } => {
+            Ok(Assignment { auth_id, servers, device_manager: dm_address.to_string() })
+        }
+        DmResponse::Error { message } => Err(remote_error(message)),
+        other => Err(DevMgrError::Protocol(format!("unexpected response {other:?}"))),
+    }
+}
+
+/// Fetch the current grants of a lease (server address, device, quotas) —
+/// how a client observes migrations and shrinks when polling rather than
+/// watching.
+pub fn get_lease(
+    transport: &Arc<dyn Transport>,
+    dm_address: &str,
+    auth_id: &str,
+) -> Result<Vec<DmGrant>> {
+    let endpoint = dm_endpoint(transport, dm_address)?;
+    let response = dm_call(&endpoint, DmRequest::GetLease { auth_id: auth_id.to_string() })?;
+    endpoint.close();
+    match response {
+        DmResponse::LeaseInfo { grants, .. } => Ok(grants),
+        DmResponse::Error { message } => Err(remote_error(message)),
+        other => Err(DevMgrError::Protocol(format!("unexpected response {other:?}"))),
+    }
+}
+
+/// A lease-change notice pushed to a watching client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseChangeNotice {
+    /// The affected lease.
+    pub auth_id: String,
+    /// The lease's server addresses *after* the change (empty when the
+    /// lease was released/revoked entirely).
+    pub servers: Vec<String>,
+    /// Why the lease changed.
+    pub reason: LeaseChangeReason,
+}
+
+struct WatchHandler {
+    callback: Box<dyn Fn(LeaseChangeNotice) + Send + Sync>,
+}
+
+impl WatchHandler {
+    fn apply(&self, payload: &[u8]) {
+        if let Ok(DmNotification::LeaseChanged { auth_id, servers, reason }) =
+            DmNotification::from_bytes(payload)
+        {
+            (self.callback)(LeaseChangeNotice { auth_id, servers, reason });
+        }
+    }
+}
+
+impl EndpointHandler for WatchHandler {
+    fn handle_request(&self, payload: &[u8]) -> Vec<u8> {
+        self.apply(payload);
+        DmResponse::Ok.to_bytes()
+    }
+
+    fn handle_notification(&self, payload: &[u8]) {
+        self.apply(payload);
+    }
+}
+
+/// A live lease watch; dropping it closes the connection and stops the
+/// callbacks.
+pub struct LeaseWatch {
+    endpoint: Arc<Endpoint>,
+}
+
+impl Drop for LeaseWatch {
+    fn drop(&mut self) {
+        self.endpoint.close();
+    }
+}
+
+/// Subscribe to lease-change pushes for `auth_id`: `callback` runs (on the
+/// watch connection's receiver thread) every time the resource manager
+/// migrates, shrinks, or revokes the lease.  Clients use this to reconnect
+/// to the lease's new servers and re-validate buffers through the
+/// coherence directory.  Keep the returned [`LeaseWatch`] alive for as
+/// long as the subscription should last.
+pub fn watch_lease(
+    transport: &Arc<dyn Transport>,
+    dm_address: &str,
+    auth_id: &str,
+    callback: impl Fn(LeaseChangeNotice) + Send + Sync + 'static,
+) -> Result<LeaseWatch> {
+    let conn = transport.connect(dm_address)?;
+    let handler = Arc::new(WatchHandler { callback: Box::new(callback) });
+    let endpoint = Endpoint::new(conn, handler, "devmgr-watch");
+    let response = dm_call(&endpoint, DmRequest::WatchLease { auth_id: auth_id.to_string() })?;
+    match response {
+        DmResponse::Ok => Ok(LeaseWatch { endpoint }),
+        DmResponse::Error { message } => {
+            endpoint.close();
+            Err(remote_error(message))
+        }
+        other => {
+            endpoint.close();
+            Err(DevMgrError::Protocol(format!("unexpected response {other:?}")))
+        }
+    }
+}
+
+/// Administrative: drain a server (no new placements; shares migrate off
+/// as capacity allows) ahead of a graceful leave.
+pub fn drain_server(
+    transport: &Arc<dyn Transport>,
+    dm_address: &str,
+    server_name: &str,
+) -> Result<()> {
+    admin_call(transport, dm_address, DmRequest::DrainServer { server_name: server_name.into() })
+}
+
+/// Administrative: remove a server from the cluster; remaining shares are
+/// failed over like a crash.
+pub fn remove_server(
+    transport: &Arc<dyn Transport>,
+    dm_address: &str,
+    server_name: &str,
+) -> Result<()> {
+    admin_call(transport, dm_address, DmRequest::RemoveServer { server_name: server_name.into() })
+}
+
+fn admin_call(transport: &Arc<dyn Transport>, dm_address: &str, request: DmRequest) -> Result<()> {
+    let endpoint = dm_endpoint(transport, dm_address)?;
+    let response = dm_call(&endpoint, request)?;
+    endpoint.close();
+    match response {
+        DmResponse::Ok => Ok(()),
+        DmResponse::Error { message } => Err(DevMgrError::Protocol(message)),
         other => Err(DevMgrError::Protocol(format!("unexpected response {other:?}"))),
     }
 }

@@ -12,6 +12,10 @@ pub enum DevMgrError {
     Config(String),
     /// No combination of free devices satisfies the assignment request.
     NoMatchingDevices(String),
+    /// Matching devices exist but the cluster has no capacity left for the
+    /// request's minimum share, and the active policy would not (or could
+    /// not) reclaim any — admission control rejected the request.
+    Saturated(String),
     /// The referenced lease does not exist (or was already released).
     UnknownLease(String),
     /// A communication error with the device manager.
@@ -27,6 +31,7 @@ impl fmt::Display for DevMgrError {
         match self {
             DevMgrError::Config(m) => write!(f, "configuration error: {m}"),
             DevMgrError::NoMatchingDevices(m) => write!(f, "no matching devices: {m}"),
+            DevMgrError::Saturated(m) => write!(f, "cluster saturated: {m}"),
             DevMgrError::UnknownLease(m) => write!(f, "unknown lease: {m}"),
             DevMgrError::Network(e) => write!(f, "network error: {e}"),
             DevMgrError::Protocol(m) => write!(f, "protocol error: {m}"),

@@ -10,12 +10,13 @@
 
 use crate::error::Result;
 use crate::protocol::{DmDevice, DmNotification, DmRequest, DmResponse};
+use crate::vdev::FULL_COMPUTE_MILLIS;
 use dopencl::daemon::AccessPolicy;
 use gcf::rpc::{Endpoint, EndpointHandler};
 use gcf::transport::Transport;
 use gcf::wire::{Decode, Encode};
 use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::Arc;
 use vocl::{Device, DeviceInfoParam, DeviceInfoValue};
 
@@ -35,9 +36,13 @@ pub fn describe_device(device: &Device) -> DmDevice {
     }
 }
 
+/// The quota a lease holds on one local device: (compute millis, memory
+/// bytes).  Legacy whole-device pushes record a full-device quota.
+pub type DeviceQuota = (u32, u64);
+
 struct LeaseTable {
-    /// auth id → device ids this lease may use on this server.
-    assignments: HashMap<String, HashSet<u64>>,
+    /// auth id → device id → quota this lease may use on this server.
+    assignments: HashMap<String, HashMap<u64, DeviceQuota>>,
 }
 
 struct PolicyNotificationHandler {
@@ -50,11 +55,37 @@ impl PolicyNotificationHandler {
         let mut table = self.table.lock();
         match notification {
             DmNotification::AssignDevices { auth_id, device_ids } => {
-                table.assignments.entry(auth_id).or_default().extend(device_ids);
+                let entry = table.assignments.entry(auth_id).or_default();
+                for id in device_ids {
+                    entry.insert(id, (FULL_COMPUTE_MILLIS, 0));
+                }
+            }
+            DmNotification::AssignShares { auth_id, shares } => {
+                let entry = table.assignments.entry(auth_id).or_default();
+                for quota in shares {
+                    entry.insert(quota.device_id, (quota.compute_millis, quota.mem_bytes));
+                }
+            }
+            DmNotification::UpdateQuota { auth_id, quotas } => {
+                let entry = table.assignments.entry(auth_id.clone()).or_default();
+                for quota in quotas {
+                    if quota.compute_millis == 0 {
+                        entry.remove(&quota.device_id);
+                    } else {
+                        entry.insert(quota.device_id, (quota.compute_millis, quota.mem_bytes));
+                    }
+                }
+                if table.assignments.get(&auth_id).map(|e| e.is_empty()).unwrap_or(false) {
+                    table.assignments.remove(&auth_id);
+                }
             }
             DmNotification::RevokeLease { auth_id } => {
                 table.assignments.remove(&auth_id);
             }
+            // Lease-change notices are addressed to watching *clients*; a
+            // daemon can see one when it shares an endpoint in tests —
+            // nothing to update locally (the quota pushes carry the facts).
+            DmNotification::LeaseChanged { .. } => {}
         }
         true
     }
@@ -98,7 +129,7 @@ impl AccessPolicy for ManagedPolicyShared {
         let Some(auth_id) = auth_id else { return Vec::new() };
         let table = self.table.lock();
         let Some(allowed) = table.assignments.get(auth_id) else { return Vec::new() };
-        all.iter().filter(|d| allowed.contains(&d.id())).cloned().collect()
+        all.iter().filter(|d| allowed.contains_key(&d.id())).cloned().collect()
     }
 
     fn managed(&self) -> bool {
@@ -107,9 +138,16 @@ impl AccessPolicy for ManagedPolicyShared {
 
     fn client_disconnected(&self, auth_id: Option<&str>) {
         if let Some(auth_id) = auth_id {
+            // Only report leases this daemon still hosts.  After a
+            // migration the client legitimately disconnects from the old
+            // node — whose quota entry the manager already cleared — and
+            // reporting that would release the lease out from under the
+            // new node.
+            if self.table.lock().assignments.remove(auth_id).is_none() {
+                return;
+            }
             let request = DmRequest::ReportDisconnect { auth_id: auth_id.to_string() };
             let _ = self.endpoint.call(request.to_bytes());
-            self.table.lock().assignments.remove(auth_id);
         }
     }
 }
@@ -158,6 +196,14 @@ impl ManagedDaemon {
     /// The access policy to pass to [`dopencl::Daemon::start`].
     pub fn policy(&self) -> Arc<dyn AccessPolicy> {
         Arc::clone(&self.policy) as Arc<dyn AccessPolicy>
+    }
+
+    /// The quota (compute millis, memory bytes) `auth_id` currently holds
+    /// on local device `device_id`, or `None` when the lease has no share
+    /// there.  This is how a daemon enforces fractional shares: the compute
+    /// part throttles scheduling, the memory part caps allocations.
+    pub fn lease_quota(&self, auth_id: &str, device_id: u64) -> Option<DeviceQuota> {
+        self.policy.table.lock().assignments.get(auth_id)?.get(&device_id).copied()
     }
 
     /// Send one liveness beacon to the device manager (Section IV-C).  The
@@ -324,6 +370,51 @@ mod tests {
                 "server was never marked down after its heartbeat timer stopped"
             );
             std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn fractional_shares_reach_the_daemon_quota_table() {
+        use crate::vdev::ShareRequest;
+
+        let transport = InprocTransport::new();
+        let dm = DeviceManager::new(SchedulingStrategy::FirstFit);
+        let dm_server =
+            DeviceManagerServer::start(Arc::clone(&dm), Arc::new(transport.clone()), "devmngr")
+                .unwrap();
+        let platform = Platform::gpu_server();
+        let managed = ManagedDaemon::connect(
+            Arc::new(transport.clone()),
+            dm_server.address(),
+            "gpuserver",
+            "gpuserver",
+            platform.devices(),
+        )
+        .unwrap();
+
+        let share = ShareRequest {
+            count: 1,
+            attributes: vec![("TYPE".into(), "GPU".into())],
+            compute_millis: 400,
+            min_millis: 100,
+            mem_bytes: 1 << 20,
+        };
+        let (lease, _) = dm.assign_shares("client-a", &[share], 0).unwrap();
+        let (_, device_id) = lease.physical_devices()[0];
+        // The install is a synchronous call: once assign_shares() returns,
+        // the daemon knows the quota.
+        assert_eq!(managed.lease_quota(&lease.auth_id, device_id), Some((400, 1 << 20)));
+        // The fractional device is still visible to this lease only.
+        let visible = managed.policy().visible_devices(Some(&lease.auth_id), platform.devices());
+        assert_eq!(visible.len(), 1);
+        assert_eq!(visible[0].id(), device_id);
+
+        dm.release(&lease.auth_id).unwrap();
+        // Revocation is fire-and-forget; poll until the daemon drops it.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while managed.lease_quota(&lease.auth_id, device_id).is_some() {
+            assert!(std::time::Instant::now() < deadline, "revocation never arrived");
+            std::thread::sleep(std::time::Duration::from_millis(2));
         }
     }
 

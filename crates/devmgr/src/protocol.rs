@@ -107,6 +107,142 @@ impl Decode for DmRequirement {
     }
 }
 
+/// One fractional-share requirement of an assignment request (the
+/// resource-manager generalization of [`DmRequirement`]): device attributes
+/// plus compute/memory quotas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DmShareRequest {
+    /// Number of shares with these parameters, each on a distinct device.
+    pub count: u32,
+    /// Attribute constraints on the physical device.
+    pub attributes: Vec<(String, String)>,
+    /// Desired compute share in millis (1000 = a whole device).
+    pub compute_millis: u32,
+    /// Smallest acceptable grant (0 = all-or-nothing).
+    pub min_millis: u32,
+    /// Required device-memory quota in bytes (0 = no requirement).
+    pub mem_bytes: u64,
+}
+
+impl Encode for DmShareRequest {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.count.encode(buf);
+        self.attributes.encode(buf);
+        self.compute_millis.encode(buf);
+        self.min_millis.encode(buf);
+        self.mem_bytes.encode(buf);
+    }
+}
+
+impl Decode for DmShareRequest {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, GcfError> {
+        Ok(DmShareRequest {
+            count: u32::decode(r)?,
+            attributes: Vec::decode(r)?,
+            compute_millis: u32::decode(r)?,
+            min_millis: u32::decode(r)?,
+            mem_bytes: u64::decode(r)?,
+        })
+    }
+}
+
+/// A per-device quota, as pushed to daemons and reported to clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DmQuota {
+    /// Daemon-local device id.
+    pub device_id: u64,
+    /// Granted compute share in millis.
+    pub compute_millis: u32,
+    /// Granted memory quota in bytes (0 = unlimited).
+    pub mem_bytes: u64,
+}
+
+impl Encode for DmQuota {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.device_id.encode(buf);
+        self.compute_millis.encode(buf);
+        self.mem_bytes.encode(buf);
+    }
+}
+
+impl Decode for DmQuota {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, GcfError> {
+        Ok(DmQuota {
+            device_id: u64::decode(r)?,
+            compute_millis: u32::decode(r)?,
+            mem_bytes: u64::decode(r)?,
+        })
+    }
+}
+
+/// One grant of a lease, as reported to clients by
+/// [`DmResponse::LeaseInfo`]: which server/device hosts the share and its
+/// current quotas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DmGrant {
+    /// Address of the server hosting the share.
+    pub server: String,
+    /// Daemon-local device id.
+    pub device_id: u64,
+    /// Current compute share in millis.
+    pub compute_millis: u32,
+    /// Current memory quota in bytes.
+    pub mem_bytes: u64,
+}
+
+impl Encode for DmGrant {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.server.encode(buf);
+        self.device_id.encode(buf);
+        self.compute_millis.encode(buf);
+        self.mem_bytes.encode(buf);
+    }
+}
+
+impl Decode for DmGrant {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, GcfError> {
+        Ok(DmGrant {
+            server: String::decode(r)?,
+            device_id: u64::decode(r)?,
+            compute_millis: u32::decode(r)?,
+            mem_bytes: u64::decode(r)?,
+        })
+    }
+}
+
+/// Why a lease changed underneath its client
+/// ([`DmNotification::LeaseChanged`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseChangeReason {
+    /// One or more shares moved to another server (failover, drain, or
+    /// preemption-driven migration); re-read the lease and reconcile
+    /// connections.
+    Migrated,
+    /// Quotas were shrunk by fair-share rebalancing.
+    Shrunk,
+    /// One or more shares were revoked without replacement.
+    Revoked,
+}
+
+impl LeaseChangeReason {
+    fn to_u8(self) -> u8 {
+        match self {
+            LeaseChangeReason::Migrated => 0,
+            LeaseChangeReason::Shrunk => 1,
+            LeaseChangeReason::Revoked => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, GcfError> {
+        Ok(match v {
+            0 => LeaseChangeReason::Migrated,
+            1 => LeaseChangeReason::Shrunk,
+            2 => LeaseChangeReason::Revoked,
+            other => return Err(codec_err(format!("invalid lease-change reason {other}"))),
+        })
+    }
+}
+
 /// Requests understood by the device manager.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DmRequest {
@@ -145,6 +281,42 @@ pub enum DmRequest {
         /// The reporting daemon's node name.
         server_name: String,
     },
+    /// A client asks for fractional shares (the resource-manager form of
+    /// [`DmRequest::RequestAssignment`]).
+    RequestShares {
+        /// The requesting client's name.
+        client_name: String,
+        /// Scheduling priority (only meaningful under the Priority policy;
+        /// higher wins).
+        priority: u32,
+        /// The requested shares.
+        shares: Vec<DmShareRequest>,
+    },
+    /// Administratively drain a server: no new placements land on it and
+    /// its shares are migrated to other nodes where capacity allows
+    /// (graceful leave, first half).
+    DrainServer {
+        /// The node name to drain.
+        server_name: String,
+    },
+    /// Remove a (typically drained) server from the cluster; shares still
+    /// on it are failed over like a crash.
+    RemoveServer {
+        /// The node name to remove.
+        server_name: String,
+    },
+    /// Query the current grants of a lease.
+    GetLease {
+        /// The lease's authentication id.
+        auth_id: String,
+    },
+    /// Subscribe this connection to [`DmNotification::LeaseChanged`] pushes
+    /// for a lease (clients call this to learn about migrations,
+    /// rebalancing shrinks and revocations).
+    WatchLease {
+        /// The lease's authentication id.
+        auth_id: String,
+    },
 }
 
 impl Encode for DmRequest {
@@ -174,6 +346,28 @@ impl Encode for DmRequest {
                 buf.push(5);
                 server_name.encode(buf);
             }
+            DmRequest::RequestShares { client_name, priority, shares } => {
+                buf.push(6);
+                client_name.encode(buf);
+                priority.encode(buf);
+                shares.encode(buf);
+            }
+            DmRequest::DrainServer { server_name } => {
+                buf.push(7);
+                server_name.encode(buf);
+            }
+            DmRequest::RemoveServer { server_name } => {
+                buf.push(8);
+                server_name.encode(buf);
+            }
+            DmRequest::GetLease { auth_id } => {
+                buf.push(9);
+                auth_id.encode(buf);
+            }
+            DmRequest::WatchLease { auth_id } => {
+                buf.push(10);
+                auth_id.encode(buf);
+            }
         }
     }
 }
@@ -194,6 +388,15 @@ impl Decode for DmRequest {
             3 => DmRequest::ReportDisconnect { auth_id: String::decode(r)? },
             4 => DmRequest::GetStatus,
             5 => DmRequest::Heartbeat { server_name: String::decode(r)? },
+            6 => DmRequest::RequestShares {
+                client_name: String::decode(r)?,
+                priority: u32::decode(r)?,
+                shares: Vec::decode(r)?,
+            },
+            7 => DmRequest::DrainServer { server_name: String::decode(r)? },
+            8 => DmRequest::RemoveServer { server_name: String::decode(r)? },
+            9 => DmRequest::GetLease { auth_id: String::decode(r)? },
+            10 => DmRequest::WatchLease { auth_id: String::decode(r)? },
             other => return Err(codec_err(format!("invalid device-manager request tag {other}"))),
         })
     }
@@ -225,6 +428,13 @@ pub enum DmResponse {
         /// Active leases.
         leases: u32,
     },
+    /// The current grants of a lease ([`DmRequest::GetLease`]).
+    LeaseInfo {
+        /// The lease's authentication id.
+        auth_id: String,
+        /// Per-device grants with their current quotas.
+        grants: Vec<DmGrant>,
+    },
 }
 
 impl Encode for DmResponse {
@@ -246,6 +456,11 @@ impl Encode for DmResponse {
                 assigned_devices.encode(buf);
                 leases.encode(buf);
             }
+            DmResponse::LeaseInfo { auth_id, grants } => {
+                buf.push(4);
+                auth_id.encode(buf);
+                grants.encode(buf);
+            }
         }
     }
 }
@@ -261,6 +476,7 @@ impl Decode for DmResponse {
                 assigned_devices: u32::decode(r)?,
                 leases: u32::decode(r)?,
             },
+            4 => DmResponse::LeaseInfo { auth_id: String::decode(r)?, grants: Vec::decode(r)? },
             other => return Err(codec_err(format!("invalid device-manager response tag {other}"))),
         })
     }
@@ -281,6 +497,34 @@ pub enum DmNotification {
         /// The lease's authentication id.
         auth_id: String,
     },
+    /// Associate fractional shares with the authentication id (the
+    /// quota-carrying form of [`DmNotification::AssignDevices`]).
+    AssignShares {
+        /// The lease's authentication id.
+        auth_id: String,
+        /// Per-device quotas the lease may use on this server.
+        shares: Vec<DmQuota>,
+    },
+    /// Replace the lease's quotas on this server (rebalancing shrink or
+    /// grow).  A quota of 0 compute millis removes the device from the
+    /// lease.
+    UpdateQuota {
+        /// The lease's authentication id.
+        auth_id: String,
+        /// The new per-device quotas.
+        quotas: Vec<DmQuota>,
+    },
+    /// Pushed to watching clients ([`DmRequest::WatchLease`]): the lease's
+    /// placement or quotas changed; re-read it with
+    /// [`DmRequest::GetLease`] and reconcile server connections.
+    LeaseChanged {
+        /// The lease's authentication id.
+        auth_id: String,
+        /// Current addresses of the servers hosting the lease's shares.
+        servers: Vec<String>,
+        /// What happened.
+        reason: LeaseChangeReason,
+    },
 }
 
 impl Encode for DmNotification {
@@ -295,6 +539,22 @@ impl Encode for DmNotification {
                 buf.push(1);
                 auth_id.encode(buf);
             }
+            DmNotification::AssignShares { auth_id, shares } => {
+                buf.push(2);
+                auth_id.encode(buf);
+                shares.encode(buf);
+            }
+            DmNotification::UpdateQuota { auth_id, quotas } => {
+                buf.push(3);
+                auth_id.encode(buf);
+                quotas.encode(buf);
+            }
+            DmNotification::LeaseChanged { auth_id, servers, reason } => {
+                buf.push(4);
+                auth_id.encode(buf);
+                servers.encode(buf);
+                buf.push(reason.to_u8());
+            }
         }
     }
 }
@@ -307,6 +567,18 @@ impl Decode for DmNotification {
                 device_ids: Vec::decode(r)?,
             },
             1 => DmNotification::RevokeLease { auth_id: String::decode(r)? },
+            2 => DmNotification::AssignShares {
+                auth_id: String::decode(r)?,
+                shares: Vec::decode(r)?,
+            },
+            3 => {
+                DmNotification::UpdateQuota { auth_id: String::decode(r)?, quotas: Vec::decode(r)? }
+            }
+            4 => DmNotification::LeaseChanged {
+                auth_id: String::decode(r)?,
+                servers: Vec::decode(r)?,
+                reason: LeaseChangeReason::from_u8(u8::decode(r)?)?,
+            },
             other => {
                 return Err(codec_err(format!("invalid device-manager notification tag {other}")))
             }
@@ -348,6 +620,21 @@ mod tests {
             DmRequest::ReportDisconnect { auth_id: "lease-1".into() },
             DmRequest::GetStatus,
             DmRequest::Heartbeat { server_name: "gpuserver".into() },
+            DmRequest::RequestShares {
+                client_name: "desktop".into(),
+                priority: 7,
+                shares: vec![DmShareRequest {
+                    count: 2,
+                    attributes: vec![("TYPE".into(), "GPU".into())],
+                    compute_millis: 250,
+                    min_millis: 50,
+                    mem_bytes: 1 << 20,
+                }],
+            },
+            DmRequest::DrainServer { server_name: "gpuserver".into() },
+            DmRequest::RemoveServer { server_name: "gpuserver".into() },
+            DmRequest::GetLease { auth_id: "lease-1".into() },
+            DmRequest::WatchLease { auth_id: "lease-1".into() },
         ] {
             assert_eq!(DmRequest::from_bytes(&req.to_bytes()).unwrap(), req);
         }
@@ -363,12 +650,34 @@ mod tests {
                 servers: vec!["a".into(), "b".into()],
             },
             DmResponse::Status { free_devices: 3, assigned_devices: 1, leases: 1 },
+            DmResponse::LeaseInfo {
+                auth_id: "lease-2".into(),
+                grants: vec![DmGrant {
+                    server: "gpuserver".into(),
+                    device_id: 3,
+                    compute_millis: 250,
+                    mem_bytes: 1 << 20,
+                }],
+            },
         ] {
             assert_eq!(DmResponse::from_bytes(&resp.to_bytes()).unwrap(), resp);
         }
         for n in [
             DmNotification::AssignDevices { auth_id: "lease-2".into(), device_ids: vec![1, 2] },
             DmNotification::RevokeLease { auth_id: "lease-2".into() },
+            DmNotification::AssignShares {
+                auth_id: "lease-2".into(),
+                shares: vec![DmQuota { device_id: 1, compute_millis: 500, mem_bytes: 0 }],
+            },
+            DmNotification::UpdateQuota {
+                auth_id: "lease-2".into(),
+                quotas: vec![DmQuota { device_id: 1, compute_millis: 250, mem_bytes: 0 }],
+            },
+            DmNotification::LeaseChanged {
+                auth_id: "lease-2".into(),
+                servers: vec!["a".into(), "b".into()],
+                reason: LeaseChangeReason::Migrated,
+            },
         ] {
             assert_eq!(DmNotification::from_bytes(&n.to_bytes()).unwrap(), n);
         }

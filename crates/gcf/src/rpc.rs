@@ -179,6 +179,21 @@ impl Endpoint {
         handler: Arc<dyn EndpointHandler>,
         name: impl Into<String>,
     ) -> Arc<Self> {
+        Self::new_init(conn, handler, name, |_| {})
+    }
+
+    /// Like [`Endpoint::new`], but runs `init` on the endpoint *before* the
+    /// receiver thread starts.  Accept loops use this to hand the session
+    /// handler a reference to its own endpoint: with [`Endpoint::new`] the
+    /// first request can be dispatched before the caller has stored the
+    /// endpoint anywhere, and a handler that replies "who asks? nobody yet"
+    /// corrupts whatever that first request set up.
+    pub fn new_init(
+        conn: Arc<dyn Connection>,
+        handler: Arc<dyn EndpointHandler>,
+        name: impl Into<String>,
+        init: impl FnOnce(&Arc<Endpoint>),
+    ) -> Arc<Self> {
         let endpoint = Arc::new(Endpoint {
             conn,
             next_id: AtomicU64::new(1),
@@ -192,6 +207,7 @@ impl Endpoint {
             supervisor: Mutex::new(None),
             supervisor_fired: AtomicBool::new(false),
         });
+        init(&endpoint);
         let weak = Arc::downgrade(&endpoint);
         let thread_name = format!("gcf-endpoint-{}", endpoint.name);
         std::thread::Builder::new()
@@ -502,6 +518,38 @@ mod tests {
         let client = Endpoint::new(client_conn, client_handler, "client");
         let server = Endpoint::new(server_conn, server_handler, "server");
         (client, server)
+    }
+
+    /// A handler that needs a reference to its own endpoint (the accept-loop
+    /// pattern) must see it even when the peer's first request is already in
+    /// flight when the endpoint is created — the race behind leases being
+    /// registered with no endpoint to push to.
+    #[test]
+    fn init_runs_before_the_first_dispatch() {
+        use std::sync::Weak;
+        struct SelfAware {
+            endpoint: Mutex<Option<Weak<Endpoint>>>,
+        }
+        impl EndpointHandler for SelfAware {
+            fn handle_request(&self, _payload: &[u8]) -> Vec<u8> {
+                vec![self.endpoint.lock().is_some() as u8]
+            }
+        }
+        for _ in 0..50 {
+            let t = InprocTransport::new();
+            let listener = t.listen("srv").unwrap();
+            let client_conn = t.connect("srv").unwrap();
+            let client = Endpoint::new(client_conn, Arc::new(NullHandler), "client");
+            // The request is on the wire before the server endpoint exists.
+            let caller = std::thread::spawn(move || client.call(vec![42]).unwrap());
+            let server_conn = listener.accept().unwrap();
+            let handler = Arc::new(SelfAware { endpoint: Mutex::new(None) });
+            let stored = Arc::clone(&handler);
+            let _server = Endpoint::new_init(server_conn, handler, "server", move |ep| {
+                *stored.endpoint.lock() = Some(Arc::downgrade(ep));
+            });
+            assert_eq!(caller.join().unwrap(), vec![1], "handler dispatched before init ran");
+        }
     }
 
     #[test]

@@ -59,6 +59,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod ast;
 pub mod builtins;
 mod bytecode;

@@ -79,13 +79,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     "#;
     let config = parse_device_request(xml)?;
 
-    let mut assignments = Vec::new();
+    // Keep each application's client alive until its lease is released:
+    // a dropped client is an abnormal termination, and the daemon reports
+    // it so the device manager reclaims the lease (Section IV-C).
+    let mut applications = Vec::new();
     for name in ["application-A", "application-B"] {
         let client = cluster.detached_client(name, SimClock::new());
         let assignment = connect_via_device_manager(&client, &transport, &config)?;
         println!("[{name}] lease {} on servers {:?}", assignment.auth_id, assignment.servers);
         run_instance(&client, name)?;
-        assignments.push(assignment);
+        applications.push((client, assignment));
     }
     println!(
         "\nleases active: {}, devices still free: {}",
@@ -93,7 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dm.free_device_count()
     );
 
-    for assignment in &assignments {
+    for (_client, assignment) in &applications {
         release_assignment(&transport, assignment)?;
     }
     println!("after release: {} devices free", dm.free_device_count());

@@ -204,7 +204,7 @@ fn devmgr_reclaims_leases_after_missed_heartbeats() {
         devmgr::request_assignment(&transport, dm_server.address(), "patient", &gpu_req).unwrap();
     // FirstFit lands the lease on server 0 (gpu-a); each gpu_server
     // platform registers 4 GPUs + 1 CPU, so 9 of the 10 devices stay free.
-    assert_eq!(dm.leases()[0].devices[0].0, 0);
+    assert_eq!(dm.leases()[0].physical_devices()[0].0, 0);
     assert_eq!(dm.free_device_count(), 9);
 
     // gpu-b keeps beating, gpu-a goes silent for three ticks.
@@ -222,7 +222,7 @@ fn devmgr_reclaims_leases_after_missed_heartbeats() {
     // set with it.
     let leases = dm.leases();
     assert_eq!(leases.len(), 1);
-    assert!(leases[0].devices.iter().all(|(server, _)| *server == 1));
+    assert!(leases[0].physical_devices().iter().all(|(server, _)| *server == 1));
     assert_eq!(dm.free_device_count(), 4);
 
     // A second sweep is idempotent: nothing newly down, nothing moves.
@@ -232,6 +232,211 @@ fn devmgr_reclaims_leases_after_missed_heartbeats() {
     assert!(dm.heartbeat("gpu-a"));
     assert_eq!(dm.server_health(), vec![("gpu-a".to_string(), true), ("gpu-b".to_string(), true)]);
     assert_eq!(dm.free_device_count(), 9);
+}
+
+/// The degraded failover path: when the dead node's lease has no same-type
+/// replacement anywhere, the lease is revoked rather than moved — and a
+/// server already marked down never re-triggers failover on later sweeps,
+/// no matter how many health ticks pass.
+#[test]
+fn down_server_never_retriggers_failover_and_degraded_leases_are_revoked() {
+    use devmgr::{DeviceManager, DmDevice, ShareRequest};
+
+    let device = |id: u64, device_type: &str| DmDevice {
+        remote_id: id,
+        name: format!("{device_type} {id}"),
+        vendor: "ACME".into(),
+        device_type: device_type.into(),
+        compute_units: 16,
+        global_mem_bytes: 4 << 30,
+    };
+    let dm = DeviceManager::new(devmgr::SchedulingStrategy::FirstFit);
+    dm.register_server("gpu-node", "gpu-node", vec![device(0, "GPU")], None);
+    dm.register_server("cpu-node", "cpu-node", vec![device(1, "CPU")], None);
+    let (lease, _) = dm
+        .assign_shares(
+            "tenant",
+            &[ShareRequest::whole_device(1, vec![("TYPE".into(), "GPU".into())])],
+            1,
+        )
+        .unwrap();
+
+    // The GPU node goes silent; the CPU-only node keeps beating.
+    for _ in 0..3 {
+        dm.tick();
+        dm.heartbeat("cpu-node");
+    }
+    let events = dm.check_health(1);
+    assert_eq!(events.len(), 1);
+    assert!(events[0].degraded, "no same-type replacement device exists");
+    assert!(events[0].moved.is_empty(), "nothing to move the share to");
+    assert!(dm.lease(&lease.auth_id).is_none(), "the unmovable lease is revoked");
+
+    // However long the server stays down, it never fails over again.
+    for _ in 0..5 {
+        dm.tick();
+        dm.heartbeat("cpu-node");
+        assert!(dm.check_health(1).is_empty(), "an already-down server re-triggered failover");
+    }
+    assert_eq!(
+        dm.server_health(),
+        vec![("gpu-node".to_string(), false), ("cpu-node".to_string(), true)]
+    );
+}
+
+/// Administrative revocation: removing the only server a lease lives on
+/// revokes the lease outright — the watcher is pushed a `Revoked` notice
+/// with an empty server list, the daemon's quota table drops the auth id,
+/// and the lease is gone from the manager.
+#[test]
+fn removed_server_revokes_leases_and_notifies_watchers() {
+    use devmgr::{DeviceManager, DeviceManagerServer, DeviceRequirement, ManagedDaemon};
+
+    let transport: Arc<dyn Transport> = Arc::new(gcf::transport::inproc::InprocTransport::new());
+    let dm = DeviceManager::new(devmgr::SchedulingStrategy::FirstFit);
+    let dm_server =
+        DeviceManagerServer::start(Arc::clone(&dm), Arc::clone(&transport), "devmngr").unwrap();
+    let platform = Platform::gpu_server();
+    let managed = ManagedDaemon::connect(
+        Arc::clone(&transport),
+        dm_server.address(),
+        "solo",
+        "solo",
+        platform.devices(),
+    )
+    .unwrap();
+
+    let gpu_req =
+        vec![DeviceRequirement { count: 1, attributes: vec![("TYPE".into(), "GPU".into())] }];
+    let assignment =
+        devmgr::request_assignment(&transport, dm_server.address(), "tenant", &gpu_req).unwrap();
+    let device_id = dm.lease_grants(&assignment.auth_id).unwrap()[0].device_id;
+    assert!(managed.lease_quota(&assignment.auth_id, device_id).is_some());
+
+    let notices = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let sink = Arc::clone(&notices);
+    let _watch = devmgr::watch_lease(&transport, dm_server.address(), &assignment.auth_id, {
+        move |notice| sink.lock().unwrap().push(notice)
+    })
+    .unwrap();
+
+    devmgr::remove_server(&transport, dm_server.address(), "solo").unwrap();
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let notice = loop {
+        if let Some(n) = notices.lock().unwrap().first().cloned() {
+            break n;
+        }
+        assert!(std::time::Instant::now() < deadline, "no revocation push arrived");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(notice.reason, devmgr::LeaseChangeReason::Revoked);
+    assert!(notice.servers.is_empty(), "a revoked lease has no servers left");
+    assert!(devmgr::get_lease(&transport, dm_server.address(), &assignment.auth_id).is_err());
+    // The RevokeLease push empties the daemon's quota table.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while managed.lease_quota(&assignment.auth_id, device_id).is_some() {
+        assert!(std::time::Instant::now() < deadline, "daemon quota never revoked");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// A lease is revoked from a draining node mid-computation and migrated to
+/// the other node: the watching client follows the `LeaseChanged` push,
+/// reconciles its server roster with `sync_servers`, and the workload's
+/// second half — computed on the new node — stitches bit-correct against
+/// the single-node reference.
+#[test]
+fn drained_node_lease_migrates_and_finishes_bit_correct() {
+    use devmgr::{DeviceManager, DeviceManagerServer, DeviceRequirement, ManagedDaemon};
+
+    const UINTS_PER_HALF: usize = 128;
+    const STAMP: &str = r#"
+        __kernel void stamp(__global uint* out, uint base) {
+            size_t i = get_global_id(0);
+            out[i] = ((uint)i + base) * 97u + 5u;
+        }
+    "#;
+
+    let mut cluster = LocalCluster::new(LinkModel::gigabit_ethernet());
+    let transport: Arc<dyn Transport> = Arc::new(cluster.transport());
+    let dm = DeviceManager::new(devmgr::SchedulingStrategy::FirstFit);
+    let dm_server =
+        DeviceManagerServer::start(Arc::clone(&dm), Arc::clone(&transport), "devmngr").unwrap();
+    let mut managed = Vec::new();
+    for name in ["node-a", "node-b"] {
+        let platform = Platform::test_platform(1);
+        let daemon = ManagedDaemon::connect(
+            Arc::clone(&transport),
+            dm_server.address(),
+            name,
+            name,
+            platform.devices(),
+        )
+        .unwrap();
+        cluster.add_node_with_policy(name, &platform, daemon.policy()).unwrap();
+        managed.push(daemon);
+    }
+
+    let any_device = vec![DeviceRequirement { count: 1, attributes: Vec::new() }];
+    let assignment =
+        devmgr::request_assignment(&transport, dm_server.address(), "migrator", &any_device)
+            .unwrap();
+    assert_eq!(assignment.servers, vec!["node-a".to_string()]);
+
+    let notices = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let sink = Arc::clone(&notices);
+    let _watch = devmgr::watch_lease(&transport, dm_server.address(), &assignment.auth_id, {
+        move |notice| sink.lock().unwrap().push(notice)
+    })
+    .unwrap();
+
+    let client = cluster.detached_client("migrator", SimClock::new());
+    client.set_auth_id(Some(assignment.auth_id.clone()));
+    client.connect_server(&assignment.servers[0]).unwrap();
+
+    // Each half is self-contained (own context, queue and buffer) on
+    // whatever device the lease currently exposes.
+    let stamp_half = |base: usize| -> Vec<u32> {
+        let device = client.devices()[0].clone();
+        let context = Context::new(&client, std::slice::from_ref(&device)).unwrap();
+        let queue = context.create_command_queue(&device).unwrap();
+        let program = context.create_program_with_source(STAMP).unwrap();
+        program.build().unwrap();
+        let buffer = context.create_buffer(UINTS_PER_HALF * 4).unwrap();
+        let kernel = program.create_kernel("stamp").unwrap();
+        kernel.set_arg(0, &buffer).unwrap();
+        kernel.set_arg(1, Value::uint(base as u64)).unwrap();
+        queue.launch(&kernel, NdRange::linear(UINTS_PER_HALF)).submit().unwrap().wait().unwrap();
+        let (data, _) = queue.read_buffer(&buffer).submit().unwrap();
+        data.chunks_exact(4).map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]])).collect()
+    };
+    let mut image = stamp_half(0);
+
+    // Drain the node the lease lives on: its share is revoked there and
+    // migrated; the watcher learns the new server set.
+    devmgr::drain_server(&transport, dm_server.address(), "node-a").unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let notice = loop {
+        if let Some(n) = notices.lock().unwrap().first().cloned() {
+            break n;
+        }
+        assert!(std::time::Instant::now() < deadline, "no LeaseChanged push arrived");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(notice.reason, devmgr::LeaseChangeReason::Migrated);
+    assert_eq!(notice.servers, vec!["node-b".to_string()]);
+    client.sync_servers(&notice.servers).unwrap();
+    assert!(client.server_by_address("node-a").is_none(), "the drained node is disconnected");
+
+    image.extend(stamp_half(UINTS_PER_HALF));
+
+    let expected: Vec<u32> = (0..2 * UINTS_PER_HALF).map(|i| (i as u32) * 97 + 5).collect();
+    assert_eq!(image, expected, "the migrated workload must stay bit-correct");
+    // The drain completed: nothing is allocated on node-a any more, while
+    // the lease itself lives on.
+    assert_eq!(dm.server_load("node-a"), Some(0));
+    assert_eq!(dm.lease_count(), 1);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,128 @@
+//! Property tests of the cluster scheduler: the weighted fair division
+//! never starves a tenant below its floor, and no sequence of fractional
+//! assignments and releases — under any policy — ever oversubscribes a
+//! physical device beyond 100% of its compute millis.
+
+use devmgr::sched::fair_shares;
+use devmgr::{DevMgrError, DeviceManager, DmDevice, ShareRequest, Strategy, FULL_COMPUTE_MILLIS};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn gpu(id: u64) -> DmDevice {
+    DmDevice {
+        remote_id: id,
+        name: format!("GPU {id}"),
+        vendor: "ACME".into(),
+        device_type: "GPU".into(),
+        compute_units: 32,
+        global_mem_bytes: 4 << 30,
+    }
+}
+
+fn gpu_share(desired: u32, floor: u32) -> ShareRequest {
+    ShareRequest {
+        count: 1,
+        attributes: vec![("TYPE".into(), "GPU".into())],
+        compute_millis: desired,
+        min_millis: floor,
+        mem_bytes: 0,
+    }
+}
+
+proptest! {
+    /// `fair_shares` is safe for arbitrary demand sets: every tenant
+    /// receives at least its (desired-capped) floor — no starvation — at
+    /// most its desired share, and the division never hands out more than
+    /// the capacity (unless the floors alone oversubscribe it, which
+    /// admission control prevents upstream).
+    #[test]
+    fn fair_shares_honour_floors_caps_and_capacity(
+        capacity in 0u32..=4_000,
+        demands in proptest::collection::vec((0u32..=8, 0u32..=500, 0u32..=1_500), 0..12),
+    ) {
+        let grants = fair_shares(capacity, &demands);
+        prop_assert_eq!(grants.len(), demands.len());
+        for (grant, &(_, floor, desired)) in grants.iter().zip(&demands) {
+            prop_assert!(*grant <= desired, "grant {grant} above desired {desired}");
+            prop_assert!(
+                *grant >= floor.min(desired),
+                "grant {grant} starves the floor {floor} (desired {desired})"
+            );
+        }
+        let floors: u32 = demands.iter().map(|&(_, floor, desired)| floor.min(desired)).sum();
+        let total: u32 = grants.iter().sum();
+        prop_assert!(
+            total <= capacity.max(floors),
+            "division hands out {total} of {capacity} (floors {floors})"
+        );
+    }
+
+    /// Equal-weight unsatisfied tenants end up with equal shares (±1 crumb
+    /// from integer rounding): the no-starvation half of weighted fairness.
+    #[test]
+    fn fair_shares_equalize_equal_weights(
+        capacity in 1u32..=4_000,
+        tenants in 1usize..=16,
+    ) {
+        let demands: Vec<(u32, u32, u32)> = vec![(1, 0, u32::MAX); tenants];
+        let grants = fair_shares(capacity, &demands);
+        let min = *grants.iter().min().unwrap();
+        let max = *grants.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "equal weights diverged: min {min}, max {max}");
+    }
+
+    /// Drive a random sequence of fractional share requests and releases at
+    /// a live 2-node manager under every policy.  After every operation, no
+    /// device's fractional shares may sum past 100% and no admitted lease
+    /// may ever sit below its floor (Fair/Priority shrink grants during
+    /// rebalancing and preemption, but never through the floor).
+    #[test]
+    fn no_policy_oversubscribes_or_starves(
+        strategy_index in 0usize..4,
+        ops in proptest::collection::vec(
+            (1u32..=1_000, 1u32..=150, 1u32..=4, any::<bool>()),
+            1..32,
+        ),
+    ) {
+        let strategy = [Strategy::FirstFit, Strategy::RoundRobin, Strategy::Fair, Strategy::Priority]
+            [strategy_index];
+        let dm = DeviceManager::new(strategy);
+        dm.register_server("srv-a", "srv-a", (0..4).map(gpu).collect(), None);
+        dm.register_server("srv-b", "srv-b", (4..8).map(gpu).collect(), None);
+
+        let mut held: Vec<String> = Vec::new();
+        for (i, &(desired, floor, weight, release_one)) in ops.iter().enumerate() {
+            if release_one && !held.is_empty() {
+                // Preemption under Priority may already have released the
+                // lease; a stale id is fine.
+                let _ = dm.release(&held.remove(i % held.len()));
+            }
+            let floor = floor.min(desired);
+            match dm.assign_shares(&format!("client-{i}"), &[gpu_share(desired, floor)], weight) {
+                Ok((lease, _)) => held.push(lease.auth_id),
+                Err(DevMgrError::Saturated(_)) => {}
+                Err(e) => prop_assert!(false, "unexpected assignment error: {e}"),
+            }
+
+            let mut per_device: HashMap<(usize, u64), u32> = HashMap::new();
+            for lease in dm.leases() {
+                for vd in &lease.virtual_devices {
+                    prop_assert!(
+                        vd.compute_millis >= vd.min_millis && vd.compute_millis > 0,
+                        "lease {} starved: {} millis under a floor of {}",
+                        lease.auth_id,
+                        vd.compute_millis,
+                        vd.min_millis
+                    );
+                    *per_device.entry((vd.server, vd.device)).or_default() += vd.compute_millis;
+                }
+            }
+            for ((server, device), total) in per_device {
+                prop_assert!(
+                    total <= FULL_COMPUTE_MILLIS,
+                    "device {device} on server {server} oversubscribed: {total} millis"
+                );
+            }
+        }
+    }
+}
